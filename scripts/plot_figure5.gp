@@ -1,0 +1,15 @@
+# Gnuplot script for Figure 5: DM footprint over time, Lea vs the custom
+# manager, one DRR run.
+#
+# Generate the data, then plot:
+#   dune exec bin/main.exe -- figure5 --csv bench_figure5.csv
+#   gnuplot -persist scripts/plot_figure5.gp
+set datafile separator ","
+set title "DM footprint over one DRR run (Figure 5)"
+set xlabel "allocation events"
+set ylabel "heap footprint (bytes)"
+set key top left
+set grid
+plot \
+  "< grep '^Lea,' bench_figure5.csv" using 2:3 with lines lw 2 title "Lea", \
+  "< grep '^custom' bench_figure5.csv" using 2:3 with lines lw 2 title "custom DM manager 1"
