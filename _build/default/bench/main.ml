@@ -1,0 +1,314 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (see DESIGN.md §2 and EXPERIMENTS.md).
+
+   Sections:
+     EXP-T1   Table 1  - maximum memory footprint per workload and manager
+     EXP-F5   Figure 5 - DM footprint over time, Lea vs custom, DRR
+     EXP-F4   Figure 4 - tree-order ablation
+     EXP-PERF Section 5 text - execution-time comparison (abstract ops and
+              Bechamel wall-clock; one Bechamel test per Table 1 column)
+
+   Run with DMM_BENCH_QUICK=1 for a fast smoke pass. *)
+
+module Experiments = Dmm_workloads.Experiments
+module Scenario = Dmm_workloads.Scenario
+module Trace = Dmm_trace.Trace
+module Replay = Dmm_trace.Replay
+module Footprint_series = Dmm_trace.Footprint_series
+module Csv = Dmm_trace.Csv
+
+let quick = Sys.getenv_opt "DMM_BENCH_QUICK" <> None
+
+let section title =
+  Printf.printf "\n=== %s ===\n%!" title
+
+(* ------------------------------------------------------------------ *)
+(* EXP-T1: Table 1                                                     *)
+
+let table1 () =
+  section "EXP-T1: Table 1 - maximum memory footprint (bytes)";
+  let seeds = if quick then 1 else 3 in
+  let tables = Experiments.table1 ~seeds () in
+  List.iter (fun t -> Format.printf "%a@." Experiments.pp_table t) tables;
+  tables
+
+(* ------------------------------------------------------------------ *)
+(* EXP-F5: Figure 5                                                    *)
+
+let figure5 () =
+  section "EXP-F5: Figure 5 - DM footprint over time (DRR run)";
+  let every = if quick then 500 else 2000 in
+  let series = Experiments.figure5 ~every () in
+  let rows =
+    List.concat_map (fun (name, pts) -> Footprint_series.to_rows ~name pts) series
+  in
+  Csv.write "bench_figure5.csv"
+    ~header:[ "manager"; "event"; "current_bytes"; "max_bytes" ]
+    rows;
+  Printf.printf "wrote bench_figure5.csv (%d points)\n" (List.length rows);
+  (* Coarse textual rendering of the two curves. *)
+  List.iter
+    (fun (name, pts) ->
+      let peak = Footprint_series.peak pts in
+      Printf.printf "%-22s peak=%8d B   profile: " name peak;
+      let n = List.length pts in
+      let stride = max 1 (n / 24) in
+      List.iteri
+        (fun i (p : Footprint_series.point) ->
+          if i mod stride = 0 then
+            let level = if peak = 0 then 0 else p.current * 8 / max 1 peak in
+            print_char (match level with 0 -> '_' | 1 | 2 -> '.' | 3 | 4 -> 'o' | _ -> 'O'))
+        pts;
+      print_newline ())
+    series
+
+(* ------------------------------------------------------------------ *)
+(* EXP-BRK: where the bytes go at the footprint peak (Section 4.1)     *)
+
+let breakdown_section () =
+  section "EXP-BRK: footprint decomposition at the peak (Section 4.1 factors)";
+  List.iter
+    (fun (workload, rows) ->
+      Printf.printf "%s\n" workload;
+      List.iter
+        (fun (manager, b) ->
+          Format.printf "  %-22s %a@." manager Dmm_core.Metrics.pp_breakdown b)
+        rows)
+    (Experiments.breakdown_table ())
+
+(* ------------------------------------------------------------------ *)
+(* EXP-NRG: energy extension (COLP'03 direction)                       *)
+
+let energy_section () =
+  section "EXP-NRG: first-order energy estimates (extension, Section 2's critique)";
+  List.iter
+    (fun (workload, rows) ->
+      Printf.printf "%s\n" workload;
+      List.iter
+        (fun (manager, nj) ->
+          Format.printf "  %-22s %a@." manager Dmm_core.Energy.pp_nj nj)
+        rows)
+    (Experiments.energy_table ())
+
+(* ------------------------------------------------------------------ *)
+(* EXP-F4: order ablation                                              *)
+
+let order_ablation () =
+  section "EXP-F4: traversal-order ablation (DRR)";
+  let results = Experiments.order_ablation () in
+  List.iter (fun (name, fp) -> Printf.printf "  %-36s %9d B\n" name fp) results;
+  match results with
+  | [ (_, good); (_, bad) ] ->
+    Printf.printf "  wrong order costs %+.1f%% footprint\n"
+      (100.0 *. ((float_of_int bad /. float_of_int good) -. 1.0))
+  | _ -> ()
+
+(* ------------------------------------------------------------------ *)
+(* EXP-STAT: static worst-case vs dynamic management (intro claims)    *)
+
+let static_comparison () =
+  section "EXP-STAT: static worst-case allocation vs DM (introduction's motivation)";
+  let r = Experiments.static_comparison () in
+  Printf.printf "  static worst-case reservation         %9d B\n" r.Experiments.reserved_bytes;
+  Printf.printf "  custom DM manager max footprint       %9d B\n" r.Experiments.custom_footprint;
+  Printf.printf "  static overhead over DM               %8.1f%%  (paper intro: 22%% for average-sized static)\n"
+    r.Experiments.static_overhead_pct;
+  List.iter
+    (fun (seed, overflows) ->
+      Printf.printf "  same sizing on unseen input (seed %d): %d overflowing allocations%s\n"
+        seed overflows
+        (if overflows > 0 then "  <- static sizing fails off its design input" else ""))
+    r.Experiments.overflows_on_other_inputs
+
+(* ------------------------------------------------------------------ *)
+(* EXP-MIX: concurrently running applications                          *)
+
+let multi_app () =
+  section "EXP-MIX: DRR and 3D reconstruction running concurrently (interleaved traces)";
+  List.iter
+    (fun (name, fp) -> Printf.printf "  %-34s %9d B\n" name fp)
+    (Experiments.multi_app ())
+
+(* ------------------------------------------------------------------ *)
+(* EXP-SRCH: methodology vs blind search                               *)
+
+let search_comparison () =
+  section "EXP-SRCH: ordered methodology vs random search of the valid space (DRR)";
+  let samples = if quick then 20 else 60 in
+  List.iter
+    (fun (name, sims, fp) ->
+      Printf.printf "  %-38s %4d simulations -> %9d B\n" name sims fp)
+    (Experiments.search_comparison ~samples ())
+
+(* ------------------------------------------------------------------ *)
+(* EXP-MICRO: adversarial micro-patterns                               *)
+
+let micro () =
+  section "EXP-MICRO: adversarial micro-patterns (footprint / peak live)";
+  let managers =
+    Scenario.baselines ()
+    @ [ ("custom", Scenario.custom_manager (Scenario.drr_paper_design ())) ]
+  in
+  let patterns = Dmm_workloads.Micro.suite () in
+  Printf.printf "  %-16s" "";
+  List.iter (fun (name, _) -> Printf.printf " %9s" (String.sub (name ^ "         ") 0 9)) patterns;
+  print_newline ();
+  List.iter
+    (fun (mname, make) ->
+      Printf.printf "  %-16s" mname;
+      List.iter
+        (fun (_, trace) ->
+          let peak =
+            (Dmm_core.Profile.total (Dmm_trace.Profile_builder.of_trace trace))
+              .Dmm_core.Profile.peak_live_bytes
+          in
+          let fp = Replay.max_footprint_of trace (make ()) in
+          Printf.printf " %8.2fx" (float_of_int fp /. float_of_int (max 1 peak)))
+        patterns;
+      print_newline ())
+    managers
+
+(* ------------------------------------------------------------------ *)
+(* EXP-PERF: execution time                                            *)
+
+let ops_summary tables =
+  section "EXP-PERF (a): abstract operation counts per replay";
+  List.iter
+    (fun (t : Experiments.table) ->
+      Printf.printf "%s\n" t.workload;
+      let kingsley_ops =
+        List.fold_left
+          (fun acc (r : Experiments.row) ->
+            if r.manager = "Kingsley-Windows" then r.ops else acc)
+          1 t.rows
+      in
+      List.iter
+        (fun (r : Experiments.row) ->
+          Printf.printf "  %-22s %12d ops  (%.2fx Kingsley)\n" r.manager r.ops
+            (float_of_int r.ops /. float_of_int (max 1 kingsley_ops)))
+        t.rows)
+    tables
+
+(* One Bechamel test per Table 1 column: the full workload replay under
+   each manager, measuring wall-clock per run. *)
+let bechamel_tests () =
+  section "EXP-PERF (b): Bechamel wall-clock of full replays";
+  let open Bechamel in
+  let open Toolkit in
+  Experiments.paper_scale := false;
+  let mk_workload name trace custom =
+    let managers =
+      Scenario.baselines () @ [ ("custom", custom) ]
+    in
+    let tests =
+      List.map
+        (fun (mname, make) ->
+          Test.make ~name:mname (Staged.stage (fun () -> Replay.run trace (make ()))))
+        managers
+    in
+    Test.make_grouped ~name ~fmt:"%s/%s" tests
+  in
+  let drr = mk_workload "drr"
+      (Experiments.drr_trace_seed 42)
+      (Scenario.custom_manager (Scenario.drr_paper_design ()))
+  in
+  let recon = mk_workload "reconstruct"
+      (Experiments.reconstruct_trace_seed 42)
+      (Scenario.custom_manager (Scenario.drr_paper_design ()))
+  in
+  let render = mk_workload "render"
+      (Experiments.render_trace_seed 42)
+      (Scenario.custom_global (Scenario.render_paper_design ()))
+  in
+  (* The paper's 10%-overhead claim is about the application's execution
+     time, not bare allocator throughput: run the full DRR simulation
+     (including per-packet processing) under each manager. *)
+  let live_group name run custom =
+    let managers = Scenario.baselines () @ [ ("custom", custom) ] in
+    Test.make_grouped ~name ~fmt:"%s/%s"
+      (List.map
+         (fun (mname, make) ->
+           Test.make ~name:mname (Staged.stage (fun () -> run (make ()))))
+         managers)
+  in
+  let atomic_custom = Scenario.custom_manager (Scenario.drr_paper_design ()) in
+  let live_drr =
+    let packets = Dmm_workloads.Traffic.generate Dmm_workloads.Traffic.default_config in
+    live_group "drr-live"
+      (fun a -> ignore (Dmm_workloads.Drr.run a packets))
+      atomic_custom
+  in
+  let live_recon =
+    live_group "reconstruct-live"
+      (fun a -> ignore (Dmm_workloads.Reconstruct.run a))
+      atomic_custom
+  in
+  let live_render =
+    live_group "render-live"
+      (fun a -> ignore (Dmm_workloads.Render.run a))
+      (Scenario.custom_global (Scenario.render_paper_design ()))
+  in
+  Experiments.paper_scale := true;
+  let quota = if quick then 0.2 else 1.0 in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~stabilize:false ()
+  in
+  let instances = Instance.[ monotonic_clock ] in
+  let analyze raw =
+    let ols =
+      Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+    in
+    Analyze.all ols Instance.monotonic_clock raw
+  in
+  List.iter
+    (fun group ->
+      let raw = Benchmark.all cfg instances group in
+      let results = analyze raw in
+      let contains_kingsley name =
+        let n = String.length name and k = String.length "Kingsley" in
+        let rec go i = i + k <= n && (String.sub name i k = "Kingsley" || go (i + 1)) in
+        go 0
+      in
+      let baseline = ref None in
+      Hashtbl.iter
+        (fun name ols ->
+          match Analyze.OLS.estimates ols with
+          | Some [ est ] -> if contains_kingsley name then baseline := Some est
+          | Some _ | None -> ())
+        results;
+      let rows =
+        Hashtbl.fold
+          (fun name ols acc ->
+            match Analyze.OLS.estimates ols with
+            | Some [ est ] -> (name, est) :: acc
+            | Some _ | None -> acc)
+          results []
+        |> List.sort compare
+      in
+      List.iter
+        (fun (name, est) ->
+          let vs =
+            match !baseline with
+            | Some b when b > 0.0 ->
+              Printf.sprintf "(%.2fx Kingsley)" (est /. b)
+            | Some _ | None -> ""
+          in
+          Printf.printf "  %-28s %12.0f ns/replay %s\n%!" name est vs)
+        rows)
+    [ drr; recon; render; live_drr; live_recon; live_render ]
+
+let () =
+  Printf.printf "DM management methodology benchmark harness%s\n"
+    (if quick then " (quick mode)" else "");
+  if quick then Experiments.paper_scale := false;
+  let tables = table1 () in
+  figure5 ();
+  breakdown_section ();
+  energy_section ();
+  order_ablation ();
+  search_comparison ();
+  static_comparison ();
+  multi_app ();
+  micro ();
+  ops_summary tables;
+  bechamel_tests ()

@@ -1,0 +1,369 @@
+(* dmm: command-line front end for the DM-management design methodology.
+
+   Subcommands mirror the methodology's steps and the paper's experiments:
+   space, profile, explore, table1, figure5, ablation, trace, replay. *)
+
+module Decision = Dmm_core.Decision
+module Constraints = Dmm_core.Constraints
+module Profile = Dmm_core.Profile
+module Explorer = Dmm_core.Explorer
+module Scenario = Dmm_workloads.Scenario
+module Experiments = Dmm_workloads.Experiments
+module Trace = Dmm_trace.Trace
+module Replay = Dmm_trace.Replay
+module Footprint_series = Dmm_trace.Footprint_series
+module Csv = Dmm_trace.Csv
+module Profile_builder = Dmm_trace.Profile_builder
+
+open Cmdliner
+
+(* ------------------------------------------------------------------ *)
+(* shared arguments                                                    *)
+
+type workload = Drr | Reconstruct | Render
+
+let workload_conv =
+  let parse = function
+    | "drr" -> Ok Drr
+    | "reconstruct" | "recon" -> Ok Reconstruct
+    | "render" -> Ok Render
+    | s -> Error (`Msg (Printf.sprintf "unknown workload %S (drr|reconstruct|render)" s))
+  in
+  let print ppf w =
+    Format.pp_print_string ppf
+      (match w with Drr -> "drr" | Reconstruct -> "reconstruct" | Render -> "render")
+  in
+  Arg.conv (parse, print)
+
+let workload_arg =
+  Arg.(
+    required
+    & opt (some workload_conv) None
+    & info [ "w"; "workload" ] ~docv:"WORKLOAD" ~doc:"Case study: drr, reconstruct or render.")
+
+let quick_arg =
+  Arg.(value & flag & info [ "quick" ] ~doc:"Use light workload configurations instead of the paper-scale ones.")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed for the workload.")
+
+let trace_for ~quick ~seed workload =
+  Experiments.paper_scale := not quick;
+  match workload with
+  | Drr -> Experiments.drr_trace_seed seed
+  | Reconstruct -> Experiments.reconstruct_trace_seed seed
+  | Render -> Experiments.render_trace_seed seed
+
+(* ------------------------------------------------------------------ *)
+(* space                                                               *)
+
+let space_cmd =
+  let run dot =
+    if dot then print_string (Constraints.to_dot ())
+    else begin
+    Format.printf "DM management design space (Figure 1)@.@.";
+    List.iter
+      (fun tree ->
+        Format.printf "%s@." (Decision.tree_name tree);
+        List.iter
+          (fun leaf -> Format.printf "    - %s@." (Decision.leaf_name leaf))
+          (Decision.leaves_of tree))
+      Decision.all_trees;
+    Format.printf "@.Interdependencies (Figures 2-3)@.@.";
+    List.iter
+      (fun (id, doc) -> Format.printf "  [%s]@.      %s@." id doc)
+      Constraints.rules_doc;
+    Format.printf "@.Traversal order for reduced footprint (Section 4.2):@.  %a@."
+      (Format.pp_print_list
+         ~pp_sep:(fun ppf () -> Format.fprintf ppf " -> ")
+         Decision.pp_tree)
+      Dmm_core.Order.paper_order
+    end
+  in
+  let dot =
+    Arg.(value & flag & info [ "dot" ] ~doc:"Emit the interdependency graph (Figure 2) as Graphviz DOT.")
+  in
+  Cmd.v (Cmd.info "space" ~doc:"Print the decision trees, their leaves and the interdependency rules.")
+    Term.(const run $ dot)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+let profile_cmd =
+  let run workload quick seed =
+    let trace = trace_for ~quick ~seed workload in
+    let profile = Profile_builder.of_trace trace in
+    Format.printf "trace: %d events, %d allocs, %d frees@.@." (Trace.length trace)
+      (Trace.alloc_count trace) (Trace.free_count trace);
+    Format.printf "== whole run ==@.%a@.@." Profile.pp_summary (Profile.total profile);
+    match Profile.phases profile with
+    | [ _ ] -> ()
+    | phases ->
+      List.iter
+        (fun s -> Format.printf "== phase %d ==@.%a@.@." s.Profile.phase Profile.pp_summary s)
+        phases
+  in
+  Cmd.v
+    (Cmd.info "profile" ~doc:"Record a workload's DM behaviour and print the profile (methodology step 1).")
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg)
+
+(* ------------------------------------------------------------------ *)
+(* explore                                                             *)
+
+let explore_cmd =
+  let run workload quick seed detect =
+    let trace = trace_for ~quick ~seed workload in
+    Format.printf "profiling and exploring (%d events)...@." (Trace.length trace);
+    let spec = Scenario.global_design_for ~detect_phases:detect trace in
+    Format.printf "@.== chosen design (default) ==@.%a@." Explorer.pp_design spec.default;
+    List.iter
+      (fun (phase, d) ->
+        Format.printf "@.== phase %d override ==@.%a@." phase Explorer.pp_design d)
+      spec.overrides;
+    Format.printf "@.== footprint comparison ==@.";
+    let rows =
+      Scenario.baselines () @ [ ("custom (explored)", Scenario.custom_global spec) ]
+    in
+    List.iter
+      (fun (name, make) ->
+        Format.printf "  %-20s %9d B@." name (Scenario.max_footprint trace make))
+      rows
+  in
+  let detect =
+    Arg.(
+      value & flag
+      & info [ "detect-phases" ]
+          ~doc:"Recover phase boundaries from the trace instead of using the application's markers.")
+  in
+  Cmd.v
+    (Cmd.info "explore"
+       ~doc:"Run the full methodology on a workload and print the derived custom manager.")
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect)
+
+(* ------------------------------------------------------------------ *)
+(* table1                                                              *)
+
+let table1_cmd =
+  let run quick seeds =
+    Experiments.paper_scale := not quick;
+    let tables = Experiments.table1 ~seeds () in
+    List.iter (fun t -> Format.printf "%a@." Experiments.pp_table t) tables
+  in
+  let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Traces averaged per workload.") in
+  Cmd.v
+    (Cmd.info "table1" ~doc:"Regenerate Table 1 (maximum memory footprint per workload and manager).")
+    Term.(const run $ quick_arg $ seeds)
+
+(* ------------------------------------------------------------------ *)
+(* figure5                                                             *)
+
+let figure5_cmd =
+  let run quick every csv =
+    Experiments.paper_scale := not quick;
+    let series = Experiments.figure5 ~every () in
+    (match csv with
+    | None -> ()
+    | Some path ->
+      Csv.write path
+        ~header:[ "manager"; "event"; "current_bytes"; "max_bytes" ]
+        (List.concat_map
+           (fun (name, pts) -> Footprint_series.to_rows ~name pts)
+           series);
+      Format.printf "wrote %s@." path);
+    List.iter
+      (fun (name, pts) ->
+        Format.printf "%s: peak=%d B, %d points@." name (Footprint_series.peak pts)
+          (List.length pts))
+      series
+  in
+  let every = Arg.(value & opt int 2000 & info [ "every" ] ~doc:"Events between samples.") in
+  let csv =
+    Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the series to a CSV file.")
+  in
+  Cmd.v
+    (Cmd.info "figure5" ~doc:"Regenerate Figure 5 (DM footprint over time, Lea vs custom, DRR).")
+    Term.(const run $ quick_arg $ every $ csv)
+
+(* ------------------------------------------------------------------ *)
+(* ablation                                                            *)
+
+let ablation_cmd =
+  let run quick =
+    Experiments.paper_scale := not quick;
+    List.iter
+      (fun (name, fp) -> Format.printf "  %-36s %9d B@." name fp)
+      (Experiments.order_ablation ())
+  in
+  Cmd.v
+    (Cmd.info "ablation" ~doc:"Compare the paper's traversal order against Figure 4's wrong order.")
+    Term.(const run $ quick_arg)
+
+(* ------------------------------------------------------------------ *)
+(* micro                                                               *)
+
+let micro_cmd =
+  let run () =
+    let managers =
+      Scenario.baselines ()
+      @ [ ("custom", Scenario.custom_manager (Scenario.drr_paper_design ())) ]
+    in
+    List.iter
+      (fun (pname, trace) ->
+        let peak =
+          (Dmm_core.Profile.total (Profile_builder.of_trace trace))
+            .Dmm_core.Profile.peak_live_bytes
+        in
+        Format.printf "%s (peak live %d B)@." pname peak;
+        List.iter
+          (fun (mname, make) ->
+            let fp = Replay.max_footprint_of trace (make ()) in
+            Format.printf "  %-18s %9d B  (%.2fx)@." mname fp
+              (float_of_int fp /. float_of_int (max 1 peak)))
+          managers)
+      (Dmm_workloads.Micro.suite ())
+  in
+  Cmd.v
+    (Cmd.info "micro" ~doc:"Run the adversarial micro-pattern stress suite against every manager.")
+    Term.(const run $ const ())
+
+(* ------------------------------------------------------------------ *)
+(* breakdown / energy                                                  *)
+
+let breakdown_cmd =
+  let run quick =
+    Experiments.paper_scale := not quick;
+    List.iter
+      (fun (workload, rows) ->
+        Format.printf "%s@." workload;
+        List.iter
+          (fun (manager, b) ->
+            Format.printf "  %-22s %a@." manager Dmm_core.Metrics.pp_breakdown b)
+          rows)
+      (Experiments.breakdown_table ())
+  in
+  Cmd.v
+    (Cmd.info "breakdown"
+       ~doc:"Decompose each manager's peak footprint into payload, tags, padding and free memory (Section 4.1 factors).")
+    Term.(const run $ quick_arg)
+
+let energy_cmd =
+  let run quick nj_op nj_leak =
+    Experiments.paper_scale := not quick;
+    let model =
+      { Dmm_core.Energy.nj_per_op = nj_op; nj_per_byte_megaevent = nj_leak }
+    in
+    List.iter
+      (fun (workload, rows) ->
+        Format.printf "%s@." workload;
+        List.iter
+          (fun (manager, nj) ->
+            Format.printf "  %-22s %a@." manager Dmm_core.Energy.pp_nj nj)
+          rows)
+      (Experiments.energy_table ~model ())
+  in
+  let nj_op =
+    Arg.(value & opt float 1.0 & info [ "nj-per-op" ] ~doc:"Dynamic energy per manager operation (nJ).")
+  in
+  let nj_leak =
+    Arg.(
+      value & opt float 25.0
+      & info [ "nj-per-byte-megaevent" ] ~doc:"Leakage per held byte over one million events (nJ).")
+  in
+  Cmd.v
+    (Cmd.info "energy"
+       ~doc:"First-order energy comparison of the managers (the COLP'03 extension direction).")
+    Term.(const run $ quick_arg $ nj_op $ nj_leak)
+
+(* ------------------------------------------------------------------ *)
+(* trace / replay                                                      *)
+
+let trace_cmd =
+  let run workload quick seed out =
+    let trace = trace_for ~quick ~seed workload in
+    Trace.save trace out;
+    Format.printf "wrote %d events to %s@." (Trace.length trace) out
+  in
+  let out =
+    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record a workload's allocation trace to a file.")
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ out)
+
+let manager_conv =
+  let parse = function
+    | "kingsley" -> Ok `Kingsley
+    | "lea" -> Ok `Lea
+    | "regions" -> Ok `Regions
+    | "obstacks" -> Ok `Obstacks
+    | "custom" -> Ok `Custom
+    | s -> Error (`Msg (Printf.sprintf "unknown manager %S" s))
+  in
+  let print ppf m =
+    Format.pp_print_string ppf
+      (match m with
+      | `Kingsley -> "kingsley"
+      | `Lea -> "lea"
+      | `Regions -> "regions"
+      | `Obstacks -> "obstacks"
+      | `Custom -> "custom")
+  in
+  Arg.conv (parse, print)
+
+let replay_cmd =
+  let run file manager =
+    match Trace.load file with
+    | Error msg -> prerr_endline msg; exit 1
+    | Ok trace -> (
+      match Trace.validate trace with
+      | Error msg ->
+        prerr_endline ("invalid trace: " ^ msg);
+        exit 1
+      | Ok () ->
+        let make =
+          match manager with
+          | `Kingsley -> Scenario.kingsley
+          | `Lea -> Scenario.lea
+          | `Regions -> Scenario.regions
+          | `Obstacks -> Scenario.obstacks
+          | `Custom -> Scenario.custom_global (Scenario.global_design_for trace);
+        in
+        let a = make () in
+        Replay.run trace a;
+        Format.printf "events:        %d@." (Trace.length trace);
+        Format.printf "max footprint: %d B@." (Dmm_core.Allocator.max_footprint a);
+        Format.printf "stats:         %a@." Dmm_core.Metrics.pp_snapshot
+          (Dmm_core.Allocator.stats a))
+  in
+  let file =
+    Arg.(required & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc:"Trace file to replay.")
+  in
+  let manager =
+    Arg.(
+      value
+      & opt manager_conv `Custom
+      & info [ "m"; "manager" ] ~docv:"MANAGER" ~doc:"kingsley, lea, regions, obstacks or custom (methodology-derived).")
+  in
+  Cmd.v
+    (Cmd.info "replay" ~doc:"Replay a recorded trace against a manager and report its footprint.")
+    Term.(const run $ file $ manager)
+
+let () =
+  let doc = "Custom dynamic-memory manager design methodology (DATE 2004 reproduction)" in
+  let info = Cmd.info "dmm" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            space_cmd;
+            profile_cmd;
+            explore_cmd;
+            table1_cmd;
+            figure5_cmd;
+            ablation_cmd;
+            breakdown_cmd;
+            energy_cmd;
+            micro_cmd;
+            trace_cmd;
+            replay_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/custom_allocator.ml: Dmm_core Dmm_trace Dmm_vmem Dmm_workloads Format Hashtbl List

@@ -1,0 +1,1 @@
+examples/drr_scheduler.ml: Dmm_core Dmm_trace Dmm_workloads Format List

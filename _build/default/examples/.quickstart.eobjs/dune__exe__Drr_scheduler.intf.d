@@ -1,0 +1,1 @@
+examples/drr_scheduler.mli:

@@ -1,0 +1,1 @@
+examples/explore_space.ml: Dmm_core Dmm_trace Dmm_workloads Format List String

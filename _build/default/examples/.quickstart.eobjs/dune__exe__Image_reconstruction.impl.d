@@ -1,0 +1,1 @@
+examples/image_reconstruction.ml: Dmm_allocators Dmm_core Dmm_trace Dmm_vmem Dmm_workloads Format List

@@ -1,0 +1,1 @@
+examples/mesh_rendering.ml: Dmm_allocators Dmm_core Dmm_trace Dmm_vmem Dmm_workloads Format List

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Dmm_core Dmm_vmem Format List

@@ -1,0 +1,148 @@
+(* Extending the library with your own manager.
+
+   Implements a naive first-fit free-list allocator from scratch against
+   the Allocator.t interface, validates it with the dynamic checker, and
+   races it against the framework-derived manager on the DRR case study.
+
+   Run with: dune exec examples/custom_allocator.exe *)
+
+module Allocator = Dmm_core.Allocator
+module Metrics = Dmm_core.Metrics
+module Address_space = Dmm_vmem.Address_space
+module Checker = Dmm_trace.Checker
+module Replay = Dmm_trace.Replay
+module Scenario = Dmm_workloads.Scenario
+
+(* A deliberately simple manager: one address-ordered free list, first
+   fit, eager splitting, no coalescing, 4-byte headers, never trims. *)
+module Naive = struct
+  type free_block = { addr : int; size : int }
+
+  type t = {
+    space : Address_space.t;
+    mutable free : free_block list; (* address-ordered *)
+    live : (int, int * int) Hashtbl.t; (* payload addr -> gross, payload *)
+    metrics : Metrics.t;
+    mutable held : int;
+    mutable max_held : int;
+  }
+
+  let header = 4
+  let min_block = 16
+
+  let create space =
+    {
+      space;
+      free = [];
+      live = Hashtbl.create 64;
+      metrics = Metrics.create ();
+      held = 0;
+      max_held = 0;
+    }
+
+  let gross_of payload = max min_block ((payload + header + 7) / 8 * 8)
+
+  (* First fit over the address-ordered list; returns the block and the
+     list without it. *)
+  let rec take_first need = function
+    | [] -> None
+    | b :: rest when b.size >= need -> Some (b, rest)
+    | b :: rest -> (
+      match take_first need rest with
+      | Some (found, remaining) -> Some (found, b :: remaining)
+      | None -> None)
+
+  let alloc t payload =
+    if payload <= 0 then invalid_arg "Naive.alloc";
+    let gross = gross_of payload in
+    let addr =
+      match take_first gross t.free with
+      | Some (b, rest) ->
+        (* Split the tail back onto the list, keeping address order. *)
+        let remainder = b.size - gross in
+        if remainder >= min_block then begin
+          let tail = { addr = b.addr + gross; size = remainder } in
+          t.free <- List.sort compare (tail :: rest);
+          Metrics.on_split t.metrics
+        end
+        else t.free <- rest;
+        b.addr
+      | None ->
+        let base = Address_space.sbrk t.space gross in
+        t.held <- t.held + gross;
+        if t.held > t.max_held then t.max_held <- t.held;
+        base
+    in
+    Hashtbl.replace t.live (addr + header) (gross_of payload, payload);
+    Metrics.on_alloc t.metrics ~payload;
+    Metrics.add_ops t.metrics (1 + List.length t.free);
+    addr + header
+
+  let free t payload_addr =
+    match Hashtbl.find_opt t.live payload_addr with
+    | None -> raise (Allocator.Invalid_free payload_addr)
+    | Some (gross, payload) ->
+      Hashtbl.remove t.live payload_addr;
+      Metrics.on_free t.metrics ~payload;
+      t.free <-
+        List.sort compare ({ addr = payload_addr - header; size = gross } :: t.free)
+
+  let breakdown t : Metrics.breakdown =
+    let live_payload = ref 0 and tags = ref 0 and padding = ref 0 in
+    Hashtbl.iter
+      (fun _ (gross, payload) ->
+        live_payload := !live_payload + payload;
+        tags := !tags + header;
+        padding := !padding + (gross - header - payload))
+      t.live;
+    let free_bytes = List.fold_left (fun acc b -> acc + b.size) 0 t.free in
+    {
+      Metrics.live_payload = !live_payload;
+      tag_overhead = !tags;
+      internal_padding = !padding;
+      free_bytes;
+      total_held = t.held;
+    }
+
+  let allocator t =
+    {
+      Allocator.name = "naive-first-fit";
+      alloc = (fun size -> alloc t size);
+      free = (fun addr -> free t addr);
+      phase = Allocator.ignore_phase;
+      current_footprint = (fun () -> t.held);
+      max_footprint = (fun () -> t.max_held);
+      stats = (fun () -> Metrics.snapshot t.metrics);
+      breakdown = (fun () -> breakdown t);
+    }
+end
+
+let () =
+  let trace = Scenario.drr_trace () in
+  Format.printf "replaying %d DRR events...@.@." (Dmm_trace.Trace.length trace);
+
+  (* 1. The checker validates the new manager's alloc/free discipline on
+     the fly: overlaps, double frees and footprint lies all raise. *)
+  let naive () = Naive.allocator (Naive.create (Address_space.create ())) in
+  (try
+     Replay.run trace (Checker.wrap (naive ()));
+     Format.printf "checker: naive-first-fit honours the allocator contract@."
+   with Checker.Violation msg -> Format.printf "checker caught: %s@." msg);
+
+  (* 2. Race it against the library's managers. *)
+  Format.printf "@.maximum footprint:@.";
+  List.iter
+    (fun (name, make) ->
+      let a = make () in
+      Replay.run trace a;
+      Format.printf "  %-18s %9d B   (%a)@." name
+        (Allocator.max_footprint a) Metrics.pp_breakdown (Allocator.breakdown a))
+    [
+      ("naive-first-fit", naive);
+      ("Lea-Linux", Scenario.lea);
+      ("custom (derived)", Scenario.custom_manager (Scenario.drr_paper_design ()));
+    ];
+  Format.printf
+    "@.the breakdowns after the run tell the story: the naive manager still@.\
+     holds its whole peak as fragmented free-list residue, Lea keeps one@.\
+     64 KiB granule, and the derived manager returned everything.@."

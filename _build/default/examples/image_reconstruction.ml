@@ -1,0 +1,47 @@
+(* The paper's second case study: the 3D image-reconstruction kernel, whose
+   per-frame corner counts are unpredictable and whose buffers mix large
+   images with small records. Compares the methodology-derived manager
+   against the embedded-OS region manager and Kingsley (Table 1, middle
+   column).
+
+   Run with: dune exec examples/image_reconstruction.exe *)
+
+module Scenario = Dmm_workloads.Scenario
+module Reconstruct = Dmm_workloads.Reconstruct
+module Explorer = Dmm_core.Explorer
+module Trace = Dmm_trace.Trace
+
+let () =
+  let config = Reconstruct.default_config in
+  Format.printf "reconstructing %d frames of %dx%d...@." config.frames config.width
+    config.height;
+
+  (* Record the DM behaviour while running the kernel. *)
+  let recorder, get_trace = Dmm_trace.Recorder.recording_allocator () in
+  let stats = Reconstruct.run ~config recorder in
+  Format.printf "%a@.@." Reconstruct.pp_stats stats;
+  let trace = get_trace () in
+
+  let design = Scenario.design_for trace in
+  Format.printf "derived custom manager:@.%a@.@." Explorer.pp_design design;
+
+  let managers =
+    [
+      ("Kingsley-Windows", Scenario.kingsley);
+      ("Regions", Scenario.regions);
+      ("custom DM manager", Scenario.custom_manager design);
+    ]
+  in
+  Format.printf "maximum memory footprint:@.";
+  List.iter
+    (fun (name, make) ->
+      Format.printf "  %-18s %9d B@." name (Scenario.max_footprint trace make))
+    managers;
+
+  (* The region manager's weakness, reproduced: every slot is rounded to
+     its region's fixed block size, so mixed request sizes pay internal
+     fragmentation; the custom manager splits and coalesces instead. *)
+  let r = Dmm_allocators.Region.create (Dmm_vmem.Address_space.create ()) in
+  Format.printf "@.region slot for a %d-byte descriptor: %d bytes (%.0f%% waste)@." 130
+    (Dmm_allocators.Region.slot_of_request r 130)
+    (100.0 *. ((float_of_int (Dmm_allocators.Region.slot_of_request r 130) /. 130.0) -. 1.0))

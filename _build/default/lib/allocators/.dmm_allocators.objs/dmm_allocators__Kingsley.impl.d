@@ -1,0 +1,1 @@
+lib/allocators/kingsley.ml: Dmm_core Dmm_util Dmm_vmem Hashtbl

@@ -1,0 +1,1 @@
+lib/allocators/kingsley.mli: Dmm_core Dmm_vmem

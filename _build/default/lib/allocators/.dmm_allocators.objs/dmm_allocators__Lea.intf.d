@@ -1,0 +1,1 @@
+lib/allocators/lea.mli: Dmm_core Dmm_vmem

@@ -1,0 +1,1 @@
+lib/allocators/obstack.ml: Dmm_core Dmm_util Dmm_vmem Hashtbl

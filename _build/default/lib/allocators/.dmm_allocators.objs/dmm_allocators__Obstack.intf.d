@@ -1,0 +1,1 @@
+lib/allocators/obstack.mli: Dmm_core Dmm_vmem

@@ -1,0 +1,1 @@
+lib/allocators/region.mli: Dmm_core Dmm_vmem

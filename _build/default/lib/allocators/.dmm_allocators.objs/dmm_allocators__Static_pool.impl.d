@@ -1,0 +1,1 @@
+lib/allocators/static_pool.ml: Array Dmm_core Dmm_util Dmm_vmem Hashtbl List

@@ -1,0 +1,1 @@
+lib/allocators/static_pool.mli: Dmm_core Dmm_vmem

@@ -1,0 +1,263 @@
+module Address_space = Dmm_vmem.Address_space
+module Size = Dmm_util.Size
+module Metrics = Dmm_core.Metrics
+module Allocator = Dmm_core.Allocator
+module Block = Dmm_core.Block
+module Free_structure = Dmm_core.Free_structure
+
+type config = {
+  granularity : int;
+  trim_threshold : int;
+  header_bytes : int;
+  alignment : int;
+  small_bin_max : int;
+}
+
+let default_config =
+  {
+    granularity = 65536;
+    trim_threshold = 131072;
+    header_bytes = 4;
+    alignment = 8;
+    small_bin_max = 512;
+  }
+
+type t = {
+  config : config;
+  space : Address_space.t;
+  bins : Free_structure.t array;
+  by_base : (int, Block.t) Hashtbl.t;
+  by_end : (int, Block.t) Hashtbl.t;
+  req_sizes : (int, int) Hashtbl.t;
+  metrics : Metrics.t;
+  mutable top_addr : int;
+  mutable top_size : int; (* wilderness chunk; 0 when absent *)
+  mutable held : int;
+  mutable max_held : int;
+  min_chunk : int;
+}
+
+let n_large_bins = 18 (* log2 ranges from small_bin_max up to ~2^26 *)
+
+let create ?(config = default_config) space =
+  if
+    config.granularity <= 0 || config.header_bytes < 0 || config.alignment <= 0
+    || config.small_bin_max <= 0
+  then invalid_arg "Lea.create: bad config";
+  let min_chunk = max 16 (Size.align_up (config.header_bytes + config.alignment) config.alignment) in
+  let n_small = (config.small_bin_max - min_chunk) / config.alignment in
+  let bins =
+    Array.init (n_small + n_large_bins) (fun i ->
+        if i < n_small then
+          (* Same-size chunks: a doubly linked list gives O(1) unlinking. *)
+          Free_structure.create Dmm_core.Decision.Doubly_linked_list
+        else
+          (* Range bins: a size-ordered tree gives cheap best fit. *)
+          Free_structure.create Dmm_core.Decision.Size_ordered_tree)
+  in
+  {
+    config;
+    space;
+    bins;
+    by_base = Hashtbl.create 256;
+    by_end = Hashtbl.create 256;
+    req_sizes = Hashtbl.create 256;
+    metrics = Metrics.create ();
+    top_addr = 0;
+    top_size = 0;
+    held = 0;
+    max_held = 0;
+    min_chunk;
+  }
+
+let n_small t = (t.config.small_bin_max - t.min_chunk) / t.config.alignment
+
+let bin_index t gross =
+  if gross < t.config.small_bin_max then (gross - t.min_chunk) / t.config.alignment
+  else begin
+    let log = Size.log2_ceil gross in
+    let base_log = Size.log2_ceil t.config.small_bin_max in
+    min (n_small t + (log - base_log)) (Array.length t.bins - 1)
+  end
+
+let gross_of_request t payload =
+  max t.min_chunk (Size.align_up (payload + t.config.header_bytes) t.config.alignment)
+
+let register t (b : Block.t) =
+  Hashtbl.replace t.by_base b.addr b;
+  Hashtbl.replace t.by_end (Block.end_addr b) b
+
+let unregister t (b : Block.t) =
+  Hashtbl.remove t.by_base b.addr;
+  Hashtbl.remove t.by_end (Block.end_addr b)
+
+let insert_bin t (b : Block.t) =
+  b.status <- Block.Free;
+  Free_structure.insert t.bins.(bin_index t b.size) b;
+  Metrics.add_ops t.metrics 1
+
+let remove_bin t (b : Block.t) =
+  Free_structure.remove t.bins.(bin_index t b.size) b;
+  Metrics.add_ops t.metrics 1
+
+(* Carve [gross] bytes from the bottom of the top chunk. *)
+let carve_top t gross =
+  assert (t.top_size >= gross);
+  let addr = t.top_addr in
+  t.top_addr <- t.top_addr + gross;
+  t.top_size <- t.top_size - gross;
+  let b = Block.v ~addr ~size:gross ~status:Block.Used ~run_id:0 in
+  register t b;
+  Metrics.add_ops t.metrics 1;
+  b
+
+let extend_top t need =
+  let request = Size.align_up (max need t.config.granularity) t.config.granularity in
+  let base = Address_space.sbrk t.space request in
+  t.held <- t.held + request;
+  if t.held > t.max_held then t.max_held <- t.held;
+  Metrics.add_ops t.metrics 4;
+  if t.top_size > 0 && t.top_addr + t.top_size = base then t.top_size <- t.top_size + request
+  else begin
+    t.top_addr <- base;
+    t.top_size <- request
+  end
+
+(* Split the tail of a used block back into the bins when large enough. *)
+let split_remainder t (b : Block.t) gross =
+  let remainder = b.size - gross in
+  if remainder >= t.min_chunk then begin
+    Hashtbl.remove t.by_end (Block.end_addr b);
+    b.size <- gross;
+    Hashtbl.replace t.by_end (Block.end_addr b) b;
+    let rem = Block.v ~addr:(Block.end_addr b) ~size:remainder ~status:Block.Free ~run_id:0 in
+    register t rem;
+    insert_bin t rem;
+    Metrics.on_split t.metrics
+  end
+
+let take_from_bins t gross =
+  let rec go i =
+    if i >= Array.length t.bins then None
+    else begin
+      Metrics.add_ops t.metrics 1;
+      let fs = t.bins.(i) in
+      let before = Free_structure.steps fs in
+      let r = Free_structure.take_fit fs Dmm_core.Decision.Best_fit gross in
+      Metrics.add_ops t.metrics (Free_structure.steps fs - before);
+      match r with Some _ -> r | None -> go (i + 1)
+    end
+  in
+  go (bin_index t gross)
+
+let alloc t payload =
+  if payload <= 0 then invalid_arg "Lea.alloc: non-positive size";
+  let gross = gross_of_request t payload in
+  let block =
+    match take_from_bins t gross with
+    | Some b ->
+      b.status <- Block.Used;
+      split_remainder t b gross;
+      b
+    | None ->
+      if t.top_size < gross then extend_top t gross;
+      carve_top t gross
+  in
+  Hashtbl.replace t.req_sizes block.Block.addr payload;
+  Metrics.on_alloc t.metrics ~payload;
+  block.Block.addr + t.config.header_bytes
+
+(* Immediate bidirectional coalescing, dlmalloc-style. *)
+let merge_neighbours t (b : Block.t) =
+  let b = ref b in
+  (match Hashtbl.find_opt t.by_base (Block.end_addr !b) with
+  | Some next when Block.is_free next ->
+    remove_bin t next;
+    unregister t next;
+    Hashtbl.remove t.by_end (Block.end_addr !b);
+    !b.size <- !b.size + next.size;
+    Hashtbl.replace t.by_end (Block.end_addr !b) !b;
+    Metrics.on_coalesce t.metrics
+  | Some _ | None -> ());
+  (match Hashtbl.find_opt t.by_end !b.Block.addr with
+  | Some prev when Block.is_free prev ->
+    remove_bin t prev;
+    unregister t prev;
+    unregister t !b;
+    prev.size <- prev.size + !b.size;
+    Hashtbl.replace t.by_base prev.addr prev;
+    Hashtbl.replace t.by_end (Block.end_addr prev) prev;
+    b := prev;
+    Metrics.on_coalesce t.metrics
+  | Some _ | None -> ());
+  !b
+
+let maybe_trim t =
+  if t.top_size >= t.config.trim_threshold then begin
+    let keep = t.config.granularity in
+    let release = t.top_size - keep in
+    Address_space.trim t.space (t.top_addr + keep);
+    t.top_size <- keep;
+    t.held <- t.held - release;
+    Metrics.add_ops t.metrics 2
+  end
+
+let free t addr =
+  let base = addr - t.config.header_bytes in
+  match Hashtbl.find_opt t.by_base base with
+  | None -> raise (Allocator.Invalid_free addr)
+  | Some b when Block.is_free b -> raise (Allocator.Invalid_free addr)
+  | Some b ->
+    let payload = match Hashtbl.find_opt t.req_sizes base with Some p -> p | None -> 0 in
+    Hashtbl.remove t.req_sizes base;
+    Metrics.on_free t.metrics ~payload;
+    b.status <- Block.Free;
+    let b = merge_neighbours t b in
+    if t.top_size >= 0 && Block.end_addr b = t.top_addr then begin
+      (* The freed run touches the wilderness: absorb it into top. *)
+      unregister t b;
+      t.top_addr <- b.addr;
+      t.top_size <- t.top_size + b.size;
+      maybe_trim t
+    end
+    else insert_bin t b
+
+let current_footprint t = t.held
+let max_footprint t = t.max_held
+let metrics t = Metrics.snapshot t.metrics
+let top_size t = t.top_size
+
+let binned_bytes t = Array.fold_left (fun acc fs -> acc + Free_structure.total_bytes fs) 0 t.bins
+
+let breakdown t : Metrics.breakdown =
+  let live_payload = ref 0 and tags = ref 0 and padding = ref 0 in
+  Hashtbl.iter
+    (fun _ (b : Block.t) ->
+      if not (Block.is_free b) then begin
+        let payload =
+          match Hashtbl.find_opt t.req_sizes b.addr with Some p -> p | None -> 0
+        in
+        live_payload := !live_payload + payload;
+        tags := !tags + t.config.header_bytes;
+        padding := !padding + (b.size - t.config.header_bytes - payload)
+      end)
+    t.by_base;
+  {
+    Metrics.live_payload = !live_payload;
+    tag_overhead = !tags;
+    internal_padding = !padding;
+    free_bytes = binned_bytes t + t.top_size;
+    total_held = t.held;
+  }
+
+let allocator t =
+  {
+    Allocator.name = "lea";
+    alloc = (fun size -> alloc t size);
+    free = (fun addr -> free t addr);
+    phase = Allocator.ignore_phase;
+    current_footprint = (fun () -> current_footprint t);
+    max_footprint = (fun () -> max_footprint t);
+    stats = (fun () -> metrics t);
+    breakdown = (fun () -> breakdown t);
+  }

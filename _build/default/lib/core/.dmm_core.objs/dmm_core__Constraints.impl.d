@@ -1,0 +1,1 @@
+lib/core/constraints.ml: Buffer Decision Decision_vector Format List Printf

@@ -1,0 +1,1 @@
+lib/core/constraints.mli: Decision Decision_vector Format

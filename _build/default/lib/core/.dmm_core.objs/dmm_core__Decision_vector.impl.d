@@ -1,0 +1,1 @@
+lib/core/decision_vector.ml: Decision Format List Map

@@ -1,0 +1,1 @@
+lib/core/decision_vector.mli: Decision Format

@@ -1,0 +1,1 @@
+lib/core/explorer.ml: Constraints Decision Decision_vector Dmm_util Format List Manager Order Profile

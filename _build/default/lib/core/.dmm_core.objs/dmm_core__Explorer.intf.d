@@ -1,0 +1,1 @@
+lib/core/explorer.mli: Decision Decision_vector Dmm_util Format Manager Profile

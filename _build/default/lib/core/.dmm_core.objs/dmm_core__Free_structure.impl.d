@@ -1,0 +1,1 @@
+lib/core/free_structure.ml: Block Decision Dmm_util Hashtbl List Map

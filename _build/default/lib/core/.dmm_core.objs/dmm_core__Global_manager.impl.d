@@ -1,0 +1,1 @@
+lib/core/global_manager.ml: Allocator Constraints Decision_vector Dmm_vmem Format Hashtbl List Manager Metrics

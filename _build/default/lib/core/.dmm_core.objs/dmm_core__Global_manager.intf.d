@@ -1,0 +1,1 @@
+lib/core/global_manager.mli: Allocator Decision_vector Dmm_vmem Manager

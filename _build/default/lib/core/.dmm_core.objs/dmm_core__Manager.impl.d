@@ -1,0 +1,1 @@
+lib/core/manager.ml: Allocator Array Block Constraints Decision Decision_vector Dmm_util Dmm_vmem Format Free_structure Hashtbl List Metrics Result

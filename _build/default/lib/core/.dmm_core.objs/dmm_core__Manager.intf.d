@@ -1,0 +1,1 @@
+lib/core/manager.mli: Allocator Decision_vector Dmm_vmem Metrics

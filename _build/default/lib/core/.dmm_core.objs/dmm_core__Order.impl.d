@@ -1,0 +1,1 @@
+lib/core/order.ml: Constraints Decision Decision_vector Format List

@@ -1,0 +1,1 @@
+lib/core/profile.ml: Dmm_util Format Hashtbl List

@@ -1,0 +1,22 @@
+exception Invalid_free of int
+
+type t = {
+  name : string;
+  alloc : int -> int;
+  free : int -> unit;
+  phase : int -> unit;
+  current_footprint : unit -> int;
+  max_footprint : unit -> int;
+  stats : unit -> Metrics.snapshot;
+  breakdown : unit -> Metrics.breakdown;
+}
+
+let alloc t size = t.alloc size
+let free t addr = t.free addr
+let phase t p = t.phase p
+let current_footprint t = t.current_footprint ()
+let max_footprint t = t.max_footprint ()
+let stats t = t.stats ()
+let breakdown t = t.breakdown ()
+
+let ignore_phase (_ : int) = ()

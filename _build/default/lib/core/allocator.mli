@@ -1,0 +1,39 @@
+(** Uniform interface every DM manager (custom or baseline) implements.
+
+    Workloads, the trace recorder/replayer and the benchmark harness only
+    speak this interface, so any manager can be substituted for any other.
+    Addresses are payload addresses in the manager's simulated heap. *)
+
+exception Invalid_free of int
+(** Raised on freeing an address that is not currently allocated. *)
+
+type t = {
+  name : string;
+  alloc : int -> int;
+      (** [alloc size] returns the payload address of a block of at least
+          [size] bytes. Raises [Invalid_argument] on [size <= 0]. *)
+  free : int -> unit;
+      (** [free addr] releases the block whose payload starts at [addr].
+          Raises {!Invalid_free} on unknown addresses. *)
+  phase : int -> unit;
+      (** Logical-phase marker from the application; managers that care
+          (global managers, obstacks) react, others ignore it. *)
+  current_footprint : unit -> int;
+      (** Bytes currently requested from the system (heap break). *)
+  max_footprint : unit -> int;
+      (** High-water mark of the footprint — the paper's reported metric. *)
+  stats : unit -> Metrics.snapshot;
+  breakdown : unit -> Metrics.breakdown;
+      (** Where the currently held bytes go (Section 4.1 factors). *)
+}
+
+val alloc : t -> int -> int
+val free : t -> int -> unit
+val phase : t -> int -> unit
+val current_footprint : t -> int
+val max_footprint : t -> int
+val stats : t -> Metrics.snapshot
+val breakdown : t -> Metrics.breakdown
+
+val ignore_phase : int -> unit
+(** Convenience no-op for managers without phase behaviour. *)

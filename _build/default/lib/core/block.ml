@@ -1,0 +1,17 @@
+type status = Free | Used
+
+type t = { addr : int; mutable size : int; mutable status : status; run_id : int }
+
+let v ~addr ~size ~status ~run_id =
+  if size <= 0 then invalid_arg "Block.v: non-positive size";
+  if addr < 0 then invalid_arg "Block.v: negative address";
+  { addr; size; status; run_id }
+
+let end_addr t = t.addr + t.size
+
+let is_free t = t.status = Free
+
+let pp ppf t =
+  Format.fprintf ppf "[%d..%d) %s run=%d" t.addr (end_addr t)
+    (match t.status with Free -> "free" | Used -> "used")
+    t.run_id

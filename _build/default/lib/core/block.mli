@@ -1,0 +1,25 @@
+(** Memory blocks as managed by the custom manager interpreter.
+
+    A block covers the gross address range [addr, addr + size): tags, payload
+    and padding. [run_id] identifies the contiguous run of system memory the
+    block belongs to; blocks from different runs are never adjacent in the
+    manager's view even if their addresses touch (another manager's memory
+    may sit in between), so coalescing requires equal run ids. *)
+
+type status = Free | Used
+
+type t = {
+  addr : int;
+  mutable size : int;
+  mutable status : status;
+  run_id : int;
+}
+
+val v : addr:int -> size:int -> status:status -> run_id:int -> t
+
+val end_addr : t -> int
+(** [addr + size]. *)
+
+val is_free : t -> bool
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,253 @@
+open Decision
+module Partial = Decision_vector.Partial
+
+type violation = { rule_id : string; explanation : string; trees : tree list }
+
+(* Typed accessors over partial assignments; [None] when undecided. *)
+let a2_of p = match Partial.get p A2 with Some (L_a2 x) -> Some x | _ -> None
+let a3_of p = match Partial.get p A3 with Some (L_a3 x) -> Some x | _ -> None
+let a4_of p = match Partial.get p A4 with Some (L_a4 x) -> Some x | _ -> None
+let a5_of p = match Partial.get p A5 with Some (L_a5 x) -> Some x | _ -> None
+let a1_of p = match Partial.get p A1 with Some (L_a1 x) -> Some x | _ -> None
+let b1_of p = match Partial.get p B1 with Some (L_b1 x) -> Some x | _ -> None
+let b3_of p = match Partial.get p B3 with Some (L_b3 x) -> Some x | _ -> None
+let b4_of p = match Partial.get p B4 with Some (L_b4 x) -> Some x | _ -> None
+let c1_of p = match Partial.get p C1 with Some (L_c1 x) -> Some x | _ -> None
+let d1_of p = match Partial.get p D1 with Some (L_d1 x) -> Some x | _ -> None
+let d2_of p = match Partial.get p D2 with Some (L_d2 x) -> Some x | _ -> None
+let e1_of p = match Partial.get p E1 with Some (L_e1 x) -> Some x | _ -> None
+let e2_of p = match Partial.get p E2 with Some (L_e2 x) -> Some x | _ -> None
+
+let splitting_on p = match e2_of p with Some (Deferred | Always) -> true | _ -> false
+let coalescing_on p = match d2_of p with Some (Deferred | Always) -> true | _ -> false
+
+type rule = { id : string; doc : string; involved : tree list; fires : Partial.t -> bool }
+
+(* Every rule fires only when all trees it inspects are decided, so partial
+   assignments are never rejected for what they have not yet chosen. *)
+let rules =
+  [
+    {
+      id = "A3-none-disables-A4";
+      doc =
+        "Choosing 'none' in Block tags (A3) prohibits the Block recorded info tree \
+         (A4): no space is reserved to store any information (paper, Figure 3).";
+      involved = [ A3; A4 ];
+      fires =
+        (fun p ->
+          match (a3_of p, a4_of p) with
+          | Some No_tag, Some (Size_only | Status_only | Size_and_status) -> true
+          | _ -> false);
+    };
+    {
+      id = "split-needs-size-info";
+      doc =
+        "Splitting (E2 <> never) requires the block size to be recorded (A4): a block \
+         cannot be properly split without knowing its size (paper, Figure 4).";
+      involved = [ A4; E2 ];
+      fires =
+        (fun p ->
+          match (a4_of p, splitting_on p) with
+          | Some (No_info | Status_only), true -> true
+          | _ -> false);
+    };
+    {
+      id = "coalesce-needs-size-and-status";
+      doc =
+        "Coalescing (D2 <> never) requires both size and status in the recorded info \
+         (A4): merging needs the neighbour's extent and free/used state.";
+      involved = [ A4; D2 ];
+      fires =
+        (fun p ->
+          match (a4_of p, coalescing_on p) with
+          | Some (No_info | Status_only | Size_only), true -> true
+          | _ -> false);
+    };
+    {
+      id = "split-needs-tag";
+      doc =
+        "Splitting (E2 <> never) requires some tag field (A3) to record the block \
+         size in; with no tag there is nowhere to store it (paper, Figure 4).";
+      involved = [ A3; E2 ];
+      fires =
+        (fun p ->
+          match (a3_of p, splitting_on p) with
+          | Some No_tag, true -> true
+          | _ -> false);
+    };
+    {
+      id = "coalesce-needs-header";
+      doc =
+        "Coalescing (D2 <> never) requires at least a header tag (A3): the successor \
+         block is located by adding the recorded size to the block address.";
+      involved = [ A3; D2 ];
+      fires =
+        (fun p ->
+          match (a3_of p, coalescing_on p) with
+          | Some (No_tag | Footer), true -> true
+          | _ -> false);
+    };
+    {
+      id = "split-gated-by-A5";
+      doc =
+        "The 'when to split' tree (E2) is enabled only when A5 activates the \
+         splitting mechanism.";
+      involved = [ A5; E2 ];
+      fires =
+        (fun p ->
+          match (a5_of p, splitting_on p) with
+          | Some (No_flexibility | Coalesce_only), true -> true
+          | _ -> false);
+    };
+    {
+      id = "coalesce-gated-by-A5";
+      doc =
+        "The 'when to coalesce' tree (D2) is enabled only when A5 activates the \
+         coalescing mechanism.";
+      involved = [ A5; D2 ];
+      fires =
+        (fun p ->
+          match (a5_of p, coalescing_on p) with
+          | Some (No_flexibility | Split_only), true -> true
+          | _ -> false);
+    };
+    {
+      id = "one-size-disables-flexibility";
+      doc =
+        "With one fixed block size (A2), splitting or coalescing would create sizes \
+         that do not exist in the system, so A5 must be 'none'.";
+      involved = [ A2; A5 ];
+      fires =
+        (fun p ->
+          match (a2_of p, a5_of p) with
+          | Some One_fixed_size, Some (Split_only | Coalesce_only | Split_and_coalesce) ->
+            true
+          | _ -> false);
+    };
+    {
+      id = "one-size-single-pool";
+      doc = "With one fixed block size (A2) there is nothing to divide pools by size on.";
+      involved = [ A2; B1 ];
+      fires =
+        (fun p ->
+          match (a2_of p, b1_of p) with
+          | Some One_fixed_size, Some (Pool_per_size | Pool_per_size_range) -> true
+          | _ -> false);
+    };
+    {
+      id = "one-size-one-pool";
+      doc =
+        "With one fixed block size (A2), only one pool can exist (B4): pool counts \
+         above one would have to be divided on some criterion, and size is the only \
+         one in this category.";
+      involved = [ A2; B4 ];
+      fires =
+        (fun p ->
+          match (a2_of p, b4_of p) with
+          | Some One_fixed_size, Some (Fixed_pool_count | Variable_pool_count) -> true
+          | _ -> false);
+    };
+    {
+      id = "unbounded-results-need-varying-sizes";
+      doc =
+        "'Many, not fixed' result sizes after coalescing (D1) or splitting (E1) are \
+         only expressible when A2 allows many varying block sizes.";
+      involved = [ A2; D1; E1 ];
+      fires =
+        (fun p ->
+          match a2_of p with
+          | Some (One_fixed_size | Many_fixed_sizes) ->
+            d1_of p = Some Not_fixed || e1_of p = Some Not_fixed
+          | Some Many_varying_sizes | None -> false);
+    };
+    {
+      id = "single-pool-count";
+      doc = "B1 'single pool' and B4 'one pool' describe the same fact and must agree.";
+      involved = [ B1; B4 ];
+      fires =
+        (fun p ->
+          match (b1_of p, b4_of p) with
+          | Some Single_pool, Some (Fixed_pool_count | Variable_pool_count) -> true
+          | Some (Pool_per_size | Pool_per_size_range), Some One_pool -> true
+          | _ -> false);
+    };
+    {
+      id = "next-fit-needs-list";
+      doc =
+        "Next fit keeps a roving pointer through a list; it is undefined on a \
+         size-ordered tree (Wilson et al.).";
+      involved = [ A1; C1 ];
+      fires =
+        (fun p ->
+          match (a1_of p, c1_of p) with
+          | Some Size_ordered_tree, Some Next_fit -> true
+          | _ -> false);
+    };
+    {
+      id = "per-phase-pools-need-pools";
+      doc = "A pool set per phase (B3) is impossible with exactly one pool (B4).";
+      involved = [ B3; B4 ];
+      fires =
+        (fun p ->
+          match (b3_of p, b4_of p) with
+          | Some Pool_set_per_phase, Some One_pool -> true
+          | _ -> false);
+    };
+  ]
+
+let rules_doc = List.map (fun r -> (r.id, r.doc)) rules
+
+let check_partial p =
+  List.filter_map
+    (fun r ->
+      if r.fires p then Some { rule_id = r.id; explanation = r.doc; trees = r.involved }
+      else None)
+    rules
+
+let check full = check_partial (Partial.of_full full)
+
+let is_valid full = check full = []
+
+let allowed_leaves p tree =
+  List.filter (fun leaf -> check_partial (Partial.set p leaf) = []) (leaves_of tree)
+
+let dependency_edges =
+  let pairs_of = function
+    | [] | [ _ ] -> []
+    | trees ->
+      List.concat_map
+        (fun a -> List.filter_map (fun b -> if compare a b < 0 then Some (a, b) else None) trees)
+        trees
+  in
+  List.concat_map (fun r -> List.map (fun (a, b) -> (a, b, r.id)) (pairs_of r.involved)) rules
+
+let to_dot () =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "graph dm_interdependencies {\n";
+  Buffer.add_string buf "  rankdir=LR;\n  node [shape=box, fontsize=10];\n";
+  let categories = [ 'A'; 'B'; 'C'; 'D'; 'E' ] in
+  List.iter
+    (fun cat ->
+      Buffer.add_string buf (Printf.sprintf "  subgraph cluster_%c {\n    label=\"%c\";\n" cat cat);
+      List.iter
+        (fun tree ->
+          if category tree = cat then
+            Buffer.add_string buf (Printf.sprintf "    \"%s\";\n" (tree_name tree)))
+        all_trees;
+      Buffer.add_string buf "  }\n")
+    categories;
+  List.iter
+    (fun (a, b, id) ->
+      Buffer.add_string buf
+        (Printf.sprintf "  \"%s\" -- \"%s\" [label=\"%s\", fontsize=8];\n" (tree_name a)
+           (tree_name b) id))
+    dependency_edges;
+  Buffer.add_string buf "}\n";
+  Buffer.contents buf
+
+let pp_violation ppf v =
+  Format.fprintf ppf "@[<hov 2>[%s]@ %s@ (trees:@ %a)@]" v.rule_id v.explanation
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.fprintf ppf ",@ ")
+       Decision.pp_tree)
+    v.trees

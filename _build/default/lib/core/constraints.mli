@@ -1,0 +1,46 @@
+(** Interdependencies between the orthogonal decision trees (Figures 2–4).
+
+    Two kinds exist in the paper: leaves that {e disable} other trees (full
+    arrows in Figure 2 — e.g. choosing [No_tag] in A3 prohibits recording
+    any info in A4 and forces [Never] in D2/E2, Figure 3/4), and linked-
+    purpose couplings (dotted arrows — e.g. splitting results must be
+    expressible under the chosen A2 block-size regime).
+
+    Each rule is a predicate over a {e partial} assignment: it fires only
+    when every tree it mentions is decided and the combination is illegal.
+    This single representation provides both the final validity check and
+    the constraint propagation of the ordered traversal
+    ([allowed_leaves] = leaves whose addition fires no rule). *)
+
+type violation = {
+  rule_id : string;
+  explanation : string;
+  trees : Decision.tree list;  (** trees involved in the conflict *)
+}
+
+val rules_doc : (string * string) list
+(** (rule id, documentation) for every interdependency rule, for display. *)
+
+val check_partial : Decision_vector.Partial.t -> violation list
+(** Rules already violated by the (possibly partial) assignment. *)
+
+val check : Decision_vector.t -> violation list
+(** All rules violated by a complete assignment; [[]] means valid. *)
+
+val is_valid : Decision_vector.t -> bool
+
+val allowed_leaves :
+  Decision_vector.Partial.t -> Decision.tree -> Decision.leaf list
+(** Leaves of [tree] that do not violate any rule given the current partial
+    assignment. Constraint propagation of Section 4: deciding trees in order
+    and restricting later trees to these sets never requires iteration. *)
+
+val pp_violation : Format.formatter -> violation -> unit
+
+val dependency_edges : (Decision.tree * Decision.tree * string) list
+(** The interdependency graph of Figure 2 as (tree, tree, rule id) edges
+    (each rule contributes the pairs of trees it couples). *)
+
+val to_dot : unit -> string
+(** Graphviz rendering of {!dependency_edges}, trees clustered by
+    category — a regenerated Figure 2. *)

@@ -1,0 +1,185 @@
+type block_structure =
+  | Singly_linked_list
+  | Doubly_linked_list
+  | Address_ordered_list
+  | Size_ordered_tree
+
+type block_sizes = One_fixed_size | Many_fixed_sizes | Many_varying_sizes
+type block_tags = No_tag | Header | Footer | Header_and_footer
+type recorded_info = No_info | Size_only | Status_only | Size_and_status
+type flexibility = No_flexibility | Split_only | Coalesce_only | Split_and_coalesce
+type pool_division = Single_pool | Pool_per_size | Pool_per_size_range
+type pool_structure = Pool_array | Pool_linked_list
+type lifetime_division = Shared_across_phases | Pool_set_per_phase
+type pool_count = One_pool | Fixed_pool_count | Variable_pool_count
+type fit_algorithm = First_fit | Next_fit | Best_fit | Exact_fit | Worst_fit
+type size_bound = One_size | Many_fixed | Not_fixed
+type when_policy = Never | Deferred | Always
+
+type tree = A1 | A2 | A3 | A4 | A5 | B1 | B2 | B3 | B4 | C1 | D1 | D2 | E1 | E2
+
+type leaf =
+  | L_a1 of block_structure
+  | L_a2 of block_sizes
+  | L_a3 of block_tags
+  | L_a4 of recorded_info
+  | L_a5 of flexibility
+  | L_b1 of pool_division
+  | L_b2 of pool_structure
+  | L_b3 of lifetime_division
+  | L_b4 of pool_count
+  | L_c1 of fit_algorithm
+  | L_d1 of size_bound
+  | L_d2 of when_policy
+  | L_e1 of size_bound
+  | L_e2 of when_policy
+
+let all_trees = [ A1; A2; A3; A4; A5; B1; B2; B3; B4; C1; D1; D2; E1; E2 ]
+
+let leaves_of = function
+  | A1 ->
+    [
+      L_a1 Singly_linked_list;
+      L_a1 Doubly_linked_list;
+      L_a1 Address_ordered_list;
+      L_a1 Size_ordered_tree;
+    ]
+  | A2 -> [ L_a2 One_fixed_size; L_a2 Many_fixed_sizes; L_a2 Many_varying_sizes ]
+  | A3 -> [ L_a3 No_tag; L_a3 Header; L_a3 Footer; L_a3 Header_and_footer ]
+  | A4 -> [ L_a4 No_info; L_a4 Size_only; L_a4 Status_only; L_a4 Size_and_status ]
+  | A5 ->
+    [ L_a5 No_flexibility; L_a5 Split_only; L_a5 Coalesce_only; L_a5 Split_and_coalesce ]
+  | B1 -> [ L_b1 Single_pool; L_b1 Pool_per_size; L_b1 Pool_per_size_range ]
+  | B2 -> [ L_b2 Pool_array; L_b2 Pool_linked_list ]
+  | B3 -> [ L_b3 Shared_across_phases; L_b3 Pool_set_per_phase ]
+  | B4 -> [ L_b4 One_pool; L_b4 Fixed_pool_count; L_b4 Variable_pool_count ]
+  | C1 -> [ L_c1 First_fit; L_c1 Next_fit; L_c1 Best_fit; L_c1 Exact_fit; L_c1 Worst_fit ]
+  | D1 -> [ L_d1 One_size; L_d1 Many_fixed; L_d1 Not_fixed ]
+  | D2 -> [ L_d2 Never; L_d2 Deferred; L_d2 Always ]
+  | E1 -> [ L_e1 One_size; L_e1 Many_fixed; L_e1 Not_fixed ]
+  | E2 -> [ L_e2 Never; L_e2 Deferred; L_e2 Always ]
+
+let tree_of_leaf = function
+  | L_a1 _ -> A1
+  | L_a2 _ -> A2
+  | L_a3 _ -> A3
+  | L_a4 _ -> A4
+  | L_a5 _ -> A5
+  | L_b1 _ -> B1
+  | L_b2 _ -> B2
+  | L_b3 _ -> B3
+  | L_b4 _ -> B4
+  | L_c1 _ -> C1
+  | L_d1 _ -> D1
+  | L_d2 _ -> D2
+  | L_e1 _ -> E1
+  | L_e2 _ -> E2
+
+let category = function
+  | A1 | A2 | A3 | A4 | A5 -> 'A'
+  | B1 | B2 | B3 | B4 -> 'B'
+  | C1 -> 'C'
+  | D1 | D2 -> 'D'
+  | E1 | E2 -> 'E'
+
+let tree_name = function
+  | A1 -> "A1 (Block structure)"
+  | A2 -> "A2 (Block sizes)"
+  | A3 -> "A3 (Block tags)"
+  | A4 -> "A4 (Block recorded info)"
+  | A5 -> "A5 (Flexible block size manager)"
+  | B1 -> "B1 (Pool division based on size)"
+  | B2 -> "B2 (Pool structure)"
+  | B3 -> "B3 (Pool division based on lifetime)"
+  | B4 -> "B4 (Number of pools)"
+  | C1 -> "C1 (Fit algorithms)"
+  | D1 -> "D1 (Number of max block size)"
+  | D2 -> "D2 (When to coalesce)"
+  | E1 -> "E1 (Number of min block size)"
+  | E2 -> "E2 (When to split)"
+
+let string_of_block_structure = function
+  | Singly_linked_list -> "singly linked list"
+  | Doubly_linked_list -> "doubly linked list"
+  | Address_ordered_list -> "address-ordered list"
+  | Size_ordered_tree -> "size-ordered tree"
+
+let string_of_block_sizes = function
+  | One_fixed_size -> "one fixed size"
+  | Many_fixed_sizes -> "many fixed sizes"
+  | Many_varying_sizes -> "many varying sizes"
+
+let string_of_block_tags = function
+  | No_tag -> "none"
+  | Header -> "header"
+  | Footer -> "footer"
+  | Header_and_footer -> "header and footer"
+
+let string_of_recorded_info = function
+  | No_info -> "none"
+  | Size_only -> "size"
+  | Status_only -> "status"
+  | Size_and_status -> "size and status"
+
+let string_of_flexibility = function
+  | No_flexibility -> "none"
+  | Split_only -> "split only"
+  | Coalesce_only -> "coalesce only"
+  | Split_and_coalesce -> "split and coalesce"
+
+let string_of_pool_division = function
+  | Single_pool -> "single pool"
+  | Pool_per_size -> "one pool per size"
+  | Pool_per_size_range -> "pools per size range"
+
+let string_of_pool_structure = function
+  | Pool_array -> "array of pools"
+  | Pool_linked_list -> "linked list of pools"
+
+let string_of_lifetime_division = function
+  | Shared_across_phases -> "shared across phases"
+  | Pool_set_per_phase -> "pool set per phase"
+
+let string_of_pool_count = function
+  | One_pool -> "one"
+  | Fixed_pool_count -> "fixed number"
+  | Variable_pool_count -> "variable number"
+
+let string_of_fit = function
+  | First_fit -> "first fit"
+  | Next_fit -> "next fit"
+  | Best_fit -> "best fit"
+  | Exact_fit -> "exact fit"
+  | Worst_fit -> "worst fit"
+
+let string_of_size_bound = function
+  | One_size -> "one"
+  | Many_fixed -> "many, fixed"
+  | Not_fixed -> "many, not fixed"
+
+let string_of_when = function
+  | Never -> "never"
+  | Deferred -> "deferred"
+  | Always -> "always"
+
+let leaf_name = function
+  | L_a1 x -> string_of_block_structure x
+  | L_a2 x -> string_of_block_sizes x
+  | L_a3 x -> string_of_block_tags x
+  | L_a4 x -> string_of_recorded_info x
+  | L_a5 x -> string_of_flexibility x
+  | L_b1 x -> string_of_pool_division x
+  | L_b2 x -> string_of_pool_structure x
+  | L_b3 x -> string_of_lifetime_division x
+  | L_b4 x -> string_of_pool_count x
+  | L_c1 x -> string_of_fit x
+  | L_d1 x -> string_of_size_bound x
+  | L_d2 x -> string_of_when x
+  | L_e1 x -> string_of_size_bound x
+  | L_e2 x -> string_of_when x
+
+let pp_tree ppf t = Format.pp_print_string ppf (tree_name t)
+let pp_leaf ppf l = Format.pp_print_string ppf (leaf_name l)
+
+let equal_tree (a : tree) b = a = b
+let equal_leaf (a : leaf) b = a = b

@@ -1,0 +1,104 @@
+(** The DM-management design space of Atienza et al. (DATE 2004), Figure 1.
+
+    Five categories of orthogonal decision trees; choosing one leaf per tree
+    specifies one {e atomic} custom DM manager. Leaf sets follow the paper's
+    text where it enumerates them and Wilson et al.'s survey (the paper's
+    cited source for the space) elsewhere; trees B3/B4 are reconstructed
+    from the traversal order of Section 4.2 (see DESIGN.md §1). *)
+
+(** {1 Category A — Creating block structures} *)
+
+(** A1 — dynamic data type organising the free blocks. *)
+type block_structure =
+  | Singly_linked_list  (** LIFO list; cheapest, no O(1) interior removal *)
+  | Doubly_linked_list  (** the paper's pick when splitting/coalescing *)
+  | Address_ordered_list  (** doubly linked, kept sorted by address *)
+  | Size_ordered_tree  (** balanced tree keyed by (size, address) *)
+
+(** A2 — block sizes available for DM management. *)
+type block_sizes =
+  | One_fixed_size
+  | Many_fixed_sizes  (** a fixed set of size classes *)
+  | Many_varying_sizes  (** sizes not fixed a priori *)
+
+(** A3 — extra tag fields carried by every block. *)
+type block_tags = No_tag | Header | Footer | Header_and_footer
+
+(** A4 — information recorded inside the tags. *)
+type recorded_info = No_info | Size_only | Status_only | Size_and_status
+
+(** A5 — whether the flexible-block-size mechanisms are available. *)
+type flexibility = No_flexibility | Split_only | Coalesce_only | Split_and_coalesce
+
+(** {1 Category B — Pool division based on} *)
+
+(** B1 — pool division based on size. *)
+type pool_division = Single_pool | Pool_per_size | Pool_per_size_range
+
+(** B2 — global control structure for the set of pools. *)
+type pool_structure = Pool_array | Pool_linked_list
+
+(** B3 — pool division based on object lifetime (per logical phase). *)
+type lifetime_division = Shared_across_phases | Pool_set_per_phase
+
+(** B4 — number of pools. *)
+type pool_count = One_pool | Fixed_pool_count | Variable_pool_count
+
+(** {1 Category C — Allocating blocks} *)
+
+(** C1 — fit algorithm used to pick a block from the free structure. *)
+type fit_algorithm = First_fit | Next_fit | Best_fit | Exact_fit | Worst_fit
+
+(** {1 Categories D and E — Coalescing and splitting blocks} *)
+
+(** D1 / E1 — block sizes allowed as the result of coalescing (max) or
+    splitting (min). The paper's DRR case study picks "many and not fixed"
+    for both. *)
+type size_bound = One_size | Many_fixed | Not_fixed
+
+(** D2 / E2 — how often the mechanism runs. *)
+type when_policy = Never | Deferred | Always
+
+(** {1 Trees and generic leaves} *)
+
+(** Identifier of each decision tree. *)
+type tree = A1 | A2 | A3 | A4 | A5 | B1 | B2 | B3 | B4 | C1 | D1 | D2 | E1 | E2
+
+(** A leaf of some tree, tagged with the tree it belongs to. *)
+type leaf =
+  | L_a1 of block_structure
+  | L_a2 of block_sizes
+  | L_a3 of block_tags
+  | L_a4 of recorded_info
+  | L_a5 of flexibility
+  | L_b1 of pool_division
+  | L_b2 of pool_structure
+  | L_b3 of lifetime_division
+  | L_b4 of pool_count
+  | L_c1 of fit_algorithm
+  | L_d1 of size_bound
+  | L_d2 of when_policy
+  | L_e1 of size_bound
+  | L_e2 of when_policy
+
+val all_trees : tree list
+(** All fourteen trees, in category order A1..E2. *)
+
+val leaves_of : tree -> leaf list
+(** Every leaf of the given tree. *)
+
+val tree_of_leaf : leaf -> tree
+
+val category : tree -> char
+(** ['A'..'E']. *)
+
+val tree_name : tree -> string
+(** Short name, e.g. "A2 (Block sizes)". *)
+
+val leaf_name : leaf -> string
+
+val pp_tree : Format.formatter -> tree -> unit
+val pp_leaf : Format.formatter -> leaf -> unit
+
+val equal_tree : tree -> tree -> bool
+val equal_leaf : leaf -> leaf -> bool

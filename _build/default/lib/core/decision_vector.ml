@@ -1,0 +1,177 @@
+open Decision
+
+type t = {
+  a1 : block_structure;
+  a2 : block_sizes;
+  a3 : block_tags;
+  a4 : recorded_info;
+  a5 : flexibility;
+  b1 : pool_division;
+  b2 : pool_structure;
+  b3 : lifetime_division;
+  b4 : pool_count;
+  c1 : fit_algorithm;
+  d1 : size_bound;
+  d2 : when_policy;
+  e1 : size_bound;
+  e2 : when_policy;
+}
+
+let get t = function
+  | A1 -> L_a1 t.a1
+  | A2 -> L_a2 t.a2
+  | A3 -> L_a3 t.a3
+  | A4 -> L_a4 t.a4
+  | A5 -> L_a5 t.a5
+  | B1 -> L_b1 t.b1
+  | B2 -> L_b2 t.b2
+  | B3 -> L_b3 t.b3
+  | B4 -> L_b4 t.b4
+  | C1 -> L_c1 t.c1
+  | D1 -> L_d1 t.d1
+  | D2 -> L_d2 t.d2
+  | E1 -> L_e1 t.e1
+  | E2 -> L_e2 t.e2
+
+let set t = function
+  | L_a1 x -> { t with a1 = x }
+  | L_a2 x -> { t with a2 = x }
+  | L_a3 x -> { t with a3 = x }
+  | L_a4 x -> { t with a4 = x }
+  | L_a5 x -> { t with a5 = x }
+  | L_b1 x -> { t with b1 = x }
+  | L_b2 x -> { t with b2 = x }
+  | L_b3 x -> { t with b3 = x }
+  | L_b4 x -> { t with b4 = x }
+  | L_c1 x -> { t with c1 = x }
+  | L_d1 x -> { t with d1 = x }
+  | L_d2 x -> { t with d2 = x }
+  | L_e1 x -> { t with e1 = x }
+  | L_e2 x -> { t with e2 = x }
+
+let kingsley_like =
+  {
+    a1 = Singly_linked_list;
+    a2 = Many_fixed_sizes;
+    a3 = Header;
+    a4 = Size_and_status;
+    a5 = No_flexibility;
+    b1 = Pool_per_size;
+    b2 = Pool_array;
+    b3 = Shared_across_phases;
+    b4 = Fixed_pool_count;
+    c1 = First_fit;
+    d1 = One_size;
+    d2 = Never;
+    e1 = One_size;
+    e2 = Never;
+  }
+
+let lea_like =
+  {
+    a1 = Doubly_linked_list;
+    a2 = Many_varying_sizes;
+    a3 = Header;
+    a4 = Size_and_status;
+    a5 = Split_and_coalesce;
+    b1 = Pool_per_size_range;
+    b2 = Pool_array;
+    b3 = Shared_across_phases;
+    b4 = Fixed_pool_count;
+    c1 = Best_fit;
+    d1 = Not_fixed;
+    d2 = Always;
+    e1 = Not_fixed;
+    e2 = Always;
+  }
+
+let drr_custom =
+  {
+    a1 = Doubly_linked_list;
+    a2 = Many_varying_sizes;
+    a3 = Header;
+    a4 = Size_and_status;
+    a5 = Split_and_coalesce;
+    b1 = Single_pool;
+    b2 = Pool_array;
+    b3 = Shared_across_phases;
+    b4 = One_pool;
+    c1 = Exact_fit;
+    d1 = Not_fixed;
+    d2 = Always;
+    e1 = Not_fixed;
+    e2 = Always;
+  }
+
+let simple_region_like =
+  {
+    a1 = Singly_linked_list;
+    a2 = Many_fixed_sizes;
+    a3 = No_tag;
+    a4 = No_info;
+    a5 = No_flexibility;
+    b1 = Pool_per_size;
+    b2 = Pool_linked_list;
+    b3 = Shared_across_phases;
+    b4 = Variable_pool_count;
+    c1 = First_fit;
+    d1 = One_size;
+    d2 = Never;
+    e1 = One_size;
+    e2 = Never;
+  }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  List.iter
+    (fun tree ->
+      Format.fprintf ppf "%-36s -> %s@," (tree_name tree) (leaf_name (get t tree)))
+    all_trees;
+  Format.fprintf ppf "@]"
+
+let to_string t = Format.asprintf "%a" pp t
+
+let equal (a : t) b = a = b
+
+module Partial = struct
+  type full = t
+
+  (* Alias taken before the inner [set] shadows the full-vector one. *)
+  let apply_leaf_to_full = set
+
+  module Tree_map = Map.Make (struct
+    type t = tree
+
+    let compare = compare
+  end)
+
+  type t = leaf Tree_map.t
+
+  let empty = Tree_map.empty
+
+  let of_full full =
+    List.fold_left (fun acc tree -> Tree_map.add tree (get full tree) acc) empty all_trees
+
+  let set t leaf = Tree_map.add (tree_of_leaf leaf) leaf t
+
+  let get t tree = Tree_map.find_opt tree t
+
+  let is_decided t tree = Tree_map.mem tree t
+
+  let undecided t = List.filter (fun tree -> not (is_decided t tree)) all_trees
+
+  let to_full t =
+    match undecided t with
+    | [] ->
+      let full = Tree_map.fold (fun _ leaf acc -> apply_leaf_to_full acc leaf) t drr_custom in
+      Some full
+    | _ :: _ -> None
+
+  let pp ppf t =
+    Format.fprintf ppf "@[<v>";
+    Tree_map.iter
+      (fun tree leaf ->
+        Format.fprintf ppf "%-36s -> %s@," (tree_name tree) (leaf_name leaf))
+      t;
+    Format.fprintf ppf "@]"
+end

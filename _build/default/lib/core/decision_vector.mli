@@ -1,0 +1,65 @@
+(** Complete and partial assignments of one leaf per decision tree.
+
+    A complete assignment ({!t}) specifies one atomic DM manager; a partial
+    assignment ({!Partial.t}) is the working state of the ordered traversal
+    of Section 4.2, with constraints propagated as trees get decided. *)
+
+type t = {
+  a1 : Decision.block_structure;
+  a2 : Decision.block_sizes;
+  a3 : Decision.block_tags;
+  a4 : Decision.recorded_info;
+  a5 : Decision.flexibility;
+  b1 : Decision.pool_division;
+  b2 : Decision.pool_structure;
+  b3 : Decision.lifetime_division;
+  b4 : Decision.pool_count;
+  c1 : Decision.fit_algorithm;
+  d1 : Decision.size_bound;
+  d2 : Decision.when_policy;
+  e1 : Decision.size_bound;
+  e2 : Decision.when_policy;
+}
+
+val get : t -> Decision.tree -> Decision.leaf
+val set : t -> Decision.leaf -> t
+
+val kingsley_like : t
+(** The decision vector that recreates a Kingsley-style manager: power-of-two
+    fixed classes, one pool per size, never split or coalesce. *)
+
+val lea_like : t
+(** The decision vector that recreates a Lea-style manager: varying sizes,
+    header tags, immediate coalescing, best fit over binned pools. *)
+
+val drr_custom : t
+(** The custom manager the paper derives for the DRR case study (Section 5):
+    many varying sizes, split & coalesce always, single pool, exact fit,
+    doubly linked list, header with size and status. *)
+
+val simple_region_like : t
+(** Fixed-size pools with no flexibility, as in the embedded-OS region
+    managers the paper compares against. *)
+
+val pp : Format.formatter -> t -> unit
+val to_string : t -> string
+
+val equal : t -> t -> bool
+
+module Partial : sig
+  type full = t
+
+  type t
+  (** Immutable partial assignment. *)
+
+  val empty : t
+  val of_full : full -> t
+  val set : t -> Decision.leaf -> t
+  val get : t -> Decision.tree -> Decision.leaf option
+  val is_decided : t -> Decision.tree -> bool
+  val undecided : t -> Decision.tree list
+  val to_full : t -> full option
+  (** [Some] iff every tree is decided. *)
+
+  val pp : Format.formatter -> t -> unit
+end

@@ -1,0 +1,13 @@
+type model = { nj_per_op : float; nj_per_byte_megaevent : float }
+
+let default_model = { nj_per_op = 1.0; nj_per_byte_megaevent = 25.0 }
+
+let estimate model ~ops ~byte_events =
+  if ops < 0 || byte_events < 0.0 then invalid_arg "Energy.estimate: negative inputs";
+  (model.nj_per_op *. float_of_int ops)
+  +. (model.nj_per_byte_megaevent *. byte_events /. 1e6)
+
+let pp_nj ppf nj =
+  if nj >= 1e6 then Format.fprintf ppf "%.2f mJ" (nj /. 1e6)
+  else if nj >= 1e3 then Format.fprintf ppf "%.2f uJ" (nj /. 1e3)
+  else Format.fprintf ppf "%.0f nJ" nj

@@ -1,0 +1,31 @@
+(** First-order energy model for DM management.
+
+    The paper faults composable C++ allocator frameworks for their lack of
+    "extensibility for other metrics (e.g. energy dissipation), as embedded
+    systems require", and develops energy-aware DM managers in its
+    companion work (Atienza et al., COLP 2003). This module provides that
+    extension: dynamic energy charged per abstract manager operation (the
+    {!Metrics} op counter) and static leakage charged per byte of footprint
+    held over time, with trace events as the time base.
+
+    The default coefficients are loosely calibrated to 2004-era embedded
+    SRAM (~1 nJ per access, leakage sized so the footprint and access terms
+    are the same order of magnitude on the case studies); they are knobs,
+    not measurements — only comparisons under the same model are
+    meaningful. *)
+
+type model = {
+  nj_per_op : float;  (** dynamic energy per manager operation, nanojoules *)
+  nj_per_byte_megaevent : float;
+      (** leakage per held byte over one million events, nanojoules *)
+}
+
+val default_model : model
+
+val estimate : model -> ops:int -> byte_events:float -> float
+(** [estimate model ~ops ~byte_events] is the energy in nanojoules;
+    [byte_events] is the integral of the held footprint over the event
+    axis (see [Dmm_trace.Footprint_series.byte_events]). *)
+
+val pp_nj : Format.formatter -> float -> unit
+(** Human-readable nanojoule amount (nJ / uJ / mJ). *)

@@ -1,0 +1,84 @@
+(** The methodology driver: turns a DM-behaviour profile into a custom
+    manager design (Sections 4 and 5).
+
+    The heuristic walk traverses the trees in the Section 4.2 order and at
+    each tree applies the paper's reasoning (e.g. highly variable request
+    sizes => many varying block sizes, split & coalesce always, exact fit,
+    single pool, doubly linked list, header with size and status — the DRR
+    derivation). The run-time parameters the paper settles "via simulation"
+    are refined by scoring candidate designs against a replayable workload:
+    the caller supplies [score], typically replaying the recorded trace into
+    a fresh manager and reading its maximum footprint. *)
+
+type design = { vector : Decision_vector.t; params : Manager.params }
+
+val pp_design : Format.formatter -> design -> unit
+
+val heuristic_choice :
+  Profile.phase_summary ->
+  Decision_vector.Partial.t ->
+  Decision.tree ->
+  Decision.leaf list ->
+  Decision.leaf
+(** The per-tree selection rule: the first profile-preferred leaf among the
+    legal ones (exposed so callers can narrate or instrument the walk). *)
+
+val heuristic_vector :
+  ?order:Decision.tree list -> Profile.phase_summary -> (Decision_vector.t, string) result
+(** Ordered constraint-propagating walk with profile-driven leaf choice.
+    With the default {!Order.paper_order} this cannot fail. *)
+
+val heuristic_params : Profile.phase_summary -> Decision_vector.t -> Manager.params
+(** Initial run-time parameters derived from the profile (size classes from
+    dominant sizes, chunk granularity from the size distribution, trimming
+    on). *)
+
+val heuristic_design :
+  ?order:Decision.tree list -> Profile.phase_summary -> (design, string) result
+
+val candidates : Profile.phase_summary -> design -> design list
+(** The simulation round: the heuristic design plus parameter and
+    near-miss leaf variations worth trying (all constraint-valid). The
+    heuristic design itself is always the head of the list. *)
+
+val tradeoff_score : alpha:float -> footprint:int -> ops:int -> int
+(** Scalarised objective [footprint + alpha * ops]: the paper's closing
+    remark that "trade-offs between the relevant design factors (e.g.
+    improving performance consuming a little more memory footprint) are
+    possible using our methodology". [alpha = 0.] is the pure footprint
+    objective used everywhere else; larger [alpha] buys speed with bytes. *)
+
+val refine : score:(design -> int) -> design list -> design * int
+(** Lowest score wins; ties keep the earliest candidate. Raises
+    [Invalid_argument] on an empty list. *)
+
+val explore :
+  ?order:Decision.tree list ->
+  profile:Profile.phase_summary ->
+  score:(design -> int) ->
+  unit ->
+  (design * int, string) result
+(** Full methodology: heuristic walk, candidate generation, scored
+    refinement. *)
+
+(** {1 Baseline search strategies}
+
+    The design space has hundreds of thousands of valid combinations
+    (11 million raw), which is why the paper orders the trees instead of
+    searching blindly. These baselines exist to quantify that: random
+    sampling needs far more simulations than the ordered walk to reach a
+    comparable footprint. *)
+
+val random_design : Dmm_util.Prng.t -> Profile.phase_summary -> design
+(** A uniformly random constraint-respecting walk (random legal leaf at
+    every tree of the paper order), with profile-derived run-time
+    parameters. *)
+
+val random_search :
+  rng:Dmm_util.Prng.t ->
+  samples:int ->
+  profile:Profile.phase_summary ->
+  score:(design -> int) ->
+  design * int
+(** Best of [samples] random designs. Raises [Invalid_argument] when
+    [samples <= 0]. *)

@@ -1,0 +1,300 @@
+open Decision
+
+(* Doubly linked list with an address-keyed node table for O(1) removal. *)
+module Dll = struct
+  type node = {
+    block : Block.t;
+    mutable prev : node option;
+    mutable next : node option;
+  }
+
+  type t = {
+    mutable head : node option;
+    mutable tail : node option;
+    nodes : (int, node) Hashtbl.t;
+  }
+
+  let create () = { head = None; tail = None; nodes = Hashtbl.create 64 }
+
+  let mem t (b : Block.t) = Hashtbl.mem t.nodes b.addr
+
+  let push_front t block =
+    let node = { block; prev = None; next = t.head } in
+    (match t.head with Some h -> h.prev <- Some node | None -> t.tail <- Some node);
+    t.head <- Some node;
+    Hashtbl.replace t.nodes block.Block.addr node
+
+  (* Insert keeping ascending address order; returns the number of nodes
+     visited so the caller can charge traversal steps. *)
+  let insert_sorted t block =
+    let rec find_pos cur visited =
+      match cur with
+      | None -> (None, visited)
+      | Some n ->
+        if n.block.Block.addr > block.Block.addr then (Some n, visited + 1)
+        else find_pos n.next (visited + 1)
+    in
+    let after, visited = find_pos t.head 0 in
+    let node = { block; prev = None; next = None } in
+    (match after with
+    | None ->
+      (* Append at tail. *)
+      node.prev <- t.tail;
+      (match t.tail with Some tl -> tl.next <- Some node | None -> t.head <- Some node);
+      t.tail <- Some node
+    | Some succ ->
+      node.next <- Some succ;
+      node.prev <- succ.prev;
+      (match succ.prev with Some p -> p.next <- Some node | None -> t.head <- Some node);
+      succ.prev <- Some node);
+    Hashtbl.replace t.nodes block.Block.addr node;
+    visited
+
+  let unlink t node =
+    (match node.prev with Some p -> p.next <- node.next | None -> t.head <- node.next);
+    (match node.next with Some n -> n.prev <- node.prev | None -> t.tail <- node.prev);
+    Hashtbl.remove t.nodes node.block.Block.addr
+
+  let remove t (b : Block.t) =
+    match Hashtbl.find_opt t.nodes b.Block.addr with
+    | None -> raise Not_found
+    | Some node -> unlink t node
+
+  let iter f t =
+    let rec go = function
+      | None -> ()
+      | Some n ->
+        let next = n.next in
+        f n.block;
+        go next
+    in
+    go t.head
+
+  (* Scan computing the chosen node per fit; returns (node option, steps). *)
+  let scan_fit t fit need ~after =
+    let better_exact current candidate =
+      match current with
+      | None -> true
+      | Some (c : node) -> candidate.block.Block.size < c.block.Block.size
+    in
+    let rec go cur best steps =
+      match cur with
+      | None -> (best, steps)
+      | Some n ->
+        let sz = n.block.Block.size in
+        let steps = steps + 1 in
+        if sz < need then go n.next best steps
+        else begin
+          match fit with
+          | First_fit -> (Some n, steps)
+          | Next_fit -> (
+            match after with
+            | None -> (Some n, steps)
+            | Some a ->
+              if n.block.Block.addr <> a then (Some n, steps)
+              else go n.next (if best = None then Some n else best) steps)
+          | Exact_fit ->
+            if sz = need then (Some n, steps)
+            else go n.next (if better_exact best n then Some n else best) steps
+          | Best_fit ->
+            if sz = need then (Some n, steps)
+            else go n.next (if better_exact best n then Some n else best) steps
+          | Worst_fit ->
+            let best' =
+              match best with
+              | Some (c : node) when c.block.Block.size >= sz -> best
+              | _ -> Some n
+            in
+            go n.next best' steps
+        end
+    in
+    go t.head None 0
+end
+
+module Size_key = struct
+  type t = int * int (* size, addr *)
+
+  let compare (s1, a1) (s2, a2) =
+    match compare (s1 : int) s2 with 0 -> compare (a1 : int) a2 | c -> c
+end
+
+module Size_map = Map.Make (Size_key)
+
+type impl =
+  | Sll of { mutable items : Block.t list }
+  | Dll_impl of Dll.t
+  | Addr_ordered of Dll.t
+  | Tree of { mutable map : Block.t Size_map.t }
+
+type t = {
+  structure : block_structure;
+  impl : impl;
+  mutable steps : int;
+  mutable cardinal : int;
+  mutable total_bytes : int;
+  mutable last_fit_addr : int option; (* roving pointer for next fit *)
+}
+
+let create structure =
+  let impl =
+    match structure with
+    | Singly_linked_list -> Sll { items = [] }
+    | Doubly_linked_list -> Dll_impl (Dll.create ())
+    | Address_ordered_list -> Addr_ordered (Dll.create ())
+    | Size_ordered_tree -> Tree { map = Size_map.empty }
+  in
+  {
+    structure;
+    impl;
+    steps = 0;
+    cardinal = 0;
+    total_bytes = 0;
+    last_fit_addr = None;
+  }
+
+let structure t = t.structure
+let cardinal t = t.cardinal
+let total_bytes t = t.total_bytes
+let steps t = t.steps
+
+let charge t n = t.steps <- t.steps + n
+
+let log2_card t = if t.cardinal <= 1 then 1 else Dmm_util.Size.log2_ceil t.cardinal
+
+let mem t (b : Block.t) =
+  match t.impl with
+  | Sll s -> List.exists (fun (x : Block.t) -> x.addr = b.addr) s.items
+  | Dll_impl d | Addr_ordered d -> Dll.mem d b
+  | Tree tr -> Size_map.mem (b.size, b.addr) tr.map
+
+let insert t (b : Block.t) =
+  if mem t b then invalid_arg "Free_structure.insert: duplicate address";
+  (match t.impl with
+  | Sll s ->
+    charge t 1;
+    s.items <- b :: s.items
+  | Dll_impl d ->
+    charge t 1;
+    Dll.push_front d b
+  | Addr_ordered d ->
+    let visited = Dll.insert_sorted d b in
+    charge t (visited + 1)
+  | Tree tr ->
+    charge t (log2_card t);
+    tr.map <- Size_map.add (b.size, b.addr) b tr.map);
+  t.cardinal <- t.cardinal + 1;
+  t.total_bytes <- t.total_bytes + b.size
+
+let remove t (b : Block.t) =
+  (match t.impl with
+  | Sll s ->
+    let rec go acc visited = function
+      | [] -> raise Not_found
+      | (x : Block.t) :: rest ->
+        if x.addr = b.addr then begin
+          charge t (visited + 1);
+          s.items <- List.rev_append acc rest
+        end
+        else go (x :: acc) (visited + 1) rest
+    in
+    go [] 0 s.items
+  | Dll_impl d | Addr_ordered d ->
+    charge t 1;
+    Dll.remove d b
+  | Tree tr ->
+    if not (Size_map.mem (b.size, b.addr) tr.map) then raise Not_found;
+    charge t (log2_card t);
+    tr.map <- Size_map.remove (b.size, b.addr) tr.map);
+  t.cardinal <- t.cardinal - 1;
+  t.total_bytes <- t.total_bytes - b.size;
+  match t.last_fit_addr with
+  | Some a when a = b.addr -> t.last_fit_addr <- None
+  | Some _ | None -> ()
+
+let iter f t =
+  match t.impl with
+  | Sll s -> List.iter f s.items
+  | Dll_impl d | Addr_ordered d -> Dll.iter f d
+  | Tree tr -> Size_map.iter (fun _ b -> f b) tr.map
+
+let to_list t =
+  let acc = ref [] in
+  iter (fun b -> acc := b :: !acc) t;
+  List.rev !acc
+
+(* List-based fit search: delegate the scan, then remove the winner. *)
+let take_from_list t (d : Dll.t) fit need =
+  let node, visited = Dll.scan_fit d fit need ~after:t.last_fit_addr in
+  charge t visited;
+  match node with
+  | None -> None
+  | Some n ->
+    Dll.unlink d n;
+    Some n.Dll.block
+
+let take_fit t fit need =
+  let found =
+    match t.impl with
+    | Sll s ->
+      let better_exact current (candidate : Block.t) =
+        match current with
+        | None -> true
+        | Some (c : Block.t) -> candidate.size < c.size
+      in
+      let rec go best visited = function
+        | [] -> (best, visited)
+        | (x : Block.t) :: rest ->
+          let visited = visited + 1 in
+          if x.size < need then go best visited rest
+          else begin
+            match fit with
+            | First_fit | Next_fit -> (Some x, visited)
+            | Exact_fit | Best_fit ->
+              if x.size = need then (Some x, visited)
+              else go (if better_exact best x then Some x else best) visited rest
+            | Worst_fit ->
+              let best' =
+                match best with
+                | Some (c : Block.t) when c.size >= x.size -> best
+                | _ -> Some x
+              in
+              go best' visited rest
+          end
+      in
+      let found, visited = go None 0 s.items in
+      charge t visited;
+      (match found with
+      | None -> None
+      | Some b ->
+        let rec drop acc = function
+          | [] -> List.rev acc
+          | (x : Block.t) :: rest ->
+            if x.addr = b.Block.addr then List.rev_append acc rest else drop (x :: acc) rest
+        in
+        s.items <- drop [] s.items;
+        Some b)
+    | Dll_impl d | Addr_ordered d -> take_from_list t d fit need
+    | Tree tr -> (
+      charge t (log2_card t);
+      let candidate =
+        match fit with
+        | First_fit | Next_fit | Best_fit | Exact_fit ->
+          Size_map.find_first_opt (fun (s, _) -> s >= need) tr.map
+        | Worst_fit -> Size_map.max_binding_opt tr.map
+      in
+      match candidate with
+      | Some ((s, _), b) when s >= need ->
+        tr.map <- Size_map.remove (s, b.Block.addr) tr.map;
+        Some b
+      | Some _ | None -> None)
+  in
+  match found with
+  | None -> None
+  | Some b ->
+    (match t.impl with
+    | Tree _ | Sll _ -> () (* already removed above *)
+    | Dll_impl _ | Addr_ordered _ -> () (* unlinked in take_from_list *));
+    t.cardinal <- t.cardinal - 1;
+    t.total_bytes <- t.total_bytes - b.Block.size;
+    t.last_fit_addr <- Some b.Block.addr;
+    Some b

@@ -1,0 +1,45 @@
+(** Free-block organisations — the DDTs of decision tree A1.
+
+    All four structures implement the same multiset-of-blocks semantics and
+    differ in traversal cost and ordering, which the [steps] counter makes
+    observable: every visited element or tree level adds one step. The fit
+    algorithms of tree C1 are implemented here because their cost depends on
+    the structure:
+
+    - {e first fit}: first block in structure order with size >= need;
+    - {e next fit}: first fit resuming after the previously chosen block;
+    - {e best fit}: smallest adequate block (ties: lowest address);
+    - {e exact fit}: block of exactly the needed size when one exists,
+      otherwise the best fit (the paper's custom managers split the rest);
+    - {e worst fit}: largest block. *)
+
+type t
+
+val create : Decision.block_structure -> t
+
+val structure : t -> Decision.block_structure
+
+val insert : t -> Block.t -> unit
+(** Raises [Invalid_argument] if a block at the same address is present. *)
+
+val remove : t -> Block.t -> unit
+(** Raises [Not_found] if the block is not present. *)
+
+val mem : t -> Block.t -> bool
+
+val cardinal : t -> int
+
+val total_bytes : t -> int
+(** Sum of the sizes of the free blocks held. *)
+
+val take_fit : t -> Decision.fit_algorithm -> int -> Block.t option
+(** [take_fit t fit need] finds a block per the fit algorithm and removes it
+    from the structure. *)
+
+val iter : (Block.t -> unit) -> t -> unit
+(** Iteration in structure order. *)
+
+val to_list : t -> Block.t list
+
+val steps : t -> int
+(** Cumulative traversal steps since creation (cost model for EXP-PERF). *)

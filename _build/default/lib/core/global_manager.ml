@@ -1,0 +1,135 @@
+module Address_space = Dmm_vmem.Address_space
+
+type design = { vector : Decision_vector.t; params : Manager.params }
+
+type t = {
+  space : Address_space.t;
+  default : design;
+  overrides : (int, design) Hashtbl.t;
+  managers : (int, Manager.t) Hashtbl.t;
+  mutable current : int;
+  mutable order : int list; (* phases in instantiation order, most recent first *)
+}
+
+let design_for t phase =
+  match Hashtbl.find_opt t.overrides phase with Some d -> d | None -> t.default
+
+let validate d =
+  match Constraints.check d.vector with
+  | [] -> ()
+  | v :: _ ->
+    invalid_arg
+      (Format.asprintf "Global_manager: invalid design: %a" Constraints.pp_violation v)
+
+let create space ~default ?(overrides = []) () =
+  validate default;
+  List.iter (fun (_, d) -> validate d) overrides;
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (p, d) -> Hashtbl.replace tbl p d) overrides;
+  {
+    space;
+    default;
+    overrides = tbl;
+    managers = Hashtbl.create 8;
+    current = 0;
+    order = [];
+  }
+
+let set_phase t p = t.current <- p
+let current_phase t = t.current
+
+let manager_for t phase =
+  match Hashtbl.find_opt t.managers phase with
+  | Some m -> m
+  | None ->
+    let d = design_for t phase in
+    let m = Manager.create ~params:d.params d.vector t.space in
+    Hashtbl.replace t.managers phase m;
+    t.order <- phase :: t.order;
+    m
+
+let alloc t size = Manager.alloc (manager_for t t.current) size
+
+let free t addr =
+  (* The current phase's manager is the most likely owner; fall back to the
+     others in most-recently-used order. *)
+  let try_manager phase =
+    match Hashtbl.find_opt t.managers phase with
+    | Some m when Manager.owns m addr -> Some m
+    | Some _ | None -> None
+  in
+  let owner =
+    match try_manager t.current with
+    | Some m -> Some m
+    | None ->
+      List.fold_left
+        (fun acc phase -> match acc with Some _ -> acc | None -> try_manager phase)
+        None t.order
+  in
+  match owner with
+  | Some m -> Manager.free m addr
+  | None -> raise (Allocator.Invalid_free addr)
+
+let managers t =
+  Hashtbl.fold (fun p m acc -> (p, m) :: acc) t.managers []
+  |> List.sort (fun (p1, _) (p2, _) -> compare p1 p2)
+
+let combined_stats t : Metrics.snapshot =
+  let zero : Metrics.snapshot =
+    {
+      allocs = 0;
+      frees = 0;
+      splits = 0;
+      coalesces = 0;
+      ops = 0;
+      live_payload = 0;
+      live_blocks = 0;
+      peak_live_payload = 0;
+    }
+  in
+  List.fold_left
+    (fun (acc : Metrics.snapshot) (_, m) ->
+      let s = Manager.metrics m in
+      {
+        Metrics.allocs = acc.allocs + s.allocs;
+        frees = acc.frees + s.frees;
+        splits = acc.splits + s.splits;
+        coalesces = acc.coalesces + s.coalesces;
+        ops = acc.ops + s.ops;
+        live_payload = acc.live_payload + s.live_payload;
+        live_blocks = acc.live_blocks + s.live_blocks;
+        peak_live_payload = acc.peak_live_payload + s.peak_live_payload;
+      })
+    zero (managers t)
+
+let combined_breakdown t : Metrics.breakdown =
+  List.fold_left
+    (fun (acc : Metrics.breakdown) (_, m) ->
+      let b = Manager.breakdown m in
+      {
+        Metrics.live_payload = acc.live_payload + b.live_payload;
+        tag_overhead = acc.tag_overhead + b.tag_overhead;
+        internal_padding = acc.internal_padding + b.internal_padding;
+        free_bytes = acc.free_bytes + b.free_bytes;
+        total_held = acc.total_held + b.total_held;
+      })
+    {
+      Metrics.live_payload = 0;
+      tag_overhead = 0;
+      internal_padding = 0;
+      free_bytes = 0;
+      total_held = 0;
+    }
+    (managers t)
+
+let allocator t =
+  {
+    Allocator.name = "custom-global";
+    alloc = (fun size -> alloc t size);
+    free = (fun addr -> free t addr);
+    phase = (fun p -> set_phase t p);
+    current_footprint = (fun () -> Address_space.brk t.space);
+    max_footprint = (fun () -> Address_space.high_water t.space);
+    stats = (fun () -> combined_stats t);
+    breakdown = (fun () -> combined_breakdown t);
+  }

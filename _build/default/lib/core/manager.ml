@@ -1,0 +1,630 @@
+open Decision
+module Address_space = Dmm_vmem.Address_space
+module Size = Dmm_util.Size
+
+type params = {
+  word_size : int;
+  alignment : int;
+  fixed_block_size : int;
+  size_classes : int list;
+  max_coalesced_size : int option;
+  min_split_remainder : int;
+  chunk_request : int;
+  return_to_system : bool;
+  trim_threshold : int;
+  deferred_interval : int;
+}
+
+let default_params =
+  {
+    word_size = 4;
+    alignment = 8;
+    fixed_block_size = 64;
+    size_classes = [ 16; 32; 64; 128; 256; 512; 1024; 2048; 4096; 8192; 16384; 32768 ];
+    max_coalesced_size = None;
+    min_split_remainder = 0;
+    chunk_request = 4096;
+    return_to_system = false;
+    trim_threshold = 4096;
+    deferred_interval = 64;
+  }
+
+let pow2_classes ~min ~max =
+  if min <= 0 || not (Size.is_power_of_two min) || not (Size.is_power_of_two max) then
+    invalid_arg "Manager.pow2_classes: bounds must be powers of two";
+  let rec go acc c = if c > max then List.rev acc else go (c :: acc) (c * 2) in
+  go [] min
+
+type pools =
+  | P_single of Free_structure.t
+  | P_by_size of (int, Free_structure.t) Hashtbl.t
+  | P_by_range of Free_structure.t array (* one slot per class + final overflow *)
+
+type t = {
+  vec : Decision_vector.t;
+  params : params;
+  space : Address_space.t;
+  metrics : Metrics.t;
+  by_base : (int, Block.t) Hashtbl.t;
+  by_end : (int, Block.t) Hashtbl.t;
+  req_sizes : (int, int) Hashtbl.t; (* base addr -> requested payload bytes *)
+  pools : pools;
+  classes : int array; (* ascending gross ceilings; empty in varying regimes *)
+  header_bytes : int;
+  tag_bytes : int;
+  min_block : int;
+  mutable last_run_id : int;
+  mutable last_run_end : int;
+  mutable frees_since_sweep : int;
+  mutable held_bytes : int; (* gross bytes currently obtained from the system *)
+  mutable max_held_bytes : int;
+}
+
+let vector t = t.vec
+let params t = t.params
+let metrics t = Metrics.snapshot t.metrics
+let current_footprint t = t.held_bytes
+
+(* --- configuration derivation ------------------------------------------- *)
+
+let link_words = function
+  | Singly_linked_list -> 1
+  | Doubly_linked_list | Address_ordered_list -> 2
+  | Size_ordered_tree -> 3
+
+let uses_fixed_classes vec =
+  match vec.Decision_vector.a2 with
+  | One_fixed_size | Many_fixed_sizes -> true
+  | Many_varying_sizes -> false
+
+let can_split vec =
+  match vec.Decision_vector.a5 with
+  | Split_only | Split_and_coalesce -> vec.Decision_vector.e2 <> Never
+  | No_flexibility | Coalesce_only -> false
+
+let can_coalesce vec =
+  match vec.Decision_vector.a5 with
+  | Coalesce_only | Split_and_coalesce -> vec.Decision_vector.d2 <> Never
+  | No_flexibility | Split_only -> false
+
+let create ?(params = default_params) vec space =
+  (match Constraints.check vec with
+  | [] -> ()
+  | violations ->
+    let msg =
+      Format.asprintf "Manager.create: invalid decision vector:@ %a"
+        (Format.pp_print_list ~pp_sep:Format.pp_print_newline Constraints.pp_violation)
+        violations
+    in
+    invalid_arg msg);
+  if params.word_size <= 0 || params.alignment <= 0 || params.chunk_request <= 0 then
+    invalid_arg "Manager.create: non-positive parameter";
+  let header_bytes =
+    match vec.Decision_vector.a3 with
+    | Header | Header_and_footer -> params.word_size
+    | No_tag | Footer -> 0
+  in
+  let footer_bytes =
+    match vec.Decision_vector.a3 with
+    | Footer | Header_and_footer -> params.word_size
+    | No_tag | Header -> 0
+  in
+  let tag_bytes = header_bytes + footer_bytes in
+  let min_block =
+    let links = link_words vec.Decision_vector.a1 * params.word_size in
+    Size.align_up (max (tag_bytes + links) (tag_bytes + params.alignment)) params.alignment
+  in
+  let classes =
+    if uses_fixed_classes vec then begin
+      let cs =
+        match vec.Decision_vector.a2 with
+        | One_fixed_size -> [ params.fixed_block_size ]
+        | Many_fixed_sizes | Many_varying_sizes -> params.size_classes
+      in
+      if cs = [] then invalid_arg "Manager.create: fixed-size regime needs size classes";
+      let arr = Array.of_list (List.sort_uniq compare cs) in
+      if arr.(0) < min_block then
+        invalid_arg "Manager.create: smallest size class below minimum block size";
+      arr
+    end
+    else [||]
+  in
+  let pools =
+    match vec.Decision_vector.b1 with
+    | Single_pool -> P_single (Free_structure.create vec.Decision_vector.a1)
+    | Pool_per_size -> P_by_size (Hashtbl.create 32)
+    | Pool_per_size_range ->
+      let n = if Array.length classes > 0 then Array.length classes + 1 else 32 + 1 in
+      P_by_range (Array.init n (fun _ -> Free_structure.create vec.Decision_vector.a1))
+  in
+  {
+    vec;
+    params;
+    space;
+    metrics = Metrics.create ();
+    by_base = Hashtbl.create 256;
+    by_end = Hashtbl.create 256;
+    req_sizes = Hashtbl.create 256;
+    pools;
+    classes;
+    header_bytes;
+    tag_bytes;
+    min_block;
+    last_run_id = 0;
+    last_run_end = -1;
+    frees_since_sweep = 0;
+    held_bytes = 0;
+    max_held_bytes = 0;
+  }
+
+(* --- size classification -------------------------------------------------- *)
+
+(* Smallest class ceiling >= gross, or None for oversize requests. *)
+let class_ceiling t gross =
+  let n = Array.length t.classes in
+  let rec go i = if i >= n then None else if t.classes.(i) >= gross then Some i else go (i + 1) in
+  go 0
+
+(* Gross block size serving a request of [payload] bytes. *)
+let gross_of_request t payload =
+  let base =
+    max t.min_block (Size.align_up (payload + t.tag_bytes) t.params.alignment)
+  in
+  if Array.length t.classes = 0 then base
+  else match class_ceiling t base with Some i -> t.classes.(i) | None -> base
+
+(* Range-pool index for a block of gross size [z]. In varying regimes the
+   range boundaries are synthetic power-of-two buckets. *)
+let range_index t z =
+  match t.pools with
+  | P_by_range arr ->
+    let n = Array.length arr in
+    if Array.length t.classes > 0 then begin
+      match class_ceiling t z with Some i -> i | None -> n - 1
+    end
+    else begin
+      let i = Size.log2_ceil z in
+      if i >= n - 1 then n - 1 else i
+    end
+  | P_single _ | P_by_size _ -> 0
+
+let pool_lookup_cost t index =
+  match t.vec.Decision_vector.b2 with
+  | Pool_array -> 1
+  | Pool_linked_list -> index + 1
+
+let pool_for_size t z =
+  match t.pools with
+  | P_single fs ->
+    Metrics.add_ops t.metrics 1;
+    fs
+  | P_by_size tbl ->
+    Metrics.add_ops t.metrics (pool_lookup_cost t 1);
+    (match Hashtbl.find_opt tbl z with
+    | Some fs -> fs
+    | None ->
+      let fs = Free_structure.create t.vec.Decision_vector.a1 in
+      Hashtbl.replace tbl z fs;
+      fs)
+  | P_by_range arr ->
+    let i = range_index t z in
+    Metrics.add_ops t.metrics (pool_lookup_cost t i);
+    arr.(i)
+
+(* --- registries ------------------------------------------------------------ *)
+
+let register t (b : Block.t) =
+  Hashtbl.replace t.by_base b.addr b;
+  Hashtbl.replace t.by_end (Block.end_addr b) b;
+  Metrics.add_ops t.metrics 1
+
+let unregister t (b : Block.t) =
+  Hashtbl.remove t.by_base b.addr;
+  Hashtbl.remove t.by_end (Block.end_addr b);
+  Metrics.add_ops t.metrics 1
+
+let insert_free t (b : Block.t) =
+  b.status <- Free;
+  Free_structure.insert (pool_for_size t b.size) b;
+  Metrics.add_ops t.metrics 1
+
+let remove_free t (b : Block.t) = Free_structure.remove (pool_for_size t b.size) b
+
+(* --- splitting (category E) ------------------------------------------------ *)
+
+(* [b] is not in any free structure when called. Splits the tail off [b]
+   when the policy allows, registering the remainder as a free block. *)
+let try_split t (b : Block.t) gross =
+  let remainder = b.size - gross in
+  if remainder <= 0 || not (can_split t.vec) then ()
+  else begin
+    let threshold =
+      match t.vec.Decision_vector.e2 with
+      | Always -> max t.min_block (max t.params.min_split_remainder 1)
+      | Deferred -> 4 * t.min_block
+      | Never -> max_int
+    in
+    (* E1 bounds the sizes a split may produce. *)
+    let split_off =
+      match t.vec.Decision_vector.e1 with
+      | Not_fixed -> if remainder >= threshold then remainder else 0
+      | One_size ->
+        let unit = max t.min_block t.params.min_split_remainder in
+        if remainder >= max unit threshold then remainder / unit * unit else 0
+      | Many_fixed ->
+        (* Largest class ceiling that fits in the remainder. *)
+        let rec best i acc =
+          if i >= Array.length t.classes then acc
+          else if t.classes.(i) <= remainder then best (i + 1) (t.classes.(i))
+          else acc
+        in
+        let c = best 0 0 in
+        if c >= threshold && c >= t.min_block then c else 0
+    in
+    if split_off >= t.min_block then begin
+      Hashtbl.remove t.by_end (Block.end_addr b);
+      b.size <- b.size - split_off;
+      Hashtbl.replace t.by_end (Block.end_addr b) b;
+      let rem =
+        Block.v ~addr:(Block.end_addr b) ~size:split_off ~status:Block.Free
+          ~run_id:b.run_id
+      in
+      register t rem;
+      insert_free t rem;
+      Metrics.on_split t.metrics;
+      Metrics.add_ops t.metrics 1
+    end
+  end
+
+(* --- coalescing (category D) ----------------------------------------------- *)
+
+let within_coalesce_bound t size =
+  match t.params.max_coalesced_size with None -> true | Some m -> size <= m
+
+(* Merge [b] (free, not in any free structure) with free neighbours in the
+   same run. Returns the surviving block, also not in any free structure. *)
+let merge_neighbours t (b : Block.t) =
+  let b = ref b in
+  (* Forward: absorb the successor. *)
+  let rec forward () =
+    match Hashtbl.find_opt t.by_base (Block.end_addr !b) with
+    | Some next
+      when Block.is_free next
+           && next.run_id = !b.run_id
+           && within_coalesce_bound t (!b.size + next.size) ->
+      remove_free t next;
+      unregister t next;
+      Hashtbl.remove t.by_end (Block.end_addr !b);
+      !b.size <- !b.size + next.size;
+      Hashtbl.replace t.by_end (Block.end_addr !b) !b;
+      Metrics.on_coalesce t.metrics;
+      Metrics.add_ops t.metrics 2;
+      forward ()
+    | Some _ | None -> ()
+  in
+  (* Backward: be absorbed by the predecessor. *)
+  let rec backward () =
+    match Hashtbl.find_opt t.by_end !b.Block.addr with
+    | Some prev
+      when Block.is_free prev
+           && prev.run_id = !b.run_id
+           && within_coalesce_bound t (prev.size + !b.size) ->
+      remove_free t prev;
+      unregister t prev;
+      unregister t !b;
+      prev.size <- prev.size + !b.size;
+      Hashtbl.replace t.by_base prev.addr prev;
+      Hashtbl.replace t.by_end (Block.end_addr prev) prev;
+      b := prev;
+      Metrics.on_coalesce t.metrics;
+      Metrics.add_ops t.metrics 2;
+      backward ()
+    | Some _ | None -> ()
+  in
+  forward ();
+  backward ();
+  !b
+
+(* Deferred coalescing sweep: merge every adjacent pair of free blocks. *)
+let sweep t =
+  let frees =
+    Hashtbl.fold (fun _ b acc -> if Block.is_free b then b :: acc else acc) t.by_base []
+  in
+  let sorted = List.sort (fun (a : Block.t) b -> compare a.addr b.Block.addr) frees in
+  Metrics.add_ops t.metrics (List.length sorted);
+  let rec go = function
+    | [] | [ _ ] -> ()
+    | (a : Block.t) :: (b : Block.t) :: rest ->
+      if
+        Block.is_free a && Block.is_free b
+        && Block.end_addr a = b.addr
+        && a.run_id = b.run_id
+        && within_coalesce_bound t (a.size + b.size)
+      then begin
+        remove_free t a;
+        remove_free t b;
+        unregister t b;
+        Hashtbl.remove t.by_end (Block.end_addr a);
+        a.size <- a.size + b.size;
+        Hashtbl.replace t.by_end (Block.end_addr a) a;
+        insert_free t a;
+        Metrics.on_coalesce t.metrics;
+        go (a :: rest)
+      end
+      else go (b :: rest)
+  in
+  go sorted
+
+(* --- system memory ---------------------------------------------------------- *)
+
+let note_new_run t base size =
+  let run_id =
+    if base = t.last_run_end then t.last_run_id
+    else begin
+      t.last_run_id <- t.last_run_id + 1;
+      t.last_run_id
+    end
+  in
+  t.last_run_end <- base + size;
+  t.held_bytes <- t.held_bytes + size;
+  if t.held_bytes > t.max_held_bytes then t.max_held_bytes <- t.held_bytes;
+  run_id
+
+(* Obtain a block of [gross] bytes from the system, growing the heap. *)
+let grab_from_system t gross =
+  Metrics.add_ops t.metrics 4 (* system-call cost *);
+  let fixed = Array.length t.classes > 0 in
+  let oversize = fixed && class_ceiling t gross = None in
+  if fixed && not oversize then begin
+    (* Slab carve: request a chunk and cut it into gross-size blocks. *)
+    let per_chunk = max 1 (t.params.chunk_request / gross) in
+    let request = per_chunk * gross in
+    let base = Address_space.sbrk t.space request in
+    let run_id = note_new_run t base request in
+    let first = Block.v ~addr:base ~size:gross ~status:Block.Used ~run_id in
+    register t first;
+    for i = 1 to per_chunk - 1 do
+      let b =
+        Block.v ~addr:(base + (i * gross)) ~size:gross ~status:Block.Free ~run_id
+      in
+      register t b;
+      insert_free t b
+    done;
+    first
+  end
+  else begin
+    let greedy =
+      (not fixed) && can_split t.vec
+      && t.vec.Decision_vector.e1 = Not_fixed
+      && gross < t.params.chunk_request
+    in
+    let request = if greedy then t.params.chunk_request else gross in
+    let base = Address_space.sbrk t.space request in
+    let run_id = note_new_run t base request in
+    let b = Block.v ~addr:base ~size:request ~status:Block.Used ~run_id in
+    register t b;
+    try_split t b gross;
+    b
+  end
+
+(* Return the trailing free block to the system when the policy says so.
+   [b] must not be in any free structure. Returns true when trimmed away. *)
+let maybe_trim t (b : Block.t) =
+  if
+    t.params.return_to_system
+    && Block.end_addr b = Address_space.brk t.space
+    && b.size >= t.params.trim_threshold
+  then begin
+    unregister t b;
+    Address_space.trim t.space b.addr;
+    t.held_bytes <- t.held_bytes - b.size;
+    if b.run_id = t.last_run_id then t.last_run_end <- b.addr
+    else begin
+      (* An older run surfaced at the top of the heap (later runs were
+         trimmed by us or by other managers); future growth can rejoin it. *)
+      t.last_run_id <- b.run_id;
+      t.last_run_end <- b.addr
+    end;
+    Metrics.add_ops t.metrics 2;
+    true
+  end
+  else false
+
+(* --- fit search --------------------------------------------------------------- *)
+
+let take_candidate t gross =
+  let fit = t.vec.Decision_vector.c1 in
+  match t.pools with
+  | P_single fs ->
+    let before = Free_structure.steps fs in
+    let r = Free_structure.take_fit fs fit gross in
+    Metrics.add_ops t.metrics (Free_structure.steps fs - before + 1);
+    r
+  | P_by_size tbl ->
+    Metrics.add_ops t.metrics (pool_lookup_cost t 1);
+    (match Hashtbl.find_opt tbl gross with
+    | None -> None
+    | Some fs ->
+      let before = Free_structure.steps fs in
+      let r = Free_structure.take_fit fs fit gross in
+      Metrics.add_ops t.metrics (Free_structure.steps fs - before + 1);
+      r)
+  | P_by_range arr ->
+    (* Search the block's own class, then larger classes (binmap search). *)
+    let start = range_index t gross in
+    let n = Array.length arr in
+    let rec go i =
+      if i >= n then None
+      else begin
+        Metrics.add_ops t.metrics (pool_lookup_cost t i);
+        let fs = arr.(i) in
+        let before = Free_structure.steps fs in
+        let r = Free_structure.take_fit fs fit gross in
+        Metrics.add_ops t.metrics (Free_structure.steps fs - before + 1);
+        match r with Some _ -> r | None -> go (i + 1)
+      end
+    in
+    go start
+
+(* --- public operations --------------------------------------------------------- *)
+
+let alloc t payload =
+  if payload <= 0 then invalid_arg "Manager.alloc: non-positive size";
+  let gross = gross_of_request t payload in
+  let block =
+    match take_candidate t gross with
+    | Some b ->
+      b.status <- Block.Used;
+      try_split t b gross;
+      b
+    | None ->
+      if t.vec.Decision_vector.d2 = Deferred then begin
+        (* Coalesce on demand, then retry once before growing the heap. *)
+        sweep t;
+        match take_candidate t gross with
+        | Some b ->
+          b.status <- Block.Used;
+          try_split t b gross;
+          b
+        | None -> grab_from_system t gross
+      end
+      else grab_from_system t gross
+  in
+  Hashtbl.replace t.req_sizes block.Block.addr payload;
+  Metrics.on_alloc t.metrics ~payload;
+  block.Block.addr + t.header_bytes
+
+let free t user_addr =
+  let base = user_addr - t.header_bytes in
+  match Hashtbl.find_opt t.by_base base with
+  | None -> raise (Allocator.Invalid_free user_addr)
+  | Some b when Block.is_free b -> raise (Allocator.Invalid_free user_addr)
+  | Some b ->
+    let payload =
+      match Hashtbl.find_opt t.req_sizes base with Some p -> p | None -> 0
+    in
+    Hashtbl.remove t.req_sizes base;
+    Metrics.on_free t.metrics ~payload;
+    b.status <- Block.Free;
+    let b =
+      if can_coalesce t.vec && t.vec.Decision_vector.d2 = Always then
+        merge_neighbours t b
+      else b
+    in
+    if not (maybe_trim t b) then insert_free t b;
+    if can_coalesce t.vec && t.vec.Decision_vector.d2 = Deferred then begin
+      t.frees_since_sweep <- t.frees_since_sweep + 1;
+      if t.frees_since_sweep >= t.params.deferred_interval then begin
+        t.frees_since_sweep <- 0;
+        sweep t
+      end
+    end
+
+let owns t user_addr =
+  match Hashtbl.find_opt t.by_base (user_addr - t.header_bytes) with
+  | Some b -> not (Block.is_free b)
+  | None -> false
+
+let free_blocks t =
+  Hashtbl.fold
+    (fun _ (b : Block.t) acc -> if Block.is_free b then (b.addr, b.size) :: acc else acc)
+    t.by_base []
+  |> List.sort compare
+
+let free_bytes t =
+  match t.pools with
+  | P_single fs -> Free_structure.total_bytes fs
+  | P_by_size tbl -> Hashtbl.fold (fun _ fs acc -> acc + Free_structure.total_bytes fs) tbl 0
+  | P_by_range arr ->
+    Array.fold_left (fun acc fs -> acc + Free_structure.total_bytes fs) 0 arr
+
+(* Where the held bytes currently go (Section 4.1 factors). *)
+let breakdown t : Metrics.breakdown =
+  let live_payload = ref 0 and tag_overhead = ref 0 in
+  let internal_padding = ref 0 and free = ref 0 in
+  Hashtbl.iter
+    (fun _ (b : Block.t) ->
+      match b.status with
+      | Block.Free -> free := !free + b.size
+      | Block.Used ->
+        let payload =
+          match Hashtbl.find_opt t.req_sizes b.addr with Some p -> p | None -> 0
+        in
+        live_payload := !live_payload + payload;
+        tag_overhead := !tag_overhead + t.tag_bytes;
+        internal_padding := !internal_padding + (b.size - t.tag_bytes - payload))
+    t.by_base;
+  {
+    Metrics.live_payload = !live_payload;
+    tag_overhead = !tag_overhead;
+    internal_padding = !internal_padding;
+    free_bytes = !free;
+    total_held = t.held_bytes;
+  }
+
+(* --- invariants ------------------------------------------------------------------ *)
+
+let check_invariants t =
+  let ( let* ) r f = Result.bind r f in
+  let blocks = Hashtbl.fold (fun _ b acc -> b :: acc) t.by_base [] in
+  let sorted = List.sort (fun (a : Block.t) b -> compare a.addr b.Block.addr) blocks in
+  let* () =
+    let rec overlap = function
+      | [] | [ _ ] -> Ok ()
+      | (a : Block.t) :: (b : Block.t) :: rest ->
+        if Block.end_addr a > b.addr then
+          Error
+            (Format.asprintf "blocks overlap: %a and %a" Block.pp a Block.pp b)
+        else overlap (b :: rest)
+    in
+    overlap sorted
+  in
+  let* () =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        let* () = acc in
+        match Hashtbl.find_opt t.by_end (Block.end_addr b) with
+        | Some b' when b' == b -> Ok ()
+        | Some _ -> Error (Format.asprintf "by_end mismatch for %a" Block.pp b)
+        | None -> Error (Format.asprintf "missing by_end entry for %a" Block.pp b))
+      (Ok ()) sorted
+  in
+  let in_pool (b : Block.t) =
+    match t.pools with
+    | P_single fs -> Free_structure.mem fs b
+    | P_by_size tbl -> (
+      match Hashtbl.find_opt tbl b.size with
+      | Some fs -> Free_structure.mem fs b
+      | None -> false)
+    | P_by_range arr -> Free_structure.mem arr.(range_index t b.size) b
+  in
+  let* () =
+    List.fold_left
+      (fun acc (b : Block.t) ->
+        let* () = acc in
+        match b.status with
+        | Block.Free ->
+          if in_pool b then Ok ()
+          else Error (Format.asprintf "free block not in its pool: %a" Block.pp b)
+        | Block.Used ->
+          if Hashtbl.mem t.req_sizes b.addr then Ok ()
+          else Error (Format.asprintf "used block without request record: %a" Block.pp b))
+      (Ok ()) sorted
+  in
+  let gross_total = List.fold_left (fun acc (b : Block.t) -> acc + b.size) 0 sorted in
+  if gross_total <> t.held_bytes then
+    Error
+      (Format.asprintf "held bytes %d <> sum of block sizes %d" t.held_bytes gross_total)
+  else Ok ()
+
+let allocator t =
+  {
+    Allocator.name = "custom";
+    alloc = (fun size -> alloc t size);
+    free = (fun addr -> free t addr);
+    phase = Allocator.ignore_phase;
+    current_footprint = (fun () -> current_footprint t);
+    max_footprint = (fun () -> t.max_held_bytes);
+    stats = (fun () -> metrics t);
+    breakdown = (fun () -> breakdown t);
+  }

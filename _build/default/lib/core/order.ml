@@ -1,0 +1,37 @@
+open Decision
+
+let paper_order = [ A2; A5; E2; D2; E1; D1; B4; B1; B2; B3; C1; A1; A3; A4 ]
+
+(* Figure 4 discusses deciding A3 before D2/E2: the memory-saving 'none'
+   leaf looks right locally but forces 'never' downstream. We model the
+   whole wrong order by hoisting A3/A4 to the front (before A5, so the
+   greedy tag choice is made with no knowledge of the flexibility plans). *)
+let figure4_wrong_order = [ A2; A3; A4; A5; E2; D2; E1; D1; B4; B1; B2; B3; C1; A1 ]
+
+let is_complete_order order =
+  List.length order = List.length all_trees
+  && List.for_all (fun t -> List.mem t order) all_trees
+
+let walk ?(order = paper_order) ~choose () =
+  if not (is_complete_order order) then Error "order is not a permutation of all trees"
+  else
+    let rec go partial = function
+      | [] -> (
+        match Decision_vector.Partial.to_full partial with
+        | Some full -> Ok full
+        | None -> Error "walk finished with undecided trees")
+      | tree :: rest -> (
+        match Constraints.allowed_leaves partial tree with
+        | [] ->
+          Error
+            (Format.asprintf "no legal leaf remains for %a under current constraints"
+               pp_tree tree)
+        | candidates ->
+          let leaf = choose partial tree candidates in
+          if not (List.exists (equal_leaf leaf) candidates) then
+            Error
+              (Format.asprintf "choose returned %a, which is not legal for %a" pp_leaf
+                 leaf pp_tree tree)
+          else go (Decision_vector.Partial.set partial leaf) rest)
+    in
+    go Decision_vector.Partial.empty order

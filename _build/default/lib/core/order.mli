@@ -1,0 +1,32 @@
+(** The traversal order of Section 4.2.
+
+    Trees A2 and A5 decide the global block structure first; then the trees
+    dealing with fragmentation (categories E and D), then prevention
+    (categories B and C), then the remaining A trees. Deciding in this order
+    and propagating constraints forward never requires iterating back.
+
+    The paper lists `A2->A5->E2->D2->E1->D1->B4->B1->C1->A1->A3->A4`; B2 and
+    B3 are not in the printed order and are inserted right after B1, where
+    the case studies decide them. *)
+
+val paper_order : Decision.tree list
+(** All fourteen trees in reduced-footprint order. *)
+
+val figure4_wrong_order : Decision.tree list
+(** The counter-example order of Figure 4 (A3 decided before D2/E2),
+    used by the order-ablation experiment. *)
+
+val walk :
+  ?order:Decision.tree list ->
+  choose:(Decision_vector.Partial.t -> Decision.tree -> Decision.leaf list -> Decision.leaf) ->
+  unit ->
+  (Decision_vector.t, string) result
+(** [walk ~choose ()] traverses the trees in [order] (default
+    {!paper_order}); at each tree it calls [choose] with the current partial
+    assignment and the constraint-filtered legal leaves, and commits the
+    returned leaf. Returns [Error _] if some tree ends up with no legal leaf
+    (cannot happen with {!paper_order} and a [choose] that picks from the
+    offered list) or if [choose] returns a leaf that was not offered. *)
+
+val is_complete_order : Decision.tree list -> bool
+(** True when the list is a permutation of all trees. *)

@@ -1,0 +1,174 @@
+module Histogram = Dmm_util.Histogram
+module Stats = Dmm_util.Stats
+
+type phase_summary = {
+  phase : int;
+  allocs : int;
+  frees : int;
+  size_hist : Histogram.t;
+  size_stats : Stats.t;
+  lifetime_stats : Stats.t;
+  peak_live_bytes : int;
+  peak_live_blocks : int;
+  lifo_frees : int;
+}
+
+type acc = {
+  acc_phase : int;
+  mutable acc_allocs : int;
+  mutable acc_frees : int;
+  acc_size_hist : Histogram.t;
+  acc_size_stats : Stats.t;
+  acc_lifetime_stats : Stats.t;
+  mutable acc_peak_live_bytes : int;
+  mutable acc_peak_live_blocks : int;
+  mutable acc_lifo_frees : int;
+}
+
+type live = { size : int; born_seq : int }
+
+type t = {
+  accs : (int, acc) Hashtbl.t;
+  live : (int, live) Hashtbl.t;
+  mutable seq : int;
+  mutable current_phase : int;
+  mutable live_bytes : int;
+  mutable alloc_stack : (int * int) list;
+      (* (born_seq, id), most recent first; stale entries (freed ids) are
+         dropped lazily so LIFO detection stays amortised O(1) *)
+}
+
+let new_acc phase =
+  {
+    acc_phase = phase;
+    acc_allocs = 0;
+    acc_frees = 0;
+    acc_size_hist = Histogram.create ();
+    acc_size_stats = Stats.create ();
+    acc_lifetime_stats = Stats.create ();
+    acc_peak_live_bytes = 0;
+    acc_peak_live_blocks = 0;
+    acc_lifo_frees = 0;
+  }
+
+let create () =
+  let t =
+    {
+      accs = Hashtbl.create 8;
+      live = Hashtbl.create 256;
+      seq = 0;
+      current_phase = 0;
+      live_bytes = 0;
+      alloc_stack = [];
+    }
+  in
+  Hashtbl.replace t.accs 0 (new_acc 0);
+  t
+
+let acc_for t phase =
+  match Hashtbl.find_opt t.accs phase with
+  | Some a -> a
+  | None ->
+    let a = new_acc phase in
+    Hashtbl.replace t.accs phase a;
+    a
+
+let observe_phase t p = t.current_phase <- p
+
+(* Drop stack entries whose block has been freed (or superseded). *)
+let rec top_live t =
+  match t.alloc_stack with
+  | [] -> None
+  | (seq, id) :: rest -> (
+    match Hashtbl.find_opt t.live id with
+    | Some l when l.born_seq = seq -> Some (seq, id)
+    | Some _ | None ->
+      t.alloc_stack <- rest;
+      top_live t)
+
+let observe_alloc t ~id ~size =
+  if size <= 0 then invalid_arg "Profile.observe_alloc: non-positive size";
+  if Hashtbl.mem t.live id then invalid_arg "Profile.observe_alloc: id already live";
+  t.seq <- t.seq + 1;
+  let a = acc_for t t.current_phase in
+  a.acc_allocs <- a.acc_allocs + 1;
+  Histogram.add a.acc_size_hist size;
+  Stats.add_int a.acc_size_stats size;
+  Hashtbl.replace t.live id { size; born_seq = t.seq };
+  t.live_bytes <- t.live_bytes + size;
+  t.alloc_stack <- (t.seq, id) :: t.alloc_stack;
+  let blocks = Hashtbl.length t.live in
+  if t.live_bytes > a.acc_peak_live_bytes then a.acc_peak_live_bytes <- t.live_bytes;
+  if blocks > a.acc_peak_live_blocks then a.acc_peak_live_blocks <- blocks
+
+let observe_free t ~id =
+  match Hashtbl.find_opt t.live id with
+  | None -> invalid_arg "Profile.observe_free: id not live"
+  | Some l ->
+    t.seq <- t.seq + 1;
+    let a = acc_for t t.current_phase in
+    a.acc_frees <- a.acc_frees + 1;
+    Stats.add_int a.acc_lifetime_stats (t.seq - l.born_seq);
+    (match top_live t with
+    | Some (_, top_id) when top_id = id -> a.acc_lifo_frees <- a.acc_lifo_frees + 1
+    | Some _ | None -> ());
+    Hashtbl.remove t.live id;
+    t.live_bytes <- t.live_bytes - l.size
+
+let summary_of_acc a =
+  {
+    phase = a.acc_phase;
+    allocs = a.acc_allocs;
+    frees = a.acc_frees;
+    size_hist = a.acc_size_hist;
+    size_stats = a.acc_size_stats;
+    lifetime_stats = a.acc_lifetime_stats;
+    peak_live_bytes = a.acc_peak_live_bytes;
+    peak_live_blocks = a.acc_peak_live_blocks;
+    lifo_frees = a.acc_lifo_frees;
+  }
+
+let phases t =
+  Hashtbl.fold (fun _ a acc -> summary_of_acc a :: acc) t.accs []
+  |> List.sort (fun s1 s2 -> compare s1.phase s2.phase)
+
+let phase_ids t = List.map (fun s -> s.phase) (phases t)
+
+let total t =
+  let ps = phases t in
+  let merged =
+    List.fold_left
+      (fun acc s ->
+        {
+          phase = -1;
+          allocs = acc.allocs + s.allocs;
+          frees = acc.frees + s.frees;
+          size_hist = Histogram.merge acc.size_hist s.size_hist;
+          size_stats = Stats.merge acc.size_stats s.size_stats;
+          lifetime_stats = Stats.merge acc.lifetime_stats s.lifetime_stats;
+          peak_live_bytes = max acc.peak_live_bytes s.peak_live_bytes;
+          peak_live_blocks = max acc.peak_live_blocks s.peak_live_blocks;
+          lifo_frees = acc.lifo_frees + s.lifo_frees;
+        })
+      (summary_of_acc (new_acc (-1)))
+      ps
+  in
+  merged
+
+let leaked t = Hashtbl.length t.live
+
+let size_variability s = Stats.coefficient_of_variation s.size_stats
+
+let distinct_sizes s = Histogram.distinct s.size_hist
+
+let dominant_sizes s k = Histogram.most_frequent s.size_hist k
+
+let stack_likeness s = if s.frees = 0 then 0.0 else float_of_int s.lifo_frees /. float_of_int s.frees
+
+let pp_summary ppf s =
+  Format.fprintf ppf
+    "@[<v>phase=%d allocs=%d frees=%d distinct_sizes=%d size_cv=%.2f@,\
+     peak_live=%dB (%d blocks) stack_likeness=%.2f@,\
+     sizes: %a@]"
+    s.phase s.allocs s.frees (distinct_sizes s) (size_variability s) s.peak_live_bytes
+    s.peak_live_blocks (stack_likeness s) Stats.pp s.size_stats

@@ -1,0 +1,1 @@
+lib/trace/checker.ml: Dmm_core Format Int Map

@@ -1,0 +1,1 @@
+lib/trace/checker.mli: Dmm_core

@@ -1,0 +1,1 @@
+lib/trace/footprint_series.ml: Dmm_core List Replay Trace

@@ -1,0 +1,1 @@
+lib/trace/footprint_series.mli: Dmm_core Trace

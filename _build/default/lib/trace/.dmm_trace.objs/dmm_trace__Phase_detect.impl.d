@@ -1,0 +1,1 @@
+lib/trace/phase_detect.ml: Dmm_util Event Float List Trace

@@ -1,0 +1,1 @@
+lib/trace/phase_detect.mli: Trace

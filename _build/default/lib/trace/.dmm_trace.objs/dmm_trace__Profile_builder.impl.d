@@ -1,0 +1,1 @@
+lib/trace/profile_builder.ml: Dmm_core Event Trace

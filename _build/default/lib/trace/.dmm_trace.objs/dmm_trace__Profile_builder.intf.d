@@ -1,0 +1,1 @@
+lib/trace/profile_builder.mli: Dmm_core Trace

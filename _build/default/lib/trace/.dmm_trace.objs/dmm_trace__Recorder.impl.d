@@ -1,0 +1,1 @@
+lib/trace/recorder.ml: Dmm_core Event Hashtbl Trace

@@ -1,0 +1,1 @@
+lib/trace/replay.ml: Dmm_core Event Hashtbl Printf Trace

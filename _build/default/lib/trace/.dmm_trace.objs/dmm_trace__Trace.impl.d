@@ -1,0 +1,1 @@
+lib/trace/trace.ml: Array Dmm_util Event Fun Hashtbl List Printf

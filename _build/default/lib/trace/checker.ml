@@ -1,0 +1,65 @@
+module Allocator = Dmm_core.Allocator
+
+exception Violation of string
+
+let fail fmt = Format.kasprintf (fun msg -> raise (Violation msg)) fmt
+
+module Int_map = Map.Make (Int)
+
+type state = {
+  mutable live : int Int_map.t; (* payload start -> size *)
+  mutable live_bytes : int;
+  mutable max_seen : int;
+}
+
+(* Overlap test against the nearest live blocks below and above [addr]. *)
+let check_no_overlap state addr size =
+  (match Int_map.find_last_opt (fun a -> a <= addr) state.live with
+  | Some (a, s) when a + s > addr ->
+    fail "allocated [%d..%d) overlaps live block [%d..%d)" addr (addr + size) a (a + s)
+  | Some _ | None -> ());
+  match Int_map.find_first_opt (fun a -> a > addr) state.live with
+  | Some (a, s) when addr + size > a ->
+    fail "allocated [%d..%d) overlaps live block [%d..%d)" addr (addr + size) a (a + s)
+  | Some _ | None -> ()
+
+let check_footprint state inner =
+  let current = Allocator.current_footprint inner in
+  if current < state.live_bytes then
+    fail "footprint %d below live payload %d" current state.live_bytes;
+  let maximum = Allocator.max_footprint inner in
+  if maximum < state.max_seen then
+    fail "maximum footprint decreased from %d to %d" state.max_seen maximum;
+  if maximum < current then
+    fail "maximum footprint %d below current %d" maximum current;
+  state.max_seen <- maximum
+
+let wrap ?(payload_cap = max_int) inner =
+  let state = { live = Int_map.empty; live_bytes = 0; max_seen = 0 } in
+  let alloc size =
+    if size <= 0 then fail "alloc of non-positive size %d" size;
+    if size > payload_cap then fail "alloc of %d exceeds the payload cap %d" size payload_cap;
+    let addr = Allocator.alloc inner size in
+    if addr < 0 then fail "negative address %d" addr;
+    if Int_map.mem addr state.live then fail "address %d returned while still live" addr;
+    check_no_overlap state addr size;
+    state.live <- Int_map.add addr size state.live;
+    state.live_bytes <- state.live_bytes + size;
+    check_footprint state inner;
+    addr
+  in
+  let free addr =
+    match Int_map.find_opt addr state.live with
+    | None -> fail "free of address %d, which is not live" addr
+    | Some size ->
+      Allocator.free inner addr;
+      state.live <- Int_map.remove addr state.live;
+      state.live_bytes <- state.live_bytes - size;
+      check_footprint state inner
+  in
+  {
+    inner with
+    Allocator.name = inner.Allocator.name ^ "+checker";
+    alloc;
+    free;
+  }

@@ -1,0 +1,19 @@
+(** Dynamic correctness checking for DM managers.
+
+    [wrap] interposes on any {!Dmm_core.Allocator.t} and verifies, on every
+    operation, the contract a manager must honour:
+
+    - payload ranges of live blocks never overlap;
+    - an address is freed at most once, and only if live;
+    - the footprint never drops below the live payload;
+    - the maximum footprint never decreases.
+
+    Violations raise {!Violation} with a description. Use it as an oracle
+    when developing new managers, e.g.
+    [Replay.run trace (Checker.wrap (My_manager.allocator m))]. *)
+
+exception Violation of string
+
+val wrap : ?payload_cap:int -> Dmm_core.Allocator.t -> Dmm_core.Allocator.t
+(** [payload_cap] (default unlimited) additionally rejects single requests
+    above the given size, for catching runaway workloads. *)

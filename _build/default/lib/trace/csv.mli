@@ -1,0 +1,8 @@
+(** Minimal CSV writing for experiment outputs. *)
+
+val write : string -> header:string list -> string list list -> unit
+(** [write path ~header rows] writes a comma-separated file. Fields
+    containing commas or quotes are quoted. *)
+
+val escape : string -> string
+(** Quoting rule used by {!write} (exposed for tests). *)

@@ -1,0 +1,27 @@
+type t = Alloc of { id : int; size : int } | Free of { id : int } | Phase of int
+
+let pp ppf = function
+  | Alloc { id; size } -> Format.fprintf ppf "alloc #%d %dB" id size
+  | Free { id } -> Format.fprintf ppf "free #%d" id
+  | Phase p -> Format.fprintf ppf "phase %d" p
+
+let to_line = function
+  | Alloc { id; size } -> Printf.sprintf "a %d %d" id size
+  | Free { id } -> Printf.sprintf "f %d" id
+  | Phase p -> Printf.sprintf "p %d" p
+
+let of_line line =
+  match String.split_on_char ' ' (String.trim line) with
+  | [ "a"; id; size ] -> (
+    match (int_of_string_opt id, int_of_string_opt size) with
+    | Some id, Some size when size > 0 -> Ok (Alloc { id; size })
+    | _ -> Error (Printf.sprintf "bad alloc line: %S" line))
+  | [ "f"; id ] -> (
+    match int_of_string_opt id with
+    | Some id -> Ok (Free { id })
+    | None -> Error (Printf.sprintf "bad free line: %S" line))
+  | [ "p"; p ] -> (
+    match int_of_string_opt p with
+    | Some p -> Ok (Phase p)
+    | None -> Error (Printf.sprintf "bad phase line: %S" line))
+  | _ -> Error (Printf.sprintf "unrecognised trace line: %S" line)

@@ -1,0 +1,16 @@
+(** Allocation-trace events.
+
+    Block ids are trace-unique: an id is allocated at most once in a valid
+    trace, so record/replay and profiling can key on them. *)
+
+type t =
+  | Alloc of { id : int; size : int }
+  | Free of { id : int }
+  | Phase of int
+
+val pp : Format.formatter -> t -> unit
+
+val to_line : t -> string
+(** One-line textual form: ["a <id> <size>"], ["f <id>"], ["p <n>"]. *)
+
+val of_line : string -> (t, string) result

@@ -1,0 +1,36 @@
+type point = { event : int; current : int; maximum : int }
+
+let sample ~every trace a =
+  if every <= 0 then invalid_arg "Footprint_series.sample: non-positive interval";
+  let acc = ref [] in
+  let record i al =
+    acc :=
+      {
+        event = i;
+        current = Dmm_core.Allocator.current_footprint al;
+        maximum = Dmm_core.Allocator.max_footprint al;
+      }
+      :: !acc
+  in
+  let last = Trace.length trace - 1 in
+  Replay.run
+    ~on_event:(fun i al -> if i mod every = 0 || i = last then record i al)
+    trace a;
+  List.rev !acc
+
+let peak points = List.fold_left (fun m p -> max m p.current) 0 points
+
+let byte_events points =
+  let rec go acc = function
+    | [] | [ _ ] -> acc
+    | p1 :: (p2 :: _ as rest) ->
+      let width = float_of_int (p2.event - p1.event) in
+      let height = float_of_int (p1.current + p2.current) /. 2.0 in
+      go (acc +. (width *. height)) rest
+  in
+  go 0.0 points
+
+let to_rows ~name points =
+  List.map
+    (fun p -> [ name; string_of_int p.event; string_of_int p.current; string_of_int p.maximum ])
+    points

@@ -1,0 +1,17 @@
+(** Footprint-over-time sampling, the data behind Figure 5. *)
+
+type point = { event : int; current : int; maximum : int }
+
+val sample : every:int -> Trace.t -> Dmm_core.Allocator.t -> point list
+(** Replay the trace, recording one point every [every] events (plus the
+    final state). Raises [Invalid_argument] if [every <= 0]. *)
+
+val peak : point list -> int
+(** Highest [current] value of the series (0 when empty). *)
+
+val byte_events : point list -> float
+(** Trapezoidal integral of [current] over the event axis: byte-events, the
+    time base of {!Dmm_core.Energy}'s leakage term. *)
+
+val to_rows : name:string -> point list -> string list list
+(** CSV rows [manager; event; current; maximum] with no header. *)

@@ -1,0 +1,31 @@
+(** Automatic detection of DM behaviour phases in a trace.
+
+    The methodology applies one atomic manager per logical phase
+    (Section 3.3). When the application does not announce its phases, the
+    profiling run can recover them from the trace: the event stream is cut
+    into windows, each summarised by a small feature vector (request-size
+    location and spread, allocation/free balance), and a phase boundary is
+    declared where consecutive windows differ by more than a threshold.
+    Adjacent boundaries are merged so no phase is shorter than
+    [min_phase_windows] windows. *)
+
+type config = {
+  window : int;  (** events per window (default 4096) *)
+  threshold : float;  (** feature-distance triggering a boundary (default 0.9) *)
+  min_phase_windows : int;  (** minimal phase length in windows (default 2) *)
+}
+
+val default_config : config
+
+val boundaries : ?config:config -> Trace.t -> int list
+(** Event indices (strictly increasing, never 0) where a new phase starts.
+    Empty when the behaviour is homogeneous. *)
+
+val annotate : ?config:config -> Trace.t -> Trace.t
+(** A copy of the trace with any pre-existing [Phase] events removed and
+    the detected phases marked [Phase 0], [Phase 1], ... at their
+    boundaries. *)
+
+val strip : Trace.t -> Trace.t
+(** A copy with all [Phase] events removed (exposed for testing detection
+    against workloads that do announce phases). *)

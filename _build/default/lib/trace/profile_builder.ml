@@ -1,0 +1,9 @@
+let of_trace trace =
+  let p = Dmm_core.Profile.create () in
+  Trace.iter
+    (function
+      | Event.Alloc { id; size } -> Dmm_core.Profile.observe_alloc p ~id ~size
+      | Event.Free { id } -> Dmm_core.Profile.observe_free p ~id
+      | Event.Phase ph -> Dmm_core.Profile.observe_phase p ph)
+    trace;
+  p

@@ -1,0 +1,5 @@
+(** Build a {!Dmm_core.Profile.t} from a recorded trace (methodology
+    step 1). *)
+
+val of_trace : Trace.t -> Dmm_core.Profile.t
+(** Raises [Invalid_argument] on an invalid trace. *)

@@ -1,0 +1,23 @@
+module Allocator = Dmm_core.Allocator
+
+let run ?on_event trace a =
+  let addrs = Hashtbl.create 256 in
+  Trace.iteri
+    (fun i event ->
+      (match event with
+      | Event.Alloc { id; size } ->
+        let addr = Allocator.alloc a size in
+        Hashtbl.replace addrs id addr
+      | Event.Free { id } -> (
+        match Hashtbl.find_opt addrs id with
+        | None -> invalid_arg (Printf.sprintf "Replay.run: free of non-live id %d" id)
+        | Some addr ->
+          Hashtbl.remove addrs id;
+          Allocator.free a addr)
+      | Event.Phase p -> Allocator.phase a p);
+      match on_event with None -> () | Some f -> f i a)
+    trace
+
+let max_footprint_of trace a =
+  run trace a;
+  Allocator.max_footprint a

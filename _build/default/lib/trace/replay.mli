@@ -1,0 +1,17 @@
+(** Drive a manager from a recorded trace.
+
+    Replaying the same trace against different managers is how the paper's
+    methodology scores candidates and how the benches regenerate Table 1
+    and Figure 5. *)
+
+val run :
+  ?on_event:(int -> Dmm_core.Allocator.t -> unit) ->
+  Trace.t ->
+  Dmm_core.Allocator.t ->
+  unit
+(** [run trace a] feeds every event to [a], mapping trace ids to the
+    addresses [a] returns. [on_event i a] fires after event [i]. Raises
+    [Invalid_argument] on an invalid trace (free of a non-live id). *)
+
+val max_footprint_of : Trace.t -> Dmm_core.Allocator.t -> int
+(** Replay and return the manager's maximum footprint. *)

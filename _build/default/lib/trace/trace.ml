@@ -1,0 +1,161 @@
+type t = { mutable events : Event.t array; mutable len : int }
+
+let create () = { events = Array.make 1024 (Event.Phase 0); len = 0 }
+
+let add t e =
+  if t.len = Array.length t.events then begin
+    let bigger = Array.make (2 * t.len) (Event.Phase 0) in
+    Array.blit t.events 0 bigger 0 t.len;
+    t.events <- bigger
+  end;
+  t.events.(t.len) <- e;
+  t.len <- t.len + 1
+
+let length t = t.len
+
+let get t i =
+  if i < 0 || i >= t.len then invalid_arg "Trace.get: index out of bounds";
+  t.events.(i)
+
+let iter f t =
+  for i = 0 to t.len - 1 do
+    f t.events.(i)
+  done
+
+let iteri f t =
+  for i = 0 to t.len - 1 do
+    f i t.events.(i)
+  done
+
+let of_list events =
+  let t = create () in
+  List.iter (add t) events;
+  t
+
+let to_list t = List.init t.len (fun i -> t.events.(i))
+
+let interleave ?(seed = 0) sources =
+  let rng = Dmm_util.Prng.create seed in
+  let out = create () in
+  let cursors = Array.of_list (List.map (fun t -> (t, ref 0)) sources) in
+  let n_sources = Array.length cursors in
+  (* Ids are remapped on the fly so sources cannot collide. *)
+  let remap = Array.init n_sources (fun _ -> Hashtbl.create 64) in
+  let next_id = ref 0 in
+  let remaining i =
+    let t, pos = cursors.(i) in
+    length t - !pos
+  in
+  let total_remaining () =
+    let acc = ref 0 in
+    for i = 0 to n_sources - 1 do
+      acc := !acc + remaining i
+    done;
+    !acc
+  in
+  let emit i =
+    let t, pos = cursors.(i) in
+    (match get t !pos with
+    | Event.Alloc { id; size } ->
+      incr next_id;
+      Hashtbl.replace remap.(i) id !next_id;
+      add out (Event.Alloc { id = !next_id; size })
+    | Event.Free { id } -> (
+      match Hashtbl.find_opt remap.(i) id with
+      | Some id' -> add out (Event.Free { id = id' })
+      | None -> invalid_arg "Trace.interleave: free of unallocated id in source")
+    | Event.Phase p ->
+      if p >= 1000 then invalid_arg "Trace.interleave: phase id too large to namespace";
+      add out (Event.Phase ((i * 1000) + p)));
+    incr pos
+  in
+  let rec go () =
+    let total = total_remaining () in
+    if total > 0 then begin
+      (* Pick a source with probability proportional to its remaining
+         length, so sources finish around the same time. *)
+      let target = Dmm_util.Prng.int rng total in
+      let rec pick i acc =
+        let acc = acc + remaining i in
+        if target < acc then i else pick (i + 1) acc
+      in
+      emit (pick 0 0);
+      go ()
+    end
+  in
+  go ();
+  out
+
+let validate t =
+  let seen = Hashtbl.create 256 in
+  let live = Hashtbl.create 256 in
+  let rec go i =
+    if i >= t.len then Ok ()
+    else
+      match t.events.(i) with
+      | Event.Alloc { id; size } ->
+        if size <= 0 then Error (Printf.sprintf "event %d: non-positive size" i)
+        else if Hashtbl.mem seen id then
+          Error (Printf.sprintf "event %d: id %d allocated twice" i id)
+        else begin
+          Hashtbl.replace seen id ();
+          Hashtbl.replace live id ();
+          go (i + 1)
+        end
+      | Event.Free { id } ->
+        if not (Hashtbl.mem live id) then
+          Error (Printf.sprintf "event %d: free of non-live id %d" i id)
+        else begin
+          Hashtbl.remove live id;
+          go (i + 1)
+        end
+      | Event.Phase _ -> go (i + 1)
+  in
+  go 0
+
+let live_at_end t =
+  let live = Hashtbl.create 256 in
+  iter
+    (function
+      | Event.Alloc { id; _ } -> Hashtbl.replace live id ()
+      | Event.Free { id } -> Hashtbl.remove live id
+      | Event.Phase _ -> ())
+    t;
+  Hashtbl.length live
+
+let alloc_count t =
+  let n = ref 0 in
+  iter (function Event.Alloc _ -> incr n | Event.Free _ | Event.Phase _ -> ()) t;
+  !n
+
+let free_count t =
+  let n = ref 0 in
+  iter (function Event.Free _ -> incr n | Event.Alloc _ | Event.Phase _ -> ()) t;
+  !n
+
+let save t path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> iter (fun e -> output_string oc (Event.to_line e ^ "\n")) t)
+
+let load path =
+  match open_in path with
+  | exception Sys_error msg -> Error msg
+  | ic ->
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let t = create () in
+        let rec go lineno =
+          match input_line ic with
+          | exception End_of_file -> Ok t
+          | "" -> go (lineno + 1)
+          | line -> (
+            match Event.of_line line with
+            | Ok e ->
+              add t e;
+              go (lineno + 1)
+            | Error m -> Error (Printf.sprintf "line %d: %s" lineno m))
+        in
+        go 1)

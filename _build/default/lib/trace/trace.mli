@@ -1,0 +1,37 @@
+(** Allocation traces: growable event sequences with validation and a
+    plain-text on-disk format. *)
+
+type t
+
+val create : unit -> t
+val add : t -> Event.t -> unit
+val length : t -> int
+val get : t -> int -> Event.t
+val iter : (Event.t -> unit) -> t -> unit
+val iteri : (int -> Event.t -> unit) -> t -> unit
+val of_list : Event.t list -> t
+val to_list : t -> Event.t list
+
+val interleave : ?seed:int -> t list -> t
+(** Merge traces as concurrently running applications (the paper's other
+    source of unpredictability: "the number of applications running
+    concurrently defined by the user"). Each trace's internal event order
+    is preserved; the interleaving is pseudo-random, weighted by remaining
+    length; block ids are remapped to stay trace-unique; phase markers are
+    namespaced as [source_index * 1000 + phase]. Raises
+    [Invalid_argument] if any source phase id is >= 1000. *)
+
+val validate : t -> (unit, string) result
+(** Checks the live discipline: ids allocated at most once, frees only of
+    live ids, positive sizes. *)
+
+val live_at_end : t -> int
+(** Number of blocks never freed. *)
+
+val alloc_count : t -> int
+val free_count : t -> int
+
+val save : t -> string -> unit
+(** Write to a file, one event per line. *)
+
+val load : string -> (t, string) result

@@ -1,0 +1,59 @@
+module Int_map = Map.Make (Int)
+
+type t = { mutable cells : int Int_map.t; mutable total : int }
+
+let create () = { cells = Int_map.empty; total = 0 }
+
+let add_many t v n =
+  if n < 0 then invalid_arg "Histogram.add_many: negative count";
+  if n > 0 then begin
+    t.cells <-
+      Int_map.update v (function None -> Some n | Some c -> Some (c + n)) t.cells;
+    t.total <- t.total + n
+  end
+
+let add t v = add_many t v 1
+
+let count t v = match Int_map.find_opt v t.cells with None -> 0 | Some c -> c
+
+let total t = t.total
+
+let distinct t = Int_map.cardinal t.cells
+
+let bindings t = Int_map.bindings t.cells
+
+let most_frequent t k =
+  let all = bindings t in
+  let by_count (v1, c1) (v2, c2) =
+    match compare c2 c1 with 0 -> compare v1 v2 | other -> other
+  in
+  let sorted = List.sort by_count all in
+  List.filteri (fun i _ -> i < k) sorted
+
+let percentile t p =
+  if t.total = 0 then invalid_arg "Histogram.percentile: empty";
+  if p < 0.0 || p > 1.0 then invalid_arg "Histogram.percentile: p out of range";
+  let target = p *. float_of_int t.total in
+  let rec scan acc = function
+    | [] -> invalid_arg "Histogram.percentile: unreachable"
+    | [ (v, _) ] -> v
+    | (v, c) :: rest ->
+      let acc = acc + c in
+      if float_of_int acc >= target then v else scan acc rest
+  in
+  scan 0 (bindings t)
+
+let fold f t init = Int_map.fold f t.cells init
+
+let iter f t = Int_map.iter f t.cells
+
+let merge a b =
+  let cells =
+    Int_map.union (fun _ c1 c2 -> Some (c1 + c2)) a.cells b.cells
+  in
+  { cells; total = a.total + b.total }
+
+let pp ppf t =
+  Format.fprintf ppf "@[<v>";
+  iter (fun v c -> Format.fprintf ppf "%8d: %d@," v c) t;
+  Format.fprintf ppf "total=%d distinct=%d@]" t.total (distinct t)

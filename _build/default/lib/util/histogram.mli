@@ -1,0 +1,42 @@
+(** Exact integer-valued histograms, used to profile request-size
+    distributions. *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> int -> unit
+(** Record one occurrence of the value. *)
+
+val add_many : t -> int -> int -> unit
+(** [add_many t v n] records [n] occurrences of [v]. *)
+
+val count : t -> int -> int
+(** Occurrences of a value (0 if absent). *)
+
+val total : t -> int
+(** Total number of recorded occurrences. *)
+
+val distinct : t -> int
+(** Number of distinct values observed. *)
+
+val bindings : t -> (int * int) list
+(** (value, count) pairs in increasing value order. *)
+
+val most_frequent : t -> int -> (int * int) list
+(** [most_frequent t k] returns up to [k] (value, count) pairs by decreasing
+    count (ties broken by smaller value). *)
+
+val percentile : t -> float -> int
+(** [percentile t p] with [p] in [0,1]: smallest value v such that at least
+    [p] of the mass is <= v. Raises [Invalid_argument] when empty or [p]
+    out of range. *)
+
+val fold : (int -> int -> 'a -> 'a) -> t -> 'a -> 'a
+(** [fold f t init] folds over (value, count) in increasing value order. *)
+
+val iter : (int -> int -> unit) -> t -> unit
+
+val merge : t -> t -> t
+
+val pp : Format.formatter -> t -> unit

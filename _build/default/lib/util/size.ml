@@ -1,0 +1,25 @@
+let align_up n a =
+  if a <= 0 then invalid_arg "Size.align_up: non-positive alignment";
+  if n < 0 then invalid_arg "Size.align_up: negative size";
+  (n + a - 1) / a * a
+
+let is_power_of_two n = n > 0 && n land (n - 1) = 0
+
+let pow2_ceil n =
+  if n < 0 then invalid_arg "Size.pow2_ceil: negative size";
+  let rec go p = if p >= n then p else go (p * 2) in
+  go 1
+
+let log2_ceil n =
+  let p = pow2_ceil n in
+  let rec go acc v = if v = 1 then acc else go (acc + 1) (v / 2) in
+  go 0 p
+
+let kib n = n * 1024
+let mib n = n * 1024 * 1024
+
+let pp_bytes ppf n =
+  let f = float_of_int n in
+  if n >= 1024 * 1024 then Format.fprintf ppf "%.2f MiB" (f /. 1048576.0)
+  else if n >= 1024 then Format.fprintf ppf "%.2f KiB" (f /. 1024.0)
+  else Format.fprintf ppf "%d B" n

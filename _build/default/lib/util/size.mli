@@ -1,0 +1,20 @@
+(** Byte-size arithmetic helpers shared by all allocators. *)
+
+val align_up : int -> int -> int
+(** [align_up n a] rounds [n] up to the next multiple of [a]. Raises
+    [Invalid_argument] if [a <= 0] or [n < 0]. *)
+
+val is_power_of_two : int -> bool
+
+val pow2_ceil : int -> int
+(** Smallest power of two >= [n] (with [pow2_ceil 0 = 1]). Raises
+    [Invalid_argument] if [n < 0]. *)
+
+val log2_ceil : int -> int
+(** [log2_ceil n] is the exponent of [pow2_ceil n]. *)
+
+val kib : int -> int
+val mib : int -> int
+
+val pp_bytes : Format.formatter -> int -> unit
+(** Human-readable byte count, e.g. "1.43 MiB". *)

@@ -1,0 +1,50 @@
+type t = {
+  page_size : int;
+  mutable brk : int;
+  mutable high_water : int;
+  mutable sbrk_calls : int;
+  mutable trim_calls : int;
+  mutable bytes_released : int;
+}
+
+let create ?(page_size = 4096) () =
+  if page_size <= 0 then invalid_arg "Address_space.create: page_size must be positive";
+  {
+    page_size;
+    brk = 0;
+    high_water = 0;
+    sbrk_calls = 0;
+    trim_calls = 0;
+    bytes_released = 0;
+  }
+
+let page_size t = t.page_size
+let brk t = t.brk
+let high_water t = t.high_water
+
+let sbrk t n =
+  if n < 0 then invalid_arg "Address_space.sbrk: negative growth";
+  let base = t.brk in
+  t.brk <- t.brk + n;
+  if t.brk > t.high_water then t.high_water <- t.brk;
+  t.sbrk_calls <- t.sbrk_calls + 1;
+  base
+
+let grow_pages t n =
+  if n <= 0 then invalid_arg "Address_space.grow_pages: non-positive growth";
+  let pages = (n + t.page_size - 1) / t.page_size in
+  sbrk t (pages * t.page_size)
+
+let trim t addr =
+  if addr < 0 || addr > t.brk then invalid_arg "Address_space.trim: address out of range";
+  t.bytes_released <- t.bytes_released + (t.brk - addr);
+  t.brk <- addr;
+  t.trim_calls <- t.trim_calls + 1
+
+let sbrk_calls t = t.sbrk_calls
+let trim_calls t = t.trim_calls
+let bytes_released t = t.bytes_released
+
+let pp ppf t =
+  Format.fprintf ppf "brk=%d high_water=%d sbrk_calls=%d trim_calls=%d released=%d" t.brk
+    t.high_water t.sbrk_calls t.trim_calls t.bytes_released

@@ -1,0 +1,49 @@
+(** Simulated byte-addressable heap.
+
+    The paper measures memory footprint as the maximum extent of the heap a
+    DM manager requests from the system. This module models that system
+    interface: a linear address space grown with {!sbrk} and shrunk from the
+    top with {!trim}, with high-water-mark accounting. Allocators built on
+    top manage integer addresses; payload bytes are never stored. *)
+
+type t
+
+val create : ?page_size:int -> unit -> t
+(** Fresh address space starting at break 0. [page_size] (default 4096) is
+    advisory: {!sbrk} grows by exactly the amount requested; allocators that
+    emulate page-granular OS requests use {!grow_pages}. Raises
+    [Invalid_argument] if [page_size <= 0]. *)
+
+val page_size : t -> int
+
+val brk : t -> int
+(** Current break: one past the highest mapped address. *)
+
+val high_water : t -> int
+(** Maximum value ever reached by {!brk} — the paper's "maximum memory
+    footprint". *)
+
+val sbrk : t -> int -> int
+(** [sbrk t n] extends the space by [n] bytes and returns the base address
+    of the new range (the previous break). Raises [Invalid_argument] if
+    [n < 0]. *)
+
+val grow_pages : t -> int -> int
+(** [grow_pages t n] extends by [n] rounded up to a whole number of pages
+    and returns the base address. Raises [Invalid_argument] if [n <= 0]. *)
+
+val trim : t -> int -> unit
+(** [trim t addr] releases everything from [addr] (inclusive) to the current
+    break back to the system, lowering the break to [addr]. The high-water
+    mark is unaffected. Raises [Invalid_argument] unless
+    [0 <= addr <= brk t]. *)
+
+val sbrk_calls : t -> int
+(** Number of {!sbrk}/{!grow_pages} system requests so far. *)
+
+val trim_calls : t -> int
+
+val bytes_released : t -> int
+(** Cumulative bytes returned via {!trim}. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,1 @@
+lib/workloads/drr.ml: Dmm_core Float Format Hashtbl List Queue Traffic

@@ -1,0 +1,1 @@
+lib/workloads/drr.mli: Dmm_core Format Traffic

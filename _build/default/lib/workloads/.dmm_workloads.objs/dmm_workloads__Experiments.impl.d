@@ -1,0 +1,1 @@
+lib/workloads/experiments.ml: Dmm_allocators Dmm_core Dmm_trace Dmm_util Dmm_vmem Drr Format Fun Hashtbl List Option Printf Reconstruct Render Scenario Traffic

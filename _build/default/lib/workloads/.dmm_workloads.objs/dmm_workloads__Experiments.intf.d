@@ -1,0 +1,1 @@
+lib/workloads/experiments.mli: Dmm_core Dmm_trace Format

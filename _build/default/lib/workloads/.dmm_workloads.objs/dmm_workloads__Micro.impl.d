@@ -1,0 +1,1 @@
+lib/workloads/micro.ml: Dmm_trace Dmm_util List

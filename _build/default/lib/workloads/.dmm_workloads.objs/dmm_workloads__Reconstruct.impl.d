@@ -1,0 +1,1 @@
+lib/workloads/reconstruct.ml: Dmm_core Dmm_util Float Format List

@@ -1,0 +1,1 @@
+lib/workloads/reconstruct.mli: Dmm_core Format

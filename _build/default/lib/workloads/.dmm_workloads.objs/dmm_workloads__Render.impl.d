@@ -1,0 +1,1 @@
+lib/workloads/render.ml: Array Dmm_core Dmm_util Format List Queue

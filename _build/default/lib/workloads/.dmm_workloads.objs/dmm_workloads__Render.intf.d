@@ -1,0 +1,1 @@
+lib/workloads/render.mli: Dmm_core Format

@@ -1,0 +1,1 @@
+lib/workloads/scenario.ml: Dmm_allocators Dmm_core Dmm_trace Dmm_vmem Drr List Reconstruct Render Traffic

@@ -1,0 +1,1 @@
+lib/workloads/scenario.mli: Dmm_core Dmm_trace Drr Reconstruct Render Traffic

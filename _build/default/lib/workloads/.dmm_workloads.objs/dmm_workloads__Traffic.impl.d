@@ -1,0 +1,1 @@
+lib/workloads/traffic.ml: Array Dmm_util Float Format Fun List

@@ -1,0 +1,1 @@
+lib/workloads/traffic.mli: Dmm_util Format

@@ -1,0 +1,47 @@
+(** Deficit Round Robin scheduler (Shreedhar & Varghese, SIGCOMM'95) — the
+    paper's first case study, from the NetBench suite.
+
+    An event-driven router simulation: arriving packets are stored in
+    per-flow queues (packet buffer + queue node allocated from the DM
+    manager under test), and a DRR server drains the active flows with a
+    per-round byte quantum at a fixed output rate. Bursty input above the
+    output rate builds transient backlog — the dynamic memory demand whose
+    footprint Table 1 and Figure 5 measure. *)
+
+type config = {
+  quantum : int;  (** DRR byte quantum per round (default 1500) *)
+  service_rate_mbps : float;  (** output link rate (default 10.0) *)
+  queue_node_bytes : int;  (** queue bookkeeping node size (default 24) *)
+  flow_queue_limit : int option;
+      (** per-flow backlog cap in bytes; arriving packets that would exceed
+          it are dropped, as in a real router (default [None]) *)
+  total_queue_limit : int option;
+      (** shared buffer pool cap in bytes across all queues (default
+          [None]). Routers drop on a full shared buffer; successive bursts
+          can each fill the pool with their own packet-size class, which is
+          exactly the behaviour that separates the managers of Table 1 *)
+}
+
+val default_config : config
+
+val paper_config : config
+(** The Table-1 regime: 10 Mbit/s output link, 96 KiB shared buffer pool. *)
+
+type stats = {
+  packets_in : int;
+  packets_dropped : int;
+  packets_out : int;
+  bytes_out : int;
+  max_backlog_bytes : int;  (** peak payload queued *)
+  max_backlog_packets : int;
+  per_flow_bytes : (int * int) list;  (** flow id, bytes forwarded *)
+  finish_time : float;  (** simulated seconds when the last packet left *)
+  checksum : int;  (** digest of the simulated per-packet processing *)
+}
+
+val run : ?config:config -> Dmm_core.Allocator.t -> Traffic.packet list -> stats
+(** Run the scheduler over the packet list (must be sorted by arrival, as
+    {!Traffic.generate} returns it), allocating every buffer and queue node
+    from the given manager. All memory is freed by the end of the run. *)
+
+val pp_stats : Format.formatter -> stats -> unit

@@ -1,0 +1,36 @@
+(** Adversarial micro-patterns for stressing DM managers.
+
+    Each pattern isolates one classic allocator failure mode; the benches
+    report footprint over peak-live for every manager, and the tests pin
+    the known behaviours (e.g. pinning defeats coalescing, FIFO defeats
+    obstacks, shifting size mixes defeat segregated free lists). All
+    patterns are pure trace builders: replay them against any manager. *)
+
+val ramp : blocks:int -> size:int -> Dmm_trace.Trace.t
+(** Allocate [blocks] blocks of [size], then free them FIFO (oldest
+    first). *)
+
+val sawtooth : cycles:int -> blocks:int -> size:int -> Dmm_trace.Trace.t
+(** [cycles] LIFO push/pop waves of [blocks] x [size]: pure stack
+    behaviour. *)
+
+val bimodal_churn : ops:int -> small:int -> large:int -> seed:int -> Dmm_trace.Trace.t
+(** Random churn alternating between two size populations: exercises
+    size-class reuse. *)
+
+val pinning : pairs:int -> hole:int -> pin:int -> Dmm_trace.Trace.t
+(** Allocate alternating [hole]- and [pin]-sized blocks, then free all the
+    holes: the classic external-fragmentation attack — the freed bytes are
+    unusable for anything bigger than [hole] because live pins separate
+    them. *)
+
+val size_shift : phases:int -> blocks:int -> base:int -> Dmm_trace.Trace.t
+(** Successive waves, each of a different size class ([base], 2[base],
+    4[base], ...), each fully freed before the next: per-class hoarders
+    accumulate one peak per wave. *)
+
+val random_churn : ops:int -> min_size:int -> max_size:int -> seed:int -> Dmm_trace.Trace.t
+(** Uniform random alloc/free churn with uniform sizes. *)
+
+val suite : unit -> (string * Dmm_trace.Trace.t) list
+(** The default instances of all patterns, bench-sized. *)

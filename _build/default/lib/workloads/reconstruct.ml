@@ -1,0 +1,150 @@
+module Allocator = Dmm_core.Allocator
+module Prng = Dmm_util.Prng
+
+type config = {
+  frames : int;
+  width : int;
+  height : int;
+  base_corners : int;
+  match_ratio : float;
+  seed : int;
+}
+
+let default_config =
+  { frames = 30; width = 320; height = 240; base_corners = 250; match_ratio = 0.5; seed = 7 }
+
+let paper_config = { default_config with width = 640; height = 480; base_corners = 400 }
+
+type stats = {
+  frames_done : int;
+  corners_total : int;
+  matches_total : int;
+  points_total : int;
+  checksum : int;
+}
+
+type corner = { struct_addr : int; descriptor_addr : int; descriptor_bytes : int }
+
+type frame_data = {
+  image : int;
+  pyramid1 : int;
+  pyramid2 : int;
+  corners : corner list;
+}
+
+let corner_struct_bytes = 32
+let match_record_bytes = 24
+let point_bytes = 36
+
+let free_frame a fd =
+  Allocator.free a fd.image;
+  Allocator.free a fd.pyramid1;
+  Allocator.free a fd.pyramid2;
+  List.iter
+    (fun c ->
+      Allocator.free a c.struct_addr;
+      Allocator.free a c.descriptor_addr)
+    fd.corners
+
+(* Corner descriptors come in three scales, like multi-scale patches. *)
+let descriptor_bytes rng =
+  match Prng.int rng 3 with 0 -> 64 | 1 -> 128 | _ -> 256
+
+let capture_frame a rng config ~complexity =
+  let image = Allocator.alloc a (config.width * config.height) in
+  let pyramid1 = Allocator.alloc a (config.width * config.height / 4) in
+  let pyramid2 = Allocator.alloc a (config.width * config.height / 16) in
+  let n =
+    max 8 (int_of_float (float_of_int config.base_corners *. complexity))
+  in
+  let corners =
+    List.init n (fun _ ->
+        let descriptor_bytes = descriptor_bytes rng in
+        {
+          struct_addr = Allocator.alloc a corner_struct_bytes;
+          descriptor_addr = Allocator.alloc a descriptor_bytes;
+          descriptor_bytes;
+        })
+  in
+  { image; pyramid1; pyramid2; corners }
+
+(* Simulated descriptor comparison: one pass over both descriptors, a
+   deterministic digest standing in for the image computation (accesses are
+   randomised, as the paper notes). *)
+let match_score rng c1 c2 =
+  let acc = ref (Prng.int rng 97) in
+  for i = 1 to c1.descriptor_bytes + c2.descriptor_bytes do
+    acc := (!acc * 31) + i
+  done;
+  !acc land 0xFFFF
+
+let run ?(config = default_config) a =
+  if config.frames <= 0 || config.width <= 0 || config.height <= 0 then
+    invalid_arg "Reconstruct.run: bad config";
+  let rng = Prng.create config.seed in
+  let corners_total = ref 0 in
+  let matches_total = ref 0 in
+  let points_total = ref 0 in
+  let checksum = ref 0 in
+  let cloud = ref [] in
+  let complexity = ref 1.0 in
+  let prev = ref None in
+  for _frame = 1 to config.frames do
+    (* Scene complexity follows a bounded random walk: the unpredictable
+       input feature count that forces DM in the first place. *)
+    complexity :=
+      Float.max 0.4 (Float.min 2.2 (!complexity +. Prng.normal rng ~mean:0.0 ~stddev:0.15));
+    let fd = capture_frame a rng config ~complexity:!complexity in
+    corners_total := !corners_total + List.length fd.corners;
+    (match !prev with
+    | None -> ()
+    | Some prev_fd ->
+      (* Match corners against the previous frame. *)
+      let pairs =
+        let rec zip acc l1 l2 =
+          match (l1, l2) with
+          | c1 :: r1, c2 :: r2 -> zip ((c1, c2) :: acc) r1 r2
+          | _, [] | [], _ -> acc
+        in
+        zip [] fd.corners prev_fd.corners
+      in
+      let matches =
+        List.filter_map
+          (fun (c1, c2) ->
+            if Prng.bernoulli rng config.match_ratio then begin
+              let record = Allocator.alloc a match_record_bytes in
+              let n_candidates = Prng.int_in rng 2 8 in
+              let candidates = Allocator.alloc a (n_candidates * 8) in
+              checksum := (!checksum + match_score rng c1 c2) land 0x3FFFFFFF;
+              Some (record, candidates)
+            end
+            else None)
+          pairs
+      in
+      matches_total := !matches_total + List.length matches;
+      (* Triangulate: accepted matches become long-lived 3D points. *)
+      List.iter
+        (fun (record, candidates) ->
+          if Prng.bernoulli rng 0.6 then begin
+            cloud := Allocator.alloc a point_bytes :: !cloud;
+            incr points_total
+          end;
+          Allocator.free a record;
+          Allocator.free a candidates)
+        matches;
+      free_frame a prev_fd);
+    prev := Some fd
+  done;
+  (match !prev with None -> () | Some fd -> free_frame a fd);
+  List.iter (Allocator.free a) !cloud;
+  {
+    frames_done = config.frames;
+    corners_total = !corners_total;
+    matches_total = !matches_total;
+    points_total = !points_total;
+    checksum = !checksum;
+  }
+
+let pp_stats ppf s =
+  Format.fprintf ppf "frames=%d corners=%d matches=%d points=%d checksum=%d"
+    s.frames_done s.corners_total s.matches_total s.points_total s.checksum

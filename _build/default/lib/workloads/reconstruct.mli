@@ -1,0 +1,40 @@
+(** 3D image-reconstruction kernel — the paper's second case study.
+
+    A synthetic stand-in for the metric 3D reconstruction pipeline
+    (Pollefeys et al. / Target Jr): a stream of frames, each carrying an
+    image buffer plus a small pyramid, a data-dependent number of detected
+    corners with variable-size descriptors, corner matching against the
+    previous frame with per-match candidate lists, and triangulated 3D
+    points accumulated into a long-lived cloud. Two frames are live at any
+    time; matches die at the end of their frame; the cloud dies at the end
+    of the run. The unpredictable per-frame corner counts and the mix of
+    large image buffers with small records reproduce the DM stress the
+    paper describes (DESIGN.md §3). Deterministic given the seed. *)
+
+type config = {
+  frames : int;  (** default 30 *)
+  width : int;  (** image width in pixels, default 320 *)
+  height : int;  (** default 240 *)
+  base_corners : int;  (** mean corners per frame, default 250 *)
+  match_ratio : float;  (** fraction of corners matched, default 0.5 *)
+  seed : int;
+}
+
+val default_config : config
+
+val paper_config : config
+(** 640x480 frames as in the paper's description (heavier; used by the
+    benches). *)
+
+type stats = {
+  frames_done : int;
+  corners_total : int;
+  matches_total : int;
+  points_total : int;
+  checksum : int;  (** deterministic digest of the simulated computation *)
+}
+
+val run : ?config:config -> Dmm_core.Allocator.t -> stats
+(** All memory is freed by the end of the run. *)
+
+val pp_stats : Format.formatter -> stats -> unit

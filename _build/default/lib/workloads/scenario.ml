@@ -1,0 +1,150 @@
+module Address_space = Dmm_vmem.Address_space
+module Allocator = Dmm_core.Allocator
+module Explorer = Dmm_core.Explorer
+module Manager = Dmm_core.Manager
+module Trace = Dmm_trace.Trace
+module Recorder = Dmm_trace.Recorder
+module Replay = Dmm_trace.Replay
+module Profile_builder = Dmm_trace.Profile_builder
+module Kingsley = Dmm_allocators.Kingsley
+module Lea = Dmm_allocators.Lea
+module Region = Dmm_allocators.Region
+module Obstack = Dmm_allocators.Obstack
+
+let drr_trace ?(traffic = Traffic.default_config) ?(drr = Drr.default_config) () =
+  let recorder, trace = Recorder.recording_allocator () in
+  let packets = Traffic.generate traffic in
+  let (_ : Drr.stats) = Drr.run ~config:drr recorder packets in
+  trace ()
+
+let reconstruct_trace ?(config = Reconstruct.default_config) () =
+  let recorder, trace = Recorder.recording_allocator () in
+  let (_ : Reconstruct.stats) = Reconstruct.run ~config recorder in
+  trace ()
+
+let render_trace ?(config = Render.default_config) () =
+  let recorder, trace = Recorder.recording_allocator () in
+  let (_ : Render.stats) = Render.run ~config recorder in
+  trace ()
+
+let kingsley () = Kingsley.allocator (Kingsley.create (Address_space.create ()))
+let lea () = Lea.allocator (Lea.create (Address_space.create ()))
+let regions () = Region.allocator (Region.create (Address_space.create ()))
+let obstacks () = Obstack.allocator (Obstack.create (Address_space.create ()))
+
+let baselines () =
+  [
+    ("Kingsley-Windows", kingsley);
+    ("Lea-Linux", lea);
+    ("Regions", regions);
+    ("Obstacks", obstacks);
+  ]
+
+let custom_manager (design : Explorer.design) () =
+  Manager.allocator
+    (Manager.create ~params:design.params design.vector (Address_space.create ()))
+
+type global_spec = { default : Explorer.design; overrides : (int * Explorer.design) list }
+
+let to_gm_design (d : Explorer.design) =
+  { Dmm_core.Global_manager.vector = d.vector; params = d.params }
+
+let custom_global spec () =
+  let gm =
+    Dmm_core.Global_manager.create (Address_space.create ())
+      ~default:(to_gm_design spec.default)
+      ~overrides:(List.map (fun (p, d) -> (p, to_gm_design d)) spec.overrides)
+      ()
+  in
+  Dmm_core.Global_manager.allocator gm
+
+let max_footprint trace make =
+  Replay.max_footprint_of trace (make ())
+
+let design_for ?(alpha = 0.0) trace =
+  let profile = Profile_builder.of_trace trace in
+  let score design =
+    let a = custom_manager design () in
+    Replay.run trace a;
+    Explorer.tradeoff_score ~alpha
+      ~footprint:(Allocator.max_footprint a)
+      ~ops:(Allocator.stats a).Dmm_core.Metrics.ops
+  in
+  match Explorer.explore ~profile:(Dmm_core.Profile.total profile) ~score () with
+  | Ok (design, _) -> design
+  | Error msg -> invalid_arg ("Scenario.design_for: " ^ msg)
+
+let global_design_for ?(detect_phases = false) trace =
+  let trace = if detect_phases then Dmm_trace.Phase_detect.annotate trace else trace in
+  let profile = Profile_builder.of_trace trace in
+  match Dmm_core.Profile.phases profile with
+  | [] | [ _ ] -> { default = design_for trace; overrides = [] }
+  | phases ->
+    let heuristic (s : Dmm_core.Profile.phase_summary) =
+      match Explorer.heuristic_design s with
+      | Ok d -> d
+      | Error msg -> invalid_arg ("Scenario.global_design_for: " ^ msg)
+    in
+    let default = heuristic (Dmm_core.Profile.total profile) in
+    let initial = List.map (fun s -> (s.Dmm_core.Profile.phase, heuristic s)) phases in
+    let score spec = max_footprint trace (custom_global spec) in
+    (* One coordinate-descent pass: refine each phase's design with the
+       other phases held fixed. *)
+    let refine_one overrides (s : Dmm_core.Profile.phase_summary) =
+      let pid = s.phase in
+      let base = List.assoc pid overrides in
+      let with_design d =
+        { default; overrides = List.map (fun (p, x) -> (p, if p = pid then d else x)) overrides }
+      in
+      let best, _ =
+        Explorer.refine
+          ~score:(fun d -> score (with_design d))
+          (Explorer.candidates s base)
+      in
+      List.map (fun (p, x) -> (p, if p = pid then best else x)) overrides
+    in
+    let overrides = List.fold_left refine_one initial phases in
+    { default; overrides }
+
+let drr_paper_design () =
+  {
+    Explorer.vector = Dmm_core.Decision_vector.drr_custom;
+    params = { Manager.default_params with return_to_system = true };
+  }
+
+let render_paper_design () =
+  let stack_phase =
+    {
+      Explorer.vector =
+        {
+          Dmm_core.Decision_vector.drr_custom with
+          a1 = Dmm_core.Decision.Singly_linked_list;
+          a2 = Dmm_core.Decision.Many_fixed_sizes;
+          a3 = Dmm_core.Decision.No_tag;
+          a4 = Dmm_core.Decision.No_info;
+          a5 = Dmm_core.Decision.No_flexibility;
+          b1 = Dmm_core.Decision.Pool_per_size;
+          b3 = Dmm_core.Decision.Pool_set_per_phase;
+          b4 = Dmm_core.Decision.Variable_pool_count;
+          c1 = Dmm_core.Decision.First_fit;
+          d1 = Dmm_core.Decision.One_size;
+          d2 = Dmm_core.Decision.Never;
+          e1 = Dmm_core.Decision.One_size;
+          e2 = Dmm_core.Decision.Never;
+        };
+      params =
+        {
+          Manager.default_params with
+          size_classes = [ 24; 32; 40; 48; 56; 64; 72; 80; 88; 96; 128 ];
+          return_to_system = true;
+        };
+    }
+  in
+  let compositing_phase = drr_paper_design () in
+  (* Phase 1's detail batches change size from cycle to cycle, so fixed
+     per-size pools would accumulate one peak per size; the coalescing
+     manager tracks the live set instead. *)
+  {
+    default = stack_phase;
+    overrides = [ (0, stack_phase); (1, compositing_phase); (2, compositing_phase) ];
+  }

@@ -1,0 +1,118 @@
+module Prng = Dmm_util.Prng
+
+type packet = { arrival : float; flow : int; size : int }
+
+type profile = Bulk | Interactive | Mixed | Dominant of int
+
+type config = {
+  flows : int;
+  duration : float;
+  flow_rate_mbps : float;
+  on_shape : float;
+  mean_on : float;
+  mean_off : float;
+  seed : int;
+}
+
+let default_config =
+  {
+    flows = 6;
+    duration = 1.5;
+    flow_rate_mbps = 12.0;
+    on_shape = 1.5;
+    mean_on = 0.05;
+    mean_off = 0.8;
+    seed = 42;
+  }
+
+let paper_config =
+  {
+    flows = 10;
+    duration = 60.0;
+    flow_rate_mbps = 40.0;
+    on_shape = 1.5;
+    mean_on = 0.1;
+    mean_off = 6.0;
+    seed = 42;
+  }
+
+(* Ten application types with characteristic packet sizes, two per
+   power-of-two class between 128 and 2048; most sit a little above half a
+   class, as real protocol payloads tend to. *)
+let dominant_sizes = [| 75; 95; 150; 190; 300; 380; 600; 760; 1200; 1500 |]
+
+let profile_of_flow flow = Dominant dominant_sizes.(flow mod Array.length dominant_sizes)
+
+let rec packet_size rng = function
+  | Bulk ->
+    Prng.choose_weighted rng
+      [| (0.70, `Fixed 1500); (0.10, `Fixed 576); (0.05, `Fixed 40); (0.15, `Uniform) |]
+    |> (function `Fixed n -> n | `Uniform -> Prng.int_in rng 600 1500)
+  | Interactive ->
+    Prng.choose_weighted rng
+      [| (0.55, `Fixed 40); (0.25, `Fixed 576); (0.05, `Fixed 1500); (0.15, `Uniform) |]
+    |> (function `Fixed n -> n | `Uniform -> Prng.int_in rng 40 600)
+  | Mixed ->
+    Prng.choose_weighted rng
+      [| (0.30, `Fixed 40); (0.25, `Fixed 576); (0.25, `Fixed 1500); (0.20, `Uniform) |]
+    |> (function `Fixed n -> n | `Uniform -> Prng.int_in rng 40 1500)
+  | Dominant d ->
+    if Prng.bernoulli rng 0.85 then
+      Prng.int_in rng (max 40 (d * 9 / 10)) (min 1500 (d * 11 / 10))
+    else packet_size rng Mixed
+
+(* Pareto with the requested mean (mean = shape * xmin / (shape - 1)),
+   truncated at 5x the mean: heavy-tailed enough for burstiness without
+   letting a single burst dwarf the rest of the run. *)
+let pareto_with_mean rng ~shape ~mean =
+  let xmin = mean *. (shape -. 1.0) /. shape in
+  Float.min (5.0 *. mean) (Prng.pareto rng ~alpha:shape ~xmin)
+
+let generate_flow rng config flow =
+  let profile = profile_of_flow flow in
+  let pkts_per_sec =
+    (* During a burst, packets arrive at the flow rate over the mean size. *)
+    let mean_size =
+      match profile with
+      | Bulk -> 1200.0
+      | Interactive -> 250.0
+      | Mixed -> 700.0
+      | Dominant d -> float_of_int d
+    in
+    config.flow_rate_mbps *. 1e6 /. 8.0 /. mean_size
+  in
+  (* Stagger flow start so bursts of different profiles do not line up. *)
+  let start = float_of_int flow *. config.mean_off /. float_of_int (max 1 config.flows) in
+  let rec go time acc =
+    if time >= config.duration then acc
+    else begin
+      let burst_len = pareto_with_mean rng ~shape:config.on_shape ~mean:config.mean_on in
+      let burst_end = Float.min config.duration (time +. burst_len) in
+      let rec emit t acc =
+        if t >= burst_end then (t, acc)
+        else
+          let size = packet_size rng profile in
+          let gap = Prng.exponential rng pkts_per_sec in
+          emit (t +. gap) ({ arrival = t; flow; size } :: acc)
+      in
+      let _, acc = emit time acc in
+      let gap = pareto_with_mean rng ~shape:config.on_shape ~mean:config.mean_off in
+      go (burst_end +. gap) acc
+    end
+  in
+  go start []
+
+let generate config =
+  if config.flows <= 0 || config.duration <= 0.0 then
+    invalid_arg "Traffic.generate: bad config";
+  let rng = Prng.create config.seed in
+  let all =
+    List.concat_map
+      (fun flow -> generate_flow (Prng.split rng) config flow)
+      (List.init config.flows Fun.id)
+  in
+  List.sort (fun p1 p2 -> compare p1.arrival p2.arrival) all
+
+let total_bytes packets = List.fold_left (fun acc p -> acc + p.size) 0 packets
+
+let pp_packet ppf p = Format.fprintf ppf "%.6fs flow=%d %dB" p.arrival p.flow p.size

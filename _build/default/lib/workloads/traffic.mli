@@ -1,0 +1,52 @@
+(** Synthetic internet traffic generator.
+
+    Stands in for the 10 real LBL traces the paper feeds to DRR (DESIGN.md
+    §3): per-flow on/off processes with Pareto-distributed burst and gap
+    lengths (heavy tails make the aggregate self-similar) and the classic
+    trimodal packet-size mix. Flows carry different size profiles (bulk
+    transfers vs. ack streams vs. mixed) and burst at different times, so
+    the backlog's size composition shifts over the run — the behaviour that
+    separates the managers of Table 1. Deterministic given the seed. *)
+
+type packet = { arrival : float; (** seconds *) flow : int; size : int (** bytes *) }
+
+type profile =
+  | Bulk  (** mostly 1500-byte segments *)
+  | Interactive  (** mostly 40-byte acks and small requests *)
+  | Mixed
+  | Dominant of int
+      (** an application flow with a characteristic packet size: 70% within
+          10% of the dominant size, 30% the generic internet mix *)
+
+type config = {
+  flows : int;  (** default 6 *)
+  duration : float;  (** seconds of traffic, default 1.5 *)
+  flow_rate_mbps : float;  (** per-flow rate during bursts, default 12.0 *)
+  on_shape : float;  (** Pareto shape of burst lengths, default 1.5 *)
+  mean_on : float;  (** mean burst length in seconds, default 0.05 *)
+  mean_off : float;  (** mean gap length in seconds, default 0.8 *)
+  seed : int;
+}
+
+val default_config : config
+
+val paper_config : config
+(** The Table-1 regime: ten application flows with distinct dominant packet
+    sizes, rare fast bursts over a long run — successive bursts load
+    different size classes at different times, which is what separates the
+    managers in the paper's DRR column. *)
+
+val profile_of_flow : int -> profile
+(** Flows carry distinct dominant packet sizes (cycling through ten
+    application types). *)
+
+val packet_size : Dmm_util.Prng.t -> profile -> int
+(** One packet size draw: trimodal 40/576/1500 plus a uniform component,
+    weighted by profile. *)
+
+val generate : config -> packet list
+(** Packets of all flows merged in arrival order. *)
+
+val total_bytes : packet list -> int
+
+val pp_packet : Format.formatter -> packet -> unit

@@ -1,0 +1,6 @@
+  $ dmm space | head -9
+  $ dmm trace -w drr --quick --seed 1 -o drr.trace
+  $ dmm replay -t drr.trace -m lea
+  $ dmm ablation --quick
+  $ dmm profile -w nonsense --quick 2>&1 | head -2
+  $ dmm replay -t missing.trace -m lea

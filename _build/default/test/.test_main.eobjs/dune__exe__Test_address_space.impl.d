@@ -1,0 +1,1 @@
+test/test_address_space.ml: Alcotest Dmm_vmem Gen List QCheck QCheck_alcotest

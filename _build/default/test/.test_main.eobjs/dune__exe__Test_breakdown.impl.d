@@ -1,0 +1,1 @@
+test/test_breakdown.ml: Alcotest Dmm_allocators Dmm_core Dmm_trace Dmm_vmem Dmm_workloads Gen List QCheck QCheck_alcotest

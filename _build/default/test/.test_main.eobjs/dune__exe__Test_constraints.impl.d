@@ -1,0 +1,1 @@
+test/test_constraints.ml: Alcotest Constraints Decision Decision_vector Dmm_core List Order QCheck QCheck_alcotest String

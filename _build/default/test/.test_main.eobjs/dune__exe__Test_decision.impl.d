@@ -1,0 +1,1 @@
+test/test_decision.ml: Alcotest Decision Dmm_core List Printf String

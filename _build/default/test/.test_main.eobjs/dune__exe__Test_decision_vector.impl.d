@@ -1,0 +1,1 @@
+test/test_decision_vector.ml: Alcotest Constraints Decision Decision_vector Dmm_core List String

@@ -1,0 +1,1 @@
+test/test_energy.ml: Alcotest Dmm_core Dmm_trace Dmm_workloads Format List

@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Dmm_trace Dmm_workloads Format List Printf String

@@ -1,0 +1,1 @@
+test/test_explorer.ml: Alcotest Constraints Decision Decision_vector Dmm_core Dmm_trace Dmm_util Dmm_workloads Explorer Format List Manager Order Profile String

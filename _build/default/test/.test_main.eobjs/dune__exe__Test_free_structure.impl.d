@@ -1,0 +1,1 @@
+test/test_free_structure.ml: Alcotest Block Decision Dmm_core Free_structure List Printf QCheck QCheck_alcotest

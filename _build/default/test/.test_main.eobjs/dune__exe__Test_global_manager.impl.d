@@ -1,0 +1,1 @@
+test/test_global_manager.ml: Alcotest Allocator Decision Decision_vector Dmm_core Dmm_util Dmm_vmem Global_manager List Manager Metrics

@@ -1,0 +1,1 @@
+test/test_histogram.ml: Alcotest Dmm_util Float Gen List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_integration.ml: Alcotest Dmm_core Dmm_trace Dmm_vmem Dmm_workloads List Printf QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_interleave.ml: Alcotest Dmm_trace Dmm_workloads List

@@ -1,0 +1,1 @@
+test/test_lea.ml: Alcotest Dmm_allocators Dmm_core Dmm_util Dmm_vmem Gen Hashtbl List QCheck QCheck_alcotest

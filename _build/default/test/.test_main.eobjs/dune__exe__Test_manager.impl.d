@@ -1,0 +1,1 @@
+test/test_manager.ml: Alcotest Allocator Decision Decision_vector Dmm_core Dmm_util Dmm_vmem Hashtbl List Manager Metrics Order Printf QCheck QCheck_alcotest

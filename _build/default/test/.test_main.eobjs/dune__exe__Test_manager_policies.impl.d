@@ -1,0 +1,1 @@
+test/test_manager_policies.ml: Alcotest Decision Decision_vector Dmm_core Dmm_util Dmm_vmem List Manager Metrics Printf

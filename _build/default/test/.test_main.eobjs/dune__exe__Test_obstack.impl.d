@@ -1,0 +1,1 @@
+test/test_obstack.ml: Alcotest Array Dmm_allocators Dmm_core Dmm_util Dmm_vmem Gen List QCheck QCheck_alcotest

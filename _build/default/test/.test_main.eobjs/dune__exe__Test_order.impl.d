@@ -1,0 +1,1 @@
+test/test_order.ml: Alcotest Constraints Decision Dmm_core Dmm_util List Order QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_phase_detect.ml: Alcotest Dmm_trace Dmm_workloads List Printf

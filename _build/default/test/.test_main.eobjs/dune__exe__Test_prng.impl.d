@@ -1,0 +1,1 @@
+test/test_prng.ml: Alcotest Array Dmm_util Float Fun Hashtbl List Option QCheck QCheck_alcotest

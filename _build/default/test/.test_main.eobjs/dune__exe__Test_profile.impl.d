@@ -1,0 +1,1 @@
+test/test_profile.ml: Alcotest Dmm_core Dmm_util Gen List Printf Profile QCheck QCheck_alcotest

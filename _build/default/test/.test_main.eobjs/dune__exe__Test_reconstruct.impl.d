@@ -1,0 +1,1 @@
+test/test_reconstruct.ml: Alcotest Dmm_core Dmm_trace Dmm_workloads List

@@ -1,0 +1,1 @@
+test/test_recorder_replay.ml: Alcotest Dmm_core Dmm_trace Dmm_util Dmm_vmem Dmm_workloads Filename Fun List Sys

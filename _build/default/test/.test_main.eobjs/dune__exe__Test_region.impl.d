@@ -1,0 +1,1 @@
+test/test_region.ml: Alcotest Dmm_allocators Dmm_core Dmm_vmem Gen List QCheck QCheck_alcotest

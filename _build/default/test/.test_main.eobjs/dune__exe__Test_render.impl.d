@@ -1,0 +1,1 @@
+test/test_render.ml: Alcotest Dmm_core Dmm_trace Dmm_workloads List Printf

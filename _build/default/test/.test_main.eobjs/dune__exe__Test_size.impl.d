@@ -1,0 +1,1 @@
+test/test_size.ml: Alcotest Dmm_util List QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_static_pool.ml: Alcotest Dmm_allocators Dmm_core Dmm_trace Dmm_vmem Dmm_workloads List

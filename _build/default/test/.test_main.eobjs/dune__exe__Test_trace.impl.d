@@ -1,0 +1,1 @@
+test/test_trace.ml: Alcotest Dmm_trace Filename Fun List QCheck QCheck_alcotest Sys

@@ -1,0 +1,1 @@
+test/test_traffic.ml: Alcotest Dmm_util Dmm_workloads Hashtbl List Option Printf

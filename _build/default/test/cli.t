@@ -1,0 +1,39 @@
+End-to-end CLI checks (deterministic: fixed seeds, quick-scale workloads).
+
+The static design-space dump:
+
+  $ dmm space | head -9
+  DM management design space (Figure 1)
+  
+  A1 (Block structure)
+      - singly linked list
+      - doubly linked list
+      - address-ordered list
+      - size-ordered tree
+  A2 (Block sizes)
+      - one fixed size
+
+
+Record a trace, then replay it against Lea:
+
+  $ dmm trace -w drr --quick --seed 1 -o drr.trace
+  wrote 40476 events to drr.trace
+  $ dmm replay -t drr.trace -m lea
+  events:        40476
+  max footprint: 917504 B
+  stats:         allocs=20238 frees=20238 splits=9716 coalesces=18351 ops=1049465 live=0B (0 blocks) peak_live=811261B
+
+The Figure 4 traversal-order ablation:
+
+  $ dmm ablation --quick
+    paper order (A2->A5->E2->D2->...)       581632 B
+    figure-4 wrong order (A3 first)         768560 B
+
+Bad input is reported, not crashed on:
+
+  $ dmm profile -w nonsense --quick 2>&1 | head -2
+  dmm: option '-w': unknown workload "nonsense" (drr|reconstruct|render)
+  Usage: dmm profile [--quick] [--seed=SEED] [--workload=WORKLOAD] [OPTION]…
+  $ dmm replay -t missing.trace -m lea
+  missing.trace: No such file or directory
+  [1]

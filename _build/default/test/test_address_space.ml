@@ -1,0 +1,75 @@
+module Address_space = Dmm_vmem.Address_space
+
+let check_initial () =
+  let s = Address_space.create () in
+  Alcotest.(check int) "brk" 0 (Address_space.brk s);
+  Alcotest.(check int) "high water" 0 (Address_space.high_water s);
+  Alcotest.(check int) "page size" 4096 (Address_space.page_size s)
+
+let check_sbrk () =
+  let s = Address_space.create () in
+  let base1 = Address_space.sbrk s 100 in
+  let base2 = Address_space.sbrk s 50 in
+  Alcotest.(check int) "first base" 0 base1;
+  Alcotest.(check int) "second base" 100 base2;
+  Alcotest.(check int) "brk" 150 (Address_space.brk s);
+  Alcotest.(check int) "sbrk calls" 2 (Address_space.sbrk_calls s);
+  Alcotest.check_raises "negative growth"
+    (Invalid_argument "Address_space.sbrk: negative growth") (fun () ->
+      ignore (Address_space.sbrk s (-1)))
+
+let check_grow_pages () =
+  let s = Address_space.create ~page_size:1000 () in
+  let _ = Address_space.grow_pages s 1 in
+  Alcotest.(check int) "one page" 1000 (Address_space.brk s);
+  let _ = Address_space.grow_pages s 1001 in
+  Alcotest.(check int) "two more pages" 3000 (Address_space.brk s)
+
+let check_trim () =
+  let s = Address_space.create () in
+  let _ = Address_space.sbrk s 1000 in
+  Address_space.trim s 400;
+  Alcotest.(check int) "brk lowered" 400 (Address_space.brk s);
+  Alcotest.(check int) "high water preserved" 1000 (Address_space.high_water s);
+  Alcotest.(check int) "released" 600 (Address_space.bytes_released s);
+  Alcotest.(check int) "trim calls" 1 (Address_space.trim_calls s);
+  Alcotest.check_raises "trim above brk"
+    (Invalid_argument "Address_space.trim: address out of range") (fun () ->
+      Address_space.trim s 401)
+
+let check_high_water_across_regrowth () =
+  let s = Address_space.create () in
+  let _ = Address_space.sbrk s 500 in
+  Address_space.trim s 0;
+  let _ = Address_space.sbrk s 200 in
+  Alcotest.(check int) "high water is the max" 500 (Address_space.high_water s);
+  let _ = Address_space.sbrk s 800 in
+  Alcotest.(check int) "new high water" 1000 (Address_space.high_water s)
+
+let check_bad_page_size () =
+  Alcotest.check_raises "page size 0"
+    (Invalid_argument "Address_space.create: page_size must be positive") (fun () ->
+      ignore (Address_space.create ~page_size:0 ()))
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"brk = sum of growth - trims" ~count:300
+      QCheck.(list_of_size Gen.(1 -- 30) (int_bound 1000))
+      (fun sizes ->
+        let s = Address_space.create () in
+        let expected = List.fold_left (fun acc n -> acc + n) 0 sizes in
+        List.iter (fun n -> ignore (Address_space.sbrk s n)) sizes;
+        Address_space.brk s = expected && Address_space.high_water s = expected);
+  ]
+
+let tests =
+  ( "address_space",
+    [
+      Alcotest.test_case "initial state" `Quick check_initial;
+      Alcotest.test_case "sbrk" `Quick check_sbrk;
+      Alcotest.test_case "grow_pages" `Quick check_grow_pages;
+      Alcotest.test_case "trim" `Quick check_trim;
+      Alcotest.test_case "high water across regrowth" `Quick check_high_water_across_regrowth;
+      Alcotest.test_case "bad page size" `Quick check_bad_page_size;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

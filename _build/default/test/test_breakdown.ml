@@ -1,0 +1,123 @@
+(* Footprint decomposition (Section 4.1 factors) across every manager. *)
+
+module Scenario = Dmm_workloads.Scenario
+module Allocator = Dmm_core.Allocator
+module Metrics = Dmm_core.Metrics
+module Replay = Dmm_trace.Replay
+
+let managers () =
+  Scenario.baselines ()
+  @ [
+      ("custom", Scenario.custom_manager (Scenario.drr_paper_design ()));
+      ("custom-global", Scenario.custom_global (Scenario.render_paper_design ()));
+    ]
+
+let sums_to_total (b : Metrics.breakdown) =
+  b.live_payload + b.tag_overhead + b.internal_padding + b.free_bytes = b.total_held
+
+let non_negative (b : Metrics.breakdown) =
+  b.live_payload >= 0 && b.tag_overhead >= 0 && b.internal_padding >= 0
+  && b.free_bytes >= 0 && b.total_held >= 0
+
+let check_components_sum () =
+  let trace = Scenario.drr_trace () in
+  List.iter
+    (fun (name, make) ->
+      let a = make () in
+      Replay.run trace a;
+      let b = Allocator.breakdown a in
+      Alcotest.(check bool) (name ^ " components non-negative") true (non_negative b);
+      Alcotest.(check bool) (name ^ " components sum to total") true (sums_to_total b);
+      Alcotest.(check int) (name ^ " total is the current footprint")
+        (Allocator.current_footprint a) b.Metrics.total_held)
+    (managers ())
+
+let check_live_payload_matches_stats () =
+  let trace = Scenario.render_trace () in
+  List.iter
+    (fun (name, make) ->
+      let a = make () in
+      (* Stop mid-run so blocks are still live. *)
+      (try
+         Replay.run
+           ~on_event:(fun i _ -> if i = Dmm_trace.Trace.length trace / 2 then raise Exit)
+           trace a
+       with Exit -> ());
+      let b = Allocator.breakdown a in
+      Alcotest.(check int)
+        (name ^ " breakdown payload = metrics live payload")
+        (Allocator.stats a).Metrics.live_payload b.Metrics.live_payload)
+    (managers ())
+
+let check_custom_breakdown_shape () =
+  (* The coalescing, trimming custom manager keeps most bytes as payload. *)
+  let trace = Scenario.drr_trace () in
+  let b =
+    Dmm_workloads.Experiments.breakdown_at_peak trace
+      (Scenario.custom_manager (Scenario.drr_paper_design ()))
+  in
+  Alcotest.(check bool) "payload dominates at peak" true
+    (b.Metrics.live_payload * 10 >= b.Metrics.total_held * 7)
+
+let check_kingsley_breakdown_shape () =
+  (* After drain, Kingsley's footprint is almost entirely free hoard. *)
+  let trace = Scenario.drr_trace () in
+  let a = Scenario.kingsley () in
+  Replay.run trace a;
+  let b = Allocator.breakdown a in
+  Alcotest.(check int) "no live payload after the run" 0 b.Metrics.live_payload;
+  Alcotest.(check bool) "footprint is all free lists" true
+    (b.Metrics.free_bytes = b.Metrics.total_held && b.Metrics.free_bytes > 0)
+
+let check_region_padding () =
+  let r = Dmm_allocators.Region.create (Dmm_vmem.Address_space.create ()) in
+  let _ = Dmm_allocators.Region.alloc r 130 in
+  let b = Dmm_allocators.Region.breakdown r in
+  Alcotest.(check int) "payload" 130 b.Metrics.live_payload;
+  Alcotest.(check int) "padding = slot - payload" (256 - 130) b.Metrics.internal_padding;
+  Alcotest.(check int) "no tags in regions" 0 b.Metrics.tag_overhead
+
+let check_obstack_dead_as_free () =
+  let ob = Dmm_allocators.Obstack.create (Dmm_vmem.Address_space.create ()) in
+  let x = Dmm_allocators.Obstack.alloc ob 1000 in
+  let _y = Dmm_allocators.Obstack.alloc ob 1000 in
+  Dmm_allocators.Obstack.free ob x;
+  let b = Dmm_allocators.Obstack.breakdown ob in
+  Alcotest.(check int) "only the top object is live payload" 1000 b.Metrics.live_payload;
+  Alcotest.(check bool) "dead object counted as free" true (b.Metrics.free_bytes >= 1000)
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"breakdown invariants under random churn" ~count:60
+      QCheck.(pair small_int (list_of_size Gen.(10 -- 60) (pair bool (int_range 1 2000))))
+      (fun (pick, ops) ->
+        let all = managers () in
+        let _, make = List.nth all (abs pick mod List.length all) in
+        let a = make () in
+        let live = ref [] in
+        List.for_all
+          (fun (is_alloc, size) ->
+            (if is_alloc || !live = [] then live := Allocator.alloc a size :: !live
+             else
+               match !live with
+               | addr :: rest ->
+                 live := rest;
+                 Allocator.free a addr
+               | [] -> ());
+            let b = Allocator.breakdown a in
+            non_negative b && sums_to_total b)
+          ops);
+  ]
+
+let tests =
+  ( "breakdown",
+    [
+      Alcotest.test_case "components sum to total" `Quick check_components_sum;
+      Alcotest.test_case "payload matches stats" `Quick check_live_payload_matches_stats;
+      Alcotest.test_case "custom manager is payload-dominated" `Quick
+        check_custom_breakdown_shape;
+      Alcotest.test_case "kingsley hoards free lists" `Quick check_kingsley_breakdown_shape;
+      Alcotest.test_case "region padding" `Quick check_region_padding;
+      Alcotest.test_case "obstack dead counts as free" `Quick check_obstack_dead_as_free;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

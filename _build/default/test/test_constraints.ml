@@ -1,0 +1,193 @@
+open Dmm_core
+module D = Decision
+module DV = Decision_vector
+module C = Constraints
+
+let violates v = not (C.is_valid v)
+
+let with_leaves base leaves = List.fold_left DV.set base leaves
+
+(* A valid no-flexibility base onto which single rules can be grafted. *)
+let rigid_base =
+  with_leaves DV.drr_custom
+    [
+      D.L_a5 D.No_flexibility;
+      D.L_d2 D.Never;
+      D.L_e2 D.Never;
+      D.L_d1 D.One_size;
+      D.L_e1 D.One_size;
+    ]
+
+let check_figure3_a3_none_disables_a4 () =
+  let v = with_leaves rigid_base [ D.L_a3 D.No_tag; D.L_a4 D.Size_and_status ] in
+  Alcotest.(check bool) "no-tag with recorded info is illegal" true (violates v);
+  let ok = with_leaves rigid_base [ D.L_a3 D.No_tag; D.L_a4 D.No_info ] in
+  Alcotest.(check bool) "no-tag with no info is legal" true (C.is_valid ok)
+
+let check_figure4_split_needs_size () =
+  (* Splitting with no recorded size must be rejected however A3 is set. *)
+  let v =
+    with_leaves DV.drr_custom [ D.L_a3 D.Header; D.L_a4 D.Status_only ]
+  in
+  Alcotest.(check bool) "split without size info" true (violates v)
+
+let check_coalesce_needs_header () =
+  let v = with_leaves DV.drr_custom [ D.L_a3 D.Footer ] in
+  Alcotest.(check bool) "footer-only coalescing" true (violates v);
+  let v2 = with_leaves DV.drr_custom [ D.L_a3 D.Header_and_footer ] in
+  Alcotest.(check bool) "header+footer is fine" true (C.is_valid v2)
+
+let check_a5_gates_when_trees () =
+  let v = with_leaves DV.drr_custom [ D.L_a5 D.Split_only ] in
+  Alcotest.(check bool) "split-only with coalescing on" true (violates v);
+  let v2 = with_leaves DV.drr_custom [ D.L_a5 D.Coalesce_only ] in
+  Alcotest.(check bool) "coalesce-only with splitting on" true (violates v2);
+  let v3 =
+    with_leaves DV.drr_custom [ D.L_a5 D.Coalesce_only; D.L_e2 D.Never; D.L_e1 D.One_size ]
+  in
+  Alcotest.(check bool) "coalesce-only without splitting" true (C.is_valid v3)
+
+let check_one_size_rules () =
+  let v = with_leaves DV.drr_custom [ D.L_a2 D.One_fixed_size ] in
+  Alcotest.(check bool) "one size with flexibility" true (violates v);
+  let v2 =
+    with_leaves rigid_base [ D.L_a2 D.One_fixed_size; D.L_b1 D.Pool_per_size ]
+  in
+  Alcotest.(check bool) "one size with pool-per-size" true (violates v2)
+
+let check_unbounded_needs_varying () =
+  let v = with_leaves DV.lea_like [ D.L_a2 D.Many_fixed_sizes ] in
+  (* lea_like has D1 = E1 = Not_fixed. *)
+  Alcotest.(check bool) "not-fixed bounds with fixed sizes" true (violates v)
+
+let check_pool_count_agreement () =
+  let v = with_leaves DV.drr_custom [ D.L_b4 D.Fixed_pool_count ] in
+  Alcotest.(check bool) "single pool with several pools" true (violates v);
+  let v2 = with_leaves DV.kingsley_like [ D.L_b4 D.One_pool ] in
+  Alcotest.(check bool) "pool per size with one pool" true (violates v2)
+
+let check_next_fit_tree () =
+  let v = with_leaves DV.drr_custom [ D.L_a1 D.Size_ordered_tree; D.L_c1 D.Next_fit ] in
+  Alcotest.(check bool) "next fit on a tree" true (violates v)
+
+let check_per_phase_pools () =
+  let v = with_leaves DV.drr_custom [ D.L_b3 D.Pool_set_per_phase ] in
+  (* drr_custom has B4 = One_pool. *)
+  Alcotest.(check bool) "per-phase pool set with one pool" true (violates v)
+
+let check_violation_reporting () =
+  let v = with_leaves DV.drr_custom [ D.L_a3 D.No_tag; D.L_a4 D.No_info ] in
+  let violations = C.check v in
+  Alcotest.(check bool) "at least two rules fire" true (List.length violations >= 2);
+  List.iter
+    (fun (viol : C.violation) ->
+      Alcotest.(check bool) "has explanation" true (String.length viol.explanation > 0);
+      Alcotest.(check bool) "names trees" true (viol.trees <> []))
+    violations
+
+let check_dependency_graph () =
+  let edges = C.dependency_edges in
+  Alcotest.(check bool) "edges exist" true (List.length edges >= 10);
+  (* Figure 3's arrow is in the graph. *)
+  Alcotest.(check bool) "A3 -- A4 edge" true
+    (List.exists (fun (a, b, _) -> (a, b) = (D.A3, D.A4) || (a, b) = (D.A4, D.A3)) edges);
+  let dot = C.to_dot () in
+  Alcotest.(check bool) "dot mentions every tree" true
+    (List.for_all
+       (fun tree ->
+         let name = D.tree_name tree in
+         let n = String.length dot and k = String.length name in
+         let rec go i = i + k <= n && (String.sub dot i k = name || go (i + 1)) in
+         go 0)
+       D.all_trees)
+
+let check_rules_doc () =
+  Alcotest.(check bool) "rules documented" true (List.length C.rules_doc >= 10);
+  let ids = List.map fst C.rules_doc in
+  Alcotest.(check int) "rule ids unique" (List.length ids)
+    (List.length (List.sort_uniq compare ids))
+
+let check_partial_never_blames_undecided () =
+  (* A partial assignment is only rejected for trees it has decided. *)
+  let p = DV.Partial.set DV.Partial.empty (D.L_a3 D.No_tag) in
+  Alcotest.(check int) "single choice fires nothing" 0 (List.length (C.check_partial p))
+
+let check_allowed_leaves_propagation () =
+  let p =
+    DV.Partial.set
+      (DV.Partial.set DV.Partial.empty (D.L_a3 D.No_tag))
+      (D.L_a4 D.No_info)
+  in
+  Alcotest.(check (list string)) "D2 narrowed to never" [ "never" ]
+    (List.map D.leaf_name (C.allowed_leaves p D.D2));
+  Alcotest.(check (list string)) "E2 narrowed to never" [ "never" ]
+    (List.map D.leaf_name (C.allowed_leaves p D.E2));
+  Alcotest.(check int) "A1 unaffected" 4 (List.length (C.allowed_leaves p D.A1))
+
+(* Random full vectors, for the propagation-soundness property. *)
+let vector_gen =
+  let open QCheck.Gen in
+  let pick tree = oneofl (D.leaves_of tree) in
+  let rec go v = function
+    | [] -> return v
+    | tree :: rest -> pick tree >>= fun leaf -> go (DV.set v leaf) rest
+  in
+  go DV.drr_custom D.all_trees
+
+let vector_arb =
+  QCheck.make ~print:(fun v -> DV.to_string v) vector_gen
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"allowed_leaves is sound w.r.t. check" ~count:300 vector_arb
+      (fun v ->
+        (* For every tree: if the vector is valid, its leaf must be allowed
+           under the partial assignment of the other trees. *)
+        QCheck.assume (C.is_valid v);
+        List.for_all
+          (fun tree ->
+            let partial =
+              List.fold_left
+                (fun p t ->
+                  if D.equal_tree t tree then p else DV.Partial.set p (DV.get v t))
+                DV.Partial.empty D.all_trees
+            in
+            List.exists (D.equal_leaf (DV.get v tree)) (C.allowed_leaves partial tree))
+          D.all_trees);
+    QCheck.Test.make ~name:"allowed leaf extensions stay violation-free" ~count:300
+      vector_arb (fun v ->
+        (* Building the partial assignment tree by tree through
+           allowed_leaves can never create a violation. *)
+        let rec go p = function
+          | [] -> true
+          | tree :: rest -> (
+            match C.allowed_leaves p tree with
+            | [] -> false
+            | leaf :: _ ->
+              let p = DV.Partial.set p leaf in
+              C.check_partial p = [] && go p rest
+        )
+        in
+        ignore v;
+        go DV.Partial.empty Order.paper_order);
+  ]
+
+let tests =
+  ( "constraints",
+    [
+      Alcotest.test_case "Figure 3: A3 none disables A4" `Quick check_figure3_a3_none_disables_a4;
+      Alcotest.test_case "Figure 4: split needs size" `Quick check_figure4_split_needs_size;
+      Alcotest.test_case "coalesce needs header" `Quick check_coalesce_needs_header;
+      Alcotest.test_case "A5 gates D2/E2" `Quick check_a5_gates_when_trees;
+      Alcotest.test_case "one fixed size rules" `Quick check_one_size_rules;
+      Alcotest.test_case "unbounded results need varying sizes" `Quick check_unbounded_needs_varying;
+      Alcotest.test_case "pool count agreement" `Quick check_pool_count_agreement;
+      Alcotest.test_case "next fit needs a list" `Quick check_next_fit_tree;
+      Alcotest.test_case "per-phase pools need pools" `Quick check_per_phase_pools;
+      Alcotest.test_case "violation reporting" `Quick check_violation_reporting;
+      Alcotest.test_case "rules documented" `Quick check_rules_doc;
+      Alcotest.test_case "dependency graph (Figure 2)" `Quick check_dependency_graph;
+      Alcotest.test_case "partials not blamed for the undecided" `Quick check_partial_never_blames_undecided;
+      Alcotest.test_case "allowed_leaves propagation" `Quick check_allowed_leaves_propagation;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

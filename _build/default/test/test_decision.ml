@@ -1,0 +1,61 @@
+open Dmm_core
+module D = Decision
+
+let check_all_trees () =
+  Alcotest.(check int) "fourteen trees" 14 (List.length D.all_trees);
+  let uniq = List.sort_uniq compare D.all_trees in
+  Alcotest.(check int) "no duplicates" 14 (List.length uniq)
+
+let check_leaves_belong () =
+  List.iter
+    (fun tree ->
+      List.iter
+        (fun leaf ->
+          Alcotest.(check bool)
+            (Printf.sprintf "%s belongs to %s" (D.leaf_name leaf) (D.tree_name tree))
+            true
+            (D.equal_tree (D.tree_of_leaf leaf) tree))
+        (D.leaves_of tree))
+    D.all_trees
+
+let check_leaf_counts () =
+  let count tree = List.length (D.leaves_of tree) in
+  Alcotest.(check int) "A1 has 4 DDTs" 4 (count D.A1);
+  Alcotest.(check int) "A2 has 3" 3 (count D.A2);
+  Alcotest.(check int) "C1 has 5 fits" 5 (count D.C1);
+  Alcotest.(check int) "D2 has 3" 3 (count D.D2)
+
+let check_categories () =
+  Alcotest.(check char) "A1" 'A' (D.category D.A1);
+  Alcotest.(check char) "B4" 'B' (D.category D.B4);
+  Alcotest.(check char) "C1" 'C' (D.category D.C1);
+  Alcotest.(check char) "D2" 'D' (D.category D.D2);
+  Alcotest.(check char) "E1" 'E' (D.category D.E1)
+
+let check_names_unique_per_tree () =
+  List.iter
+    (fun tree ->
+      let names = List.map D.leaf_name (D.leaves_of tree) in
+      Alcotest.(check int)
+        (D.tree_name tree ^ " leaf names unique")
+        (List.length names)
+        (List.length (List.sort_uniq compare names)))
+    D.all_trees
+
+let check_tree_names_mention_id () =
+  List.iter
+    (fun tree ->
+      let name = D.tree_name tree in
+      Alcotest.(check bool) (name ^ " parenthesised") true (String.contains name '('))
+    D.all_trees
+
+let tests =
+  ( "decision",
+    [
+      Alcotest.test_case "all trees" `Quick check_all_trees;
+      Alcotest.test_case "leaves belong to their tree" `Quick check_leaves_belong;
+      Alcotest.test_case "leaf counts" `Quick check_leaf_counts;
+      Alcotest.test_case "categories" `Quick check_categories;
+      Alcotest.test_case "leaf names unique per tree" `Quick check_names_unique_per_tree;
+      Alcotest.test_case "tree names" `Quick check_tree_names_mention_id;
+    ] )

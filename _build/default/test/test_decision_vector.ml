@@ -1,0 +1,91 @@
+open Dmm_core
+module D = Decision
+module DV = Decision_vector
+
+let all_leaves = List.concat_map D.leaves_of D.all_trees
+
+let check_get_set_roundtrip () =
+  List.iter
+    (fun leaf ->
+      let v = DV.set DV.drr_custom leaf in
+      Alcotest.(check bool)
+        (D.leaf_name leaf ^ " get after set")
+        true
+        (D.equal_leaf (DV.get v (D.tree_of_leaf leaf)) leaf))
+    all_leaves
+
+let check_set_preserves_others () =
+  let v = DV.set DV.drr_custom (D.L_c1 D.Worst_fit) in
+  List.iter
+    (fun tree ->
+      if not (D.equal_tree tree D.C1) then
+        Alcotest.(check bool) (D.tree_name tree ^ " untouched") true
+          (D.equal_leaf (DV.get v tree) (DV.get DV.drr_custom tree)))
+    D.all_trees
+
+let check_presets_valid () =
+  List.iter
+    (fun (name, v) ->
+      Alcotest.(check bool) (name ^ " is constraint-valid") true (Constraints.is_valid v))
+    [
+      ("kingsley_like", DV.kingsley_like);
+      ("lea_like", DV.lea_like);
+      ("drr_custom", DV.drr_custom);
+      ("simple_region_like", DV.simple_region_like);
+    ]
+
+let check_drr_custom_matches_paper () =
+  (* Section 5 spells the DRR derivation out leaf by leaf. *)
+  let v = DV.drr_custom in
+  Alcotest.(check bool) "A2 many varying" true (v.a2 = D.Many_varying_sizes);
+  Alcotest.(check bool) "A5 split and coalesce" true (v.a5 = D.Split_and_coalesce);
+  Alcotest.(check bool) "E2 always" true (v.e2 = D.Always);
+  Alcotest.(check bool) "D2 always" true (v.d2 = D.Always);
+  Alcotest.(check bool) "D1 not fixed" true (v.d1 = D.Not_fixed);
+  Alcotest.(check bool) "single pool" true (v.b1 = D.Single_pool);
+  Alcotest.(check bool) "exact fit" true (v.c1 = D.Exact_fit);
+  Alcotest.(check bool) "doubly linked list" true (v.a1 = D.Doubly_linked_list);
+  Alcotest.(check bool) "header" true (v.a3 = D.Header);
+  Alcotest.(check bool) "size and status" true (v.a4 = D.Size_and_status)
+
+let check_partial_lifecycle () =
+  let open DV.Partial in
+  let p = empty in
+  Alcotest.(check int) "all undecided" 14 (List.length (undecided p));
+  Alcotest.(check bool) "to_full of empty" true (to_full p = None);
+  let p = set p (D.L_a2 D.One_fixed_size) in
+  Alcotest.(check bool) "decided" true (is_decided p D.A2);
+  Alcotest.(check bool) "get" true (get p D.A2 = Some (D.L_a2 D.One_fixed_size));
+  Alcotest.(check bool) "other undecided" false (is_decided p D.A1);
+  let full = of_full DV.drr_custom in
+  (match to_full full with
+  | Some v -> Alcotest.(check bool) "roundtrip" true (DV.equal v DV.drr_custom)
+  | None -> Alcotest.fail "of_full should be complete");
+  Alcotest.(check int) "no undecided" 0 (List.length (undecided full))
+
+let check_partial_overwrite () =
+  let open DV.Partial in
+  let p = set (set empty (D.L_c1 D.First_fit)) (D.L_c1 D.Best_fit) in
+  Alcotest.(check bool) "latest wins" true (get p D.C1 = Some (D.L_c1 D.Best_fit))
+
+let contains haystack needle =
+  let n = String.length haystack and k = String.length needle in
+  let rec go i = i + k <= n && (String.sub haystack i k = needle || go (i + 1)) in
+  go 0
+
+let check_pp () =
+  let s = DV.to_string DV.drr_custom in
+  Alcotest.(check bool) "mentions exact fit" true (contains s "exact fit");
+  Alcotest.(check bool) "mentions every tree" true (contains s "A2 (Block sizes)")
+
+let tests =
+  ( "decision_vector",
+    [
+      Alcotest.test_case "get/set roundtrip" `Quick check_get_set_roundtrip;
+      Alcotest.test_case "set preserves others" `Quick check_set_preserves_others;
+      Alcotest.test_case "presets valid" `Quick check_presets_valid;
+      Alcotest.test_case "drr_custom matches Section 5" `Quick check_drr_custom_matches_paper;
+      Alcotest.test_case "partial lifecycle" `Quick check_partial_lifecycle;
+      Alcotest.test_case "partial overwrite" `Quick check_partial_overwrite;
+      Alcotest.test_case "pretty printing" `Quick check_pp;
+    ] )

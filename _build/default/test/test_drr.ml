@@ -1,0 +1,137 @@
+module Traffic = Dmm_workloads.Traffic
+module Drr = Dmm_workloads.Drr
+module Recorder = Dmm_trace.Recorder
+module Trace = Dmm_trace.Trace
+module Allocator = Dmm_core.Allocator
+
+let run_with_recorder ?config packets =
+  let a, get = Recorder.recording_allocator () in
+  let stats = Drr.run ?config a packets in
+  (stats, get (), a)
+
+let packets = Traffic.generate Traffic.default_config
+
+let check_conservation () =
+  let stats, _, _ = run_with_recorder packets in
+  Alcotest.(check int) "in = out + dropped" stats.Drr.packets_in
+    (stats.Drr.packets_out + stats.Drr.packets_dropped);
+  Alcotest.(check int) "nothing dropped without limits" 0 stats.Drr.packets_dropped;
+  Alcotest.(check int) "all packets arrived" (List.length packets) stats.Drr.packets_in
+
+let check_all_memory_freed () =
+  let _, trace, a = run_with_recorder packets in
+  Alcotest.(check int) "no leaks" 0 (Trace.live_at_end trace);
+  Alcotest.(check int) "live payload zero" 0 (Allocator.current_footprint a);
+  match Trace.validate trace with Ok () -> () | Error m -> Alcotest.fail m
+
+let check_backlog_accounting () =
+  let stats, _, a = run_with_recorder packets in
+  (* Peak recorded payload = backlog bytes + queue nodes. *)
+  let max_alloc = Allocator.max_footprint a in
+  Alcotest.(check bool) "peak live covers peak backlog" true
+    (max_alloc >= stats.Drr.max_backlog_bytes);
+  Alcotest.(check bool) "backlog positive for bursty input" true
+    (stats.Drr.max_backlog_bytes > 0)
+
+let check_flow_queue_limit () =
+  let config = { Drr.default_config with flow_queue_limit = Some 4096 } in
+  let stats, _, _ = run_with_recorder ~config packets in
+  Alcotest.(check bool) "some packets dropped" true (stats.Drr.packets_dropped > 0);
+  Alcotest.(check bool) "backlog bounded by flows x limit" true
+    (stats.Drr.max_backlog_bytes <= 4096 * Traffic.default_config.Traffic.flows)
+
+let check_total_queue_limit () =
+  let config = { Drr.default_config with total_queue_limit = Some 16384 } in
+  let stats, _, _ = run_with_recorder ~config packets in
+  (* The cap admits the packet that reaches the limit, never exceeds it by
+     more than one maximum-size packet. *)
+  Alcotest.(check bool) "shared buffer respected" true
+    (stats.Drr.max_backlog_bytes <= 16384);
+  Alcotest.(check bool) "drops happened" true (stats.Drr.packets_dropped > 0)
+
+let check_fairness_under_overload () =
+  (* Saturate the output link with symmetric flows: DRR must serve them
+     near-equally (Shreedhar & Varghese's throughput-fairness property). *)
+  let traffic =
+    {
+      Traffic.default_config with
+      flows = 4;
+      duration = 2.0;
+      flow_rate_mbps = 30.0;
+      mean_on = 10.0 (* effectively always on *);
+      mean_off = 0.001;
+    }
+  in
+  let packets = Traffic.generate traffic in
+  (* Per-flow buffers isolate admission: the fairness measured is DRR's
+     service fairness, not shared-buffer contention. *)
+  let config = { Drr.default_config with flow_queue_limit = Some 16384 } in
+  let stats, _, _ = run_with_recorder ~config packets in
+  let sent = List.map snd stats.Drr.per_flow_bytes in
+  let mx = List.fold_left max 0 sent and mn = List.fold_left min max_int sent in
+  Alcotest.(check int) "all flows served" 4 (List.length sent);
+  Alcotest.(check bool)
+    (Printf.sprintf "per-flow bytes within 25%% (min=%d max=%d)" mn mx)
+    true
+    (float_of_int mn >= 0.75 *. float_of_int mx)
+
+let check_determinism () =
+  let s1, t1, _ = run_with_recorder packets in
+  let s2, t2, _ = run_with_recorder packets in
+  Alcotest.(check int) "checksum deterministic" s1.Drr.checksum s2.Drr.checksum;
+  Alcotest.(check bool) "traces identical" true (Trace.to_list t1 = Trace.to_list t2)
+
+let check_finish_time_advances () =
+  let stats, _, _ = run_with_recorder packets in
+  Alcotest.(check bool) "finish after first arrival" true (stats.Drr.finish_time > 0.0);
+  Alcotest.(check bool) "bytes forwarded" true (stats.Drr.bytes_out > 0)
+
+let check_bad_config () =
+  Alcotest.check_raises "bad quantum" (Invalid_argument "Drr.run: bad config") (fun () ->
+      let a, _ = Recorder.recording_allocator () in
+      ignore (Drr.run ~config:{ Drr.default_config with quantum = 0 } a packets))
+
+let check_deficit_accumulates () =
+  (* The defining DRR mechanism: a quantum smaller than the packet size
+     still makes progress because the deficit carries over between rounds
+     (Shreedhar & Varghese, Section 3). *)
+  let config = { Drr.default_config with quantum = 200 } in
+  let stats, _, _ = run_with_recorder ~config packets in
+  Alcotest.(check int) "everything still delivered" stats.Drr.packets_in
+    stats.Drr.packets_out
+
+let check_combined_limits () =
+  let config =
+    { Drr.default_config with flow_queue_limit = Some 8192; total_queue_limit = Some 16384 }
+  in
+  let stats, trace, _ = run_with_recorder ~config packets in
+  Alcotest.(check bool) "shared cap respected" true
+    (stats.Drr.max_backlog_bytes <= 16384);
+  Alcotest.(check int) "conservation with drops" stats.Drr.packets_in
+    (stats.Drr.packets_out + stats.Drr.packets_dropped);
+  Alcotest.(check int) "no leaks despite drops" 0 (Trace.live_at_end trace)
+
+let check_quantum_respected () =
+  (* With a quantum as large as the biggest packet, every backlogged flow
+     sends at least one packet per round; the simulation must terminate and
+     deliver everything. *)
+  let config = { Drr.default_config with quantum = 1500 } in
+  let stats, _, _ = run_with_recorder ~config packets in
+  Alcotest.(check int) "everything delivered" stats.Drr.packets_in stats.Drr.packets_out
+
+let tests =
+  ( "drr",
+    [
+      Alcotest.test_case "packet conservation" `Quick check_conservation;
+      Alcotest.test_case "all memory freed" `Quick check_all_memory_freed;
+      Alcotest.test_case "backlog accounting" `Quick check_backlog_accounting;
+      Alcotest.test_case "per-flow queue limit" `Quick check_flow_queue_limit;
+      Alcotest.test_case "shared buffer limit" `Quick check_total_queue_limit;
+      Alcotest.test_case "fairness under overload" `Quick check_fairness_under_overload;
+      Alcotest.test_case "determinism" `Quick check_determinism;
+      Alcotest.test_case "finish time advances" `Quick check_finish_time_advances;
+      Alcotest.test_case "bad config" `Quick check_bad_config;
+      Alcotest.test_case "quantum respected" `Quick check_quantum_respected;
+      Alcotest.test_case "deficit accumulates across rounds" `Quick check_deficit_accumulates;
+      Alcotest.test_case "combined queue limits" `Quick check_combined_limits;
+    ] )

@@ -1,0 +1,97 @@
+module Energy = Dmm_core.Energy
+module Explorer = Dmm_core.Explorer
+module Footprint_series = Dmm_trace.Footprint_series
+module Scenario = Dmm_workloads.Scenario
+
+let check_estimate_linear () =
+  let m = { Energy.nj_per_op = 2.0; nj_per_byte_megaevent = 10.0 } in
+  Alcotest.(check (float 1e-9)) "ops only" 200.0
+    (Energy.estimate m ~ops:100 ~byte_events:0.0);
+  Alcotest.(check (float 1e-9)) "leakage only" 10.0
+    (Energy.estimate m ~ops:0 ~byte_events:1e6);
+  Alcotest.(check (float 1e-9)) "sum" 210.0 (Energy.estimate m ~ops:100 ~byte_events:1e6)
+
+let check_estimate_errors () =
+  Alcotest.check_raises "negative ops" (Invalid_argument "Energy.estimate: negative inputs")
+    (fun () -> ignore (Energy.estimate Energy.default_model ~ops:(-1) ~byte_events:0.0))
+
+let check_byte_events () =
+  let p event current = { Footprint_series.event; current; maximum = current } in
+  Alcotest.(check (float 1e-9)) "empty" 0.0 (Footprint_series.byte_events []);
+  Alcotest.(check (float 1e-9)) "single point" 0.0 (Footprint_series.byte_events [ p 0 5 ]);
+  (* Rectangle: 100 bytes held across 10 events. *)
+  Alcotest.(check (float 1e-9)) "rectangle" 1000.0
+    (Footprint_series.byte_events [ p 0 100; p 10 100 ]);
+  (* Trapezoid: ramp 0 -> 100 over 10 events. *)
+  Alcotest.(check (float 1e-9)) "trapezoid" 500.0
+    (Footprint_series.byte_events [ p 0 0; p 10 100 ])
+
+let check_pp_units () =
+  let s v = Format.asprintf "%a" Energy.pp_nj v in
+  Alcotest.(check string) "nJ" "42 nJ" (s 42.0);
+  Alcotest.(check string) "uJ" "1.50 uJ" (s 1500.0);
+  Alcotest.(check string) "mJ" "2.00 mJ" (s 2e6)
+
+let check_energy_table_shape () =
+  Dmm_workloads.Experiments.paper_scale := false;
+  let table = Dmm_workloads.Experiments.energy_table () in
+  Alcotest.(check bool) "workloads present" true (List.length table >= 2);
+  List.iter
+    (fun (_, rows) ->
+      Alcotest.(check int) "five managers" 5 (List.length rows);
+      List.iter
+        (fun (name, nj) ->
+          Alcotest.(check bool) (name ^ " positive energy") true (nj > 0.0))
+        rows)
+    table
+
+let check_model_monotone () =
+  let base = Energy.estimate Energy.default_model ~ops:1000 ~byte_events:1e7 in
+  let more_leak =
+    Energy.estimate
+      { Energy.default_model with nj_per_byte_megaevent = 100.0 }
+      ~ops:1000 ~byte_events:1e7
+  in
+  let more_ops =
+    Energy.estimate
+      { Energy.default_model with nj_per_op = 10.0 }
+      ~ops:1000 ~byte_events:1e7
+  in
+  Alcotest.(check bool) "leakier model costs more" true (more_leak > base);
+  Alcotest.(check bool) "dearer ops cost more" true (more_ops > base)
+
+let check_tradeoff_score () =
+  Alcotest.(check int) "alpha 0 is footprint" 1000
+    (Explorer.tradeoff_score ~alpha:0.0 ~footprint:1000 ~ops:999999);
+  Alcotest.(check int) "alpha mixes in ops" 1200
+    (Explorer.tradeoff_score ~alpha:2.0 ~footprint:1000 ~ops:100);
+  Alcotest.check_raises "negative alpha"
+    (Invalid_argument "Explorer.tradeoff_score: negative alpha") (fun () ->
+      ignore (Explorer.tradeoff_score ~alpha:(-1.0) ~footprint:0 ~ops:0))
+
+let check_tradeoff_changes_design () =
+  (* A large alpha must never produce a more expensive design than pure
+     footprint optimisation, and typically picks a cheaper structure. *)
+  let trace = Scenario.drr_trace () in
+  let ops_of design =
+    let a = Scenario.custom_manager design () in
+    Dmm_trace.Replay.run trace a;
+    (Dmm_core.Allocator.stats a).Dmm_core.Metrics.ops
+  in
+  let footprint_design = Scenario.design_for ~alpha:0.0 trace in
+  let speedy_design = Scenario.design_for ~alpha:10.0 trace in
+  Alcotest.(check bool) "speed-weighted design costs fewer or equal ops" true
+    (ops_of speedy_design <= ops_of footprint_design)
+
+let tests =
+  ( "energy",
+    [
+      Alcotest.test_case "estimate is linear" `Quick check_estimate_linear;
+      Alcotest.test_case "estimate errors" `Quick check_estimate_errors;
+      Alcotest.test_case "byte_events integral" `Quick check_byte_events;
+      Alcotest.test_case "unit rendering" `Quick check_pp_units;
+      Alcotest.test_case "energy table shape" `Slow check_energy_table_shape;
+      Alcotest.test_case "model monotonicity" `Quick check_model_monotone;
+      Alcotest.test_case "tradeoff score" `Quick check_tradeoff_score;
+      Alcotest.test_case "tradeoff changes the design" `Slow check_tradeoff_changes_design;
+    ] )

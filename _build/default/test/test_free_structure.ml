@@ -1,0 +1,237 @@
+open Dmm_core
+module D = Decision
+module FS = Free_structure
+
+let structures =
+  [
+    ("sll", D.Singly_linked_list);
+    ("dll", D.Doubly_linked_list);
+    ("addr", D.Address_ordered_list);
+    ("tree", D.Size_ordered_tree);
+  ]
+
+let block ~addr ~size = Block.v ~addr ~size ~status:Block.Free ~run_id:0
+
+let mk structure sizes =
+  let fs = FS.create structure in
+  List.iteri (fun i size -> FS.insert fs (block ~addr:(i * 10000) ~size)) sizes;
+  fs
+
+let for_all_structures f =
+  List.iter (fun (name, s) -> f name s) structures
+
+let check_insert_remove () =
+  for_all_structures (fun name s ->
+      let fs = FS.create s in
+      let b1 = block ~addr:0 ~size:64 in
+      let b2 = block ~addr:100 ~size:32 in
+      FS.insert fs b1;
+      FS.insert fs b2;
+      Alcotest.(check int) (name ^ " cardinal") 2 (FS.cardinal fs);
+      Alcotest.(check int) (name ^ " bytes") 96 (FS.total_bytes fs);
+      Alcotest.(check bool) (name ^ " mem") true (FS.mem fs b1);
+      FS.remove fs b1;
+      Alcotest.(check bool) (name ^ " removed") false (FS.mem fs b1);
+      Alcotest.(check int) (name ^ " cardinal after" ) 1 (FS.cardinal fs);
+      Alcotest.(check int) (name ^ " bytes after") 32 (FS.total_bytes fs))
+
+let check_duplicate_insert () =
+  for_all_structures (fun name s ->
+      let fs = FS.create s in
+      let b = block ~addr:0 ~size:64 in
+      FS.insert fs b;
+      (try
+         FS.insert fs b;
+         Alcotest.fail (name ^ ": duplicate insert should raise")
+       with Invalid_argument _ -> ()))
+
+let check_remove_missing () =
+  for_all_structures (fun name s ->
+      let fs = FS.create s in
+      try
+        FS.remove fs (block ~addr:0 ~size:64);
+        Alcotest.fail (name ^ ": remove of absent should raise")
+      with Not_found -> ())
+
+let check_take_fit_adequacy () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 32; 64; 128 ] in
+      match FS.take_fit fs D.First_fit 60 with
+      | Some b ->
+        Alcotest.(check bool) (name ^ " adequate") true (b.Block.size >= 60);
+        Alcotest.(check int) (name ^ " removed from structure") 2 (FS.cardinal fs)
+      | None -> Alcotest.fail (name ^ ": fit should succeed"))
+
+let check_take_fit_none () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 32; 64 ] in
+      Alcotest.(check bool) (name ^ " no block fits") true
+        (FS.take_fit fs D.Best_fit 100 = None);
+      Alcotest.(check int) (name ^ " nothing removed") 2 (FS.cardinal fs))
+
+let check_best_fit_minimal () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 128; 72; 64; 256 ] in
+      match FS.take_fit fs D.Best_fit 65 with
+      | Some b -> Alcotest.(check int) (name ^ " minimal adequate") 72 b.Block.size
+      | None -> Alcotest.fail (name ^ ": best fit should succeed"))
+
+let check_exact_fit () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 128; 64; 256 ] in
+      (match FS.take_fit fs D.Exact_fit 64 with
+      | Some b -> Alcotest.(check int) (name ^ " exact match") 64 b.Block.size
+      | None -> Alcotest.fail (name ^ ": exact fit should succeed"));
+      (* No exact match: falls back to an adequate block. *)
+      let fs2 = mk s [ 128; 256 ] in
+      match FS.take_fit fs2 D.Exact_fit 64 with
+      | Some b -> Alcotest.(check int) (name ^ " fallback best") 128 b.Block.size
+      | None -> Alcotest.fail (name ^ ": exact-fit fallback should succeed"))
+
+let check_worst_fit () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 128; 72; 256 ] in
+      match FS.take_fit fs D.Worst_fit 64 with
+      | Some b -> Alcotest.(check int) (name ^ " maximal") 256 b.Block.size
+      | None -> Alcotest.fail (name ^ ": worst fit should succeed"))
+
+let check_iteration_order () =
+  (* SLL and DLL iterate most-recent-first; the address-ordered list by
+     ascending address; the tree by ascending (size, address). *)
+  let blocks =
+    [ block ~addr:300 ~size:64; block ~addr:100 ~size:32; block ~addr:200 ~size:16 ]
+  in
+  let order s =
+    let fs = FS.create s in
+    List.iter (FS.insert fs) blocks;
+    List.map (fun (b : Block.t) -> b.addr) (FS.to_list fs)
+  in
+  Alcotest.(check (list int)) "sll LIFO" [ 200; 100; 300 ] (order D.Singly_linked_list);
+  Alcotest.(check (list int)) "dll LIFO" [ 200; 100; 300 ] (order D.Doubly_linked_list);
+  Alcotest.(check (list int)) "address order" [ 100; 200; 300 ]
+    (order D.Address_ordered_list);
+  Alcotest.(check (list int)) "size order" [ 200; 100; 300 ] (order D.Size_ordered_tree)
+
+let check_tree_cheaper_on_large_sets () =
+  (* The point of tree A1's trade-off: logarithmic search beats scans once
+     the free set is big. *)
+  let populate s n =
+    let fs = FS.create s in
+    for i = 1 to n do
+      FS.insert fs (block ~addr:(i * 1000) ~size:(8 * i))
+    done;
+    let before = FS.steps fs in
+    ignore (FS.take_fit fs D.Best_fit (8 * (n / 2)));
+    FS.steps fs - before
+  in
+  let tree = populate D.Size_ordered_tree 500 in
+  let sll = populate D.Singly_linked_list 500 in
+  Alcotest.(check bool)
+    (Printf.sprintf "tree search (%d steps) cheaper than list scan (%d)" tree sll)
+    true (tree * 5 < sll)
+
+let check_next_fit_skips_previous () =
+  let fs = mk D.Doubly_linked_list [ 100; 100; 100 ] in
+  match FS.take_fit fs D.Next_fit 50 with
+  | None -> Alcotest.fail "first take should succeed"
+  | Some b1 -> (
+    FS.insert fs b1;
+    (* The roving pointer avoids handing back the block just used. *)
+    match FS.take_fit fs D.Next_fit 50 with
+    | None -> Alcotest.fail "second take should succeed"
+    | Some b2 ->
+      Alcotest.(check bool) "different block on the next turn" true
+        (b2.Block.addr <> b1.Block.addr))
+
+let check_iter_and_to_list () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 8; 16; 24 ] in
+      let total = List.fold_left (fun acc b -> acc + b.Block.size) 0 (FS.to_list fs) in
+      Alcotest.(check int) (name ^ " iteration covers all") 48 total)
+
+let check_steps_accumulate () =
+  for_all_structures (fun name s ->
+      let fs = mk s [ 8; 16; 24; 32; 40 ] in
+      let before = FS.steps fs in
+      ignore (FS.take_fit fs D.Best_fit 8);
+      Alcotest.(check bool) (name ^ " search charged") true (FS.steps fs > before))
+
+(* Reference model: a sorted association list of blocks. *)
+let qcheck =
+  let ops_gen =
+    QCheck.Gen.(
+      list_size (1 -- 60)
+        (frequency
+           [
+             (3, map (fun s -> `Insert (16 + (8 * (s mod 32)))) nat);
+             (2, map (fun i -> `Take i) (1 -- 300));
+             (1, return `RemoveSome);
+           ]))
+  in
+  let arb = QCheck.make ops_gen in
+  List.map
+    (fun (sname, structure) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s behaves like the reference multiset" sname)
+        ~count:200 arb
+        (fun ops ->
+          let fs = FS.create structure in
+          let model = ref [] in
+          let next_addr = ref 0 in
+          List.for_all
+            (fun op ->
+              match op with
+              | `Insert size ->
+                let b = block ~addr:!next_addr ~size in
+                next_addr := !next_addr + 10000;
+                FS.insert fs b;
+                model := b :: !model;
+                FS.cardinal fs = List.length !model
+                && FS.total_bytes fs
+                   = List.fold_left (fun acc (x : Block.t) -> acc + x.size) 0 !model
+              | `Take need -> (
+                let result = FS.take_fit fs D.Best_fit need in
+                let candidates =
+                  List.filter (fun (x : Block.t) -> x.size >= need) !model
+                in
+                match (result, candidates) with
+                | None, [] -> true
+                | None, _ :: _ -> false
+                | Some _, [] -> false
+                | Some b, _ :: _ ->
+                  let min_size =
+                    List.fold_left
+                      (fun acc (x : Block.t) -> min acc x.size)
+                      max_int candidates
+                  in
+                  model :=
+                    List.filter (fun (x : Block.t) -> x.addr <> b.Block.addr) !model;
+                  b.Block.size = min_size)
+              | `RemoveSome -> (
+                match !model with
+                | [] -> true
+                | b :: rest ->
+                  FS.remove fs b;
+                  model := rest;
+                  (not (FS.mem fs b)) && FS.cardinal fs = List.length rest))
+            ops))
+    structures
+
+let tests =
+  ( "free_structure",
+    [
+      Alcotest.test_case "insert/remove" `Quick check_insert_remove;
+      Alcotest.test_case "duplicate insert" `Quick check_duplicate_insert;
+      Alcotest.test_case "remove missing" `Quick check_remove_missing;
+      Alcotest.test_case "take_fit adequacy" `Quick check_take_fit_adequacy;
+      Alcotest.test_case "take_fit exhausted" `Quick check_take_fit_none;
+      Alcotest.test_case "best fit minimal" `Quick check_best_fit_minimal;
+      Alcotest.test_case "exact fit" `Quick check_exact_fit;
+      Alcotest.test_case "worst fit maximal" `Quick check_worst_fit;
+      Alcotest.test_case "iteration" `Quick check_iter_and_to_list;
+      Alcotest.test_case "iteration order per structure" `Quick check_iteration_order;
+      Alcotest.test_case "tree cheaper on large sets" `Quick check_tree_cheaper_on_large_sets;
+      Alcotest.test_case "next fit skips the previous block" `Quick check_next_fit_skips_previous;
+      Alcotest.test_case "steps accumulate" `Quick check_steps_accumulate;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

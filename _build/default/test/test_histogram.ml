@@ -1,0 +1,91 @@
+module Histogram = Dmm_util.Histogram
+
+let feed xs =
+  let h = Histogram.create () in
+  List.iter (Histogram.add h) xs;
+  h
+
+let check_counts () =
+  let h = feed [ 3; 3; 5; 7; 3 ] in
+  Alcotest.(check int) "count of 3" 3 (Histogram.count h 3);
+  Alcotest.(check int) "count of 5" 1 (Histogram.count h 5);
+  Alcotest.(check int) "count of absent" 0 (Histogram.count h 42);
+  Alcotest.(check int) "total" 5 (Histogram.total h);
+  Alcotest.(check int) "distinct" 3 (Histogram.distinct h)
+
+let check_add_many () =
+  let h = Histogram.create () in
+  Histogram.add_many h 10 4;
+  Histogram.add_many h 10 0;
+  Alcotest.(check int) "count" 4 (Histogram.count h 10);
+  Alcotest.(check int) "total" 4 (Histogram.total h);
+  Alcotest.check_raises "negative count"
+    (Invalid_argument "Histogram.add_many: negative count") (fun () ->
+      Histogram.add_many h 1 (-1))
+
+let check_bindings_sorted () =
+  let h = feed [ 9; 1; 5; 1 ] in
+  Alcotest.(check (list (pair int int))) "sorted bindings" [ (1, 2); (5, 1); (9, 1) ]
+    (Histogram.bindings h)
+
+let check_most_frequent () =
+  let h = feed [ 1; 2; 2; 3; 3; 3 ] in
+  Alcotest.(check (list (pair int int))) "top 2" [ (3, 3); (2, 2) ]
+    (Histogram.most_frequent h 2);
+  (* ties broken by smaller value *)
+  let h2 = feed [ 5; 5; 9; 9 ] in
+  Alcotest.(check (list (pair int int))) "tie break" [ (5, 2); (9, 2) ]
+    (Histogram.most_frequent h2 2)
+
+let check_percentile () =
+  let h = feed [ 1; 2; 3; 4; 5; 6; 7; 8; 9; 10 ] in
+  Alcotest.(check int) "median" 5 (Histogram.percentile h 0.5);
+  Alcotest.(check int) "p100" 10 (Histogram.percentile h 1.0);
+  Alcotest.(check int) "p0 is the smallest value" 1 (Histogram.percentile h 0.0);
+  Alcotest.check_raises "empty" (Invalid_argument "Histogram.percentile: empty")
+    (fun () -> ignore (Histogram.percentile (Histogram.create ()) 0.5))
+
+let check_merge () =
+  let a = feed [ 1; 2 ] and b = feed [ 2; 3 ] in
+  let m = Histogram.merge a b in
+  Alcotest.(check int) "count 2" 2 (Histogram.count m 2);
+  Alcotest.(check int) "total" 4 (Histogram.total m)
+
+let check_fold_order () =
+  let h = feed [ 4; 2; 8 ] in
+  let values = List.rev (Histogram.fold (fun v _ acc -> v :: acc) h []) in
+  Alcotest.(check (list int)) "increasing order" [ 2; 4; 8 ] values
+
+let qcheck =
+  let values = QCheck.(list_of_size Gen.(1 -- 60) (int_bound 50)) in
+  [
+    QCheck.Test.make ~name:"total = sum of counts" ~count:300 values (fun xs ->
+        let h = feed xs in
+        Histogram.total h = Histogram.fold (fun _ c acc -> acc + c) h 0);
+    QCheck.Test.make ~name:"percentile is monotone" ~count:300
+      QCheck.(pair values (pair (float_range 0.0 1.0) (float_range 0.0 1.0)))
+      (fun (xs, (p1, p2)) ->
+        QCheck.assume (xs <> []);
+        let h = feed xs in
+        let lo = Float.min p1 p2 and hi = Float.max p1 p2 in
+        Histogram.percentile h lo <= Histogram.percentile h hi);
+    QCheck.Test.make ~name:"merge commutes on totals" ~count:300
+      QCheck.(pair values values)
+      (fun (xs, ys) ->
+        let m1 = Histogram.merge (feed xs) (feed ys) in
+        let m2 = Histogram.merge (feed ys) (feed xs) in
+        Histogram.bindings m1 = Histogram.bindings m2);
+  ]
+
+let tests =
+  ( "histogram",
+    [
+      Alcotest.test_case "counts" `Quick check_counts;
+      Alcotest.test_case "add_many" `Quick check_add_many;
+      Alcotest.test_case "bindings sorted" `Quick check_bindings_sorted;
+      Alcotest.test_case "most_frequent" `Quick check_most_frequent;
+      Alcotest.test_case "percentile" `Quick check_percentile;
+      Alcotest.test_case "merge" `Quick check_merge;
+      Alcotest.test_case "fold order" `Quick check_fold_order;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

@@ -1,0 +1,86 @@
+module Trace = Dmm_trace.Trace
+module Event = Dmm_trace.Event
+module Micro = Dmm_workloads.Micro
+
+let check_basic_merge () =
+  let a = Micro.ramp ~blocks:50 ~size:64 in
+  let b = Micro.sawtooth ~cycles:2 ~blocks:25 ~size:32 in
+  let mix = Trace.interleave ~seed:1 [ a; b ] in
+  Alcotest.(check int) "all events present" (Trace.length a + Trace.length b)
+    (Trace.length mix);
+  (match Trace.validate mix with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check int) "allocs preserved" (Trace.alloc_count a + Trace.alloc_count b)
+    (Trace.alloc_count mix);
+  Alcotest.(check int) "nothing leaks" 0 (Trace.live_at_end mix)
+
+let check_source_order_preserved () =
+  (* Within the mix, each source's alloc sizes appear in their original
+     order. Give the two sources disjoint size ranges to tell them apart. *)
+  let mk sizes =
+    Trace.of_list (List.mapi (fun i size -> Event.Alloc { id = i + 1; size }) sizes)
+  in
+  let a = mk [ 10; 11; 12; 13 ] in
+  let b = mk [ 100; 101; 102 ] in
+  let mix = Trace.interleave ~seed:3 [ a; b ] in
+  let seen_a = ref [] and seen_b = ref [] in
+  Trace.iter
+    (function
+      | Event.Alloc { size; _ } when size < 50 -> seen_a := size :: !seen_a
+      | Event.Alloc { size; _ } -> seen_b := size :: !seen_b
+      | Event.Free _ | Event.Phase _ -> ())
+    mix;
+  Alcotest.(check (list int)) "source A in order" [ 10; 11; 12; 13 ] (List.rev !seen_a);
+  Alcotest.(check (list int)) "source B in order" [ 100; 101; 102 ] (List.rev !seen_b)
+
+let check_phase_namespacing () =
+  let a = Trace.of_list [ Event.Phase 1; Event.Alloc { id = 1; size = 8 } ] in
+  let b = Trace.of_list [ Event.Phase 2; Event.Alloc { id = 1; size = 8 } ] in
+  let mix = Trace.interleave ~seed:0 [ a; b ] in
+  let phases = ref [] in
+  Trace.iter
+    (function Event.Phase p -> phases := p :: !phases | Event.Alloc _ | Event.Free _ -> ())
+    mix;
+  Alcotest.(check (list int)) "namespaced phases" [ 1; 1002 ]
+    (List.sort compare !phases)
+
+let check_id_collisions_resolved () =
+  (* Both sources use id 1..n; the merge must still validate. *)
+  let a = Micro.ramp ~blocks:30 ~size:64 in
+  let b = Micro.ramp ~blocks:30 ~size:128 in
+  match Trace.validate (Trace.interleave ~seed:9 [ a; b ]) with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let check_determinism () =
+  let a = Micro.ramp ~blocks:20 ~size:64 in
+  let b = Micro.sawtooth ~cycles:1 ~blocks:20 ~size:32 in
+  let m1 = Trace.interleave ~seed:5 [ a; b ] in
+  let m2 = Trace.interleave ~seed:5 [ a; b ] in
+  let m3 = Trace.interleave ~seed:6 [ a; b ] in
+  Alcotest.(check bool) "same seed same mix" true (Trace.to_list m1 = Trace.to_list m2);
+  Alcotest.(check bool) "different seed differs" true (Trace.to_list m1 <> Trace.to_list m3)
+
+let check_single_source_identity () =
+  let a = Micro.ramp ~blocks:10 ~size:64 in
+  let mix = Trace.interleave [ a ] in
+  (* Ids are remapped but the event shapes line up one to one. *)
+  let shapes t =
+    List.map
+      (function
+        | Event.Alloc { size; _ } -> `A size
+        | Event.Free _ -> `F
+        | Event.Phase p -> `P p)
+      (Trace.to_list t)
+  in
+  Alcotest.(check bool) "same event shapes" true (shapes a = shapes mix)
+
+let tests =
+  ( "interleave",
+    [
+      Alcotest.test_case "basic merge" `Quick check_basic_merge;
+      Alcotest.test_case "source order preserved" `Quick check_source_order_preserved;
+      Alcotest.test_case "phase namespacing" `Quick check_phase_namespacing;
+      Alcotest.test_case "id collisions resolved" `Quick check_id_collisions_resolved;
+      Alcotest.test_case "determinism" `Quick check_determinism;
+      Alcotest.test_case "single source identity" `Quick check_single_source_identity;
+    ] )

@@ -1,0 +1,118 @@
+module Kingsley = Dmm_allocators.Kingsley
+module Allocator = Dmm_core.Allocator
+module Address_space = Dmm_vmem.Address_space
+
+let fresh ?config () = Kingsley.create ?config (Address_space.create ())
+
+let check_class_rounding () =
+  let k = fresh () in
+  Alcotest.(check int) "small request hits min class" 16 (Kingsley.class_of_request k 1);
+  Alcotest.(check int) "100 + header -> 128" 128 (Kingsley.class_of_request k 100);
+  Alcotest.(check int) "124 + header -> 128" 128 (Kingsley.class_of_request k 124);
+  Alcotest.(check int) "125 + header -> 256" 256 (Kingsley.class_of_request k 125);
+  Alcotest.(check int) "1500 + header -> 2048" 2048 (Kingsley.class_of_request k 1500)
+
+let check_alloc_free_reuse () =
+  let k = fresh () in
+  let addr = Kingsley.alloc k 100 in
+  Kingsley.free k addr;
+  let fp = Kingsley.current_footprint k in
+  for _ = 1 to 50 do
+    let a = Kingsley.alloc k 100 in
+    Kingsley.free k a
+  done;
+  Alcotest.(check int) "same-class churn reuses freely" fp (Kingsley.current_footprint k)
+
+let check_never_returns_memory () =
+  let k = fresh () in
+  let addrs = List.init 64 (fun _ -> Kingsley.alloc k 1000) in
+  let fp = Kingsley.current_footprint k in
+  List.iter (Kingsley.free k) addrs;
+  Alcotest.(check int) "footprint unchanged after freeing all" fp
+    (Kingsley.current_footprint k);
+  Alcotest.(check int) "max footprint equals current" fp (Kingsley.max_footprint k)
+
+let check_class_hoarding () =
+  (* The pathology the paper exploits: each class keeps its own peak. *)
+  let k = fresh () in
+  let churn size =
+    let addrs = List.init 16 (fun _ -> Kingsley.alloc k size) in
+    List.iter (Kingsley.free k) addrs
+  in
+  churn 100;
+  let after_one = Kingsley.current_footprint k in
+  churn 300;
+  churn 1200;
+  Alcotest.(check bool) "footprint accumulates per class" true
+    (Kingsley.current_footprint k >= 3 * after_one)
+
+let check_slab_carving () =
+  let k = fresh () in
+  let _ = Kingsley.alloc k 100 in
+  (* One page carved into 128-byte blocks. *)
+  Alcotest.(check int) "page-granular slab" 4096 (Kingsley.current_footprint k);
+  let addrs = List.init 31 (fun _ -> Kingsley.alloc k 100) in
+  Alcotest.(check int) "32 blocks served from one slab" 4096
+    (Kingsley.current_footprint k);
+  ignore addrs
+
+let check_invalid_free () =
+  let k = fresh () in
+  let addr = Kingsley.alloc k 10 in
+  (try
+     Kingsley.free k (addr + 4);
+     Alcotest.fail "bogus free accepted"
+   with Allocator.Invalid_free _ -> ());
+  Kingsley.free k addr;
+  try
+    Kingsley.free k addr;
+    Alcotest.fail "double free accepted"
+  with Allocator.Invalid_free _ -> ()
+
+let check_bad_config () =
+  Alcotest.check_raises "non-pow2 min class"
+    (Invalid_argument "Kingsley.create: min_class must be a power of two") (fun () ->
+      ignore (fresh ~config:{ Kingsley.default_config with min_class = 24 } ()))
+
+let check_allocator_interface () =
+  let k = fresh () in
+  let a = Kingsley.allocator k in
+  Alcotest.(check string) "name" "kingsley" a.Allocator.name;
+  let addr = Allocator.alloc a 64 in
+  Allocator.free a addr;
+  Alcotest.(check int) "stats flow through" 1 (Allocator.stats a).Dmm_core.Metrics.allocs
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"payload always fits its class" ~count:300
+      QCheck.(int_range 1 100000)
+      (fun size ->
+        let k = fresh () in
+        let cls = Kingsley.class_of_request k size in
+        Dmm_util.Size.is_power_of_two cls && cls >= size + 4);
+    QCheck.Test.make ~name:"no overlap between live blocks" ~count:100
+      QCheck.(list_of_size Gen.(5 -- 40) (int_range 1 3000))
+      (fun sizes ->
+        let k = fresh () in
+        let blocks = List.map (fun s -> (Kingsley.alloc k s, s)) sizes in
+        List.for_all
+          (fun (a1, s1) ->
+            List.for_all
+              (fun (a2, s2) -> a1 = a2 || a1 + s1 <= a2 || a2 + s2 <= a1)
+              blocks)
+          blocks);
+  ]
+
+let tests =
+  ( "kingsley",
+    [
+      Alcotest.test_case "class rounding" `Quick check_class_rounding;
+      Alcotest.test_case "reuse within class" `Quick check_alloc_free_reuse;
+      Alcotest.test_case "never returns memory" `Quick check_never_returns_memory;
+      Alcotest.test_case "per-class hoarding" `Quick check_class_hoarding;
+      Alcotest.test_case "slab carving" `Quick check_slab_carving;
+      Alcotest.test_case "invalid free" `Quick check_invalid_free;
+      Alcotest.test_case "bad config" `Quick check_bad_config;
+      Alcotest.test_case "allocator interface" `Quick check_allocator_interface;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

@@ -1,0 +1,292 @@
+open Dmm_core
+module D = Decision
+module DV = Decision_vector
+module M = Manager
+module A = Allocator
+module Address_space = Dmm_vmem.Address_space
+
+let params = { M.default_params with return_to_system = true }
+
+let fresh ?(params = params) ?(vec = DV.drr_custom) () =
+  let space = Address_space.create () in
+  (M.create ~params vec space, space)
+
+let expect_invariants m =
+  match M.check_invariants m with
+  | Ok () -> ()
+  | Error msg -> Alcotest.fail ("invariant violation: " ^ msg)
+
+let check_create_rejects_invalid () =
+  let space = Address_space.create () in
+  let bad = DV.set DV.drr_custom (D.L_a3 D.No_tag) in
+  try
+    ignore (M.create bad space);
+    Alcotest.fail "invalid vector accepted"
+  with Invalid_argument _ -> ()
+
+let check_create_rejects_bad_params () =
+  let space = Address_space.create () in
+  try
+    ignore (M.create ~params:{ params with alignment = 0 } DV.drr_custom space);
+    Alcotest.fail "bad params accepted"
+  with Invalid_argument _ -> ()
+
+let check_alloc_basics () =
+  let m, _ = fresh () in
+  let a1 = M.alloc m 100 in
+  let a2 = M.alloc m 100 in
+  Alcotest.(check bool) "distinct addresses" true (a1 <> a2);
+  Alcotest.(check bool) "owns live blocks" true (M.owns m a1 && M.owns m a2);
+  Alcotest.(check bool) "footprint covers payload" true (M.current_footprint m >= 200);
+  expect_invariants m
+
+let check_alloc_zero_rejected () =
+  let m, _ = fresh () in
+  Alcotest.check_raises "size 0" (Invalid_argument "Manager.alloc: non-positive size")
+    (fun () -> ignore (M.alloc m 0))
+
+let check_invalid_free () =
+  let m, _ = fresh () in
+  let addr = M.alloc m 64 in
+  (try
+     M.free m (addr + 1);
+     Alcotest.fail "bogus free accepted"
+   with A.Invalid_free _ -> ());
+  M.free m addr;
+  try
+    M.free m addr;
+    Alcotest.fail "double free accepted"
+  with A.Invalid_free _ -> ()
+
+let check_reuse_after_free () =
+  let m, _ = fresh () in
+  (* Warm up a chunk, then churn the same size: footprint must not grow. *)
+  let addr = M.alloc m 256 in
+  M.free m addr;
+  let fp = M.current_footprint m in
+  for _ = 1 to 100 do
+    let a = M.alloc m 256 in
+    M.free m a
+  done;
+  Alcotest.(check bool) "footprint stable under same-size churn" true
+    (M.current_footprint m <= fp);
+  expect_invariants m
+
+let check_no_overlap_random_churn () =
+  let m, _ = fresh () in
+  let rng = Dmm_util.Prng.create 5 in
+  let live = Hashtbl.create 64 in
+  for i = 1 to 500 do
+    if Dmm_util.Prng.bool rng || Hashtbl.length live = 0 then begin
+      let size = 1 + Dmm_util.Prng.int rng 400 in
+      let addr = M.alloc m size in
+      (* Payload ranges of live blocks must never overlap. *)
+      Hashtbl.iter
+        (fun a s ->
+          if addr < a + s && a < addr + size then
+            Alcotest.fail (Printf.sprintf "overlap at op %d" i))
+        live;
+      Hashtbl.replace live addr size
+    end
+    else begin
+      let keys = Hashtbl.fold (fun k _ acc -> k :: acc) live [] in
+      let k = List.nth keys (Dmm_util.Prng.int rng (List.length keys)) in
+      Hashtbl.remove live k;
+      M.free m k
+    end
+  done;
+  expect_invariants m
+
+let check_coalescing_merges_all () =
+  let m, _ = fresh () in
+  let addrs = List.init 20 (fun _ -> M.alloc m 100) in
+  List.iter (M.free m) addrs;
+  expect_invariants m;
+  (* With immediate coalescing and trimming, everything is returned. *)
+  Alcotest.(check int) "all memory returned" 0 (M.current_footprint m)
+
+let check_never_coalesce_keeps_blocks () =
+  let vec =
+    { DV.drr_custom with a5 = D.No_flexibility; d2 = D.Never; e2 = D.Never;
+      d1 = D.One_size; e1 = D.One_size; c1 = D.First_fit }
+  in
+  let m, _ = fresh ~vec ~params:{ params with return_to_system = false } () in
+  let addrs = List.init 10 (fun _ -> M.alloc m 100) in
+  List.iter (M.free m) addrs;
+  expect_invariants m;
+  Alcotest.(check int) "no coalescing performed" 0 (M.metrics m).Metrics.coalesces;
+  Alcotest.(check bool) "free bytes retained" true (M.free_bytes m > 0)
+
+let check_splitting_counted () =
+  let m, _ = fresh () in
+  (* One big block, then small allocations carve it up. *)
+  let big = M.alloc m 2048 in
+  M.free m big;
+  let _small = List.init 4 (fun _ -> M.alloc m 64) in
+  Alcotest.(check bool) "splits happened" true ((M.metrics m).Metrics.splits > 0);
+  expect_invariants m
+
+let check_trim_returns_memory () =
+  let m, space = fresh () in
+  let addr = M.alloc m 8192 in
+  let before = Address_space.brk space in
+  M.free m addr;
+  Alcotest.(check bool) "brk lowered" true (Address_space.brk space < before);
+  Alcotest.(check bool) "footprint dropped" true (M.current_footprint m < before)
+
+let check_no_trim_when_disabled () =
+  let m, space = fresh ~params:{ params with return_to_system = false } () in
+  let addr = M.alloc m 8192 in
+  let before = Address_space.brk space in
+  M.free m addr;
+  Alcotest.(check int) "brk unchanged" before (Address_space.brk space)
+
+let check_fixed_classes_round_up () =
+  let vec = DV.kingsley_like in
+  let kparams =
+    { params with size_classes = M.pow2_classes ~min:16 ~max:4096; return_to_system = false }
+  in
+  let m, _ = fresh ~vec ~params:kparams () in
+  let _ = M.alloc m 100 in
+  (* 100 + 4-byte header -> 128-byte class: internal fragmentation. *)
+  Alcotest.(check bool) "gross footprint is a class multiple" true
+    (M.current_footprint m mod 128 = 0);
+  expect_invariants m
+
+let check_oversize_dedicated () =
+  let vec = DV.kingsley_like in
+  let kparams =
+    { params with size_classes = M.pow2_classes ~min:16 ~max:1024; return_to_system = false }
+  in
+  let m, _ = fresh ~vec ~params:kparams () in
+  let addr = M.alloc m 100_000 in
+  Alcotest.(check bool) "oversize served" true (M.owns m addr);
+  M.free m addr;
+  expect_invariants m
+
+let check_one_fixed_size () =
+  let vec =
+    {
+      DV.drr_custom with
+      a2 = D.One_fixed_size;
+      a5 = D.No_flexibility;
+      d2 = D.Never;
+      e2 = D.Never;
+      d1 = D.One_size;
+      e1 = D.One_size;
+      b1 = D.Single_pool;
+      b4 = D.One_pool;
+      c1 = D.First_fit;
+    }
+  in
+  let m, _ = fresh ~vec ~params:{ params with fixed_block_size = 256 } () in
+  let a1 = M.alloc m 10 in
+  let a2 = M.alloc m 200 in
+  Alcotest.(check bool) "both served" true (M.owns m a1 && M.owns m a2);
+  M.free m a1;
+  M.free m a2;
+  expect_invariants m
+
+let check_deferred_coalescing_sweep () =
+  let vec = { DV.drr_custom with d2 = D.Deferred } in
+  let m, _ = fresh ~vec ~params:{ params with deferred_interval = 8; return_to_system = false } () in
+  let addrs = List.init 32 (fun _ -> M.alloc m 64) in
+  List.iter (M.free m) addrs;
+  Alcotest.(check bool) "sweep coalesced" true ((M.metrics m).Metrics.coalesces > 0);
+  expect_invariants m
+
+let check_metrics_consistency () =
+  let m, _ = fresh () in
+  let addrs = List.init 10 (fun i -> M.alloc m (50 + i)) in
+  let s = M.metrics m in
+  Alcotest.(check int) "allocs" 10 s.Metrics.allocs;
+  Alcotest.(check int) "live blocks" 10 s.Metrics.live_blocks;
+  Alcotest.(check int) "live payload" (List.fold_left ( + ) 0 (List.init 10 (fun i -> 50 + i)))
+    s.Metrics.live_payload;
+  List.iter (M.free m) addrs;
+  let s = M.metrics m in
+  Alcotest.(check int) "frees" 10 s.Metrics.frees;
+  Alcotest.(check int) "live payload zero" 0 s.Metrics.live_payload
+
+let check_max_footprint_monotone () =
+  let m, _ = fresh () in
+  let a = M.allocator m in
+  let addrs = List.init 50 (fun _ -> A.alloc a 500) in
+  let peak = A.max_footprint a in
+  List.iter (A.free a) addrs;
+  Alcotest.(check bool) "max footprint survives frees" true (A.max_footprint a = peak);
+  Alcotest.(check bool) "current below max" true (A.current_footprint a <= peak)
+
+(* Random valid vectors + random traces, checking invariants throughout. *)
+let qcheck =
+  let scenario_gen =
+    QCheck.Gen.(pair small_nat (list_size (50 -- 150) (pair bool (1 -- 600))))
+  in
+  let arb = QCheck.make scenario_gen in
+  [
+    QCheck.Test.make ~name:"invariants hold for random vectors and traces" ~count:120
+      arb
+      (fun (seed, ops) ->
+        let rng = Dmm_util.Prng.create seed in
+        let choose _ _ legal =
+          List.nth legal (Dmm_util.Prng.int rng (List.length legal))
+        in
+        match Order.walk ~choose () with
+        | Error _ -> false
+        | Ok vec ->
+          let m, _ = fresh ~vec ~params:{ params with size_classes = M.pow2_classes ~min:32 ~max:4096; fixed_block_size = 1024 } () in
+          let live = ref [] in
+          List.iter
+            (fun (is_alloc, size) ->
+              if is_alloc || !live = [] then live := M.alloc m size :: !live
+              else begin
+                match !live with
+                | addr :: rest ->
+                  live := rest;
+                  M.free m addr
+                | [] -> ()
+              end)
+            ops;
+          (match M.check_invariants m with Ok () -> true | Error _ -> false));
+    QCheck.Test.make ~name:"footprint always covers live payload" ~count:120 arb
+      (fun (seed, ops) ->
+        ignore seed;
+        let m, _ = fresh () in
+        let live = ref [] in
+        List.for_all
+          (fun (is_alloc, size) ->
+            (if is_alloc || !live = [] then live := (M.alloc m size, size) :: !live
+             else
+               match !live with
+               | (addr, _) :: rest ->
+                 live := rest;
+                 M.free m addr
+               | [] -> ());
+            let payload = List.fold_left (fun acc (_, s) -> acc + s) 0 !live in
+            M.current_footprint m >= payload)
+          ops);
+  ]
+
+let tests =
+  ( "manager",
+    [
+      Alcotest.test_case "rejects invalid vectors" `Quick check_create_rejects_invalid;
+      Alcotest.test_case "rejects bad params" `Quick check_create_rejects_bad_params;
+      Alcotest.test_case "alloc basics" `Quick check_alloc_basics;
+      Alcotest.test_case "alloc 0 rejected" `Quick check_alloc_zero_rejected;
+      Alcotest.test_case "invalid and double free" `Quick check_invalid_free;
+      Alcotest.test_case "reuse after free" `Quick check_reuse_after_free;
+      Alcotest.test_case "no overlap under churn" `Quick check_no_overlap_random_churn;
+      Alcotest.test_case "coalescing merges and trims all" `Quick check_coalescing_merges_all;
+      Alcotest.test_case "never-coalesce keeps blocks" `Quick check_never_coalesce_keeps_blocks;
+      Alcotest.test_case "splitting counted" `Quick check_splitting_counted;
+      Alcotest.test_case "trim returns memory" `Quick check_trim_returns_memory;
+      Alcotest.test_case "no trim when disabled" `Quick check_no_trim_when_disabled;
+      Alcotest.test_case "fixed classes round up" `Quick check_fixed_classes_round_up;
+      Alcotest.test_case "oversize dedicated blocks" `Quick check_oversize_dedicated;
+      Alcotest.test_case "one fixed size regime" `Quick check_one_fixed_size;
+      Alcotest.test_case "deferred coalescing sweeps" `Quick check_deferred_coalescing_sweep;
+      Alcotest.test_case "metrics consistency" `Quick check_metrics_consistency;
+      Alcotest.test_case "max footprint monotone" `Quick check_max_footprint_monotone;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

@@ -1,0 +1,181 @@
+(* Deeper policy semantics of the manager interpreter: D1 coalescing
+   bounds, E1 split quantisation, footer tags, range pools, pool-structure
+   costs and shared-address-space safety. *)
+
+open Dmm_core
+module D = Decision
+module DV = Decision_vector
+module M = Manager
+module Address_space = Dmm_vmem.Address_space
+
+let params = { M.default_params with return_to_system = false }
+
+let fresh ?(params = params) ?(vec = DV.drr_custom) () =
+  (fun space -> (M.create ~params vec space, space)) (Address_space.create ())
+
+let check_d1_bounds_coalescing () =
+  (* D1 = Many_fixed with a 256-byte cap: freed neighbours merge only up
+     to the cap. Sizes: gross of 120-byte payload = 128. *)
+  let vec = { DV.drr_custom with d1 = D.Many_fixed; e1 = D.Many_fixed; a2 = D.Many_fixed_sizes } in
+  let m, _ =
+    fresh
+      ~params:
+        {
+          params with
+          size_classes = [ 128; 256; 512; 1024; 2048; 4096 ];
+          max_coalesced_size = Some 256;
+          chunk_request = 128 (* one block per system request: adjacency via contiguity *);
+        }
+      ~vec ()
+  in
+  let addrs = List.init 8 (fun _ -> M.alloc m 120) in
+  List.iter (M.free m) addrs;
+  let sizes = List.map snd (M.free_blocks m) in
+  Alcotest.(check bool) "no free block beyond the D1 bound" true
+    (List.for_all (fun s -> s <= 256) sizes);
+  Alcotest.(check bool) "some merging happened" true (List.exists (fun s -> s = 256) sizes);
+  match M.check_invariants m with Ok () -> () | Error e -> Alcotest.fail e
+
+let check_d1_unbounded_merges_all () =
+  let m, _ = fresh ~params:{ params with chunk_request = 128 } () in
+  let addrs = List.init 8 (fun _ -> M.alloc m 120) in
+  List.iter (M.free m) addrs;
+  match M.free_blocks m with
+  | [ (_, size) ] ->
+    Alcotest.(check bool) "single block covers everything" true (size >= 8 * 128)
+  | blocks -> Alcotest.fail (Printf.sprintf "expected 1 free block, got %d" (List.length blocks))
+
+let check_e1_one_size_quantises_splits () =
+  (* E1 = One_size with a 64-byte unit: split remainders are multiples of
+     the unit. *)
+  let vec = { DV.drr_custom with e1 = D.One_size; d1 = D.One_size } in
+  let m, _ =
+    fresh
+      ~params:
+        {
+          params with
+          min_split_remainder = 64;
+          max_coalesced_size = Some 4096;
+          chunk_request = 4096;
+        }
+      ~vec ()
+  in
+  let big = M.alloc m 1000 in
+  M.free m big;
+  (* Allocating a small block splits the 1008-byte free block. *)
+  let _small = M.alloc m 50 in
+  List.iter
+    (fun (_, size) ->
+      Alcotest.(check int)
+        (Printf.sprintf "remainder %d is unit-aligned" size)
+        0 (size mod 64))
+    (M.free_blocks m);
+  match M.check_invariants m with Ok () -> () | Error e -> Alcotest.fail e
+
+let check_footer_tags_charged () =
+  (* Header+footer costs twice the word size per block. *)
+  let vec = { DV.drr_custom with a3 = D.Header_and_footer } in
+  let m, _ = fresh ~vec () in
+  let _ = M.alloc m 100 in
+  let b = M.breakdown m in
+  Alcotest.(check int) "eight tag bytes" 8 b.Metrics.tag_overhead;
+  let m2, _ = fresh () in
+  let _ = M.alloc m2 100 in
+  Alcotest.(check int) "header only costs four" 4 (M.breakdown m2).Metrics.tag_overhead
+
+let check_range_pools_serve_from_higher_classes () =
+  (* Pool-per-size-range with splitting: an empty class borrows from the
+     next one up instead of growing the heap. *)
+  let vec = { DV.lea_like with b1 = D.Pool_per_size_range } in
+  let m, space = fresh ~vec ~params:{ params with chunk_request = 8192 } () in
+  let big = M.alloc m 4000 in
+  M.free m big;
+  let brk = Address_space.brk space in
+  let _small = M.alloc m 100 in
+  Alcotest.(check int) "no new system memory" brk (Address_space.brk space);
+  Alcotest.(check bool) "split served it" true ((M.metrics m).Metrics.splits >= 1)
+
+let check_pool_linked_list_costs_more () =
+  let run b2 =
+    let vec = { DV.lea_like with b2 } in
+    let m, _ = fresh ~vec () in
+    for i = 1 to 200 do
+      let a = M.alloc m (100 + (8 * (i mod 20))) in
+      M.free m a
+    done;
+    (M.metrics m).Metrics.ops
+  in
+  Alcotest.(check bool) "linked-list pool lookup is dearer than array" true
+    (run D.Pool_linked_list > run D.Pool_array)
+
+let check_shared_space_managers_are_isolated () =
+  (* Two managers interleaving system requests on one address space must
+     never corrupt each other: distinct ownership, sane invariants. *)
+  let space = Address_space.create () in
+  let p = { params with return_to_system = true; chunk_request = 4096 } in
+  let m1 = M.create ~params:p DV.drr_custom space in
+  let m2 = M.create ~params:p DV.drr_custom space in
+  let rng = Dmm_util.Prng.create 21 in
+  let live1 = ref [] and live2 = ref [] in
+  for _ = 1 to 400 do
+    let m, live = if Dmm_util.Prng.bool rng then (m1, live1) else (m2, live2) in
+    if Dmm_util.Prng.bool rng || !live = [] then
+      live := M.alloc m (1 + Dmm_util.Prng.int rng 2000) :: !live
+    else begin
+      match !live with
+      | addr :: rest ->
+        live := rest;
+        M.free m addr
+      | [] -> ()
+    end
+  done;
+  List.iter
+    (fun addr -> Alcotest.(check bool) "m2 does not own m1's block" false (M.owns m2 addr))
+    !live1;
+  (match M.check_invariants m1 with Ok () -> () | Error e -> Alcotest.fail ("m1: " ^ e));
+  (match M.check_invariants m2 with Ok () -> () | Error e -> Alcotest.fail ("m2: " ^ e));
+  List.iter (M.free m1) !live1;
+  List.iter (M.free m2) !live2;
+  Alcotest.(check int) "m1 empty" 0 (M.metrics m1).Metrics.live_blocks;
+  Alcotest.(check int) "m2 empty" 0 (M.metrics m2).Metrics.live_blocks
+
+let check_next_fit_rotates () =
+  (* Next fit must not always reuse the same block when several fit. *)
+  let vec = { DV.drr_custom with c1 = D.Next_fit } in
+  let m, _ = fresh ~vec ~params:{ params with chunk_request = 16384 } () in
+  (* Create several separated free blocks by freeing alternating allocs. *)
+  let addrs = List.init 8 (fun _ -> M.alloc m 1000) in
+  List.iteri (fun i a -> if i mod 2 = 0 then M.free m a) addrs;
+  let first = M.alloc m 500 in
+  M.free m first;
+  let second = M.alloc m 500 in
+  Alcotest.(check bool) "roving pointer moved on" true (second <> first)
+
+let check_worst_fit_picks_biggest () =
+  let vec = { DV.drr_custom with c1 = D.Worst_fit } in
+  let m, _ = fresh ~vec ~params:{ params with chunk_request = 4096 } () in
+  let a = M.alloc m 3000 in
+  let _guard = M.alloc m 16 in
+  let b = M.alloc m 200 in
+  let _guard2 = M.alloc m 16 in
+  M.free m a;
+  M.free m b;
+  (* Worst fit takes from the 3000-byte hole, not the 200-byte one. *)
+  let c = M.alloc m 100 in
+  Alcotest.(check bool) "allocated inside the big hole" true
+    (c >= a - 8 && c < a + 3008)
+
+let tests =
+  ( "manager_policies",
+    [
+      Alcotest.test_case "D1 bounds coalescing" `Quick check_d1_bounds_coalescing;
+      Alcotest.test_case "D1 unbounded merges all" `Quick check_d1_unbounded_merges_all;
+      Alcotest.test_case "E1 one-size quantises splits" `Quick check_e1_one_size_quantises_splits;
+      Alcotest.test_case "footer tags charged" `Quick check_footer_tags_charged;
+      Alcotest.test_case "range pools borrow from above" `Quick
+        check_range_pools_serve_from_higher_classes;
+      Alcotest.test_case "linked-list pools cost more" `Quick check_pool_linked_list_costs_more;
+      Alcotest.test_case "shared space isolation" `Quick check_shared_space_managers_are_isolated;
+      Alcotest.test_case "next fit rotates" `Quick check_next_fit_rotates;
+      Alcotest.test_case "worst fit picks the biggest hole" `Quick check_worst_fit_picks_biggest;
+    ] )

@@ -1,0 +1,98 @@
+module Micro = Dmm_workloads.Micro
+module Trace = Dmm_trace.Trace
+module Replay = Dmm_trace.Replay
+module Scenario = Dmm_workloads.Scenario
+
+let peak_live trace =
+  (Dmm_core.Profile.total (Dmm_trace.Profile_builder.of_trace trace))
+    .Dmm_core.Profile.peak_live_bytes
+
+let ratio trace make =
+  float_of_int (Replay.max_footprint_of trace (make ()))
+  /. float_of_int (max 1 (peak_live trace))
+
+let check_all_patterns_valid () =
+  List.iter
+    (fun (name, trace) ->
+      (match Trace.validate trace with
+      | Ok () -> ()
+      | Error m -> Alcotest.fail (name ^ ": " ^ m));
+      Alcotest.(check int) (name ^ " frees everything") 0 (Trace.live_at_end trace))
+    (Micro.suite ())
+
+let check_ramp_shape () =
+  let t = Micro.ramp ~blocks:10 ~size:64 in
+  Alcotest.(check int) "events" 20 (Trace.length t);
+  Alcotest.(check int) "peak live" 640 (peak_live t)
+
+let check_sawtooth_stack_like () =
+  (* Large enough that chunk granularity does not dominate the ratio. *)
+  let t = Micro.sawtooth ~cycles:4 ~blocks:300 ~size:64 in
+  let p = Dmm_core.Profile.total (Dmm_trace.Profile_builder.of_trace t) in
+  Alcotest.(check bool) "perfectly LIFO" true (Dmm_core.Profile.stack_likeness p = 1.0);
+  (* Obstacks handle pure stack behaviour with one chunk of slack. *)
+  Alcotest.(check bool) "obstack near optimal" true (ratio t Scenario.obstacks < 1.6)
+
+let check_pinning_defeats_no_coalescing () =
+  let t = Micro.pinning ~pairs:200 ~hole:512 ~pin:16 in
+  (* The coalescing custom manager still cannot merge across live pins,
+     but it reuses the holes for smaller later requests; managers that
+     never coalesce at least must not do better than it. *)
+  let custom = ratio t (Scenario.custom_manager (Scenario.drr_paper_design ())) in
+  let kingsley = ratio t Scenario.kingsley in
+  Alcotest.(check bool)
+    (Printf.sprintf "custom (%.2f) <= kingsley (%.2f)" custom kingsley)
+    true (custom <= kingsley)
+
+let check_size_shift_hurts_segregated_hoarders () =
+  let t = Micro.size_shift ~phases:6 ~blocks:200 ~base:32 in
+  let kingsley = ratio t Scenario.kingsley in
+  let custom = ratio t (Scenario.custom_manager (Scenario.drr_paper_design ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "kingsley (%.2f) hoards at least 2x custom (%.2f)" kingsley custom)
+    true
+    (kingsley >= 2.0 *. custom)
+
+let check_churn_defeats_obstacks () =
+  let t = Micro.random_churn ~ops:4000 ~min_size:16 ~max_size:2048 ~seed:9 in
+  let obstacks = ratio t Scenario.obstacks in
+  let custom = ratio t (Scenario.custom_manager (Scenario.drr_paper_design ())) in
+  Alcotest.(check bool)
+    (Printf.sprintf "obstacks (%.2f) far above custom (%.2f)" obstacks custom)
+    true
+    (obstacks >= 3.0 *. custom)
+
+let check_custom_robust_everywhere () =
+  List.iter
+    (fun (name, trace) ->
+      let r = ratio trace (Scenario.custom_manager (Scenario.drr_paper_design ())) in
+      Alcotest.(check bool)
+        (Printf.sprintf "%s: custom ratio %.2f below 1.6" name r)
+        true (r < 1.6))
+    (Micro.suite ())
+
+let check_determinism () =
+  let t1 = Micro.random_churn ~ops:500 ~min_size:8 ~max_size:64 ~seed:5 in
+  let t2 = Micro.random_churn ~ops:500 ~min_size:8 ~max_size:64 ~seed:5 in
+  Alcotest.(check bool) "same seed same trace" true (Trace.to_list t1 = Trace.to_list t2)
+
+let check_bad_arguments () =
+  Alcotest.check_raises "bad ramp" (Invalid_argument "Micro.ramp: non-positive argument")
+    (fun () -> ignore (Micro.ramp ~blocks:0 ~size:8));
+  Alcotest.check_raises "bad churn range"
+    (Invalid_argument "Micro.random_churn: empty size range") (fun () ->
+      ignore (Micro.random_churn ~ops:10 ~min_size:64 ~max_size:32 ~seed:0))
+
+let tests =
+  ( "micro",
+    [
+      Alcotest.test_case "all patterns valid" `Quick check_all_patterns_valid;
+      Alcotest.test_case "ramp shape" `Quick check_ramp_shape;
+      Alcotest.test_case "sawtooth is stack-like" `Quick check_sawtooth_stack_like;
+      Alcotest.test_case "pinning: custom <= kingsley" `Quick check_pinning_defeats_no_coalescing;
+      Alcotest.test_case "size shift hurts hoarders" `Quick check_size_shift_hurts_segregated_hoarders;
+      Alcotest.test_case "churn defeats obstacks" `Quick check_churn_defeats_obstacks;
+      Alcotest.test_case "custom robust on every pattern" `Quick check_custom_robust_everywhere;
+      Alcotest.test_case "determinism" `Quick check_determinism;
+      Alcotest.test_case "bad arguments" `Quick check_bad_arguments;
+    ] )

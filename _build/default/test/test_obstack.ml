@@ -1,0 +1,123 @@
+module Obstack = Dmm_allocators.Obstack
+module Allocator = Dmm_core.Allocator
+module Address_space = Dmm_vmem.Address_space
+
+let fresh ?config () =
+  let space = Address_space.create () in
+  (Obstack.create ?config space, space)
+
+let check_bump_allocation () =
+  let ob, _ = fresh () in
+  let a = Obstack.alloc ob 100 in
+  let b = Obstack.alloc ob 100 in
+  Alcotest.(check int) "bump by aligned size" (a + 104) b
+
+let check_lifo_reclaims () =
+  let ob, _ = fresh () in
+  let a = Obstack.alloc ob 100 in
+  let b = Obstack.alloc ob 100 in
+  Obstack.free ob b;
+  Obstack.free ob a;
+  Alcotest.(check int) "all objects gone" 0 (Obstack.live_objects ob);
+  Alcotest.(check int) "no dead residue" 0 (Obstack.dead_objects ob);
+  Alcotest.(check int) "chunk released" 0 (Obstack.current_footprint ob)
+
+let check_non_lifo_retains () =
+  let ob, _ = fresh () in
+  let a = Obstack.alloc ob 1000 in
+  let b = Obstack.alloc ob 1000 in
+  Obstack.free ob a;
+  (* The deep object is dead but unreclaimed while [b] lives above it. *)
+  Alcotest.(check int) "dead object retained" 1 (Obstack.dead_objects ob);
+  Alcotest.(check bool) "memory still held" true (Obstack.current_footprint ob > 0);
+  Obstack.free ob b;
+  Alcotest.(check int) "cascade reclaims" 0 (Obstack.dead_objects ob);
+  Alcotest.(check int) "memory returned" 0 (Obstack.current_footprint ob)
+
+let check_chunk_spill () =
+  let ob, _ = fresh () in
+  (* Default 4096 chunks: allocate until a second chunk is needed. *)
+  let addrs = List.init 5 (fun _ -> Obstack.alloc ob 1000) in
+  Alcotest.(check int) "two chunks" 8192 (Obstack.current_footprint ob);
+  List.iter (Obstack.free ob) (List.rev addrs);
+  Alcotest.(check int) "all returned" 0 (Obstack.current_footprint ob)
+
+let check_oversized_object () =
+  let ob, _ = fresh () in
+  let a = Obstack.alloc ob 100_000 in
+  Alcotest.(check bool) "dedicated chunk" true (Obstack.current_footprint ob >= 100_000);
+  Obstack.free ob a;
+  Alcotest.(check int) "returned" 0 (Obstack.current_footprint ob)
+
+let check_chunk_cache_reuse () =
+  (* In an exclusive space, emptied chunks always surface at the heap top
+     and are trimmed; the cache only matters when another allocator has
+     grown the space above the obstack's chunks in the meantime. *)
+  let space = Address_space.create () in
+  let ob = Obstack.create space in
+  let a = Obstack.alloc ob 1000 in
+  let _foreign = Address_space.sbrk space 4096 in
+  Obstack.free ob a;
+  Alcotest.(check bool) "chunk cached, not trimmed" true
+    (Obstack.current_footprint ob = 4096);
+  let brk_before = Address_space.brk space in
+  let _ = Obstack.alloc ob 1000 in
+  Alcotest.(check int) "cached chunk reused without sbrk" brk_before
+    (Address_space.brk space)
+
+let check_invalid_free () =
+  let ob, _ = fresh () in
+  let a = Obstack.alloc ob 10 in
+  (try
+     Obstack.free ob (a + 2);
+     Alcotest.fail "bogus free accepted"
+   with Allocator.Invalid_free _ -> ());
+  Obstack.free ob a;
+  try
+    Obstack.free ob a;
+    Alcotest.fail "double free accepted"
+  with Allocator.Invalid_free _ -> ()
+
+let check_random_order_eventually_reclaims () =
+  let ob, _ = fresh () in
+  let rng = Dmm_util.Prng.create 7 in
+  let addrs = Array.init 200 (fun _ -> Obstack.alloc ob (8 + Dmm_util.Prng.int rng 200)) in
+  Dmm_util.Prng.shuffle_in_place rng addrs;
+  Array.iter (Obstack.free ob) addrs;
+  Alcotest.(check int) "everything reclaimed at the end" 0 (Obstack.live_objects ob);
+  Alcotest.(check int) "footprint zero" 0 (Obstack.current_footprint ob)
+
+let check_allocator_interface () =
+  let ob, _ = fresh () in
+  let a = Obstack.allocator ob in
+  Alcotest.(check string) "name" "obstacks" a.Allocator.name
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"LIFO discipline keeps footprint to one chunk" ~count:100
+      QCheck.(list_of_size Gen.(1 -- 50) (int_range 1 200))
+      (fun sizes ->
+        let ob, _ = fresh () in
+        List.for_all
+          (fun size ->
+            let a = Obstack.alloc ob size in
+            Obstack.free ob a;
+            Obstack.current_footprint ob <= 4096)
+          sizes);
+  ]
+
+let tests =
+  ( "obstack",
+    [
+      Alcotest.test_case "bump allocation" `Quick check_bump_allocation;
+      Alcotest.test_case "LIFO reclaims" `Quick check_lifo_reclaims;
+      Alcotest.test_case "non-LIFO retains" `Quick check_non_lifo_retains;
+      Alcotest.test_case "chunk spill" `Quick check_chunk_spill;
+      Alcotest.test_case "oversized object" `Quick check_oversized_object;
+      Alcotest.test_case "chunk cache reuse" `Quick check_chunk_cache_reuse;
+      Alcotest.test_case "invalid free" `Quick check_invalid_free;
+      Alcotest.test_case "random order eventually reclaims" `Quick
+        check_random_order_eventually_reclaims;
+      Alcotest.test_case "allocator interface" `Quick check_allocator_interface;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

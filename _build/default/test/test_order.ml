@@ -1,0 +1,83 @@
+open Dmm_core
+module D = Decision
+
+let check_paper_order_complete () =
+  Alcotest.(check bool) "permutation" true (Order.is_complete_order Order.paper_order);
+  Alcotest.(check bool) "wrong order also complete" true
+    (Order.is_complete_order Order.figure4_wrong_order)
+
+let check_paper_order_prefix () =
+  (* Section 4.2: A2->A5->E2->D2->E1->D1->B4->B1->...->C1->A1->A3->A4. *)
+  let prefix = [ D.A2; D.A5; D.E2; D.D2; D.E1; D.D1; D.B4; D.B1 ] in
+  let actual =
+    List.filteri (fun i _ -> i < List.length prefix) Order.paper_order
+  in
+  Alcotest.(check bool) "prefix matches the paper" true (actual = prefix);
+  let last3 =
+    let n = List.length Order.paper_order in
+    List.filteri (fun i _ -> i >= n - 3) Order.paper_order
+  in
+  Alcotest.(check bool) "A1, A3, A4 decided last" true (last3 = [ D.A1; D.A3; D.A4 ])
+
+let check_incomplete_order_rejected () =
+  match Order.walk ~order:[ D.A1; D.A2 ] ~choose:(fun _ _ legal -> List.hd legal) () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "short order should be rejected"
+
+let check_walk_first_legal () =
+  match Order.walk ~choose:(fun _ _ legal -> List.hd legal) () with
+  | Ok v -> Alcotest.(check bool) "result valid" true (Constraints.is_valid v)
+  | Error msg -> Alcotest.fail msg
+
+let check_walk_rejects_illegal_choice () =
+  let choose _ tree legal =
+    (* Return something that is (sometimes) not in the legal list: an
+       arbitrary fixed leaf of the same tree. *)
+    match tree with
+    | D.D2 -> D.L_d2 D.Always
+    | _ -> List.hd legal
+  in
+  (* Force A5 = No_flexibility first so D2 = Always is illegal. *)
+  let order = [ D.A5; D.A2; D.A3; D.A4; D.E2; D.D2; D.E1; D.D1; D.B4; D.B1; D.B2; D.B3; D.C1; D.A1 ] in
+  let choose_a5 partial tree legal =
+    match tree with D.A5 -> D.L_a5 D.No_flexibility | _ -> choose partial tree legal
+  in
+  match Order.walk ~order ~choose:choose_a5 () with
+  | Error _ -> ()
+  | Ok _ -> Alcotest.fail "illegal choice should be rejected"
+
+let qcheck =
+  let seed_arb = QCheck.small_int in
+  [
+    QCheck.Test.make ~name:"random walks always complete and are valid" ~count:300
+      seed_arb
+      (fun seed ->
+        let rng = Dmm_util.Prng.create seed in
+        let choose _ _ legal =
+          List.nth legal (Dmm_util.Prng.int rng (List.length legal))
+        in
+        match Order.walk ~choose () with
+        | Ok v -> Constraints.is_valid v
+        | Error _ -> false);
+    QCheck.Test.make ~name:"random walks on the wrong order also complete" ~count:100
+      seed_arb
+      (fun seed ->
+        let rng = Dmm_util.Prng.create seed in
+        let choose _ _ legal =
+          List.nth legal (Dmm_util.Prng.int rng (List.length legal))
+        in
+        match Order.walk ~order:Order.figure4_wrong_order ~choose () with
+        | Ok v -> Constraints.is_valid v
+        | Error _ -> false);
+  ]
+
+let tests =
+  ( "order",
+    [
+      Alcotest.test_case "orders complete" `Quick check_paper_order_complete;
+      Alcotest.test_case "paper order prefix" `Quick check_paper_order_prefix;
+      Alcotest.test_case "incomplete order rejected" `Quick check_incomplete_order_rejected;
+      Alcotest.test_case "walk with first-legal choice" `Quick check_walk_first_legal;
+      Alcotest.test_case "illegal choice rejected" `Quick check_walk_rejects_illegal_choice;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

@@ -1,0 +1,145 @@
+module Prng = Dmm_util.Prng
+
+let check_det () =
+  let a = Prng.create 7 and b = Prng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Prng.next_int64 a) (Prng.next_int64 b)
+  done
+
+let check_seed_sensitivity () =
+  let a = Prng.create 7 and b = Prng.create 8 in
+  let differs = ref false in
+  for _ = 1 to 16 do
+    if Prng.next_int64 a <> Prng.next_int64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let check_copy () =
+  let a = Prng.create 3 in
+  let _ = Prng.next_int64 a in
+  let b = Prng.copy a in
+  Alcotest.(check int64) "copy continues identically" (Prng.next_int64 a) (Prng.next_int64 b)
+
+let check_split_independent () =
+  let a = Prng.create 3 in
+  let b = Prng.split a in
+  let xa = Prng.next_int64 a and xb = Prng.next_int64 b in
+  Alcotest.(check bool) "split streams differ" true (xa <> xb)
+
+let check_int_bounds () =
+  let rng = Prng.create 1 in
+  for _ = 1 to 1000 do
+    let v = Prng.int rng 17 in
+    Alcotest.(check bool) "0 <= v < 17" true (v >= 0 && v < 17)
+  done
+
+let check_int_errors () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "bound 0" (Invalid_argument "Prng.int: bound must be positive")
+    (fun () -> ignore (Prng.int rng 0));
+  Alcotest.check_raises "empty range" (Invalid_argument "Prng.int_in: empty range")
+    (fun () -> ignore (Prng.int_in rng 5 4))
+
+let check_float_bounds () =
+  let rng = Prng.create 2 in
+  for _ = 1 to 1000 do
+    let v = Prng.float rng 3.5 in
+    Alcotest.(check bool) "0 <= v < 3.5" true (v >= 0.0 && v < 3.5)
+  done
+
+let mean_of n f =
+  let rng = Prng.create 99 in
+  let acc = ref 0.0 in
+  for _ = 1 to n do
+    acc := !acc +. f rng
+  done;
+  !acc /. float_of_int n
+
+let check_exponential_mean () =
+  let m = mean_of 20000 (fun rng -> Prng.exponential rng 4.0) in
+  Alcotest.(check bool) "mean ~ 1/4" true (Float.abs (m -. 0.25) < 0.02)
+
+let check_normal_mean () =
+  let m = mean_of 20000 (fun rng -> Prng.normal rng ~mean:10.0 ~stddev:2.0) in
+  Alcotest.(check bool) "mean ~ 10" true (Float.abs (m -. 10.0) < 0.1)
+
+let check_pareto_min () =
+  let rng = Prng.create 5 in
+  for _ = 1 to 1000 do
+    let v = Prng.pareto rng ~alpha:1.5 ~xmin:2.0 in
+    Alcotest.(check bool) "v >= xmin" true (v >= 2.0)
+  done
+
+let check_bernoulli_frequency () =
+  let rng = Prng.create 11 in
+  let hits = ref 0 in
+  for _ = 1 to 10000 do
+    if Prng.bernoulli rng 0.3 then incr hits
+  done;
+  let f = float_of_int !hits /. 10000.0 in
+  Alcotest.(check bool) "frequency ~ 0.3" true (Float.abs (f -. 0.3) < 0.03)
+
+let check_choose_weighted () =
+  let rng = Prng.create 13 in
+  let counts = Hashtbl.create 3 in
+  for _ = 1 to 9000 do
+    let x = Prng.choose_weighted rng [| (1.0, "a"); (2.0, "b"); (0.0, "c") |] in
+    Hashtbl.replace counts x (1 + Option.value ~default:0 (Hashtbl.find_opt counts x))
+  done;
+  let count k = Option.value ~default:0 (Hashtbl.find_opt counts k) in
+  Alcotest.(check int) "zero weight never chosen" 0 (count "c");
+  Alcotest.(check bool) "b roughly twice a" true
+    (float_of_int (count "b") /. float_of_int (count "a") > 1.6)
+
+let check_choose_weighted_errors () =
+  let rng = Prng.create 1 in
+  Alcotest.check_raises "empty array"
+    (Invalid_argument "Prng.choose_weighted: empty array") (fun () ->
+      ignore (Prng.choose_weighted rng [||]))
+
+let check_shuffle_permutation () =
+  let rng = Prng.create 21 in
+  let arr = Array.init 50 Fun.id in
+  Prng.shuffle_in_place rng arr;
+  let sorted = Array.copy arr in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "still a permutation" (Array.init 50 Fun.id) sorted
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"int_in within range" ~count:500
+      QCheck.(triple small_int small_int small_int)
+      (fun (seed, lo, len) ->
+        let lo = lo mod 1000 and len = abs len mod 1000 in
+        let rng = Prng.create seed in
+        let v = Prng.int_in rng lo (lo + len) in
+        v >= lo && v <= lo + len);
+    QCheck.Test.make ~name:"same seed same int stream" ~count:200
+      QCheck.(pair small_int small_nat)
+      (fun (seed, n) ->
+        let n = 1 + (n mod 50) in
+        let a = Prng.create seed and b = Prng.create seed in
+        List.for_all
+          (fun _ -> Prng.int a 1000 = Prng.int b 1000)
+          (List.init n Fun.id));
+  ]
+
+let tests =
+  ( "prng",
+    [
+      Alcotest.test_case "determinism" `Quick check_det;
+      Alcotest.test_case "seed sensitivity" `Quick check_seed_sensitivity;
+      Alcotest.test_case "copy" `Quick check_copy;
+      Alcotest.test_case "split independence" `Quick check_split_independent;
+      Alcotest.test_case "int bounds" `Quick check_int_bounds;
+      Alcotest.test_case "int errors" `Quick check_int_errors;
+      Alcotest.test_case "float bounds" `Quick check_float_bounds;
+      Alcotest.test_case "exponential mean" `Quick check_exponential_mean;
+      Alcotest.test_case "normal mean" `Quick check_normal_mean;
+      Alcotest.test_case "pareto minimum" `Quick check_pareto_min;
+      Alcotest.test_case "bernoulli frequency" `Quick check_bernoulli_frequency;
+      Alcotest.test_case "choose_weighted" `Quick check_choose_weighted;
+      Alcotest.test_case "choose_weighted errors" `Quick check_choose_weighted_errors;
+      Alcotest.test_case "shuffle permutation" `Quick check_shuffle_permutation;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

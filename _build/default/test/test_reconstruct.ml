@@ -1,0 +1,78 @@
+module Reconstruct = Dmm_workloads.Reconstruct
+module Recorder = Dmm_trace.Recorder
+module Trace = Dmm_trace.Trace
+module Allocator = Dmm_core.Allocator
+
+let small = { Reconstruct.default_config with frames = 8; base_corners = 60 }
+
+let run_recorded config =
+  let a, get = Recorder.recording_allocator () in
+  let stats = Reconstruct.run ~config a in
+  (stats, get (), a)
+
+let check_runs_and_frees_everything () =
+  let stats, trace, a = run_recorded small in
+  Alcotest.(check int) "frames done" 8 stats.Reconstruct.frames_done;
+  Alcotest.(check int) "no leaks" 0 (Trace.live_at_end trace);
+  Alcotest.(check int) "live payload zero" 0 (Allocator.current_footprint a);
+  match Trace.validate trace with Ok () -> () | Error m -> Alcotest.fail m
+
+let check_determinism () =
+  let s1, t1, _ = run_recorded small in
+  let s2, t2, _ = run_recorded small in
+  Alcotest.(check int) "checksum" s1.Reconstruct.checksum s2.Reconstruct.checksum;
+  Alcotest.(check bool) "traces identical" true (Trace.to_list t1 = Trace.to_list t2);
+  let s3, _, _ = run_recorded { small with seed = 99 } in
+  Alcotest.(check bool) "seed changes the run" true
+    (s3.Reconstruct.corners_total <> s1.Reconstruct.corners_total
+    || s3.Reconstruct.checksum <> s1.Reconstruct.checksum)
+
+let check_workload_shape () =
+  let stats, trace, a = run_recorded small in
+  Alcotest.(check bool) "corners found" true (stats.Reconstruct.corners_total > 0);
+  Alcotest.(check bool) "matches found" true (stats.Reconstruct.matches_total > 0);
+  Alcotest.(check bool) "points triangulated" true (stats.Reconstruct.points_total > 0);
+  (* Two frames of image data live at once: the peak must cover them. *)
+  let image_bytes = small.Reconstruct.width * small.Reconstruct.height in
+  Alcotest.(check bool) "peak covers two frames of images" true
+    (Allocator.max_footprint a >= 2 * image_bytes);
+  Alcotest.(check bool) "trace has both big and small requests" true
+    (let has_big = ref false and has_small = ref false in
+     Trace.iter
+       (function
+         | Dmm_trace.Event.Alloc { size; _ } ->
+           if size >= image_bytes then has_big := true;
+           if size <= 64 then has_small := true
+         | Dmm_trace.Event.Free _ | Dmm_trace.Event.Phase _ -> ())
+       trace;
+     !has_big && !has_small)
+
+let check_complexity_varies_corner_count () =
+  (* The whole point of the case study: corner counts are input-dependent,
+     so different seeds produce different allocation volumes. *)
+  let counts =
+    List.map
+      (fun seed ->
+        let s, _, _ = run_recorded { small with seed } in
+        s.Reconstruct.corners_total)
+      [ 1; 2; 3; 4 ]
+  in
+  Alcotest.(check bool) "corner totals vary" true
+    (List.length (List.sort_uniq compare counts) > 1)
+
+let check_bad_config () =
+  Alcotest.check_raises "no frames" (Invalid_argument "Reconstruct.run: bad config")
+    (fun () ->
+      let a, _ = Recorder.recording_allocator () in
+      ignore (Reconstruct.run ~config:{ small with frames = 0 } a))
+
+let tests =
+  ( "reconstruct",
+    [
+      Alcotest.test_case "runs and frees everything" `Quick check_runs_and_frees_everything;
+      Alcotest.test_case "determinism" `Quick check_determinism;
+      Alcotest.test_case "workload shape" `Quick check_workload_shape;
+      Alcotest.test_case "complexity varies corner counts" `Quick
+        check_complexity_varies_corner_count;
+      Alcotest.test_case "bad config" `Quick check_bad_config;
+    ] )

@@ -1,0 +1,75 @@
+module Render = Dmm_workloads.Render
+module Recorder = Dmm_trace.Recorder
+module Trace = Dmm_trace.Trace
+module Event = Dmm_trace.Event
+module Profile = Dmm_core.Profile
+module Allocator = Dmm_core.Allocator
+
+let small =
+  { Render.default_config with objects = 4; max_level = 4; orbit_cycles = 6; composite_frames = 8 }
+
+let run_recorded config =
+  let a, get = Recorder.recording_allocator () in
+  let stats = Render.run ~config a in
+  (stats, get (), a)
+
+let check_runs_and_frees_everything () =
+  let stats, trace, a = run_recorded small in
+  Alcotest.(check int) "no leaks" 0 (Trace.live_at_end trace);
+  Alcotest.(check int) "live payload zero" 0 (Allocator.current_footprint a);
+  Alcotest.(check bool) "records allocated" true (stats.Render.records_total > 0);
+  match Trace.validate trace with Ok () -> () | Error m -> Alcotest.fail m
+
+let check_determinism () =
+  let s1, t1, _ = run_recorded small in
+  let s2, t2, _ = run_recorded small in
+  Alcotest.(check int) "checksum" s1.Render.checksum s2.Render.checksum;
+  Alcotest.(check bool) "traces identical" true (Trace.to_list t1 = Trace.to_list t2)
+
+let check_phase_markers () =
+  let _, trace, _ = run_recorded small in
+  let phases = ref [] in
+  Trace.iter
+    (function Event.Phase p -> phases := p :: !phases | Event.Alloc _ | Event.Free _ -> ())
+    trace;
+  Alcotest.(check (list int)) "three phases in order" [ 0; 1; 2 ] (List.rev !phases)
+
+let check_phase_behaviours () =
+  let _, trace, _ = run_recorded small in
+  let profile = Dmm_trace.Profile_builder.of_trace trace in
+  match Profile.phases profile with
+  | [ p0; p1; p2 ] ->
+    Alcotest.(check int) "refine never frees" 0 p0.Profile.frees;
+    Alcotest.(check int) "refine uses one record size" 1 (Profile.distinct_sizes p0);
+    Alcotest.(check bool) "orbit is perfectly stack-like" true
+      (Profile.stack_likeness p1 = 1.0);
+    Alcotest.(check bool) "compositing is not stack-like" true
+      (Profile.stack_likeness p2 < 0.3);
+    Alcotest.(check bool) "compositing frees dominate" true
+      (p2.Profile.frees > p2.Profile.allocs)
+  | other -> Alcotest.fail (Printf.sprintf "expected 3 phases, got %d" (List.length other))
+
+let check_records_peak () =
+  let stats, _, _ = run_recorded small in
+  (* Full detail: objects * base * (2^(max+1) - 1) vertex-split records. *)
+  let expected =
+    small.Render.objects * small.Render.base_vertices * ((2 lsl small.Render.max_level) - 1)
+  in
+  Alcotest.(check int) "records at full detail" expected stats.Render.records_peak
+
+let check_bad_config () =
+  Alcotest.check_raises "no objects" (Invalid_argument "Render.run: bad config")
+    (fun () ->
+      let a, _ = Recorder.recording_allocator () in
+      ignore (Render.run ~config:{ small with objects = 0 } a))
+
+let tests =
+  ( "render",
+    [
+      Alcotest.test_case "runs and frees everything" `Quick check_runs_and_frees_everything;
+      Alcotest.test_case "determinism" `Quick check_determinism;
+      Alcotest.test_case "phase markers" `Quick check_phase_markers;
+      Alcotest.test_case "phase behaviours" `Quick check_phase_behaviours;
+      Alcotest.test_case "records peak" `Quick check_records_peak;
+      Alcotest.test_case "bad config" `Quick check_bad_config;
+    ] )

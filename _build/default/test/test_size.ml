@@ -1,0 +1,46 @@
+module Size = Dmm_util.Size
+
+let check_align_up () =
+  Alcotest.(check int) "already aligned" 16 (Size.align_up 16 8);
+  Alcotest.(check int) "rounds up" 24 (Size.align_up 17 8);
+  Alcotest.(check int) "zero" 0 (Size.align_up 0 8);
+  Alcotest.check_raises "bad alignment"
+    (Invalid_argument "Size.align_up: non-positive alignment") (fun () ->
+      ignore (Size.align_up 4 0))
+
+let check_pow2 () =
+  Alcotest.(check int) "pow2_ceil 0" 1 (Size.pow2_ceil 0);
+  Alcotest.(check int) "pow2_ceil 1" 1 (Size.pow2_ceil 1);
+  Alcotest.(check int) "pow2_ceil 17" 32 (Size.pow2_ceil 17);
+  Alcotest.(check int) "pow2_ceil 64" 64 (Size.pow2_ceil 64);
+  Alcotest.(check bool) "is_power_of_two" true (Size.is_power_of_two 64);
+  Alcotest.(check bool) "48 is not" false (Size.is_power_of_two 48);
+  Alcotest.(check bool) "0 is not" false (Size.is_power_of_two 0)
+
+let check_log2 () =
+  Alcotest.(check int) "log2_ceil 1" 0 (Size.log2_ceil 1);
+  Alcotest.(check int) "log2_ceil 9" 4 (Size.log2_ceil 9);
+  Alcotest.(check int) "kib" 2048 (Size.kib 2);
+  Alcotest.(check int) "mib" 3145728 (Size.mib 3)
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"align_up properties" ~count:500
+      QCheck.(pair (int_bound 100000) (int_range 1 64))
+      (fun (n, a) ->
+        let r = Size.align_up n a in
+        r >= n && r mod a = 0 && r - n < a);
+    QCheck.Test.make ~name:"pow2_ceil properties" ~count:500 (QCheck.int_bound 1000000)
+      (fun n ->
+        let p = Size.pow2_ceil n in
+        Size.is_power_of_two p && p >= max 1 n && (p = 1 || p / 2 < max 1 n));
+  ]
+
+let tests =
+  ( "size",
+    [
+      Alcotest.test_case "align_up" `Quick check_align_up;
+      Alcotest.test_case "pow2" `Quick check_pow2;
+      Alcotest.test_case "log2 and units" `Quick check_log2;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

@@ -1,0 +1,97 @@
+module Stats = Dmm_util.Stats
+
+let feed xs =
+  let s = Stats.create () in
+  List.iter (Stats.add s) xs;
+  s
+
+let close ?(eps = 1e-9) a b = Float.abs (a -. b) < eps
+
+let check_basic () =
+  let s = feed [ 1.0; 2.0; 3.0; 4.0 ] in
+  Alcotest.(check int) "count" 4 (Stats.count s);
+  Alcotest.(check bool) "mean" true (close (Stats.mean s) 2.5);
+  Alcotest.(check bool) "total" true (close (Stats.total s) 10.0);
+  Alcotest.(check bool) "variance" true (close (Stats.variance s) 1.25);
+  Alcotest.(check bool) "min" true (close (Stats.min_value s) 1.0);
+  Alcotest.(check bool) "max" true (close (Stats.max_value s) 4.0)
+
+let check_empty () =
+  let s = Stats.create () in
+  Alcotest.(check int) "count" 0 (Stats.count s);
+  Alcotest.(check bool) "mean 0" true (close (Stats.mean s) 0.0);
+  Alcotest.(check bool) "variance 0" true (close (Stats.variance s) 0.0);
+  Alcotest.check_raises "min of empty" (Invalid_argument "Stats.min_value: empty")
+    (fun () -> ignore (Stats.min_value s))
+
+let check_single () =
+  let s = feed [ 42.0 ] in
+  Alcotest.(check bool) "variance of one sample" true (close (Stats.variance s) 0.0);
+  Alcotest.(check bool) "cv of constant" true
+    (close (Stats.coefficient_of_variation s) 0.0)
+
+let check_cv () =
+  let s = feed [ 10.0; 10.0; 10.0 ] in
+  Alcotest.(check bool) "cv of constants is 0" true
+    (close (Stats.coefficient_of_variation s) 0.0);
+  let s2 = feed [ 1.0; 100.0 ] in
+  Alcotest.(check bool) "cv of spread data is large" true
+    (Stats.coefficient_of_variation s2 > 0.5)
+
+let check_add_int () =
+  let s = Stats.create () in
+  Stats.add_int s 5;
+  Stats.add_int s 7;
+  Alcotest.(check bool) "mean of ints" true (close (Stats.mean s) 6.0)
+
+let check_merge_matches_combined () =
+  let xs = [ 1.0; 5.0; 9.0 ] and ys = [ 2.0; 2.0; 8.0; 4.0 ] in
+  let merged = Stats.merge (feed xs) (feed ys) in
+  let combined = feed (xs @ ys) in
+  Alcotest.(check int) "count" (Stats.count combined) (Stats.count merged);
+  Alcotest.(check bool) "mean" true (close (Stats.mean merged) (Stats.mean combined));
+  Alcotest.(check bool) "variance" true
+    (close ~eps:1e-6 (Stats.variance merged) (Stats.variance combined));
+  Alcotest.(check bool) "min" true
+    (close (Stats.min_value merged) (Stats.min_value combined));
+  Alcotest.(check bool) "max" true
+    (close (Stats.max_value merged) (Stats.max_value combined))
+
+let check_merge_empty () =
+  let s = feed [ 3.0 ] in
+  let m1 = Stats.merge (Stats.create ()) s in
+  let m2 = Stats.merge s (Stats.create ()) in
+  Alcotest.(check int) "left empty" 1 (Stats.count m1);
+  Alcotest.(check int) "right empty" 1 (Stats.count m2)
+
+let qcheck =
+  let float_list = QCheck.(list_of_size Gen.(1 -- 40) (float_range (-1000.) 1000.)) in
+  [
+    QCheck.Test.make ~name:"merge equals combined stream" ~count:200
+      (QCheck.pair float_list float_list)
+      (fun (xs, ys) ->
+        let merged = Stats.merge (feed xs) (feed ys) in
+        let combined = feed (xs @ ys) in
+        Stats.count merged = Stats.count combined
+        && close ~eps:1e-6 (Stats.mean merged) (Stats.mean combined)
+        && Float.abs (Stats.variance merged -. Stats.variance combined)
+           < 1e-6 *. (1.0 +. Stats.variance combined));
+    QCheck.Test.make ~name:"mean within min..max" ~count:200 float_list (fun xs ->
+        QCheck.assume (xs <> []);
+        let s = feed xs in
+        Stats.mean s >= Stats.min_value s -. 1e-9
+        && Stats.mean s <= Stats.max_value s +. 1e-9);
+  ]
+
+let tests =
+  ( "stats",
+    [
+      Alcotest.test_case "basic" `Quick check_basic;
+      Alcotest.test_case "empty" `Quick check_empty;
+      Alcotest.test_case "single sample" `Quick check_single;
+      Alcotest.test_case "coefficient of variation" `Quick check_cv;
+      Alcotest.test_case "add_int" `Quick check_add_int;
+      Alcotest.test_case "merge matches combined" `Quick check_merge_matches_combined;
+      Alcotest.test_case "merge with empty" `Quick check_merge_empty;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck )

@@ -1,0 +1,117 @@
+module Traffic = Dmm_workloads.Traffic
+module Prng = Dmm_util.Prng
+
+let check_determinism () =
+  let p1 = Traffic.generate Traffic.default_config in
+  let p2 = Traffic.generate Traffic.default_config in
+  Alcotest.(check bool) "same seed, same packets" true (p1 = p2);
+  let p3 = Traffic.generate { Traffic.default_config with seed = 1 } in
+  Alcotest.(check bool) "different seed differs" true (p1 <> p3)
+
+let check_sorted_arrivals () =
+  let packets = Traffic.generate Traffic.default_config in
+  let rec sorted = function
+    | [] | [ _ ] -> true
+    | (a : Traffic.packet) :: (b : Traffic.packet) :: rest ->
+      a.arrival <= b.arrival && sorted (b :: rest)
+  in
+  Alcotest.(check bool) "non-decreasing arrivals" true (sorted packets)
+
+let check_bounds () =
+  let config = Traffic.default_config in
+  let packets = Traffic.generate config in
+  Alcotest.(check bool) "non-empty" true (packets <> []);
+  List.iter
+    (fun (p : Traffic.packet) ->
+      Alcotest.(check bool) "size in internet range" true (p.size >= 40 && p.size <= 1500);
+      Alcotest.(check bool) "flow id in range" true (p.flow >= 0 && p.flow < config.flows);
+      Alcotest.(check bool) "arrival in duration" true
+        (p.arrival >= 0.0 && p.arrival < config.duration))
+    packets
+
+let check_dominant_concentration () =
+  (* Each flow's size distribution concentrates around its dominant size. *)
+  let packets = Traffic.generate { Traffic.default_config with duration = 3.0 } in
+  let by_flow = Hashtbl.create 8 in
+  List.iter
+    (fun (p : Traffic.packet) ->
+      let l = Option.value ~default:[] (Hashtbl.find_opt by_flow p.flow) in
+      Hashtbl.replace by_flow p.flow (p.size :: l))
+    packets;
+  Hashtbl.iter
+    (fun flow sizes ->
+      match Traffic.profile_of_flow flow with
+      | Traffic.Dominant d ->
+        let n = List.length sizes in
+        if n > 50 then begin
+          let near =
+            List.length
+              (List.filter (fun s -> s >= d * 85 / 100 && s <= d * 115 / 100) sizes)
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "flow %d concentrates near %d" flow d)
+            true
+            (float_of_int near /. float_of_int n > 0.5)
+        end
+      | Traffic.Bulk | Traffic.Interactive | Traffic.Mixed -> ())
+    by_flow
+
+let check_packet_size_profiles () =
+  let rng = Prng.create 4 in
+  for _ = 1 to 500 do
+    let s = Traffic.packet_size rng Traffic.Bulk in
+    Alcotest.(check bool) "bulk size sane" true (s >= 40 && s <= 1500)
+  done;
+  let rng = Prng.create 4 in
+  let small =
+    List.init 500 (fun _ -> Traffic.packet_size rng Traffic.Interactive)
+    |> List.filter (fun s -> s <= 100)
+  in
+  Alcotest.(check bool) "interactive skews small" true (List.length small > 200)
+
+let check_total_bytes () =
+  let packets = Traffic.generate Traffic.default_config in
+  let manual = List.fold_left (fun acc (p : Traffic.packet) -> acc + p.size) 0 packets in
+  Alcotest.(check int) "total bytes" manual (Traffic.total_bytes packets)
+
+let check_paper_config_class_coverage () =
+  (* The Table-1 regime needs flows spread across several power-of-two
+     classes so per-class hoarding accumulates (EXPERIMENTS.md). *)
+  let classes =
+    List.sort_uniq compare
+      (List.init 10 (fun flow ->
+           match Traffic.profile_of_flow flow with
+           | Traffic.Dominant d -> Dmm_util.Size.pow2_ceil (d + 4)
+           | Traffic.Bulk | Traffic.Interactive | Traffic.Mixed -> 0))
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "dominant sizes span %d classes" (List.length classes))
+    true
+    (List.length classes >= 4)
+
+let check_paper_config_generates () =
+  (* Flow starts are staggered across [mean_off], so cover it fully. *)
+  let packets =
+    Traffic.generate { Traffic.paper_config with duration = 8.0 }
+  in
+  Alcotest.(check bool) "packets produced" true (List.length packets > 100);
+  let flows = List.sort_uniq compare (List.map (fun (p : Traffic.packet) -> p.flow) packets) in
+  Alcotest.(check bool) "most flows active" true (List.length flows >= 8)
+
+let check_bad_config () =
+  Alcotest.check_raises "no flows" (Invalid_argument "Traffic.generate: bad config")
+    (fun () -> ignore (Traffic.generate { Traffic.default_config with flows = 0 }))
+
+let tests =
+  ( "traffic",
+    [
+      Alcotest.test_case "determinism" `Quick check_determinism;
+      Alcotest.test_case "sorted arrivals" `Quick check_sorted_arrivals;
+      Alcotest.test_case "bounds" `Quick check_bounds;
+      Alcotest.test_case "dominant size concentration" `Quick check_dominant_concentration;
+      Alcotest.test_case "profile size shapes" `Quick check_packet_size_profiles;
+      Alcotest.test_case "total bytes" `Quick check_total_bytes;
+      Alcotest.test_case "bad config" `Quick check_bad_config;
+      Alcotest.test_case "paper config class coverage" `Quick check_paper_config_class_coverage;
+      Alcotest.test_case "paper config generates" `Quick check_paper_config_generates;
+    ] )
