@@ -8,7 +8,14 @@
      EXP-PERF Section 5 text - execution-time comparison (abstract ops and
               Bechamel wall-clock; one Bechamel test per Table 1 column)
 
-   Run with DMM_BENCH_QUICK=1 for a fast smoke pass. *)
+   The simulation grids (EXP-T1, EXP-SRCH, EXP-MIX) run on the engine's
+   domain pool; EXP-T1 is additionally timed under one worker and under
+   the full pool, and the wall-clock of every section lands in
+   BENCH_results.json so the perf trajectory is tracked across changes.
+
+   Run with DMM_BENCH_QUICK=1 for a fast smoke pass, DMM_JOBS=N to pin
+   the worker count, DMM_BENCH_SKIP_WALL=1 to skip the (non-deterministic)
+   Bechamel wall-clock section. *)
 
 module Experiments = Dmm_workloads.Experiments
 module Scenario = Dmm_workloads.Scenario
@@ -16,21 +23,82 @@ module Trace = Dmm_trace.Trace
 module Replay = Dmm_trace.Replay
 module Footprint_series = Dmm_trace.Footprint_series
 module Csv = Dmm_trace.Csv
+module Pool = Dmm_engine.Pool
 
 let quick = Sys.getenv_opt "DMM_BENCH_QUICK" <> None
+let skip_wall = Sys.getenv_opt "DMM_BENCH_SKIP_WALL" <> None
 
 let section title =
   Printf.printf "\n=== %s ===\n%!" title
 
+(* Wall-clock ledger for BENCH_results.json. Timing lines on stdout are
+   prefixed with [time] so deterministic-output diffs can strip them. *)
+let section_times : (string * float) list ref = ref []
+
+let timed name f =
+  let t0 = Unix.gettimeofday () in
+  let r = f () in
+  let dt = Unix.gettimeofday () -. t0 in
+  section_times := (name, dt) :: !section_times;
+  Printf.printf "[time] %-9s %.2fs (jobs=%d)\n%!" name dt (Pool.jobs ());
+  r
+
 (* ------------------------------------------------------------------ *)
 (* EXP-T1: Table 1                                                     *)
+
+(* The worker count for the parallel EXP-T1 pass: whatever DMM_JOBS says,
+   else at least two domains so the speedup measurement is meaningful
+   even when the recommended count is one. *)
+let parallel_jobs =
+  match Sys.getenv_opt "DMM_JOBS" with
+  | Some _ -> Pool.jobs ()
+  | None -> max 2 (Pool.jobs ())
+
+type t1_timing = {
+  jobs1_seconds : float;
+  jobsn : int;
+  jobsn_seconds : float;
+  speedup : float;
+  identical : bool;
+}
+
+let render_tables tables =
+  String.concat "\n" (List.map (Format.asprintf "%a" Experiments.pp_table) tables)
 
 let table1 () =
   section "EXP-T1: Table 1 - maximum memory footprint (bytes)";
   let seeds = if quick then 1 else 3 in
-  let tables = Experiments.table1 ~seeds () in
+  let run jobs = Pool.with_jobs jobs (fun () -> Experiments.table1 ~seeds ()) in
+  let t0 = Unix.gettimeofday () in
+  let sequential = run 1 in
+  let jobs1_seconds = Unix.gettimeofday () -. t0 in
+  let tables, jobsn_seconds =
+    if parallel_jobs = 1 then (sequential, jobs1_seconds)
+    else begin
+      let t0 = Unix.gettimeofday () in
+      let tables = run parallel_jobs in
+      (tables, Unix.gettimeofday () -. t0)
+    end
+  in
   List.iter (fun t -> Format.printf "%a@." Experiments.pp_table t) tables;
-  tables
+  let identical = render_tables tables = render_tables sequential in
+  let timing =
+    {
+      jobs1_seconds;
+      jobsn = parallel_jobs;
+      jobsn_seconds;
+      speedup = jobs1_seconds /. Float.max 1e-9 jobsn_seconds;
+      identical;
+    }
+  in
+  section_times := ("EXP-T1", jobsn_seconds) :: !section_times;
+  Printf.printf
+    "[time] EXP-T1    jobs=1: %.2fs  jobs=%d: %.2fs  speedup %.2fx  identical=%b\n%!"
+    timing.jobs1_seconds timing.jobsn timing.jobsn_seconds timing.speedup
+    timing.identical;
+  if not identical then
+    prerr_endline "EXP-T1: WARNING: parallel and sequential tables differ!";
+  (tables, timing)
 
 (* ------------------------------------------------------------------ *)
 (* EXP-F5: Figure 5                                                    *)
@@ -297,18 +365,76 @@ let bechamel_tests () =
         rows)
     [ drr; recon; render; live_drr; live_recon; live_render ]
 
+(* ------------------------------------------------------------------ *)
+(* BENCH_results.json                                                  *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_results ~(timing : t1_timing) tables =
+  let oc = open_out "BENCH_results.json" in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  let p fmt = Printf.fprintf oc fmt in
+  p "{\n";
+  p "  \"schema\": \"dmm-bench/1\",\n";
+  p "  \"quick\": %b,\n" quick;
+  p "  \"jobs\": %d,\n" parallel_jobs;
+  p "  \"t1_timing\": {\n";
+  p "    \"jobs1_seconds\": %.6f,\n" timing.jobs1_seconds;
+  p "    \"jobsn\": %d,\n" timing.jobsn;
+  p "    \"jobsn_seconds\": %.6f,\n" timing.jobsn_seconds;
+  p "    \"speedup\": %.4f,\n" timing.speedup;
+  p "    \"identical\": %b\n" timing.identical;
+  p "  },\n";
+  p "  \"sections\": [\n";
+  let times = List.rev !section_times in
+  List.iteri
+    (fun i (name, seconds) ->
+      p "    { \"name\": \"%s\", \"seconds\": %.6f }%s\n" (json_escape name) seconds
+        (if i = List.length times - 1 then "" else ","))
+    times;
+  p "  ],\n";
+  p "  \"peak_footprints\": [\n";
+  let rows =
+    List.concat_map
+      (fun (t : Experiments.table) ->
+        List.map (fun (r : Experiments.row) -> (t.workload, r)) t.rows)
+      tables
+  in
+  List.iteri
+    (fun i (workload, (r : Experiments.row)) ->
+      p "    { \"workload\": \"%s\", \"manager\": \"%s\", \"bytes\": %d, \"ops\": %d }%s\n"
+        (json_escape workload) (json_escape r.manager) r.footprint r.ops
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  p "  ]\n";
+  p "}\n"
+
 let () =
   Printf.printf "DM management methodology benchmark harness%s\n"
     (if quick then " (quick mode)" else "");
   if quick then Experiments.paper_scale := false;
-  let tables = table1 () in
-  figure5 ();
-  breakdown_section ();
-  energy_section ();
-  order_ablation ();
-  search_comparison ();
-  static_comparison ();
-  multi_app ();
-  micro ();
-  ops_summary tables;
-  bechamel_tests ()
+  let tables, timing = table1 () in
+  timed "EXP-F5" figure5;
+  timed "EXP-BRK" breakdown_section;
+  timed "EXP-NRG" energy_section;
+  timed "EXP-F4" order_ablation;
+  timed "EXP-SRCH" search_comparison;
+  timed "EXP-STAT" static_comparison;
+  timed "EXP-MIX" multi_app;
+  timed "EXP-MICRO" micro;
+  timed "EXP-PERF" (fun () -> ops_summary tables);
+  if not skip_wall then bechamel_tests ();
+  write_results ~timing tables;
+  Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
+    parallel_jobs timing.speedup

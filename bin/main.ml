@@ -110,8 +110,29 @@ let profile_cmd =
 (* ------------------------------------------------------------------ *)
 (* explore                                                             *)
 
+let jobs_arg =
+  Arg.(
+    value & opt int 0
+    & info [ "j"; "jobs" ] ~docv:"N"
+        ~doc:
+          "Worker domains for candidate simulation (0 = honour DMM_JOBS, else the \
+           machine's recommended count; 1 = sequential). Results are identical \
+           whatever the worker count.")
+
 let explore_cmd =
-  let run workload quick seed detect =
+  let run workload quick seed detect jobs =
+    if jobs < 0 then begin
+      Printf.eprintf "dmm: --jobs must be non-negative\n";
+      exit 124
+    end;
+    if jobs > 0 then Dmm_engine.Pool.set_jobs jobs
+    else begin
+      (* Surface a malformed DMM_JOBS before the long exploration starts. *)
+      try ignore (Dmm_engine.Pool.jobs ())
+      with Invalid_argument msg ->
+        Printf.eprintf "dmm: %s\n" msg;
+        exit 124
+    end;
     let trace = trace_for ~quick ~seed workload in
     Format.printf "profiling and exploring (%d events)...@." (Trace.length trace);
     let spec = Scenario.global_design_for ~detect_phases:detect trace in
@@ -138,7 +159,7 @@ let explore_cmd =
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Run the full methodology on a workload and print the derived custom manager.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect)
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)

@@ -16,13 +16,44 @@ let pp_params ppf (p : Manager.params) =
 let pp_design ppf d =
   Format.fprintf ppf "@[<v>%a@,params: %a@]" Decision_vector.pp d.vector pp_params d.params
 
+(* Canonical key over every field that influences a replay: the fourteen
+   decision leaves in tree order plus all ten run-time parameters (note
+   [pp_params] omits [min_split_remainder], so it cannot serve here).
+   Two designs replay identically iff their keys are equal. *)
+let design_key d =
+  let p = d.params in
+  Printf.sprintf "%s|w%d;a%d;f%d;c[%s];m%s;s%d;k%d;r%b;t%d;d%d"
+    (String.concat ";"
+       (List.map (fun tree -> leaf_name (Decision_vector.get d.vector tree)) all_trees))
+    p.Manager.word_size p.alignment p.fixed_block_size
+    (String.concat "," (List.map string_of_int p.size_classes))
+    (match p.max_coalesced_size with None -> "-" | Some m -> string_of_int m)
+    p.min_split_remainder p.chunk_request p.return_to_system p.trim_threshold
+    p.deferred_interval
+
+let dedupe_designs designs =
+  let seen = Hashtbl.create 16 in
+  List.filter
+    (fun d ->
+      let key = design_key d in
+      if Hashtbl.mem seen key then false
+      else begin
+        Hashtbl.add seen key ();
+        true
+      end)
+    designs
+
 (* A workload is "varied" when request sizes differ a lot; the paper's
    heuristics hinge on this (Section 4.2 last paragraph). A handful of
    distinct sizes is served better by per-size pools even when they spread
    widely, so both spread and cardinality must be high. *)
 let is_varied s = Profile.size_variability s > 0.2 && Profile.distinct_sizes s > 8
 
-let first_legal prefs legal =
+let first_legal tree prefs legal =
+  if legal = [] then
+    invalid_arg
+      (Printf.sprintf "Explorer.first_legal: no legal leaves for tree %s"
+         (tree_name tree));
   let rec go = function
     | [] -> List.hd legal
     | p :: rest -> if List.exists (equal_leaf p) legal then p else go rest
@@ -78,7 +109,7 @@ let preferences s partial tree =
     if flexibility_chosen then [ L_a4 Size_and_status; L_a4 Size_only ]
     else [ L_a4 No_info; L_a4 Size_and_status ]
 
-let heuristic_choice s partial tree legal = first_legal (preferences s partial tree) legal
+let heuristic_choice s partial tree legal = first_legal tree (preferences s partial tree) legal
 
 let heuristic_vector ?order s = Order.walk ?order ~choose:(heuristic_choice s) ()
 
@@ -160,21 +191,44 @@ let candidates s base =
       else []
     else []
   in
-  base :: (param_variants @ leaf_variants @ fixed_variant)
+  (* The chunk grid can collide with [base] (chunk0 = 2048 or 4096) and
+     with itself; keep the first occurrence so [base] stays the head. *)
+  dedupe_designs (base :: (param_variants @ leaf_variants @ fixed_variant))
 
 let tradeoff_score ~alpha ~footprint ~ops =
   if alpha < 0.0 then invalid_arg "Explorer.tradeoff_score: negative alpha";
   footprint + int_of_float (alpha *. float_of_int ops)
 
-let refine ~score = function
+(* The single scoring pass shared by every driver. [score_all] may fan the
+   batch out to worker domains; ties keep the lowest index, so batch and
+   sequential runs pick the same winner. *)
+let refine_batch ~score_all = function
   | [] -> invalid_arg "Explorer.refine: no candidates"
-  | first :: rest ->
-    let first_score = score first in
-    List.fold_left
-      (fun (best, best_score) cand ->
-        let s = score cand in
-        if s < best_score then (cand, s) else (best, best_score))
-      (first, first_score) rest
+  | candidates ->
+    let cands = Array.of_list candidates in
+    let scores = score_all cands in
+    if Array.length scores <> Array.length cands then
+      invalid_arg "Explorer.refine_batch: score_all changed the candidate count";
+    let best = ref 0 in
+    for i = 1 to Array.length cands - 1 do
+      if scores.(i) < scores.(!best) then best := i
+    done;
+    (cands.(!best), scores.(!best))
+
+(* In-order sequential scoring, so stateful [score] closures observe the
+   same call sequence as before the batch API existed. *)
+let scores_in_order score cands =
+  let n = Array.length cands in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (score cands.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- score cands.(i)
+    done;
+    out
+  end
+
+let refine ~score designs = refine_batch ~score_all:(scores_in_order score) designs
 
 let random_design rng s =
   let choose _ _ legal =
@@ -186,11 +240,17 @@ let random_design rng s =
     (* The paper order with constraint propagation cannot dead-end. *)
     invalid_arg ("Explorer.random_design: " ^ msg)
 
-let random_search ~rng ~samples ~profile ~score =
+let random_search_batch ~rng ~samples ~profile ~score_all =
   if samples <= 0 then invalid_arg "Explorer.random_search: samples must be positive";
-  refine ~score (List.init samples (fun _ -> random_design rng profile))
+  refine_batch ~score_all (List.init samples (fun _ -> random_design rng profile))
 
-let explore ?order ~profile ~score () =
+let random_search ~rng ~samples ~profile ~score =
+  random_search_batch ~rng ~samples ~profile ~score_all:(scores_in_order score)
+
+let explore_batch ?order ~profile ~score_all () =
   match heuristic_design ?order profile with
   | Error m -> Error m
-  | Ok base -> Ok (refine ~score (candidates profile base))
+  | Ok base -> Ok (refine_batch ~score_all (candidates profile base))
+
+let explore ?order ~profile ~score () =
+  explore_batch ?order ~profile ~score_all:(scores_in_order score) ()

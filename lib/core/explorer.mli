@@ -14,6 +14,13 @@ type design = { vector : Decision_vector.t; params : Manager.params }
 
 val pp_design : Format.formatter -> design -> unit
 
+val design_key : design -> string
+(** Canonical replay-identity key: the fourteen decision leaves in tree
+    order plus every run-time parameter. Two designs with equal keys
+    behave identically on every trace — the key under which the engine's
+    simulation cache ([Dmm_engine.Sim]) memoises scores, and the one
+    {!candidates} deduplicates by. *)
+
 val heuristic_choice :
   Profile.phase_summary ->
   Decision_vector.Partial.t ->
@@ -21,7 +28,9 @@ val heuristic_choice :
   Decision.leaf list ->
   Decision.leaf
 (** The per-tree selection rule: the first profile-preferred leaf among the
-    legal ones (exposed so callers can narrate or instrument the walk). *)
+    legal ones (exposed so callers can narrate or instrument the walk).
+    Raises [Invalid_argument] naming the tree when the legal leaf set is
+    empty — an over-constrained rule set, not a walk dead-end. *)
 
 val heuristic_vector :
   ?order:Decision.tree list -> Profile.phase_summary -> (Decision_vector.t, string) result
@@ -38,8 +47,9 @@ val heuristic_design :
 
 val candidates : Profile.phase_summary -> design -> design list
 (** The simulation round: the heuristic design plus parameter and
-    near-miss leaf variations worth trying (all constraint-valid). The
-    heuristic design itself is always the head of the list. *)
+    near-miss leaf variations worth trying (all constraint-valid),
+    deduplicated by {!design_key} keeping first occurrences. The heuristic
+    design itself is always the head of the list. *)
 
 val tradeoff_score : alpha:float -> footprint:int -> ops:int -> int
 (** Scalarised objective [footprint + alpha * ops]: the paper's closing
@@ -49,8 +59,17 @@ val tradeoff_score : alpha:float -> footprint:int -> ops:int -> int
     objective used everywhere else; larger [alpha] buys speed with bytes. *)
 
 val refine : score:(design -> int) -> design list -> design * int
-(** Lowest score wins; ties keep the earliest candidate. Raises
-    [Invalid_argument] on an empty list. *)
+(** Lowest score wins; ties keep the earliest candidate. [score] is called
+    once per candidate, in list order. Raises [Invalid_argument] on an
+    empty list. *)
+
+val refine_batch : score_all:(design array -> int array) -> design list -> design * int
+(** {!refine} with the whole candidate array scored in one call, so the
+    scorer can fan out to worker domains ([Dmm_engine]) or batch-memoise.
+    [score_all] must return one score per candidate, input-ordered; the
+    winner (lowest score, lowest index on ties) is then identical to the
+    sequential {!refine}. Raises [Invalid_argument] on an empty list or a
+    length-mismatched score array. *)
 
 val explore :
   ?order:Decision.tree list ->
@@ -60,6 +79,15 @@ val explore :
   (design * int, string) result
 (** Full methodology: heuristic walk, candidate generation, scored
     refinement. *)
+
+val explore_batch :
+  ?order:Decision.tree list ->
+  profile:Profile.phase_summary ->
+  score_all:(design array -> int array) ->
+  unit ->
+  (design * int, string) result
+(** {!explore} through {!refine_batch}: same walk, same candidates, same
+    winner, but the simulation round is handed to [score_all] whole. *)
 
 (** {1 Baseline search strategies}
 
@@ -80,5 +108,15 @@ val random_search :
   profile:Profile.phase_summary ->
   score:(design -> int) ->
   design * int
-(** Best of [samples] random designs. Raises [Invalid_argument] when
-    [samples <= 0]. *)
+(** Best of [samples] random designs. [score] is called exactly [samples]
+    times. Raises [Invalid_argument] when [samples <= 0]. *)
+
+val random_search_batch :
+  rng:Dmm_util.Prng.t ->
+  samples:int ->
+  profile:Profile.phase_summary ->
+  score_all:(design array -> int array) ->
+  design * int
+(** {!random_search} with the sample batch scored in one [score_all] call.
+    Design generation stays sequential on [rng] (deterministic for a given
+    seed); only the scoring may fan out. *)

@@ -87,7 +87,7 @@ let can_coalesce vec =
   | Coalesce_only | Split_and_coalesce -> vec.Decision_vector.d2 <> Never
   | No_flexibility | Split_only -> false
 
-let create ?(params = default_params) vec space =
+let create ?(expected_live = 256) ?(params = default_params) vec space =
   (match Constraints.check vec with
   | [] -> ()
   | violations ->
@@ -142,9 +142,9 @@ let create ?(params = default_params) vec space =
     params;
     space;
     metrics = Metrics.create ();
-    by_base = Hashtbl.create 256;
-    by_end = Hashtbl.create 256;
-    req_sizes = Hashtbl.create 256;
+    by_base = Hashtbl.create (max 16 expected_live);
+    by_end = Hashtbl.create (max 16 expected_live);
+    req_sizes = Hashtbl.create (max 16 expected_live);
     pools;
     classes;
     header_bytes;

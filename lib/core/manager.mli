@@ -48,10 +48,13 @@ val pow2_classes : min:int -> max:int -> int list
 
 type t
 
-val create : ?params:params -> Decision_vector.t -> Dmm_vmem.Address_space.t -> t
+val create :
+  ?expected_live:int -> ?params:params -> Decision_vector.t -> Dmm_vmem.Address_space.t -> t
 (** Raises [Invalid_argument] with the violated rules if the vector fails
     {!Constraints.check}, or if the parameters are inconsistent (e.g. empty
-    [size_classes] under a fixed-size regime). *)
+    [size_classes] under a fixed-size regime). [expected_live] pre-sizes
+    the block registries ([by_base], [by_end], request records) for
+    replays whose peak live-block count is known (default 256). *)
 
 val vector : t -> Decision_vector.t
 val params : t -> params

@@ -1,0 +1,82 @@
+let parse_jobs s =
+  match int_of_string_opt (String.trim s) with
+  | Some n when n >= 1 -> n
+  | Some _ | None ->
+    invalid_arg (Printf.sprintf "Pool: DMM_JOBS=%S, expected a positive integer" s)
+
+let override = ref None
+
+let jobs () =
+  match !override with
+  | Some n -> n
+  | None -> (
+    match Sys.getenv_opt "DMM_JOBS" with
+    | Some s -> parse_jobs s
+    | None -> Domain.recommended_domain_count ())
+
+let set_jobs n =
+  if n < 1 then invalid_arg "Pool.set_jobs: worker count must be positive";
+  override := Some n
+
+let clear_jobs () = override := None
+
+let with_jobs n f =
+  let saved = !override in
+  set_jobs n;
+  Fun.protect ~finally:(fun () -> override := saved) f
+
+(* A worker issuing a nested [map] must not spawn further domains: the
+   flag makes nested calls take the sequential path in that worker. *)
+let inside_worker = Domain.DLS.new_key (fun () -> false)
+
+(* Explicit loop rather than [Array.map] so the sequential path pins the
+   left-to-right evaluation order the determinism contract promises. *)
+let sequential_map input f =
+  let n = Array.length input in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f input.(0)) in
+    for i = 1 to n - 1 do
+      out.(i) <- f input.(i)
+    done;
+    out
+  end
+
+let map input f =
+  let n = Array.length input in
+  let workers = min (jobs ()) n in
+  if workers <= 1 || Domain.DLS.get inside_worker then sequential_map input f
+  else begin
+    (* Each slot is written by exactly one domain (indices are handed out
+       through [next]), and the joins publish the writes. *)
+    let slots = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      Domain.DLS.set inside_worker true;
+      Fun.protect
+        ~finally:(fun () -> Domain.DLS.set inside_worker false)
+        (fun () ->
+          let rec go () =
+            let i = Atomic.fetch_and_add next 1 in
+            if i < n then begin
+              slots.(i) <-
+                Some
+                  (match f input.(i) with
+                  | v -> Ok v
+                  | exception e -> Error (e, Printexc.get_raw_backtrace ()));
+              go ()
+            end
+          in
+          go ())
+    in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    Array.iter Domain.join spawned;
+    for i = 0 to n - 1 do
+      match slots.(i) with
+      | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt
+      | Some (Ok _) -> ()
+      | None -> assert false
+    done;
+    Array.map (function Some (Ok v) -> v | Some (Error _) | None -> assert false) slots
+  end

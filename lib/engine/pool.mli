@@ -1,0 +1,43 @@
+(** Fixed-size domain fan-out with deterministic, input-ordered results.
+
+    The pool exists to parallelise the methodology's simulation rounds:
+    scoring candidate designs, replaying manager x workload x seed grids.
+    Each call to {!map} runs its tasks on [jobs ()] worker domains (the
+    calling domain is one of them), handing out input indices through an
+    atomic counter and writing each result into the slot of its input.
+
+    Determinism contract: [map input f] returns exactly
+    [Array.map f input] — same values, same order, and on failure the
+    exception of the {e lowest-index} failing element — for any pure [f],
+    whatever the worker count. Tasks must not share mutable state: each
+    should build its own manager, address space and metrics (everything in
+    this repo is per-instance, so replaying a trace into a fresh manager
+    qualifies).
+
+    Nested calls degrade gracefully: a [map] issued from inside a worker
+    runs sequentially in that worker rather than oversubscribing the
+    machine. *)
+
+val jobs : unit -> int
+(** The worker count used by the next {!map}: the {!set_jobs} override if
+    any, else [DMM_JOBS] from the environment, else
+    [Domain.recommended_domain_count ()]. [DMM_JOBS=1] forces the
+    sequential path. Raises [Invalid_argument] when [DMM_JOBS] is set to
+    anything but a positive integer. *)
+
+val set_jobs : int -> unit
+(** Override the worker count for this process (takes precedence over
+    [DMM_JOBS]). Raises [Invalid_argument] when [n < 1]. *)
+
+val clear_jobs : unit -> unit
+(** Drop the {!set_jobs} override, returning to environment control. *)
+
+val with_jobs : int -> (unit -> 'a) -> 'a
+(** [with_jobs n f] runs [f] with the worker count pinned to [n],
+    restoring the previous override afterwards (also on exceptions). *)
+
+val map : 'a array -> ('a -> 'b) -> 'b array
+(** [map input f] is [Array.map f input], computed on [jobs ()] domains.
+    Results are input-ordered; an exception raised by [f] is re-raised
+    (with its backtrace) for the lowest failing index, after all workers
+    have drained. *)

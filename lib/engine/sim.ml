@@ -1,0 +1,81 @@
+module Explorer = Dmm_core.Explorer
+module Manager = Dmm_core.Manager
+module Allocator = Dmm_core.Allocator
+module Address_space = Dmm_vmem.Address_space
+module Trace = Dmm_trace.Trace
+module Replay = Dmm_trace.Replay
+
+type outcome = { footprint : int; ops : int }
+
+type t = {
+  trace : Trace.t;
+  live_hint : int;
+  memo : (string, outcome) Hashtbl.t;
+  mutable hits : int;
+  mutable misses : int;
+}
+
+let create trace =
+  {
+    trace;
+    live_hint = Trace.peak_live_count trace;
+    memo = Hashtbl.create 64;
+    hits = 0;
+    misses = 0;
+  }
+
+let trace t = t.trace
+let hits t = t.hits
+let misses t = t.misses
+
+let replay t (d : Explorer.design) =
+  let m =
+    Manager.create ~expected_live:t.live_hint ~params:d.Explorer.params
+      d.Explorer.vector (Address_space.create ())
+  in
+  let a = Manager.allocator m in
+  Replay.run ~live_hint:t.live_hint t.trace a;
+  {
+    footprint = Allocator.max_footprint a;
+    ops = (Allocator.stats a).Dmm_core.Metrics.ops;
+  }
+
+let outcome t d =
+  let key = Explorer.design_key d in
+  match Hashtbl.find_opt t.memo key with
+  | Some o ->
+    t.hits <- t.hits + 1;
+    o
+  | None ->
+    let o = replay t d in
+    t.misses <- t.misses + 1;
+    Hashtbl.replace t.memo key o;
+    o
+
+let outcomes t designs =
+  let keys = Array.map Explorer.design_key designs in
+  (* Unique cache misses, in first-occurrence order. *)
+  let fresh = Hashtbl.create 16 in
+  let missing = ref [] in
+  Array.iteri
+    (fun i key ->
+      if not (Hashtbl.mem t.memo key || Hashtbl.mem fresh key) then begin
+        Hashtbl.add fresh key ();
+        missing := (key, designs.(i)) :: !missing
+      end)
+    keys;
+  let missing = Array.of_list (List.rev !missing) in
+  let scored = Pool.map missing (fun (_, d) -> replay t d) in
+  Array.iteri (fun i (key, _) -> Hashtbl.replace t.memo key scored.(i)) missing;
+  t.misses <- t.misses + Array.length missing;
+  t.hits <- t.hits + (Array.length designs - Array.length missing);
+  Array.map (fun key -> Hashtbl.find t.memo key) keys
+
+let score ?(alpha = 0.0) t d =
+  let o = outcome t d in
+  Explorer.tradeoff_score ~alpha ~footprint:o.footprint ~ops:o.ops
+
+let score_all ?(alpha = 0.0) t designs =
+  Array.map
+    (fun o -> Explorer.tradeoff_score ~alpha ~footprint:o.footprint ~ops:o.ops)
+    (outcomes t designs)

@@ -1,0 +1,51 @@
+(** Memoised design scoring against one profiled trace.
+
+    The methodology settles run-time parameters by simulating candidate
+    managers on recorded traces (Section 4.2); this module is the engine
+    behind every such simulation round. A [t] is bound to a single trace
+    and caches one {!outcome} per {e canonical design key}
+    ({!Dmm_core.Explorer.design_key}: all fourteen decision leaves plus
+    every run-time parameter), so duplicate candidates — e.g. parameter
+    variants that collide with the heuristic base — are replayed at most
+    once, sequentially or in parallel.
+
+    {!outcomes} scores a batch: cache misses are deduplicated by key and
+    fanned out through {!Pool.map} (fresh manager and address space per
+    replay, so the tasks share nothing), then the table is filled from the
+    parent domain. Results are therefore identical to replaying every
+    design sequentially, whatever [DMM_JOBS] says. *)
+
+type outcome = {
+  footprint : int;  (** maximum memory footprint of the replay, bytes *)
+  ops : int;  (** abstract operation count of the replay *)
+}
+
+type t
+
+val create : Dmm_trace.Trace.t -> t
+(** Bind a simulator to one trace. The trace is scanned once for its peak
+    live-block count, which pre-sizes the replay and manager registries of
+    every subsequent replay. *)
+
+val trace : t -> Dmm_trace.Trace.t
+
+val outcome : t -> Dmm_core.Explorer.design -> outcome
+(** Memoised single-design replay (always on the calling domain). *)
+
+val outcomes : t -> Dmm_core.Explorer.design array -> outcome array
+(** Memoised batch replay, input-ordered; unique cache misses run through
+    {!Pool.map}. *)
+
+val score : ?alpha:float -> t -> Dmm_core.Explorer.design -> int
+(** [Explorer.tradeoff_score ~alpha] over {!outcome} ([alpha] defaults to
+    [0.], the pure footprint objective). *)
+
+val score_all : ?alpha:float -> t -> Dmm_core.Explorer.design array -> int array
+(** Batch counterpart of {!score}, for [Explorer.*_batch] drivers. *)
+
+val hits : t -> int
+(** Designs served from the memo table so far (including duplicates inside
+    a single {!outcomes} batch). *)
+
+val misses : t -> int
+(** Actual trace replays performed so far. *)

@@ -1,7 +1,7 @@
 module Allocator = Dmm_core.Allocator
 
-let run ?on_event trace a =
-  let addrs = Hashtbl.create 256 in
+let run ?on_event ?(live_hint = 256) trace a =
+  let addrs = Hashtbl.create (max 16 live_hint) in
   Trace.iteri
     (fun i event ->
       (match event with

@@ -6,12 +6,16 @@
 
 val run :
   ?on_event:(int -> Dmm_core.Allocator.t -> unit) ->
+  ?live_hint:int ->
   Trace.t ->
   Dmm_core.Allocator.t ->
   unit
 (** [run trace a] feeds every event to [a], mapping trace ids to the
     addresses [a] returns. [on_event i a] fires after event [i]. Raises
-    [Invalid_argument] on an invalid trace (free of a non-live id). *)
+    [Invalid_argument] on an invalid trace (free of a non-live id).
+    [live_hint] pre-sizes the id-to-address table (use
+    {!Trace.peak_live_count} when replaying the same trace repeatedly;
+    default 256). *)
 
 val max_footprint_of : Trace.t -> Dmm_core.Allocator.t -> int
 (** Replay and return the manager's maximum footprint. *)

@@ -113,6 +113,19 @@ let validate t =
   in
   go 0
 
+let peak_live_count t =
+  let live = Hashtbl.create 256 in
+  let peak = ref 0 in
+  iter
+    (function
+      | Event.Alloc { id; _ } ->
+        Hashtbl.replace live id ();
+        if Hashtbl.length live > !peak then peak := Hashtbl.length live
+      | Event.Free { id } -> Hashtbl.remove live id
+      | Event.Phase _ -> ())
+    t;
+  !peak
+
 let live_at_end t =
   let live = Hashtbl.create 256 in
   iter

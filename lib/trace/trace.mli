@@ -25,6 +25,10 @@ val validate : t -> (unit, string) result
 (** Checks the live discipline: ids allocated at most once, frees only of
     live ids, positive sizes. *)
 
+val peak_live_count : t -> int
+(** Maximum number of simultaneously live ids anywhere in the trace — the
+    natural pre-size for replay and manager registries. *)
+
 val live_at_end : t -> int
 (** Number of blocks never freed. *)
 

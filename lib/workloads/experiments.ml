@@ -5,6 +5,8 @@ module Trace = Dmm_trace.Trace
 module Replay = Dmm_trace.Replay
 module Footprint_series = Dmm_trace.Footprint_series
 module Profile_builder = Dmm_trace.Profile_builder
+module Pool = Dmm_engine.Pool
+module Sim = Dmm_engine.Sim
 
 type row = {
   manager : string;
@@ -60,26 +62,35 @@ let render_trace_seed seed =
   Scenario.render_trace ~config ()
 
 (* Replay one trace through a fresh manager, returning footprint and ops. *)
-let measure trace make =
+let measure ?live_hint trace make =
   let a = make () in
-  Replay.run trace a;
+  Replay.run ?live_hint trace a;
   (Allocator.max_footprint a, (Allocator.stats a).Dmm_core.Metrics.ops)
 
 (* The generic column runner: record per-seed traces, design the custom
    manager from the first seed's profile (train once, evaluate on all),
-   replay every manager on every seed and average. *)
+   replay every manager on every seed and average. The manager x seed
+   grid is embarrassingly parallel — every cell builds its own manager —
+   so it fans out through the engine pool; results come back
+   input-ordered, keeping the averages identical to a sequential run. *)
 let run_column ~workload ~trace_of_seed ~custom ~seeds =
   if seeds <= 0 then invalid_arg "Experiments: seeds must be positive";
-  let traces = List.init seeds (fun i -> trace_of_seed (42 + i)) in
-  let first_trace = match traces with t :: _ -> t | [] -> assert false in
-  let custom_make = custom first_trace in
+  let traces = Array.init seeds (fun i -> trace_of_seed (42 + i)) in
+  let custom_make = custom traces.(0) in
   let managers =
-    Scenario.baselines () @ [ ("custom DM manager", custom_make) ]
+    Array.of_list (Scenario.baselines () @ [ ("custom DM manager", custom_make) ])
+  in
+  let live_hints = Array.map Trace.peak_live_count traces in
+  let cells = Array.init (Array.length managers * seeds) (fun i -> i) in
+  let measured =
+    Pool.map cells (fun i ->
+        let _, make = managers.(i / seeds) in
+        measure ~live_hint:live_hints.(i mod seeds) traces.(i mod seeds) make)
   in
   let rows =
-    List.map
-      (fun (name, make) ->
-        let results = List.map (fun t -> measure t make) traces in
+    List.init (Array.length managers) (fun mi ->
+        let name, _ = managers.(mi) in
+        let results = List.init seeds (fun ti -> measured.((mi * seeds) + ti)) in
         let mean f = List.fold_left (fun acc r -> acc + f r) 0 results / seeds in
         let fps = List.map fst results in
         let spread_pct =
@@ -94,17 +105,16 @@ let run_column ~workload ~trace_of_seed ~custom ~seeds =
           paper_bytes = paper_reference workload name;
           ops = mean snd;
         })
-      managers
   in
   let peak_live =
-    List.fold_left
+    Array.fold_left
       (fun acc t ->
         let p = Profile.total (Profile_builder.of_trace t) in
         acc + p.Profile.peak_live_bytes)
       0 traces
     / seeds
   in
-  let events = List.fold_left (fun acc t -> acc + Trace.length t) 0 traces / seeds in
+  let events = Array.fold_left (fun acc t -> acc + Trace.length t) 0 traces / seeds in
   { workload; events; peak_live; rows }
 
 let drr_table ?(seeds = 3) () =
@@ -281,13 +291,17 @@ let multi_app () =
   let mix = Trace.interleave ~seed:7 [ drr; recon ] in
   let drr_only_design = Scenario.design_for drr in
   let mix_design = Scenario.design_for mix in
-  List.map
-    (fun (name, make) -> (name, fst (measure mix make)))
-    (Scenario.baselines ()
-    @ [
-        ("custom (designed for DRR alone)", Scenario.custom_manager drr_only_design);
-        ("custom (designed on the mix)", Scenario.custom_manager mix_design);
-      ])
+  let rows =
+    Array.of_list
+      (Scenario.baselines ()
+      @ [
+          ("custom (designed for DRR alone)", Scenario.custom_manager drr_only_design);
+          ("custom (designed on the mix)", Scenario.custom_manager mix_design);
+        ])
+  in
+  let live_hint = Trace.peak_live_count mix in
+  Array.to_list
+    (Pool.map rows (fun (name, make) -> (name, fst (measure ~live_hint mix make))))
 
 let search_comparison ?(samples = 60) () =
   (* Always at light scale: this validates the search strategy, and random
@@ -297,19 +311,27 @@ let search_comparison ?(samples = 60) () =
   Fun.protect ~finally:(fun () -> paper_scale := saved) @@ fun () ->
   let trace = drr_trace_seed 42 in
   let profile = Profile.total (Profile_builder.of_trace trace) in
+  (* [sims] counts designs scored, as it always has; the engine memoises
+     under the hood, so duplicate candidates cost a lookup, not a replay
+     (a fresh cache per strategy keeps the comparison fair). *)
   let sims = ref 0 in
-  let score design =
-    incr sims;
-    fst (measure trace (Scenario.custom_manager design))
+  let counted_score_all sim designs =
+    sims := !sims + Array.length designs;
+    Array.map (fun (o : Sim.outcome) -> o.Sim.footprint) (Sim.outcomes sim designs)
   in
   let methodology =
-    match Explorer.explore ~profile ~score () with
+    match
+      Explorer.explore_batch ~profile ~score_all:(counted_score_all (Sim.create trace)) ()
+    with
     | Ok (_, fp) -> ("ordered methodology (Sec. 4.2)", !sims, fp)
     | Error msg -> invalid_arg ("Experiments.search_comparison: " ^ msg)
   in
   sims := 0;
   let rng = Dmm_util.Prng.create 2024 in
-  let _, random_fp = Explorer.random_search ~rng ~samples ~profile ~score in
+  let _, random_fp =
+    Explorer.random_search_batch ~rng ~samples ~profile
+      ~score_all:(counted_score_all (Sim.create trace))
+  in
   let random = (Printf.sprintf "best of %d random designs" samples, !sims, random_fp) in
   let heuristic_only =
     match Explorer.heuristic_design profile with

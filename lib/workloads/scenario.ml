@@ -63,14 +63,11 @@ let max_footprint trace make =
 
 let design_for ?(alpha = 0.0) trace =
   let profile = Profile_builder.of_trace trace in
-  let score design =
-    let a = custom_manager design () in
-    Replay.run trace a;
-    Explorer.tradeoff_score ~alpha
-      ~footprint:(Allocator.max_footprint a)
-      ~ops:(Allocator.stats a).Dmm_core.Metrics.ops
-  in
-  match Explorer.explore ~profile:(Dmm_core.Profile.total profile) ~score () with
+  (* Candidate scoring goes through the engine: memoised per design key,
+     cache misses replayed on the worker pool. *)
+  let sim = Dmm_engine.Sim.create trace in
+  let score_all = Dmm_engine.Sim.score_all ~alpha sim in
+  match Explorer.explore_batch ~profile:(Dmm_core.Profile.total profile) ~score_all () with
   | Ok (design, _) -> design
   | Error msg -> invalid_arg ("Scenario.design_for: " ^ msg)
 
@@ -97,8 +94,11 @@ let global_design_for ?(detect_phases = false) trace =
         { default; overrides = List.map (fun (p, x) -> (p, if p = pid then d else x)) overrides }
       in
       let best, _ =
-        Explorer.refine
-          ~score:(fun d -> score (with_design d))
+        (* A phase override changes the whole spec, so the memo key would
+           be the spec, not the design: score fresh, but fan the candidate
+           replays out to the pool. *)
+        Explorer.refine_batch
+          ~score_all:(fun ds -> Dmm_engine.Pool.map ds (fun d -> score (with_design d)))
           (Explorer.candidates s base)
       in
       List.map (fun (p, x) -> (p, if p = pid then best else x)) overrides

@@ -1,0 +1,37 @@
+#!/bin/sh
+# Quick determinism smoke test for the parallel simulation engine: the
+# benchmark driver must print byte-identical tables under DMM_JOBS=1 and
+# DMM_JOBS=2.  Wall-clock lines ([time] ...) and the Bechamel ns/replay
+# numbers are nondeterministic by nature, so the Bechamel section is
+# skipped and timing lines are stripped before diffing.
+#
+# Usage: scripts/bench_smoke.sh   (from the repository root)
+set -eu
+
+cd "$(dirname "$0")/.."
+
+tmpdir=$(mktemp -d)
+trap 'rm -rf "$tmpdir"' EXIT INT TERM
+
+dune build bench/main.exe
+
+run() {
+  jobs=$1
+  out=$2
+  DMM_JOBS="$jobs" DMM_BENCH_QUICK=1 DMM_BENCH_SKIP_WALL=1 \
+    dune exec bench/main.exe 2>&1 |
+    grep -v '^\[time\]' |
+    grep -v '^wrote BENCH_results.json' > "$out"
+}
+
+echo "bench_smoke: running quick benchmark with DMM_JOBS=1..."
+run 1 "$tmpdir/jobs1.out"
+echo "bench_smoke: running quick benchmark with DMM_JOBS=2..."
+run 2 "$tmpdir/jobs2.out"
+
+if diff -u "$tmpdir/jobs1.out" "$tmpdir/jobs2.out"; then
+  echo "bench_smoke: PASS (output identical under DMM_JOBS=1 and DMM_JOBS=2)"
+else
+  echo "bench_smoke: FAIL (parallel run diverges from sequential run)" >&2
+  exit 1
+fi

@@ -23,6 +23,23 @@ Record a trace, then replay it against Lea:
   max footprint: 917504 B
   stats:         allocs=20238 frees=20238 splits=9716 coalesces=18351 ops=1049465 live=0B (0 blocks) peak_live=811261B
 
+The full exploration is deterministic whatever the worker count: --jobs
+only changes how many domains score the candidate designs.
+
+  $ dmm explore -w drr --quick --seed 1 --jobs 1 > explore_j1.out
+  $ dmm explore -w drr --quick --seed 1 --jobs 4 > explore_j4.out
+  $ diff explore_j1.out explore_j4.out
+  $ head -1 explore_j1.out
+  profiling and exploring (40476 events)...
+  $ grep -c "footprint comparison" explore_j1.out
+  1
+
+A bad worker count is rejected up front:
+
+  $ dmm explore -w drr --quick --jobs=-2
+  dmm: --jobs must be non-negative
+  [124]
+
 The Figure 4 traversal-order ablation:
 
   $ dmm ablation --quick

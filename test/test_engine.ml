@@ -1,0 +1,144 @@
+(* The parallel simulation engine: Pool.map must be indistinguishable from
+   Array.map for any worker count, Sim memoisation must return the scores a
+   fresh replay would, and the experiment drivers must produce identical
+   results under DMM_JOBS=1 and DMM_JOBS=4. *)
+
+module Pool = Dmm_engine.Pool
+module Sim = Dmm_engine.Sim
+module Explorer = Dmm_core.Explorer
+module Scenario = Dmm_workloads.Scenario
+module Experiments = Dmm_workloads.Experiments
+
+let () = Experiments.paper_scale := false
+
+let check_map_empty () =
+  Pool.with_jobs 4 (fun () ->
+      Alcotest.(check (array int)) "empty" [||] (Pool.map [||] (fun x -> x)))
+
+let check_map_matches_array_map () =
+  List.iter
+    (fun jobs ->
+      Pool.with_jobs jobs (fun () ->
+          let input = Array.init 57 (fun i -> i - 7) in
+          let f x = (x * x) - (3 * x) in
+          Alcotest.(check (array int))
+            (Printf.sprintf "jobs=%d" jobs)
+            (Array.map f input) (Pool.map input f)))
+    [ 1; 2; 3; 4; 8 ]
+
+let check_map_exception_propagates () =
+  Pool.with_jobs 3 (fun () ->
+      Alcotest.check_raises "lowest-index failure wins" (Failure "boom:2") (fun () ->
+          ignore
+            (Pool.map
+               (Array.init 9 (fun i -> i))
+               (fun i -> if i >= 2 then failwith (Printf.sprintf "boom:%d" i) else i))))
+
+let check_with_jobs_restores () =
+  Pool.set_jobs 1;
+  Pool.with_jobs 4 (fun () -> Alcotest.(check int) "inside" 4 (Pool.jobs ()));
+  Alcotest.(check int) "restored" 1 (Pool.jobs ());
+  (try Pool.with_jobs 2 (fun () -> failwith "x") with Failure _ -> ());
+  Alcotest.(check int) "restored after raise" 1 (Pool.jobs ());
+  Pool.clear_jobs ()
+
+let check_set_jobs_rejects_nonpositive () =
+  Alcotest.check_raises "zero workers"
+    (Invalid_argument "Pool.set_jobs: worker count must be positive") (fun () ->
+      Pool.set_jobs 0)
+
+let qcheck_map =
+  QCheck.Test.make ~name:"Pool.map equals Array.map (order preserved)" ~count:60
+    QCheck.(pair (array small_int) (int_range 1 6))
+    (fun (input, jobs) ->
+      let f x = (7 * x) + 11 in
+      Pool.with_jobs jobs (fun () -> Pool.map input f = Array.map f input))
+
+(* --- Sim memoisation ---------------------------------------------------- *)
+
+let drr_trace () = Scenario.drr_trace ()
+
+let base_design trace =
+  let profile =
+    Dmm_core.Profile.total (Dmm_trace.Profile_builder.of_trace trace)
+  in
+  match Explorer.heuristic_design profile with
+  | Ok d -> d
+  | Error msg -> Alcotest.fail msg
+
+let check_sim_memoises () =
+  let trace = drr_trace () in
+  let sim = Sim.create trace in
+  let d = base_design trace in
+  let o1 = Sim.outcome sim d in
+  let o2 = Sim.outcome sim d in
+  Alcotest.(check bool) "same outcome" true (o1 = o2);
+  Alcotest.(check int) "one replay" 1 (Sim.misses sim);
+  Alcotest.(check int) "one cache hit" 1 (Sim.hits sim);
+  (* A fresh simulator replays from scratch and must agree. *)
+  let fresh = Sim.outcome (Sim.create trace) d in
+  Alcotest.(check bool) "memo equals fresh replay" true (o1 = fresh);
+  (* And both must equal a plain sequential replay outside the engine. *)
+  let fp = Scenario.max_footprint trace (Scenario.custom_manager d) in
+  Alcotest.(check int) "footprint equals plain replay" fp o1.Sim.footprint
+
+let check_sim_batch_dedupes () =
+  let trace = drr_trace () in
+  let sim = Sim.create trace in
+  let d = base_design trace in
+  let variant =
+    {
+      d with
+      Explorer.params = { d.Explorer.params with Dmm_core.Manager.chunk_request = 8192 };
+    }
+  in
+  let batch = [| d; variant; d; variant; d |] in
+  let out = Pool.with_jobs 4 (fun () -> Sim.outcomes sim batch) in
+  Alcotest.(check int) "two unique replays" 2 (Sim.misses sim);
+  Alcotest.(check int) "three served from cache" 3 (Sim.hits sim);
+  Alcotest.(check bool) "duplicates share results" true
+    (out.(0) = out.(2) && out.(2) = out.(4) && out.(1) = out.(3));
+  let seq = Sim.outcomes (Sim.create trace) batch in
+  Alcotest.(check bool) "batch equals fresh batch" true (out = seq)
+
+(* --- sequential/parallel equivalence of the drivers --------------------- *)
+
+let check_design_for_jobs_invariant () =
+  let trace = drr_trace () in
+  let d1 = Pool.with_jobs 1 (fun () -> Scenario.design_for trace) in
+  let d4 = Pool.with_jobs 4 (fun () -> Scenario.design_for trace) in
+  Alcotest.(check string) "explore picks the same design"
+    (Explorer.design_key d1) (Explorer.design_key d4)
+
+let check_table1_jobs_invariant () =
+  let t1 = Pool.with_jobs 1 (fun () -> Experiments.table1 ~seeds:2 ()) in
+  let t4 = Pool.with_jobs 4 (fun () -> Experiments.table1 ~seeds:2 ()) in
+  Alcotest.(check bool) "table1 identical under 1 and 4 workers" true (t1 = t4)
+
+let check_search_comparison_jobs_invariant () =
+  let s1 = Pool.with_jobs 1 (fun () -> Experiments.search_comparison ~samples:6 ()) in
+  let s4 = Pool.with_jobs 4 (fun () -> Experiments.search_comparison ~samples:6 ()) in
+  Alcotest.(check bool) "search comparison identical under 1 and 4 workers" true
+    (s1 = s4)
+
+let tests =
+  ( "engine",
+    [
+      Alcotest.test_case "map of empty input" `Quick check_map_empty;
+      Alcotest.test_case "map matches Array.map for any worker count" `Quick
+        check_map_matches_array_map;
+      Alcotest.test_case "map re-raises the lowest-index exception" `Quick
+        check_map_exception_propagates;
+      Alcotest.test_case "with_jobs scopes the override" `Quick check_with_jobs_restores;
+      Alcotest.test_case "set_jobs rejects non-positive counts" `Quick
+        check_set_jobs_rejects_nonpositive;
+      Alcotest.test_case "sim memoises by design key" `Quick check_sim_memoises;
+      Alcotest.test_case "sim batch dedupes and fans out" `Quick check_sim_batch_dedupes;
+      Alcotest.test_case "design_for invariant under worker count" `Slow
+        check_design_for_jobs_invariant;
+      Alcotest.test_case "table1 invariant under worker count" `Slow
+        check_table1_jobs_invariant;
+      Alcotest.test_case "search comparison invariant under worker count" `Slow
+        check_search_comparison_jobs_invariant;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest [ qcheck_map ] )

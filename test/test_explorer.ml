@@ -80,6 +80,49 @@ let check_candidates_valid_and_headed () =
         Alcotest.(check bool) "candidate valid" true (Constraints.is_valid d.vector))
       cands
 
+let check_candidates_deduped () =
+  match E.heuristic_design varied_profile with
+  | Error msg -> Alcotest.fail msg
+  | Ok base ->
+    (* chunk0 = 4096 makes the parameter grid collide with [base]; the
+       candidate list must still carry no duplicate design keys. *)
+    let base =
+      {
+        base with
+        E.params =
+          { base.E.params with Manager.chunk_request = 4096; trim_threshold = 4096 };
+      }
+    in
+    let keys = List.map E.design_key (E.candidates varied_profile base) in
+    Alcotest.(check int) "no duplicate design keys"
+      (List.length (List.sort_uniq compare keys))
+      (List.length keys)
+
+let check_heuristic_choice_empty_legal () =
+  Alcotest.check_raises "empty legal set names the tree"
+    (Invalid_argument
+       (Printf.sprintf "Explorer.first_legal: no legal leaves for tree %s"
+          (D.tree_name D.A2)))
+    (fun () ->
+      ignore
+        (E.heuristic_choice varied_profile Decision_vector.Partial.empty D.A2 []))
+
+let check_refine_batch_matches_refine () =
+  let mk chunk =
+    {
+      E.vector = Decision_vector.drr_custom;
+      params = { Manager.default_params with chunk_request = chunk };
+    }
+  in
+  let designs = [ mk 1000; mk 2000; mk 3000; mk 1500 ] in
+  let score (d : E.design) = abs (d.E.params.Manager.chunk_request - 1800) in
+  let seq = E.refine ~score designs in
+  let batch = E.refine_batch ~score_all:(fun ds -> Array.map score ds) designs in
+  Alcotest.(check bool) "same winner and score" true (seq = batch);
+  Alcotest.check_raises "length mismatch rejected"
+    (Invalid_argument "Explorer.refine_batch: score_all changed the candidate count")
+    (fun () -> ignore (E.refine_batch ~score_all:(fun _ -> [| 1 |]) designs))
+
 let check_refine_picks_minimum () =
   let mk name = { E.vector = Decision_vector.drr_custom; params = { Manager.default_params with chunk_request = name } } in
   let designs = [ mk 1000; mk 2000; mk 3000 ] in
@@ -176,7 +219,13 @@ let tests =
         check_wrong_order_traps_flexibility;
       Alcotest.test_case "heuristic params" `Quick check_heuristic_params;
       Alcotest.test_case "candidates valid" `Quick check_candidates_valid_and_headed;
+      Alcotest.test_case "candidates carry no duplicate keys" `Quick
+        check_candidates_deduped;
+      Alcotest.test_case "empty legal set is diagnosable" `Quick
+        check_heuristic_choice_empty_legal;
       Alcotest.test_case "refine picks the minimum" `Quick check_refine_picks_minimum;
+      Alcotest.test_case "refine_batch matches refine" `Quick
+        check_refine_batch_matches_refine;
       Alcotest.test_case "refine rejects empty" `Quick check_refine_empty;
       Alcotest.test_case "explore not worse than heuristic" `Slow
         check_explore_not_worse_than_heuristic;

@@ -35,6 +35,7 @@ let () =
       Test_phase_detect.tests;
       Test_energy.tests;
       Test_experiments.tests;
+      Test_engine.tests;
       Test_micro.tests;
       Test_interleave.tests;
       Test_integration.tests;
