@@ -24,6 +24,7 @@ module Replay = Dmm_trace.Replay
 module Footprint_series = Dmm_trace.Footprint_series
 module Csv = Dmm_trace.Csv
 module Pool = Dmm_engine.Pool
+module Probe = Dmm_obs.Probe
 
 let quick = Sys.getenv_opt "DMM_BENCH_QUICK" <> None
 let skip_wall = Sys.getenv_opt "DMM_BENCH_SKIP_WALL" <> None
@@ -99,6 +100,39 @@ let table1 () =
   if not identical then
     prerr_endline "EXP-T1: WARNING: parallel and sequential tables differ!";
   (tables, timing)
+
+(* ------------------------------------------------------------------ *)
+(* EXP-OBS: the observability layer reproducing Table 1                *)
+
+type obs_report = { obs_seconds : float; obs_identical : bool; obs_events : int }
+
+(* Probe-on replays must reproduce the probe-off Table 1 exactly: the
+   footprint column is rebuilt by a Series_sink from sbrk/trim deltas and
+   the ops column by a Metrics_sink from fit-scan events, so any missing
+   or double-counted event shows up as a diff. *)
+let obs_section tables =
+  section "EXP-OBS: Table 1 reconstructed from the observability event stream";
+  let seeds = if quick then 1 else 3 in
+  let t0 = Unix.gettimeofday () in
+  let probed = Experiments.table1 ~probe:true ~seeds () in
+  let obs_seconds = Unix.gettimeofday () -. t0 in
+  let obs_identical = render_tables probed = render_tables tables in
+  (* Event volume of one observed DRR replay, for scale. *)
+  let probe = Probe.create () in
+  Probe.attach probe (fun _ _ -> ());
+  let trace = Experiments.drr_trace_seed 42 in
+  Replay.run ~probe trace (Scenario.lea ~probe ());
+  let obs_events = Probe.clock probe in
+  Printf.printf "  probe-on tables identical to probe-off: %b
+" obs_identical;
+  Printf.printf "  events in one observed DRR replay under Lea: %d
+" obs_events;
+  if not obs_identical then
+    prerr_endline "EXP-OBS: WARNING: probe-on tables differ from probe-off!";
+  section_times := ("EXP-OBS", obs_seconds) :: !section_times;
+  Printf.printf "[time] EXP-OBS   %.2fs
+%!" obs_seconds;
+  { obs_seconds; obs_identical; obs_events }
 
 (* ------------------------------------------------------------------ *)
 (* EXP-F5: Figure 5                                                    *)
@@ -222,7 +256,7 @@ let micro () =
   List.iter (fun (name, _) -> Printf.printf " %9s" (String.sub (name ^ "         ") 0 9)) patterns;
   print_newline ();
   List.iter
-    (fun (mname, make) ->
+    (fun (mname, (make : Scenario.maker)) ->
       Printf.printf "  %-16s" mname;
       List.iter
         (fun (_, trace) ->
@@ -270,7 +304,7 @@ let bechamel_tests () =
     in
     let tests =
       List.map
-        (fun (mname, make) ->
+        (fun (mname, (make : Scenario.maker)) ->
           Test.make ~name:mname (Staged.stage (fun () -> Replay.run trace (make ()))))
         managers
     in
@@ -295,7 +329,7 @@ let bechamel_tests () =
     let managers = Scenario.baselines () @ [ ("custom", custom) ] in
     Test.make_grouped ~name ~fmt:"%s/%s"
       (List.map
-         (fun (mname, make) ->
+         (fun (mname, (make : Scenario.maker)) ->
            Test.make ~name:mname (Staged.stage (fun () -> run (make ()))))
          managers)
   in
@@ -381,7 +415,7 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results ~(timing : t1_timing) tables =
+let write_results ~(timing : t1_timing) ~(obs : obs_report) tables =
   let oc = open_out "BENCH_results.json" in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
@@ -395,6 +429,11 @@ let write_results ~(timing : t1_timing) tables =
   p "    \"jobsn_seconds\": %.6f,\n" timing.jobsn_seconds;
   p "    \"speedup\": %.4f,\n" timing.speedup;
   p "    \"identical\": %b\n" timing.identical;
+  p "  },\n";
+  p "  \"obs\": {\n";
+  p "    \"seconds\": %.6f,\n" obs.obs_seconds;
+  p "    \"identical\": %b,\n" obs.obs_identical;
+  p "    \"drr_lea_events\": %d\n" obs.obs_events;
   p "  },\n";
   p "  \"sections\": [\n";
   let times = List.rev !section_times in
@@ -413,8 +452,11 @@ let write_results ~(timing : t1_timing) tables =
   in
   List.iteri
     (fun i (workload, (r : Experiments.row)) ->
-      p "    { \"workload\": \"%s\", \"manager\": \"%s\", \"bytes\": %d, \"ops\": %d }%s\n"
+      p
+        "    { \"workload\": \"%s\", \"manager\": \"%s\", \"bytes\": %d, \"ops\": %d, \
+         \"replay_seconds\": %.6f }%s\n"
         (json_escape workload) (json_escape r.manager) r.footprint r.ops
+        r.replay_seconds
         (if i = List.length rows - 1 then "" else ","))
     rows;
   p "  ]\n";
@@ -425,6 +467,7 @@ let () =
     (if quick then " (quick mode)" else "");
   if quick then Experiments.paper_scale := false;
   let tables, timing = table1 () in
+  let obs = obs_section tables in
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
   timed "EXP-NRG" energy_section;
@@ -435,6 +478,6 @@ let () =
   timed "EXP-MICRO" micro;
   timed "EXP-PERF" (fun () -> ops_summary tables);
   if not skip_wall then bechamel_tests ();
-  write_results ~timing tables;
+  write_results ~timing ~obs tables;
   Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
     parallel_jobs timing.speedup

@@ -14,6 +14,9 @@ module Replay = Dmm_trace.Replay
 module Footprint_series = Dmm_trace.Footprint_series
 module Csv = Dmm_trace.Csv
 module Profile_builder = Dmm_trace.Profile_builder
+module Probe = Dmm_obs.Probe
+module Jsonl_sink = Dmm_obs.Jsonl_sink
+module Chrome_sink = Dmm_obs.Chrome_sink
 
 open Cmdliner
 
@@ -165,21 +168,28 @@ let explore_cmd =
 (* table1                                                              *)
 
 let table1_cmd =
-  let run quick seeds =
+  let run quick seeds probe =
     Experiments.paper_scale := not quick;
-    let tables = Experiments.table1 ~seeds () in
+    let tables = Experiments.table1 ~probe ~seeds () in
     List.iter (fun t -> Format.printf "%a@." Experiments.pp_table t) tables
   in
   let seeds = Arg.(value & opt int 3 & info [ "seeds" ] ~doc:"Traces averaged per workload.") in
+  let probe =
+    Arg.(
+      value & flag
+      & info [ "probe" ]
+          ~doc:
+            "Attach an observability probe to every replay and report footprint and ops              reconstructed from the event stream (must match the probe-off output              byte for byte).")
+  in
   Cmd.v
     (Cmd.info "table1" ~doc:"Regenerate Table 1 (maximum memory footprint per workload and manager).")
-    Term.(const run $ quick_arg $ seeds)
+    Term.(const run $ quick_arg $ seeds $ probe)
 
 (* ------------------------------------------------------------------ *)
 (* figure5                                                             *)
 
 let figure5_cmd =
-  let run quick every csv =
+  let run quick every csv chrome =
     Experiments.paper_scale := not quick;
     let series = Experiments.figure5 ~every () in
     (match csv with
@@ -191,6 +201,29 @@ let figure5_cmd =
            (fun (name, pts) -> Footprint_series.to_rows ~name pts)
            series);
       Format.printf "wrote %s@." path);
+    (match chrome with
+    | None -> ()
+    | Some path ->
+      (* Probe-driven replays: unlike the sampled CSV series, the Chrome
+         export sees every single break movement. One sink (= one process
+         track) per manager. *)
+      let trace = Experiments.drr_trace_seed 42 in
+      let sinks =
+        List.mapi
+          (fun i (name, (make : Scenario.maker)) ->
+            let probe = Probe.create () in
+            let sink = Chrome_sink.create ~name ~pid:(i + 1) in
+            Chrome_sink.attach probe sink;
+            Replay.run ~probe trace (make ~probe ());
+            sink)
+          [
+            ("Lea", Scenario.lea);
+            ( "custom DM manager 1",
+              Scenario.custom_manager (Scenario.drr_paper_design ()) );
+          ]
+      in
+      Chrome_sink.write_file path sinks;
+      Format.printf "wrote %s@." path);
     List.iter
       (fun (name, pts) ->
         Format.printf "%s: peak=%d B, %d points@." name (Footprint_series.peak pts)
@@ -201,9 +234,17 @@ let figure5_cmd =
   let csv =
     Arg.(value & opt (some string) None & info [ "csv" ] ~docv:"FILE" ~doc:"Write the series to a CSV file.")
   in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:
+            "Write the exact footprint timelines (every break movement, Lea and custom)              as chrome://tracing JSON.")
+  in
   Cmd.v
     (Cmd.info "figure5" ~doc:"Regenerate Figure 5 (DM footprint over time, Lea vs custom, DRR).")
-    Term.(const run $ quick_arg $ every $ csv)
+    Term.(const run $ quick_arg $ every $ csv $ chrome)
 
 (* ------------------------------------------------------------------ *)
 (* ablation                                                            *)
@@ -236,7 +277,7 @@ let micro_cmd =
         in
         Format.printf "%s (peak live %d B)@." pname peak;
         List.iter
-          (fun (mname, make) ->
+          (fun (mname, (make : Scenario.maker)) ->
             let fp = Replay.max_footprint_of trace (make ()) in
             Format.printf "  %-18s %9d B  (%.2fx)@." mname fp
               (float_of_int fp /. float_of_int (max 1 peak)))
@@ -298,19 +339,6 @@ let energy_cmd =
 (* ------------------------------------------------------------------ *)
 (* trace / replay                                                      *)
 
-let trace_cmd =
-  let run workload quick seed out =
-    let trace = trace_for ~quick ~seed workload in
-    Trace.save trace out;
-    Format.printf "wrote %d events to %s@." (Trace.length trace) out
-  in
-  let out =
-    Arg.(required & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
-  in
-  Cmd.v
-    (Cmd.info "trace" ~doc:"Record a workload's allocation trace to a file.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ out)
-
 let manager_conv =
   let parse = function
     | "kingsley" -> Ok `Kingsley
@@ -331,6 +359,61 @@ let manager_conv =
   in
   Arg.conv (parse, print)
 
+let maker_for manager trace : Scenario.maker =
+  match manager with
+  | `Kingsley -> Scenario.kingsley
+  | `Lea -> Scenario.lea
+  | `Regions -> Scenario.regions
+  | `Obstacks -> Scenario.obstacks
+  | `Custom -> Scenario.custom_global (Scenario.global_design_for trace)
+
+let manager_arg ~default ~doc =
+  Arg.(value & opt manager_conv default & info [ "m"; "manager" ] ~docv:"MANAGER" ~doc)
+
+let trace_cmd =
+  let run workload quick seed out jsonl manager =
+    let trace = trace_for ~quick ~seed workload in
+    (match out with
+    | None -> ()
+    | Some out ->
+      Trace.save trace out;
+      Format.printf "wrote %d events to %s@." (Trace.length trace) out);
+    (match jsonl with
+    | None -> ()
+    | Some path ->
+      let probe = Probe.create () in
+      let oc = open_out path in
+      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+      let sink = Jsonl_sink.create oc in
+      Jsonl_sink.attach probe sink;
+      Replay.run ~probe trace (maker_for manager trace ~probe ());
+      Jsonl_sink.flush sink;
+      Format.printf "wrote %d probe events to %s@." (Jsonl_sink.events sink) path);
+    if out = None && jsonl = None then begin
+      prerr_endline "dmm trace: nothing to do (pass -o and/or --jsonl)";
+      exit 2
+    end
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Output trace file.")
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Replay the recorded trace against $(b,--manager) with an observability              probe attached and export the event stream as JSON Lines.")
+  in
+  let manager =
+    manager_arg ~default:`Lea
+      ~doc:
+        "Manager observed by $(b,--jsonl): kingsley, lea, regions, obstacks or custom          (methodology-derived). Default lea."
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc:"Record a workload's allocation trace to a file.")
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ out $ jsonl $ manager)
+
 let replay_cmd =
   let run file manager =
     match Trace.load file with
@@ -341,14 +424,7 @@ let replay_cmd =
         prerr_endline ("invalid trace: " ^ msg);
         exit 1
       | Ok () ->
-        let make =
-          match manager with
-          | `Kingsley -> Scenario.kingsley
-          | `Lea -> Scenario.lea
-          | `Regions -> Scenario.regions
-          | `Obstacks -> Scenario.obstacks
-          | `Custom -> Scenario.custom_global (Scenario.global_design_for trace);
-        in
+        let make = maker_for manager trace in
         let a = make () in
         Replay.run trace a;
         Format.printf "events:        %d@." (Trace.length trace);
@@ -360,10 +436,8 @@ let replay_cmd =
     Arg.(required & opt (some string) None & info [ "t"; "trace" ] ~docv:"FILE" ~doc:"Trace file to replay.")
   in
   let manager =
-    Arg.(
-      value
-      & opt manager_conv `Custom
-      & info [ "m"; "manager" ] ~docv:"MANAGER" ~doc:"kingsley, lea, regions, obstacks or custom (methodology-derived).")
+    manager_arg ~default:`Custom
+      ~doc:"kingsley, lea, regions, obstacks or custom (methodology-derived)."
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded trace against a manager and report its footprint.")

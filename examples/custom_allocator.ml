@@ -123,7 +123,7 @@ let () =
 
   (* 1. The checker validates the new manager's alloc/free discipline on
      the fly: overlaps, double frees and footprint lies all raise. *)
-  let naive () = Naive.allocator (Naive.create (Address_space.create ())) in
+  let naive ?probe:_ () = Naive.allocator (Naive.create (Address_space.create ())) in
   (try
      Replay.run trace (Checker.wrap (naive ()));
      Format.printf "checker: naive-first-fit honours the allocator contract@."
@@ -132,7 +132,7 @@ let () =
   (* 2. Race it against the library's managers. *)
   Format.printf "@.maximum footprint:@.";
   List.iter
-    (fun (name, make) ->
+    (fun (name, (make : Scenario.maker)) ->
       let a = make () in
       Replay.run trace a;
       Format.printf "  %-18s %9d B   (%a)@." name

@@ -17,9 +17,11 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Dmm_vmem.Address_space.t -> t
+val create : ?config:config -> ?probe:Dmm_obs.Probe.t -> Dmm_vmem.Address_space.t -> t
 (** Raises [Invalid_argument] on a non-power-of-two [min_class] or
-    non-positive sizes. *)
+    non-positive sizes. [probe] mirrors the accounting stream
+    (alloc/free/fit-scan; this allocator never splits, coalesces or
+    trims). *)
 
 val alloc : t -> int -> int
 val free : t -> int -> unit

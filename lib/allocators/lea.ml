@@ -4,6 +4,8 @@ module Metrics = Dmm_core.Metrics
 module Allocator = Dmm_core.Allocator
 module Block = Dmm_core.Block
 module Free_structure = Dmm_core.Free_structure
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
 
 type config = {
   granularity : int;
@@ -30,6 +32,7 @@ type t = {
   by_end : (int, Block.t) Hashtbl.t;
   req_sizes : (int, int) Hashtbl.t;
   metrics : Metrics.t;
+  probe : Probe.t;
   mutable top_addr : int;
   mutable top_size : int; (* wilderness chunk; 0 when absent *)
   mutable held : int;
@@ -39,7 +42,7 @@ type t = {
 
 let n_large_bins = 18 (* log2 ranges from small_bin_max up to ~2^26 *)
 
-let create ?(config = default_config) space =
+let create ?(config = default_config) ?(probe = Probe.null) space =
   if
     config.granularity <= 0 || config.header_bytes < 0 || config.alignment <= 0
     || config.small_bin_max <= 0
@@ -63,12 +66,19 @@ let create ?(config = default_config) space =
     by_end = Hashtbl.create 256;
     req_sizes = Hashtbl.create 256;
     metrics = Metrics.create ();
+    probe;
     top_addr = 0;
     top_size = 0;
     held = 0;
     max_held = 0;
     min_chunk;
   }
+
+(* Zero-step scans are accounting no-ops: keep them out of the stream. *)
+let acct_ops t n =
+  Metrics.add_ops t.metrics n;
+  if n <> 0 && Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Fit_scan { steps = n })
 
 let n_small t = (t.config.small_bin_max - t.min_chunk) / t.config.alignment
 
@@ -94,11 +104,11 @@ let unregister t (b : Block.t) =
 let insert_bin t (b : Block.t) =
   b.status <- Block.Free;
   Free_structure.insert t.bins.(bin_index t b.size) b;
-  Metrics.add_ops t.metrics 1
+  acct_ops t 1
 
 let remove_bin t (b : Block.t) =
   Free_structure.remove t.bins.(bin_index t b.size) b;
-  Metrics.add_ops t.metrics 1
+  acct_ops t 1
 
 (* Carve [gross] bytes from the bottom of the top chunk. *)
 let carve_top t gross =
@@ -108,7 +118,7 @@ let carve_top t gross =
   t.top_size <- t.top_size - gross;
   let b = Block.v ~addr ~size:gross ~status:Block.Used ~run_id:0 in
   register t b;
-  Metrics.add_ops t.metrics 1;
+  acct_ops t 1;
   b
 
 let extend_top t need =
@@ -116,7 +126,7 @@ let extend_top t need =
   let base = Address_space.sbrk t.space request in
   t.held <- t.held + request;
   if t.held > t.max_held then t.max_held <- t.held;
-  Metrics.add_ops t.metrics 4;
+  acct_ops t 4;
   if t.top_size > 0 && t.top_addr + t.top_size = base then t.top_size <- t.top_size + request
   else begin
     t.top_addr <- base;
@@ -133,18 +143,19 @@ let split_remainder t (b : Block.t) gross =
     let rem = Block.v ~addr:(Block.end_addr b) ~size:remainder ~status:Block.Free ~run_id:0 in
     register t rem;
     insert_bin t rem;
-    Metrics.on_split t.metrics
+    Metrics.on_split t.metrics;
+    if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Split { remainder })
   end
 
 let take_from_bins t gross =
   let rec go i =
     if i >= Array.length t.bins then None
     else begin
-      Metrics.add_ops t.metrics 1;
+      acct_ops t 1;
       let fs = t.bins.(i) in
       let before = Free_structure.steps fs in
       let r = Free_structure.take_fit fs Dmm_core.Decision.Best_fit gross in
-      Metrics.add_ops t.metrics (Free_structure.steps fs - before);
+      acct_ops t (Free_structure.steps fs - before);
       match r with Some _ -> r | None -> go (i + 1)
     end
   in
@@ -165,6 +176,14 @@ let alloc t payload =
   in
   Hashtbl.replace t.req_sizes block.Block.addr payload;
   Metrics.on_alloc t.metrics ~payload;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe
+      (Obs_event.Alloc
+         {
+           payload;
+           gross = block.Block.size;
+           addr = block.Block.addr + t.config.header_bytes;
+         });
   block.Block.addr + t.config.header_bytes
 
 (* Immediate bidirectional coalescing, dlmalloc-style. *)
@@ -177,7 +196,9 @@ let merge_neighbours t (b : Block.t) =
     Hashtbl.remove t.by_end (Block.end_addr !b);
     !b.size <- !b.size + next.size;
     Hashtbl.replace t.by_end (Block.end_addr !b) !b;
-    Metrics.on_coalesce t.metrics
+    Metrics.on_coalesce t.metrics;
+    if Probe.enabled t.probe then
+      Probe.emit t.probe (Obs_event.Coalesce { merged = !b.size })
   | Some _ | None -> ());
   (match Hashtbl.find_opt t.by_end !b.Block.addr with
   | Some prev when Block.is_free prev ->
@@ -188,7 +209,9 @@ let merge_neighbours t (b : Block.t) =
     Hashtbl.replace t.by_base prev.addr prev;
     Hashtbl.replace t.by_end (Block.end_addr prev) prev;
     b := prev;
-    Metrics.on_coalesce t.metrics
+    Metrics.on_coalesce t.metrics;
+    if Probe.enabled t.probe then
+      Probe.emit t.probe (Obs_event.Coalesce { merged = prev.size })
   | Some _ | None -> ());
   !b
 
@@ -199,7 +222,7 @@ let maybe_trim t =
     Address_space.trim t.space (t.top_addr + keep);
     t.top_size <- keep;
     t.held <- t.held - release;
-    Metrics.add_ops t.metrics 2
+    acct_ops t 2
   end
 
 let free t addr =
@@ -211,6 +234,7 @@ let free t addr =
     let payload = match Hashtbl.find_opt t.req_sizes base with Some p -> p | None -> 0 in
     Hashtbl.remove t.req_sizes base;
     Metrics.on_free t.metrics ~payload;
+    if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr });
     b.status <- Block.Free;
     let b = merge_neighbours t b in
     if t.top_size >= 0 && Block.end_addr b = t.top_addr then begin

@@ -2,6 +2,8 @@ module Address_space = Dmm_vmem.Address_space
 module Size = Dmm_util.Size
 module Metrics = Dmm_core.Metrics
 module Allocator = Dmm_core.Allocator
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
 
 type config = { chunk_bytes : int; alignment : int }
 
@@ -25,12 +27,13 @@ type t = {
   by_addr : (int, obj) Hashtbl.t;
   cache : (int, int list ref) Hashtbl.t; (* chunk size -> cached bases *)
   metrics : Metrics.t;
+  probe : Probe.t;
   mutable held : int;
   mutable max_held : int;
   mutable dead_count : int;
 }
 
-let create ?(config = default_config) space =
+let create ?(config = default_config) ?(probe = Probe.null) space =
   if config.chunk_bytes <= 0 || config.alignment <= 0 then
     invalid_arg "Obstack.create: bad config";
   {
@@ -41,10 +44,17 @@ let create ?(config = default_config) space =
     by_addr = Hashtbl.create 256;
     cache = Hashtbl.create 4;
     metrics = Metrics.create ();
+    probe;
     held = 0;
     max_held = 0;
     dead_count = 0;
   }
+
+(* Zero-step scans are accounting no-ops: keep them out of the stream. *)
+let acct_ops t n =
+  Metrics.add_ops t.metrics n;
+  if n <> 0 && Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Fit_scan { steps = n })
 
 let take_chunk t csize =
   let cached =
@@ -57,13 +67,13 @@ let take_chunk t csize =
   let base =
     match cached with
     | Some base ->
-      Metrics.add_ops t.metrics 1;
+      acct_ops t 1;
       base
     | None ->
       let base = Address_space.sbrk t.space csize in
       t.held <- t.held + csize;
       if t.held > t.max_held then t.max_held <- t.held;
-      Metrics.add_ops t.metrics 4;
+      acct_ops t 4;
       base
   in
   { base; csize; used = 0 }
@@ -74,7 +84,7 @@ let release_chunk t c =
   if c.base + c.csize = Address_space.brk t.space then begin
     Address_space.trim t.space c.base;
     t.held <- t.held - c.csize;
-    Metrics.add_ops t.metrics 2
+    acct_ops t 2
   end
   else begin
     let l =
@@ -86,13 +96,13 @@ let release_chunk t c =
         l
     in
     l := c.base :: !l;
-    Metrics.add_ops t.metrics 1
+    acct_ops t 1
   end
 
 let alloc t payload =
   if payload <= 0 then invalid_arg "Obstack.alloc: non-positive size";
   let gross = Size.align_up payload t.config.alignment in
-  Metrics.add_ops t.metrics 1;
+  acct_ops t 1;
   let chunk =
     match t.chunks with
     | c :: _ when c.used + gross <= c.csize -> c
@@ -108,6 +118,8 @@ let alloc t payload =
   t.stack <- o :: t.stack;
   Hashtbl.replace t.by_addr addr o;
   Metrics.on_alloc t.metrics ~payload;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross; addr });
   addr
 
 (* Pop every dead object from the top of the stack, releasing chunks that
@@ -119,7 +131,7 @@ let rec pop_dead t =
     Hashtbl.remove t.by_addr o.addr;
     t.dead_count <- t.dead_count - 1;
     o.home.used <- o.home.used - o.gross;
-    Metrics.add_ops t.metrics 1;
+    acct_ops t 1;
     if o.home.used = 0 then begin
       (match t.chunks with
       | c :: cs when c == o.home ->
@@ -141,7 +153,9 @@ let free t addr =
     o.dead <- true;
     t.dead_count <- t.dead_count + 1;
     Metrics.on_free t.metrics ~payload:o.payload;
-    Metrics.add_ops t.metrics 1;
+    if Probe.enabled t.probe then
+      Probe.emit t.probe (Obs_event.Free { payload = o.payload; addr });
+    acct_ops t 1;
     pop_dead t
 
 let current_footprint t = t.held

@@ -18,7 +18,7 @@ val default_config : config
 
 type t
 
-val create : ?config:config -> Dmm_vmem.Address_space.t -> t
+val create : ?config:config -> ?probe:Dmm_obs.Probe.t -> Dmm_vmem.Address_space.t -> t
 
 val alloc : t -> int -> int
 val free : t -> int -> unit

@@ -2,6 +2,8 @@ module Address_space = Dmm_vmem.Address_space
 module Size = Dmm_util.Size
 module Metrics = Dmm_core.Metrics
 module Allocator = Dmm_core.Allocator
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
 
 type config = { min_slot : int; chunk_bytes : int }
 
@@ -22,11 +24,12 @@ type t = {
   owner : (int, region) Hashtbl.t; (* live slot addr -> its region *)
   chunk_cache : (int, int list ref) Hashtbl.t; (* chunk size -> free bases *)
   metrics : Metrics.t;
+  probe : Probe.t;
   mutable held : int;
   mutable max_held : int;
 }
 
-let create ?(config = default_config) space =
+let create ?(config = default_config) ?(probe = Probe.null) space =
   if not (Size.is_power_of_two config.min_slot) || config.chunk_bytes <= 0 then
     invalid_arg "Region.create: bad config";
   {
@@ -36,9 +39,16 @@ let create ?(config = default_config) space =
     owner = Hashtbl.create 256;
     chunk_cache = Hashtbl.create 8;
     metrics = Metrics.create ();
+    probe;
     held = 0;
     max_held = 0;
   }
+
+(* Zero-step scans are accounting no-ops: keep them out of the stream. *)
+let acct_ops t n =
+  Metrics.add_ops t.metrics n;
+  if n <> 0 && Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Fit_scan { steps = n })
 
 let slot_of_request t payload = max t.config.min_slot (Size.pow2_ceil payload)
 
@@ -67,17 +77,17 @@ let take_chunk t size =
   in
   match cached with
   | Some base ->
-    Metrics.add_ops t.metrics 1;
+    acct_ops t 1;
     base
   | None ->
     let base = Address_space.sbrk t.space size in
     t.held <- t.held + size;
     if t.held > t.max_held then t.max_held <- t.held;
-    Metrics.add_ops t.metrics 4;
+    acct_ops t 4;
     base
 
 let region_alloc_payload t r payload =
-  Metrics.add_ops t.metrics 2;
+  acct_ops t 2;
   let addr =
     match r.free_slots with
     | addr :: rest ->
@@ -95,6 +105,8 @@ let region_alloc_payload t r payload =
   Hashtbl.replace r.live addr payload;
   Hashtbl.replace t.owner addr r;
   Metrics.on_alloc t.metrics ~payload;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross = r.slot; addr });
   addr
 
 let region_free_internal t r addr =
@@ -104,14 +116,17 @@ let region_free_internal t r addr =
     Hashtbl.remove r.live addr;
     Hashtbl.remove t.owner addr;
     r.free_slots <- addr :: r.free_slots;
-    Metrics.add_ops t.metrics 2;
-    Metrics.on_free t.metrics ~payload
+    acct_ops t 2;
+    Metrics.on_free t.metrics ~payload;
+    if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr })
 
 let destroy_region t r =
   Hashtbl.iter
     (fun addr payload ->
       Hashtbl.remove t.owner addr;
-      Metrics.on_free t.metrics ~payload)
+      Metrics.on_free t.metrics ~payload;
+      if Probe.enabled t.probe then
+        Probe.emit t.probe (Obs_event.Free { payload; addr }))
     r.live;
   Hashtbl.reset r.live;
   r.free_slots <- [];
@@ -124,7 +139,7 @@ let destroy_region t r =
       l
   in
   List.iter (fun base -> cache := base :: !cache) r.chunks;
-  Metrics.add_ops t.metrics (List.length r.chunks);
+  acct_ops t (List.length r.chunks);
   r.chunks <- []
 
 let class_region t slot =

@@ -2,6 +2,8 @@ module Address_space = Dmm_vmem.Address_space
 module Size = Dmm_util.Size
 module Metrics = Dmm_core.Metrics
 module Allocator = Dmm_core.Allocator
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
 
 type pool = { slot : int; mutable free_slots : int list }
 
@@ -11,13 +13,14 @@ type t = {
   slot_sizes : int array; (* ascending *)
   live : (int, int * int) Hashtbl.t; (* addr -> slot (0 = overflow), payload *)
   metrics : Metrics.t;
+  probe : Probe.t;
   reserved : int;
   mutable overflow_allocs : int;
   mutable overflow_live : int;
   mutable overflow_peak : int;
 }
 
-let create ?(margin = 1.0) space capacities =
+let create ?(margin = 1.0) ?(probe = Probe.null) space capacities =
   if margin <= 0.0 then invalid_arg "Static_pool.create: non-positive margin";
   let scaled =
     List.map
@@ -46,11 +49,18 @@ let create ?(margin = 1.0) space capacities =
     slot_sizes = Array.of_list (List.sort compare sizes);
     live = Hashtbl.create 256;
     metrics = Metrics.create ();
+    probe;
     reserved = !reserved;
     overflow_allocs = 0;
     overflow_live = 0;
     overflow_peak = 0;
   }
+
+(* Zero-step scans are accounting no-ops: keep them out of the stream. *)
+let acct_ops t n =
+  Metrics.add_ops t.metrics n;
+  if n <> 0 && Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Fit_scan { steps = n })
 
 let class_for t payload =
   let n = Array.length t.slot_sizes in
@@ -70,13 +80,15 @@ let overflow_alloc t payload =
   t.overflow_live <- t.overflow_live + gross;
   if t.overflow_live > t.overflow_peak then t.overflow_peak <- t.overflow_live;
   Hashtbl.replace t.live addr (0, payload);
-  Metrics.add_ops t.metrics 4;
+  acct_ops t 4;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross; addr });
   addr
 
 let alloc t payload =
   if payload <= 0 then invalid_arg "Static_pool.alloc: non-positive size";
   Metrics.on_alloc t.metrics ~payload;
-  Metrics.add_ops t.metrics 2;
+  acct_ops t 2;
   match class_for t payload with
   | None -> overflow_alloc t payload
   | Some slot -> (
@@ -85,6 +97,8 @@ let alloc t payload =
     | addr :: rest ->
       pool.free_slots <- rest;
       Hashtbl.replace t.live addr (slot, payload);
+      if Probe.enabled t.probe then
+        Probe.emit t.probe (Obs_event.Alloc { payload; gross = slot; addr });
       addr
     | [] -> overflow_alloc t payload)
 
@@ -94,7 +108,8 @@ let free t addr =
   | Some (slot, payload) ->
     Hashtbl.remove t.live addr;
     Metrics.on_free t.metrics ~payload;
-    Metrics.add_ops t.metrics 2;
+    if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr });
+    acct_ops t 2;
     if slot = 0 then
       (* Emergency memory is not recycled; the static design had no plan
          for it. *)

@@ -17,7 +17,7 @@
 type t
 
 val create :
-  ?margin:float -> Dmm_vmem.Address_space.t -> (int * int) list -> t
+  ?margin:float -> ?probe:Dmm_obs.Probe.t -> Dmm_vmem.Address_space.t -> (int * int) list -> t
 (** [create space capacities] reserves [capacity] slots for each
     [(slot_size, capacity)] pair (slot sizes must be distinct positive
     powers of two; capacities non-negative). [margin] scales every

@@ -1,9 +1,11 @@
 module Address_space = Dmm_vmem.Address_space
+module Probe = Dmm_obs.Probe
 
 type design = { vector : Decision_vector.t; params : Manager.params }
 
 type t = {
   space : Address_space.t;
+  probe : Probe.t;
   default : design;
   overrides : (int, design) Hashtbl.t;
   managers : (int, Manager.t) Hashtbl.t;
@@ -21,13 +23,14 @@ let validate d =
     invalid_arg
       (Format.asprintf "Global_manager: invalid design: %a" Constraints.pp_violation v)
 
-let create space ~default ?(overrides = []) () =
+let create ?(probe = Probe.null) space ~default ?(overrides = []) () =
   validate default;
   List.iter (fun (_, d) -> validate d) overrides;
   let tbl = Hashtbl.create 8 in
   List.iter (fun (p, d) -> Hashtbl.replace tbl p d) overrides;
   {
     space;
+    probe;
     default;
     overrides = tbl;
     managers = Hashtbl.create 8;
@@ -43,7 +46,7 @@ let manager_for t phase =
   | Some m -> m
   | None ->
     let d = design_for t phase in
-    let m = Manager.create ~params:d.params d.vector t.space in
+    let m = Manager.create ~params:d.params ~probe:t.probe d.vector t.space in
     Hashtbl.replace t.managers phase m;
     t.order <- phase :: t.order;
     m

@@ -1,6 +1,8 @@
 open Decision
 module Address_space = Dmm_vmem.Address_space
 module Size = Dmm_util.Size
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
 
 type params = {
   word_size : int;
@@ -45,6 +47,7 @@ type t = {
   params : params;
   space : Address_space.t;
   metrics : Metrics.t;
+  probe : Probe.t;
   by_base : (int, Block.t) Hashtbl.t;
   by_end : (int, Block.t) Hashtbl.t;
   req_sizes : (int, int) Hashtbl.t; (* base addr -> requested payload bytes *)
@@ -64,6 +67,34 @@ let vector t = t.vec
 let params t = t.params
 let metrics t = Metrics.snapshot t.metrics
 let current_footprint t = t.held_bytes
+
+(* --- accounting ---------------------------------------------------------- *)
+
+(* The inline [Metrics.t] stays the always-on aggregate view; every step is
+   mirrored to the probe so external sinks can rebuild it (and more) from
+   the event stream alone. *)
+(* Zero-step scans are accounting no-ops: keep them out of the stream. *)
+let acct_ops t n =
+  Metrics.add_ops t.metrics n;
+  if n <> 0 && Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Fit_scan { steps = n })
+
+let acct_alloc t ~payload ~gross ~addr =
+  Metrics.on_alloc t.metrics ~payload;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross; addr })
+
+let acct_free t ~payload ~addr =
+  Metrics.on_free t.metrics ~payload;
+  if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr })
+
+let acct_split t remainder =
+  Metrics.on_split t.metrics;
+  if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Split { remainder })
+
+let acct_coalesce t merged =
+  Metrics.on_coalesce t.metrics;
+  if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Coalesce { merged })
 
 (* --- configuration derivation ------------------------------------------- *)
 
@@ -87,7 +118,8 @@ let can_coalesce vec =
   | Coalesce_only | Split_and_coalesce -> vec.Decision_vector.d2 <> Never
   | No_flexibility | Split_only -> false
 
-let create ?(expected_live = 256) ?(params = default_params) vec space =
+let create ?(expected_live = 256) ?(params = default_params) ?(probe = Probe.null) vec
+    space =
   (match Constraints.check vec with
   | [] -> ()
   | violations ->
@@ -142,6 +174,7 @@ let create ?(expected_live = 256) ?(params = default_params) vec space =
     params;
     space;
     metrics = Metrics.create ();
+    probe;
     by_base = Hashtbl.create (max 16 expected_live);
     by_end = Hashtbl.create (max 16 expected_live);
     req_sizes = Hashtbl.create (max 16 expected_live);
@@ -196,10 +229,10 @@ let pool_lookup_cost t index =
 let pool_for_size t z =
   match t.pools with
   | P_single fs ->
-    Metrics.add_ops t.metrics 1;
+    acct_ops t 1;
     fs
   | P_by_size tbl ->
-    Metrics.add_ops t.metrics (pool_lookup_cost t 1);
+    acct_ops t (pool_lookup_cost t 1);
     (match Hashtbl.find_opt tbl z with
     | Some fs -> fs
     | None ->
@@ -208,7 +241,7 @@ let pool_for_size t z =
       fs)
   | P_by_range arr ->
     let i = range_index t z in
-    Metrics.add_ops t.metrics (pool_lookup_cost t i);
+    acct_ops t (pool_lookup_cost t i);
     arr.(i)
 
 (* --- registries ------------------------------------------------------------ *)
@@ -216,17 +249,17 @@ let pool_for_size t z =
 let register t (b : Block.t) =
   Hashtbl.replace t.by_base b.addr b;
   Hashtbl.replace t.by_end (Block.end_addr b) b;
-  Metrics.add_ops t.metrics 1
+  acct_ops t 1
 
 let unregister t (b : Block.t) =
   Hashtbl.remove t.by_base b.addr;
   Hashtbl.remove t.by_end (Block.end_addr b);
-  Metrics.add_ops t.metrics 1
+  acct_ops t 1
 
 let insert_free t (b : Block.t) =
   b.status <- Free;
   Free_structure.insert (pool_for_size t b.size) b;
-  Metrics.add_ops t.metrics 1
+  acct_ops t 1
 
 let remove_free t (b : Block.t) = Free_structure.remove (pool_for_size t b.size) b
 
@@ -271,8 +304,8 @@ let try_split t (b : Block.t) gross =
       in
       register t rem;
       insert_free t rem;
-      Metrics.on_split t.metrics;
-      Metrics.add_ops t.metrics 1
+      acct_split t split_off;
+      acct_ops t 1
     end
   end
 
@@ -297,8 +330,8 @@ let merge_neighbours t (b : Block.t) =
       Hashtbl.remove t.by_end (Block.end_addr !b);
       !b.size <- !b.size + next.size;
       Hashtbl.replace t.by_end (Block.end_addr !b) !b;
-      Metrics.on_coalesce t.metrics;
-      Metrics.add_ops t.metrics 2;
+      acct_coalesce t !b.size;
+      acct_ops t 2;
       forward ()
     | Some _ | None -> ()
   in
@@ -316,8 +349,8 @@ let merge_neighbours t (b : Block.t) =
       Hashtbl.replace t.by_base prev.addr prev;
       Hashtbl.replace t.by_end (Block.end_addr prev) prev;
       b := prev;
-      Metrics.on_coalesce t.metrics;
-      Metrics.add_ops t.metrics 2;
+      acct_coalesce t prev.size;
+      acct_ops t 2;
       backward ()
     | Some _ | None -> ()
   in
@@ -331,7 +364,7 @@ let sweep t =
     Hashtbl.fold (fun _ b acc -> if Block.is_free b then b :: acc else acc) t.by_base []
   in
   let sorted = List.sort (fun (a : Block.t) b -> compare a.addr b.Block.addr) frees in
-  Metrics.add_ops t.metrics (List.length sorted);
+  acct_ops t (List.length sorted);
   let rec go = function
     | [] | [ _ ] -> ()
     | (a : Block.t) :: (b : Block.t) :: rest ->
@@ -348,7 +381,7 @@ let sweep t =
         a.size <- a.size + b.size;
         Hashtbl.replace t.by_end (Block.end_addr a) a;
         insert_free t a;
-        Metrics.on_coalesce t.metrics;
+        acct_coalesce t a.size;
         go (a :: rest)
       end
       else go (b :: rest)
@@ -372,7 +405,7 @@ let note_new_run t base size =
 
 (* Obtain a block of [gross] bytes from the system, growing the heap. *)
 let grab_from_system t gross =
-  Metrics.add_ops t.metrics 4 (* system-call cost *);
+  acct_ops t 4 (* system-call cost *);
   let fixed = Array.length t.classes > 0 in
   let oversize = fixed && class_ceiling t gross = None in
   if fixed && not oversize then begin
@@ -425,7 +458,7 @@ let maybe_trim t (b : Block.t) =
       t.last_run_id <- b.run_id;
       t.last_run_end <- b.addr
     end;
-    Metrics.add_ops t.metrics 2;
+    acct_ops t 2;
     true
   end
   else false
@@ -438,16 +471,16 @@ let take_candidate t gross =
   | P_single fs ->
     let before = Free_structure.steps fs in
     let r = Free_structure.take_fit fs fit gross in
-    Metrics.add_ops t.metrics (Free_structure.steps fs - before + 1);
+    acct_ops t (Free_structure.steps fs - before + 1);
     r
   | P_by_size tbl ->
-    Metrics.add_ops t.metrics (pool_lookup_cost t 1);
+    acct_ops t (pool_lookup_cost t 1);
     (match Hashtbl.find_opt tbl gross with
     | None -> None
     | Some fs ->
       let before = Free_structure.steps fs in
       let r = Free_structure.take_fit fs fit gross in
-      Metrics.add_ops t.metrics (Free_structure.steps fs - before + 1);
+      acct_ops t (Free_structure.steps fs - before + 1);
       r)
   | P_by_range arr ->
     (* Search the block's own class, then larger classes (binmap search). *)
@@ -456,11 +489,11 @@ let take_candidate t gross =
     let rec go i =
       if i >= n then None
       else begin
-        Metrics.add_ops t.metrics (pool_lookup_cost t i);
+        acct_ops t (pool_lookup_cost t i);
         let fs = arr.(i) in
         let before = Free_structure.steps fs in
         let r = Free_structure.take_fit fs fit gross in
-        Metrics.add_ops t.metrics (Free_structure.steps fs - before + 1);
+        acct_ops t (Free_structure.steps fs - before + 1);
         match r with Some _ -> r | None -> go (i + 1)
       end
     in
@@ -491,7 +524,8 @@ let alloc t payload =
       else grab_from_system t gross
   in
   Hashtbl.replace t.req_sizes block.Block.addr payload;
-  Metrics.on_alloc t.metrics ~payload;
+  acct_alloc t ~payload ~gross:block.Block.size
+    ~addr:(block.Block.addr + t.header_bytes);
   block.Block.addr + t.header_bytes
 
 let free t user_addr =
@@ -504,7 +538,7 @@ let free t user_addr =
       match Hashtbl.find_opt t.req_sizes base with Some p -> p | None -> 0
     in
     Hashtbl.remove t.req_sizes base;
-    Metrics.on_free t.metrics ~payload;
+    acct_free t ~payload ~addr:user_addr;
     b.status <- Block.Free;
     let b =
       if can_coalesce t.vec && t.vec.Decision_vector.d2 = Always then

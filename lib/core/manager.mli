@@ -49,8 +49,19 @@ val pow2_classes : min:int -> max:int -> int list
 type t
 
 val create :
-  ?expected_live:int -> ?params:params -> Decision_vector.t -> Dmm_vmem.Address_space.t -> t
-(** Raises [Invalid_argument] with the violated rules if the vector fails
+  ?expected_live:int ->
+  ?params:params ->
+  ?probe:Dmm_obs.Probe.t ->
+  Decision_vector.t ->
+  Dmm_vmem.Address_space.t ->
+  t
+(** [probe] (default {!Dmm_obs.Probe.null}) receives one event per
+    accounting step: [Alloc]/[Free] at the service boundary, [Split] and
+    [Coalesce] as the mechanisms fire, and [Fit_scan] mirroring every
+    bookkeeping-cost increment, so a {!Dmm_obs.Metrics_sink} rebuilds
+    exactly the snapshot returned by {!metrics}.
+
+    Raises [Invalid_argument] with the violated rules if the vector fails
     {!Constraints.check}, or if the parameters are inconsistent (e.g. empty
     [size_classes] under a fixed-size regime). [expected_live] pre-sizes
     the block registries ([by_base], [by_end], request records) for

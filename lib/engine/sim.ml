@@ -4,6 +4,7 @@ module Allocator = Dmm_core.Allocator
 module Address_space = Dmm_vmem.Address_space
 module Trace = Dmm_trace.Trace
 module Replay = Dmm_trace.Replay
+module Probe = Dmm_obs.Probe
 
 type outcome = { footprint : int; ops : int }
 
@@ -13,6 +14,8 @@ type t = {
   memo : (string, outcome) Hashtbl.t;
   mutable hits : int;
   mutable misses : int;
+  mutable replays : int;
+  mutable replay_seconds : float;
 }
 
 let create trace =
@@ -22,35 +25,58 @@ let create trace =
     memo = Hashtbl.create 64;
     hits = 0;
     misses = 0;
+    replays = 0;
+    replay_seconds = 0.0;
   }
 
 let trace t = t.trace
 let hits t = t.hits
 let misses t = t.misses
+let replays t = t.replays
+let replay_seconds t = t.replay_seconds
 
-let replay t (d : Explorer.design) =
+(* Pure worker function: safe on any domain. Accounting of replay counts
+   and wall time happens on the parent domain only. *)
+let replay ?probe t (d : Explorer.design) =
+  let space = Address_space.create ?probe () in
   let m =
-    Manager.create ~expected_live:t.live_hint ~params:d.Explorer.params
-      d.Explorer.vector (Address_space.create ())
+    Manager.create ~expected_live:t.live_hint ~params:d.Explorer.params ?probe
+      d.Explorer.vector space
   in
   let a = Manager.allocator m in
-  Replay.run ~live_hint:t.live_hint t.trace a;
+  Replay.run ?probe ~live_hint:t.live_hint t.trace a;
   {
     footprint = Allocator.max_footprint a;
     ops = (Allocator.stats a).Dmm_core.Metrics.ops;
   }
 
-let outcome t d =
-  let key = Explorer.design_key d in
-  match Hashtbl.find_opt t.memo key with
-  | Some o ->
-    t.hits <- t.hits + 1;
+let timed t f =
+  let start = Unix.gettimeofday () in
+  let r = f () in
+  t.replay_seconds <- t.replay_seconds +. (Unix.gettimeofday () -. start);
+  r
+
+let outcome ?(probe = Probe.null) t d =
+  if Probe.enabled probe then begin
+    (* An observed replay must actually run: bypass the memo (but still
+       serve its result into the table for later unobserved queries). *)
+    let o = timed t (fun () -> replay ~probe t d) in
+    t.replays <- t.replays + 1;
+    Hashtbl.replace t.memo (Explorer.design_key d) o;
     o
-  | None ->
-    let o = replay t d in
-    t.misses <- t.misses + 1;
-    Hashtbl.replace t.memo key o;
-    o
+  end
+  else
+    let key = Explorer.design_key d in
+    match Hashtbl.find_opt t.memo key with
+    | Some o ->
+      t.hits <- t.hits + 1;
+      o
+    | None ->
+      let o = timed t (fun () -> replay t d) in
+      t.misses <- t.misses + 1;
+      t.replays <- t.replays + 1;
+      Hashtbl.replace t.memo key o;
+      o
 
 let outcomes t designs =
   let keys = Array.map Explorer.design_key designs in
@@ -65,14 +91,15 @@ let outcomes t designs =
       end)
     keys;
   let missing = Array.of_list (List.rev !missing) in
-  let scored = Pool.map missing (fun (_, d) -> replay t d) in
+  let scored = timed t (fun () -> Pool.map missing (fun (_, d) -> replay t d)) in
   Array.iteri (fun i (key, _) -> Hashtbl.replace t.memo key scored.(i)) missing;
   t.misses <- t.misses + Array.length missing;
+  t.replays <- t.replays + Array.length missing;
   t.hits <- t.hits + (Array.length designs - Array.length missing);
   Array.map (fun key -> Hashtbl.find t.memo key) keys
 
-let score ?(alpha = 0.0) t d =
-  let o = outcome t d in
+let score ?(alpha = 0.0) ?probe t d =
+  let o = outcome ?probe t d in
   Explorer.tradeoff_score ~alpha ~footprint:o.footprint ~ops:o.ops
 
 let score_all ?(alpha = 0.0) t designs =

@@ -29,14 +29,16 @@ val create : Dmm_trace.Trace.t -> t
 
 val trace : t -> Dmm_trace.Trace.t
 
-val outcome : t -> Dmm_core.Explorer.design -> outcome
-(** Memoised single-design replay (always on the calling domain). *)
+val outcome : ?probe:Dmm_obs.Probe.t -> t -> Dmm_core.Explorer.design -> outcome
+(** Memoised single-design replay (always on the calling domain). When
+    [probe] is enabled the replay always runs live — memoisation would
+    suppress the event stream — and its result refreshes the table. *)
 
 val outcomes : t -> Dmm_core.Explorer.design array -> outcome array
 (** Memoised batch replay, input-ordered; unique cache misses run through
     {!Pool.map}. *)
 
-val score : ?alpha:float -> t -> Dmm_core.Explorer.design -> int
+val score : ?alpha:float -> ?probe:Dmm_obs.Probe.t -> t -> Dmm_core.Explorer.design -> int
 (** [Explorer.tradeoff_score ~alpha] over {!outcome} ([alpha] defaults to
     [0.], the pure footprint objective). *)
 
@@ -48,4 +50,12 @@ val hits : t -> int
     a single {!outcomes} batch). *)
 
 val misses : t -> int
-(** Actual trace replays performed so far. *)
+(** Unmemoised queries so far. *)
+
+val replays : t -> int
+(** Actual trace replays performed so far (memo misses plus probed
+    replays). *)
+
+val replay_seconds : t -> float
+(** Cumulative wall-clock seconds spent replaying, measured on the parent
+    domain (a parallel {!outcomes} batch counts its elapsed batch time). *)

@@ -1,0 +1,77 @@
+type t = {
+  name : string;
+  pid : int;
+  buf : Buffer.t;
+  mutable events : int;
+  mutable footprint : int;
+  mutable live_payload : int;
+}
+
+let create ~name ~pid =
+  { name; pid; buf = Buffer.create 4096; events = 0; footprint = 0; live_payload = 0 }
+
+let add t line =
+  if t.events > 0 then Buffer.add_string t.buf ",\n";
+  Buffer.add_string t.buf line;
+  t.events <- t.events + 1
+
+let counter t clock ~track value =
+  add t
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"ph\":\"C\",\"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{\"bytes\":%d}}"
+       track clock t.pid value)
+
+let on_event t clock (e : Event.t) =
+  match e with
+  | Event.Sbrk { bytes; _ } ->
+    t.footprint <- t.footprint + bytes;
+    counter t clock ~track:"footprint" t.footprint
+  | Event.Trim { bytes; _ } ->
+    t.footprint <- t.footprint - bytes;
+    counter t clock ~track:"footprint" t.footprint
+  | Event.Alloc { payload; _ } ->
+    t.live_payload <- t.live_payload + payload;
+    counter t clock ~track:"live_payload" t.live_payload
+  | Event.Free { payload; _ } ->
+    t.live_payload <- t.live_payload - payload;
+    counter t clock ~track:"live_payload" t.live_payload
+  | Event.Phase p ->
+    add t
+      (Printf.sprintf
+         "{\"name\":\"phase %d\",\"ph\":\"i\",\"s\":\"p\",\"ts\":%d,\"pid\":%d,\"tid\":0}"
+         p clock t.pid)
+  | Event.Split _ | Event.Coalesce _ | Event.Fit_scan _ -> ()
+
+let attach probe t = Probe.attach probe (on_event t)
+let events t = t.events
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let write_file path sinks =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
+  output_string oc "{\"traceEvents\":[\n";
+  let first = ref true in
+  List.iter
+    (fun t ->
+      if not !first then output_string oc ",\n";
+      first := false;
+      Printf.fprintf oc
+        "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%d,\"tid\":0,\"args\":{\"name\":\"%s\"}}"
+        t.pid (json_escape t.name);
+      if t.events > 0 then begin
+        output_string oc ",\n";
+        Buffer.output_buffer oc t.buf
+      end)
+    sinks;
+  output_string oc "\n]}\n"

@@ -1,0 +1,31 @@
+(** chrome://tracing export sink.
+
+    Renders the event stream as Trace Event Format JSON (the
+    [{"traceEvents":[...]}] container understood by chrome://tracing and
+    Perfetto). Timestamps are the probe's logical clock, in microseconds.
+    Per stream the sink emits:
+
+    - a process-name metadata event (one "process" per manager/replay),
+    - a ["footprint"] counter track updated at every sbrk/trim,
+    - a ["live_payload"] counter track updated at every alloc/free,
+    - an instant event per phase marker.
+
+    Several sinks (e.g. one per manager) can be written into a single file
+    with {!write_file}; each gets its own pid and shows up as its own
+    track group. *)
+
+type t
+
+val create : name:string -> pid:int -> t
+(** [name] labels the process track; [pid] must be unique per sink within
+    one output file. *)
+
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val events : t -> int
+(** Trace events buffered so far (excluding metadata). *)
+
+val write_file : string -> t list -> unit
+(** Write all sinks' buffered events into one [{"traceEvents":[...]}]
+    file. *)

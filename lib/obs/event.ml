@@ -1,0 +1,51 @@
+type t =
+  | Alloc of { payload : int; gross : int; addr : int }
+  | Free of { payload : int; addr : int }
+  | Split of { remainder : int }
+  | Coalesce of { merged : int }
+  | Phase of int
+  | Sbrk of { bytes : int; brk : int }
+  | Trim of { bytes : int; brk : int }
+  | Fit_scan of { steps : int }
+
+let name = function
+  | Alloc _ -> "alloc"
+  | Free _ -> "free"
+  | Split _ -> "split"
+  | Coalesce _ -> "coalesce"
+  | Phase _ -> "phase"
+  | Sbrk _ -> "sbrk"
+  | Trim _ -> "trim"
+  | Fit_scan _ -> "fit_scan"
+
+let to_json ~clock e =
+  match e with
+  | Alloc { payload; gross; addr } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"alloc\",\"payload\":%d,\"gross\":%d,\"addr\":%d}"
+      clock payload gross addr
+  | Free { payload; addr } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"free\",\"payload\":%d,\"addr\":%d}" clock payload
+      addr
+  | Split { remainder } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"split\",\"remainder\":%d}" clock remainder
+  | Coalesce { merged } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"coalesce\",\"merged\":%d}" clock merged
+  | Phase p -> Printf.sprintf "{\"t\":%d,\"ev\":\"phase\",\"id\":%d}" clock p
+  | Sbrk { bytes; brk } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"sbrk\",\"bytes\":%d,\"brk\":%d}" clock bytes brk
+  | Trim { bytes; brk } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"trim\",\"bytes\":%d,\"brk\":%d}" clock bytes brk
+  | Fit_scan { steps } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"fit_scan\",\"steps\":%d}" clock steps
+
+let pp ppf e =
+  match e with
+  | Alloc { payload; gross; addr } ->
+    Format.fprintf ppf "alloc payload=%d gross=%d addr=%d" payload gross addr
+  | Free { payload; addr } -> Format.fprintf ppf "free payload=%d addr=%d" payload addr
+  | Split { remainder } -> Format.fprintf ppf "split remainder=%d" remainder
+  | Coalesce { merged } -> Format.fprintf ppf "coalesce merged=%d" merged
+  | Phase p -> Format.fprintf ppf "phase %d" p
+  | Sbrk { bytes; brk } -> Format.fprintf ppf "sbrk bytes=%d brk=%d" bytes brk
+  | Trim { bytes; brk } -> Format.fprintf ppf "trim bytes=%d brk=%d" bytes brk
+  | Fit_scan { steps } -> Format.fprintf ppf "fit_scan steps=%d" steps

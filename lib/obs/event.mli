@@ -1,0 +1,43 @@
+(** The allocation-event vocabulary of the observability layer.
+
+    Every accounting-relevant step of a simulated run — from the heap
+    break moving at the bottom of the stack to a block splitting inside a
+    manager — is one of these events. Managers emit them through a
+    {!Probe}; sinks reconstruct whatever view they need (aggregate
+    counters, exact footprint series, structured exports) from the stream
+    alone. *)
+
+type t =
+  | Alloc of { payload : int; gross : int; addr : int }
+      (** A block was handed to the application: [payload] requested
+          bytes, [gross] bytes consumed inside the manager (tags, padding
+          and size-class rounding included), payload address [addr]. *)
+  | Free of { payload : int; addr : int }
+      (** The block at payload address [addr] was released. *)
+  | Split of { remainder : int }
+      (** A block was split; [remainder] bytes went back to a free
+          structure. *)
+  | Coalesce of { merged : int }
+      (** Two adjacent free blocks merged into one of [merged] bytes. *)
+  | Phase of int  (** The application crossed a logical-phase boundary. *)
+  | Sbrk of { bytes : int; brk : int }
+      (** The heap break grew by [bytes] to [brk] — the footprint went
+          up. *)
+  | Trim of { bytes : int; brk : int }
+      (** [bytes] were returned to the system, lowering the break to
+          [brk] — the footprint went down. *)
+  | Fit_scan of { steps : int }
+      (** The manager spent [steps] abstract operations searching free
+          structures, probing pools or paying system-call cost — the
+          platform-independent work measure behind EXP-PERF. *)
+
+val name : t -> string
+(** Lowercase tag: ["alloc"], ["free"], ["split"], ["coalesce"],
+    ["phase"], ["sbrk"], ["trim"] or ["fit_scan"]. *)
+
+val to_json : clock:int -> t -> string
+(** One self-contained JSON object (no trailing newline):
+    [{"t":<clock>,"ev":"<name>",...fields}]. The field set per event kind
+    is documented in EXPERIMENTS.md. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,12 @@
+type t = { oc : out_channel; mutable events : int }
+
+let create oc = { oc; events = 0 }
+
+let on_event t clock e =
+  output_string t.oc (Event.to_json ~clock e);
+  output_char t.oc '\n';
+  t.events <- t.events + 1
+
+let attach probe t = Probe.attach probe (on_event t)
+let events t = t.events
+let flush t = flush t.oc

@@ -1,0 +1,19 @@
+(** Structured export sink: one JSON object per event, one event per line
+    (JSON Lines). The schema is {!Event.to_json}'s, documented in
+    EXPERIMENTS.md; a consumer can rebuild the exact footprint series from
+    the [sbrk]/[trim] lines alone and the aggregate counters from the
+    rest. *)
+
+type t
+
+val create : out_channel -> t
+(** Lines are written to the channel as events arrive; the caller owns the
+    channel (call {!flush} or close it when the run ends). *)
+
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val events : t -> int
+(** Lines written so far. *)
+
+val flush : t -> unit

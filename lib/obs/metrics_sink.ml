@@ -1,0 +1,66 @@
+type snapshot = {
+  allocs : int;
+  frees : int;
+  splits : int;
+  coalesces : int;
+  ops : int;
+  live_payload : int;
+  live_blocks : int;
+  peak_live_payload : int;
+}
+
+type t = {
+  mutable allocs : int;
+  mutable frees : int;
+  mutable splits : int;
+  mutable coalesces : int;
+  mutable ops : int;
+  mutable live_payload : int;
+  mutable live_blocks : int;
+  mutable peak_live_payload : int;
+}
+
+let create () =
+  {
+    allocs = 0;
+    frees = 0;
+    splits = 0;
+    coalesces = 0;
+    ops = 0;
+    live_payload = 0;
+    live_blocks = 0;
+    peak_live_payload = 0;
+  }
+
+let on_event t _clock (e : Event.t) =
+  match e with
+  | Event.Alloc { payload; _ } ->
+    t.allocs <- t.allocs + 1;
+    t.live_payload <- t.live_payload + payload;
+    t.live_blocks <- t.live_blocks + 1;
+    if t.live_payload > t.peak_live_payload then t.peak_live_payload <- t.live_payload
+  | Event.Free { payload; _ } ->
+    t.frees <- t.frees + 1;
+    t.live_payload <- t.live_payload - payload;
+    t.live_blocks <- t.live_blocks - 1
+  | Event.Split _ -> t.splits <- t.splits + 1
+  | Event.Coalesce _ -> t.coalesces <- t.coalesces + 1
+  | Event.Fit_scan { steps } -> t.ops <- t.ops + steps
+  | Event.Phase _ | Event.Sbrk _ | Event.Trim _ -> ()
+
+let attach probe t = Probe.attach probe (on_event t)
+
+let snapshot t : snapshot =
+  {
+    allocs = t.allocs;
+    frees = t.frees;
+    splits = t.splits;
+    coalesces = t.coalesces;
+    ops = t.ops;
+    live_payload = t.live_payload;
+    live_blocks = t.live_blocks;
+    peak_live_payload = t.peak_live_payload;
+  }
+
+let ops t = t.ops
+let live_payload t = t.live_payload

@@ -1,0 +1,35 @@
+(** Aggregating sink: rebuilds the classic operation/occupancy counters
+    purely from the event stream.
+
+    With a [Metrics_sink] attached, a replay's snapshot is field-for-field
+    equal to the manager's own inline accounting
+    ({!Dmm_core.Metrics.snapshot} via [Allocator.stats]) — the property
+    the test suite checks for every manager. For a global (per-phase)
+    manager the sink is {e stronger} than the inline view: it tracks the
+    true global live payload over time, so [peak_live_payload] here is the
+    composition's real peak, whereas the inline combined snapshot can only
+    sum each atomic manager's private peak (an upper bound). *)
+
+type snapshot = {
+  allocs : int;
+  frees : int;
+  splits : int;
+  coalesces : int;
+  ops : int;  (** summed {!Event.Fit_scan} steps *)
+  live_payload : int;
+  live_blocks : int;
+  peak_live_payload : int;
+}
+
+type t
+
+val create : unit -> t
+val attach : Probe.t -> t -> unit
+(** Subscribe to a probe ({!Probe.attach} with this sink's handler). *)
+
+val on_event : t -> int -> Event.t -> unit
+(** The raw handler, for composing into custom fan-outs. *)
+
+val snapshot : t -> snapshot
+val ops : t -> int
+val live_payload : t -> int

@@ -1,0 +1,24 @@
+type t = {
+  inert : bool;
+  mutable clock : int;
+  mutable sinks : (int -> Event.t -> unit) list; (* attachment order *)
+}
+
+let null = { inert = true; clock = 0; sinks = [] }
+let create () = { inert = false; clock = 0; sinks = [] }
+
+let attach t sink =
+  if t.inert then invalid_arg "Probe.attach: cannot attach a sink to the null probe";
+  t.sinks <- t.sinks @ [ sink ]
+
+let enabled t = t.sinks != []
+
+let emit t event =
+  match t.sinks with
+  | [] -> ()
+  | sinks ->
+    let c = t.clock in
+    t.clock <- c + 1;
+    List.iter (fun sink -> sink c event) sinks
+
+let clock t = t.clock

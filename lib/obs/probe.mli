@@ -1,0 +1,42 @@
+(** Allocation-event probe: the single extension point through which a
+    simulated heap, its managers and the replayer expose their behaviour.
+
+    A probe carries a {e logical clock} (one tick per emitted event,
+    shared by every component the probe is threaded through, in the style
+    of Elephant Tracks' method-time clock) and a list of attached sinks.
+    Emission is strictly in-order and single-threaded: a probe must not be
+    shared across domains (the engine's pool gives each replay its own
+    probe, or none).
+
+    The {!null} probe is the zero-cost default: it has no sinks, never
+    ticks, and emitters guard event construction behind {!enabled}, so a
+    probe-off run pays one branch per would-be event and allocates
+    nothing. *)
+
+type t
+
+val null : t
+(** The inert probe: {!enabled} is false, {!emit} does nothing, and
+    {!attach} raises [Invalid_argument]. Safe to share (it is never
+    mutated). *)
+
+val create : unit -> t
+(** A fresh probe with clock 0 and no sinks. *)
+
+val attach : t -> (int -> Event.t -> unit) -> unit
+(** [attach t sink] subscribes [sink] to every subsequent event; sinks
+    fire in attachment order and receive the clock stamp first. Raises
+    [Invalid_argument] on {!null}. *)
+
+val enabled : t -> bool
+(** True when at least one sink is attached. Emitters check this before
+    constructing an event, which keeps the probe-off path allocation-free:
+    [if Probe.enabled p then Probe.emit p (Event.Alloc ...)]. *)
+
+val emit : t -> Event.t -> unit
+(** Stamp the event with the current clock, advance the clock, dispatch to
+    every sink. A no-op when no sink is attached (the clock does not
+    advance, so the stream seen by sinks is gap-free). *)
+
+val clock : t -> int
+(** Events emitted so far. *)

@@ -1,0 +1,34 @@
+type point = { clock : int; footprint : int; maximum : int }
+
+type t = {
+  mutable current : int;
+  mutable maximum : int;
+  mutable rev_points : point list;
+  mutable count : int;
+}
+
+let create () = { current = 0; maximum = 0; rev_points = []; count = 0 }
+
+let record t clock =
+  t.rev_points <- { clock; footprint = t.current; maximum = t.maximum } :: t.rev_points;
+  t.count <- t.count + 1
+
+let on_event t clock (e : Event.t) =
+  match e with
+  | Event.Sbrk { bytes; _ } ->
+    t.current <- t.current + bytes;
+    if t.current > t.maximum then t.maximum <- t.current;
+    record t clock
+  | Event.Trim { bytes; _ } ->
+    t.current <- t.current - bytes;
+    record t clock
+  | Event.Alloc _ | Event.Free _ | Event.Split _ | Event.Coalesce _ | Event.Phase _
+  | Event.Fit_scan _ ->
+    ()
+
+let attach probe t = Probe.attach probe (on_event t)
+
+let current t = t.current
+let peak t = t.maximum
+let points t = List.rev t.rev_points
+let length t = t.count

@@ -1,0 +1,29 @@
+(** Exact footprint-over-time sink.
+
+    Where the polling approach ({!Dmm_trace.Footprint_series}) samples the
+    footprint every N replay events and can miss a short-lived spike
+    between samples, this sink sees {e every} break movement: each
+    {!Event.Sbrk} / {!Event.Trim} produces one point, so [peak] is exactly
+    the high-water mark the manager reports. Footprint is accumulated from
+    the event deltas, so a probe threaded through several address spaces
+    yields their combined footprint. *)
+
+type point = { clock : int; footprint : int; maximum : int }
+
+type t
+
+val create : unit -> t
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val current : t -> int
+(** Footprint right now (sum of sbrk bytes minus trim bytes so far). *)
+
+val peak : t -> int
+(** Exact maximum footprint over the whole stream. *)
+
+val points : t -> point list
+(** One point per break movement, in stream order. *)
+
+val length : t -> int
+(** Number of points recorded ([= List.length (points t)]). *)

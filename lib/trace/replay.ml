@@ -1,6 +1,8 @@
 module Allocator = Dmm_core.Allocator
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
 
-let run ?on_event ?(live_hint = 256) trace a =
+let run ?(probe = Probe.null) ?on_event ?(live_hint = 256) trace a =
   let addrs = Hashtbl.create (max 16 live_hint) in
   Trace.iteri
     (fun i event ->
@@ -14,7 +16,11 @@ let run ?on_event ?(live_hint = 256) trace a =
         | Some addr ->
           Hashtbl.remove addrs id;
           Allocator.free a addr)
-      | Event.Phase p -> Allocator.phase a p);
+      | Event.Phase p ->
+        (* The replay driver owns phase markers: managers never re-emit
+           them, so each one appears exactly once in the stream. *)
+        if Probe.enabled probe then Probe.emit probe (Obs_event.Phase p);
+        Allocator.phase a p);
       match on_event with None -> () | Some f -> f i a)
     trace
 

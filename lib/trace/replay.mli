@@ -5,6 +5,7 @@
     and Figure 5. *)
 
 val run :
+  ?probe:Dmm_obs.Probe.t ->
   ?on_event:(int -> Dmm_core.Allocator.t -> unit) ->
   ?live_hint:int ->
   Trace.t ->
@@ -13,6 +14,9 @@ val run :
 (** [run trace a] feeds every event to [a], mapping trace ids to the
     addresses [a] returns. [on_event i a] fires after event [i]. Raises
     [Invalid_argument] on an invalid trace (free of a non-live id).
+    [probe] receives one {!Dmm_obs.Event.Phase} per phase marker replayed
+    (pass the same probe the manager and its address space were built
+    with, so the whole event stream shares one logical clock).
     [live_hint] pre-sizes the id-to-address table (use
     {!Trace.peak_live_count} when replaying the same trace repeatedly;
     default 256). *)

@@ -1,6 +1,7 @@
 type t = { mutable events : Event.t array; mutable len : int }
 
-let create () = { events = Array.make 1024 (Event.Phase 0); len = 0 }
+let create ?(capacity = 1024) () =
+  { events = Array.make (max 1 capacity) (Event.Phase 0); len = 0 }
 
 let add t e =
   if t.len = Array.length t.events then begin
@@ -28,7 +29,7 @@ let iteri f t =
   done
 
 let of_list events =
-  let t = create () in
+  let t = create ~capacity:(List.length events) () in
   List.iter (add t) events;
   t
 
@@ -36,26 +37,22 @@ let to_list t = List.init t.len (fun i -> t.events.(i))
 
 let interleave ?(seed = 0) sources =
   let rng = Dmm_util.Prng.create seed in
-  let out = create () in
-  let cursors = Array.of_list (List.map (fun t -> (t, ref 0)) sources) in
-  let n_sources = Array.length cursors in
-  (* Ids are remapped on the fly so sources cannot collide. *)
+  let srcs = Array.of_list sources in
+  let n_sources = Array.length srcs in
+  let lengths = Array.map length srcs in
+  let pos = Array.make n_sources 0 in
+  let total = Array.fold_left ( + ) 0 lengths in
+  let out = create ~capacity:total () in
+  (* Ids and phase markers are remapped on the fly so sources cannot
+     collide: each (source, id) pair gets a fresh global id and each
+     (source, phase) pair a fresh global phase number, first-seen order. *)
   let remap = Array.init n_sources (fun _ -> Hashtbl.create 64) in
   let next_id = ref 0 in
-  let remaining i =
-    let t, pos = cursors.(i) in
-    length t - !pos
-  in
-  let total_remaining () =
-    let acc = ref 0 in
-    for i = 0 to n_sources - 1 do
-      acc := !acc + remaining i
-    done;
-    !acc
-  in
+  let phase_remap = Array.init n_sources (fun _ -> Hashtbl.create 8) in
+  let next_phase = ref 0 in
+  let remaining i = lengths.(i) - pos.(i) in
   let emit i =
-    let t, pos = cursors.(i) in
-    (match get t !pos with
+    (match get srcs.(i) pos.(i) with
     | Event.Alloc { id; size } ->
       incr next_id;
       Hashtbl.replace remap.(i) id !next_id;
@@ -65,25 +62,32 @@ let interleave ?(seed = 0) sources =
       | Some id' -> add out (Event.Free { id = id' })
       | None -> invalid_arg "Trace.interleave: free of unallocated id in source")
     | Event.Phase p ->
-      if p >= 1000 then invalid_arg "Trace.interleave: phase id too large to namespace";
-      add out (Event.Phase ((i * 1000) + p)));
-    incr pos
+      let p' =
+        match Hashtbl.find_opt phase_remap.(i) p with
+        | Some p' -> p'
+        | None ->
+          let p' = !next_phase in
+          incr next_phase;
+          Hashtbl.replace phase_remap.(i) p p';
+          p'
+      in
+      add out (Event.Phase p'));
+    pos.(i) <- pos.(i) + 1
   in
-  let rec go () =
-    let total = total_remaining () in
-    if total > 0 then begin
+  let rec go left =
+    if left > 0 then begin
       (* Pick a source with probability proportional to its remaining
          length, so sources finish around the same time. *)
-      let target = Dmm_util.Prng.int rng total in
+      let target = Dmm_util.Prng.int rng left in
       let rec pick i acc =
         let acc = acc + remaining i in
         if target < acc then i else pick (i + 1) acc
       in
       emit (pick 0 0);
-      go ()
+      go (left - 1)
     end
   in
-  go ();
+  go total;
   out
 
 let validate t =
@@ -159,7 +163,9 @@ let load path =
     Fun.protect
       ~finally:(fun () -> close_in ic)
       (fun () ->
-        let t = create () in
+        (* Pre-size from the byte length: trace lines are short, so
+           [bytes / 8] over-estimates rarely and avoids most regrowth. *)
+        let t = create ~capacity:(max 1024 (in_channel_length ic / 8)) () in
         let rec go lineno =
           match input_line ic with
           | exception End_of_file -> Ok t

@@ -3,7 +3,10 @@
 
 type t
 
-val create : unit -> t
+val create : ?capacity:int -> unit -> t
+(** [capacity] pre-sizes the backing array (default 1024); the trace still
+    grows on demand past it. *)
+
 val add : t -> Event.t -> unit
 val length : t -> int
 val get : t -> int -> Event.t
@@ -17,9 +20,10 @@ val interleave : ?seed:int -> t list -> t
     source of unpredictability: "the number of applications running
     concurrently defined by the user"). Each trace's internal event order
     is preserved; the interleaving is pseudo-random, weighted by remaining
-    length; block ids are remapped to stay trace-unique; phase markers are
-    namespaced as [source_index * 1000 + phase]. Raises
-    [Invalid_argument] if any source phase id is >= 1000. *)
+    length; block ids are remapped to stay trace-unique, and phase markers
+    are likewise remapped per source (first-seen order, injective across
+    sources), so any phase ids are accepted. Raises [Invalid_argument] if
+    a source frees an id it never allocated. *)
 
 val validate : t -> (unit, string) result
 (** Checks the live discipline: ids allocated at most once, frees only of

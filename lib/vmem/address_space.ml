@@ -1,5 +1,9 @@
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
+
 type t = {
   page_size : int;
+  probe : Probe.t;
   mutable brk : int;
   mutable high_water : int;
   mutable sbrk_calls : int;
@@ -7,10 +11,11 @@ type t = {
   mutable bytes_released : int;
 }
 
-let create ?(page_size = 4096) () =
+let create ?(probe = Probe.null) ?(page_size = 4096) () =
   if page_size <= 0 then invalid_arg "Address_space.create: page_size must be positive";
   {
     page_size;
+    probe;
     brk = 0;
     high_water = 0;
     sbrk_calls = 0;
@@ -28,6 +33,8 @@ let sbrk t n =
   t.brk <- t.brk + n;
   if t.brk > t.high_water then t.high_water <- t.brk;
   t.sbrk_calls <- t.sbrk_calls + 1;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Sbrk { bytes = n; brk = t.brk });
   base
 
 let grow_pages t n =
@@ -37,9 +44,12 @@ let grow_pages t n =
 
 let trim t addr =
   if addr < 0 || addr > t.brk then invalid_arg "Address_space.trim: address out of range";
-  t.bytes_released <- t.bytes_released + (t.brk - addr);
+  let released = t.brk - addr in
+  t.bytes_released <- t.bytes_released + released;
   t.brk <- addr;
-  t.trim_calls <- t.trim_calls + 1
+  t.trim_calls <- t.trim_calls + 1;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Trim { bytes = released; brk = t.brk })
 
 let sbrk_calls t = t.sbrk_calls
 let trim_calls t = t.trim_calls

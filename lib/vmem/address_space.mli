@@ -8,11 +8,14 @@
 
 type t
 
-val create : ?page_size:int -> unit -> t
+val create : ?probe:Dmm_obs.Probe.t -> ?page_size:int -> unit -> t
 (** Fresh address space starting at break 0. [page_size] (default 4096) is
     advisory: {!sbrk} grows by exactly the amount requested; allocators that
-    emulate page-granular OS requests use {!grow_pages}. Raises
-    [Invalid_argument] if [page_size <= 0]. *)
+    emulate page-granular OS requests use {!grow_pages}. [probe] (default
+    {!Dmm_obs.Probe.null}) receives an {!Dmm_obs.Event.Sbrk} /
+    {!Dmm_obs.Event.Trim} event for every break movement — the ground truth
+    of footprint accounting. Raises [Invalid_argument] if
+    [page_size <= 0]. *)
 
 val page_size : t -> int
 

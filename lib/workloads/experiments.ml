@@ -7,6 +7,9 @@ module Footprint_series = Dmm_trace.Footprint_series
 module Profile_builder = Dmm_trace.Profile_builder
 module Pool = Dmm_engine.Pool
 module Sim = Dmm_engine.Sim
+module Probe = Dmm_obs.Probe
+module Metrics_sink = Dmm_obs.Metrics_sink
+module Series_sink = Dmm_obs.Series_sink
 
 type row = {
   manager : string;
@@ -14,6 +17,7 @@ type row = {
   spread_pct : float;
   paper_bytes : int option;
   ops : int;
+  replay_seconds : float;
 }
 
 type table = { workload : string; events : int; peak_live : int; rows : row list }
@@ -62,10 +66,29 @@ let render_trace_seed seed =
   Scenario.render_trace ~config ()
 
 (* Replay one trace through a fresh manager, returning footprint and ops. *)
-let measure ?live_hint trace make =
+let measure ?live_hint trace (make : Scenario.maker) =
   let a = make () in
   Replay.run ?live_hint trace a;
   (Allocator.max_footprint a, (Allocator.stats a).Dmm_core.Metrics.ops)
+
+(* Probed variant: both numbers are rebuilt from the observability event
+   stream — footprint from accumulated sbrk/trim deltas, ops from fit-scan
+   steps — instead of the manager's inline accounting. Matching [measure]
+   exactly is the end-to-end check that the stream is complete. *)
+let measure_probed ?live_hint trace (make : Scenario.maker) =
+  let probe = Probe.create () in
+  let ms = Metrics_sink.create () in
+  Metrics_sink.attach probe ms;
+  let ss = Series_sink.create () in
+  Series_sink.attach probe ss;
+  let a = make ~probe () in
+  Replay.run ~probe ?live_hint trace a;
+  (Series_sink.peak ss, Metrics_sink.ops ms)
+
+let timed f =
+  let start = Unix.gettimeofday () in
+  let r = f () in
+  (r, Unix.gettimeofday () -. start)
 
 (* The generic column runner: record per-seed traces, design the custom
    manager from the first seed's profile (train once, evaluate on all),
@@ -73,7 +96,7 @@ let measure ?live_hint trace make =
    grid is embarrassingly parallel — every cell builds its own manager —
    so it fans out through the engine pool; results come back
    input-ordered, keeping the averages identical to a sequential run. *)
-let run_column ~workload ~trace_of_seed ~custom ~seeds =
+let run_column ?(probe = false) ~workload ~trace_of_seed ~custom ~seeds () =
   if seeds <= 0 then invalid_arg "Experiments: seeds must be positive";
   let traces = Array.init seeds (fun i -> trace_of_seed (42 + i)) in
   let custom_make = custom traces.(0) in
@@ -82,28 +105,38 @@ let run_column ~workload ~trace_of_seed ~custom ~seeds =
   in
   let live_hints = Array.map Trace.peak_live_count traces in
   let cells = Array.init (Array.length managers * seeds) (fun i -> i) in
+  let one_cell = if probe then measure_probed else measure in
   let measured =
     Pool.map cells (fun i ->
         let _, make = managers.(i / seeds) in
-        measure ~live_hint:live_hints.(i mod seeds) traces.(i mod seeds) make)
+        let (fp, ops), seconds =
+          timed (fun () ->
+              one_cell ~live_hint:live_hints.(i mod seeds) traces.(i mod seeds) make)
+        in
+        (fp, ops, seconds))
   in
   let rows =
     List.init (Array.length managers) (fun mi ->
         let name, _ = managers.(mi) in
         let results = List.init seeds (fun ti -> measured.((mi * seeds) + ti)) in
+        let fp_of (fp, _, _) = fp in
+        let ops_of (_, ops, _) = ops in
         let mean f = List.fold_left (fun acc r -> acc + f r) 0 results / seeds in
-        let fps = List.map fst results in
+        let fps = List.map fp_of results in
         let spread_pct =
           let mx = List.fold_left max 0 fps and mn = List.fold_left min max_int fps in
-          let m = mean fst in
+          let m = mean fp_of in
           if m = 0 then 0.0 else 100.0 *. float_of_int (mx - mn) /. float_of_int m
         in
         {
           manager = name;
-          footprint = mean fst;
+          footprint = mean fp_of;
           spread_pct;
           paper_bytes = paper_reference workload name;
-          ops = mean snd;
+          ops = mean ops_of;
+          replay_seconds =
+            List.fold_left (fun acc (_, _, s) -> acc +. s) 0.0 results
+            /. float_of_int seeds;
         })
   in
   let peak_live =
@@ -117,35 +150,39 @@ let run_column ~workload ~trace_of_seed ~custom ~seeds =
   let events = Array.fold_left (fun acc t -> acc + Trace.length t) 0 traces / seeds in
   { workload; events; peak_live; rows }
 
-let drr_table ?(seeds = 3) () =
-  run_column ~workload:drr_name ~trace_of_seed:drr_trace_seed
+let drr_table ?probe ?(seeds = 3) () =
+  run_column ?probe ~workload:drr_name ~trace_of_seed:drr_trace_seed
     ~custom:(fun _train -> Scenario.custom_manager (Scenario.drr_paper_design ()))
-    ~seeds
+    ~seeds ()
 
-let reconstruct_table ?(seeds = 3) () =
-  run_column ~workload:reconstruct_name ~trace_of_seed:reconstruct_trace_seed
+let reconstruct_table ?probe ?(seeds = 3) () =
+  run_column ?probe ~workload:reconstruct_name ~trace_of_seed:reconstruct_trace_seed
     ~custom:(fun train ->
       let design = Scenario.design_for train in
       Scenario.custom_manager design)
-    ~seeds
+    ~seeds ()
 
-let render_table ?(seeds = 3) () =
-  run_column ~workload:render_name ~trace_of_seed:render_trace_seed
+let render_table ?probe ?(seeds = 3) () =
+  run_column ?probe ~workload:render_name ~trace_of_seed:render_trace_seed
     ~custom:(fun _train -> Scenario.custom_global (Scenario.render_paper_design ()))
-    ~seeds
+    ~seeds ()
 
-let table1 ?seeds () =
-  [ drr_table ?seeds (); reconstruct_table ?seeds (); render_table ?seeds () ]
+let table1 ?probe ?seeds () =
+  [
+    drr_table ?probe ?seeds ();
+    reconstruct_table ?probe ?seeds ();
+    render_table ?probe ?seeds ();
+  ]
 
 let figure5 ?(every = 2000) () =
   let trace = drr_trace_seed 42 in
-  let series make = Footprint_series.sample ~every trace (make ()) in
+  let series (make : Scenario.maker) = Footprint_series.sample ~every trace (make ()) in
   [
     ("Lea", series Scenario.lea);
     ("custom DM manager 1", series (Scenario.custom_manager (Scenario.drr_paper_design ())));
   ]
 
-let breakdown_at_peak trace make =
+let breakdown_at_peak trace (make : Scenario.maker) =
   (* Pass 1: find the first event where the footprint reaches its maximum. *)
   let best = ref (-1) and best_at = ref 0 in
   Replay.run
@@ -190,7 +227,7 @@ let energy_table ?(model = Dmm_core.Energy.default_model) () =
     let managers = Scenario.baselines () @ [ ("custom DM manager", custom) ] in
     ( name,
       List.map
-        (fun (m, make) ->
+        (fun (m, (make : Scenario.maker)) ->
           let a = make () in
           let points = Footprint_series.sample ~every:1000 trace a in
           let ops = (Allocator.stats a).Dmm_core.Metrics.ops in

@@ -9,6 +9,9 @@ type row = {
           "variations of less than 2%" over its 10 simulations *)
   paper_bytes : int option;  (** the corresponding Table 1 cell, if any *)
   ops : int;  (** abstract operation count during the replay (EXP-PERF) *)
+  replay_seconds : float;
+      (** mean wall-clock seconds per replay of this manager (one fresh
+          manager per seed, timed on its worker domain) *)
 }
 
 type table = {
@@ -32,14 +35,19 @@ val drr_trace_seed : int -> Dmm_trace.Trace.t
 val reconstruct_trace_seed : int -> Dmm_trace.Trace.t
 val render_trace_seed : int -> Dmm_trace.Trace.t
 
-val drr_table : ?seeds:int -> unit -> table
+val drr_table : ?probe:bool -> ?seeds:int -> unit -> table
 (** EXP-T1, DRR column. [seeds] independent traffic traces are averaged,
-    as the paper averages 10 simulations (default 3). *)
+    as the paper averages 10 simulations (default 3). With [probe] (default
+    false), every replay carries a {!Dmm_obs.Probe.t} and the reported
+    footprint and ops are reconstructed from the event stream by a
+    {!Dmm_obs.Series_sink} and a {!Dmm_obs.Metrics_sink} instead of read
+    from the manager's inline accounting — identical output is the
+    end-to-end completeness check of the observability layer. *)
 
-val reconstruct_table : ?seeds:int -> unit -> table
-val render_table : ?seeds:int -> unit -> table
+val reconstruct_table : ?probe:bool -> ?seeds:int -> unit -> table
+val render_table : ?probe:bool -> ?seeds:int -> unit -> table
 
-val table1 : ?seeds:int -> unit -> table list
+val table1 : ?probe:bool -> ?seeds:int -> unit -> table list
 (** All three columns of Table 1. *)
 
 val figure5 :
@@ -47,8 +55,7 @@ val figure5 :
 (** EXP-F5: footprint-over-time series for Lea and the custom manager over
     one DRR run (sampled every [every] events, default 2000). *)
 
-val breakdown_at_peak :
-  Dmm_trace.Trace.t -> (unit -> Dmm_core.Allocator.t) -> Dmm_core.Metrics.breakdown
+val breakdown_at_peak : Dmm_trace.Trace.t -> Scenario.maker -> Dmm_core.Metrics.breakdown
 (** Replay to the moment the manager's footprint peaks and decompose the
     held bytes there (two-pass: find the peak event, replay up to it). *)
 

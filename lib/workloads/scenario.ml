@@ -6,6 +6,7 @@ module Trace = Dmm_trace.Trace
 module Recorder = Dmm_trace.Recorder
 module Replay = Dmm_trace.Replay
 module Profile_builder = Dmm_trace.Profile_builder
+module Probe = Dmm_obs.Probe
 module Kingsley = Dmm_allocators.Kingsley
 module Lea = Dmm_allocators.Lea
 module Region = Dmm_allocators.Region
@@ -27,10 +28,22 @@ let render_trace ?(config = Render.default_config) () =
   let (_ : Render.stats) = Render.run ~config recorder in
   trace ()
 
-let kingsley () = Kingsley.allocator (Kingsley.create (Address_space.create ()))
-let lea () = Lea.allocator (Lea.create (Address_space.create ()))
-let regions () = Region.allocator (Region.create (Address_space.create ()))
-let obstacks () = Obstack.allocator (Obstack.create (Address_space.create ()))
+type maker = ?probe:Probe.t -> unit -> Allocator.t
+
+(* Each maker threads one probe through both the address space (sbrk/trim
+   events) and the manager (service/mechanism events), so the stream shares
+   a single logical clock. *)
+let kingsley ?(probe = Probe.null) () =
+  Kingsley.allocator (Kingsley.create ~probe (Address_space.create ~probe ()))
+
+let lea ?(probe = Probe.null) () =
+  Lea.allocator (Lea.create ~probe (Address_space.create ~probe ()))
+
+let regions ?(probe = Probe.null) () =
+  Region.allocator (Region.create ~probe (Address_space.create ~probe ()))
+
+let obstacks ?(probe = Probe.null) () =
+  Obstack.allocator (Obstack.create ~probe (Address_space.create ~probe ()))
 
 let baselines () =
   [
@@ -40,26 +53,27 @@ let baselines () =
     ("Obstacks", obstacks);
   ]
 
-let custom_manager (design : Explorer.design) () =
+let custom_manager (design : Explorer.design) ?(probe = Probe.null) () =
   Manager.allocator
-    (Manager.create ~params:design.params design.vector (Address_space.create ()))
+    (Manager.create ~params:design.params ~probe design.vector
+       (Address_space.create ~probe ()))
 
 type global_spec = { default : Explorer.design; overrides : (int * Explorer.design) list }
 
 let to_gm_design (d : Explorer.design) =
   { Dmm_core.Global_manager.vector = d.vector; params = d.params }
 
-let custom_global spec () =
+let custom_global spec ?(probe = Probe.null) () =
   let gm =
-    Dmm_core.Global_manager.create (Address_space.create ())
+    Dmm_core.Global_manager.create ~probe
+      (Address_space.create ~probe ())
       ~default:(to_gm_design spec.default)
       ~overrides:(List.map (fun (p, d) -> (p, to_gm_design d)) spec.overrides)
       ()
   in
   Dmm_core.Global_manager.allocator gm
 
-let max_footprint trace make =
-  Replay.max_footprint_of trace (make ())
+let max_footprint trace (make : maker) = Replay.max_footprint_of trace (make ())
 
 let design_for ?(alpha = 0.0) trace =
   let profile = Profile_builder.of_trace trace in

@@ -16,15 +16,20 @@ val render_trace : ?config:Render.config -> unit -> Dmm_trace.Trace.t
 
     Each call returns a manager over its own private address space. *)
 
-val kingsley : unit -> Dmm_core.Allocator.t
-val lea : unit -> Dmm_core.Allocator.t
-val regions : unit -> Dmm_core.Allocator.t
-val obstacks : unit -> Dmm_core.Allocator.t
+type maker = ?probe:Dmm_obs.Probe.t -> unit -> Dmm_core.Allocator.t
+(** A fresh manager over a fresh address space; [probe] (default
+    {!Dmm_obs.Probe.null}) observes both — heap growth and every
+    allocation — on one logical clock. *)
 
-val baselines : unit -> (string * (unit -> Dmm_core.Allocator.t)) list
+val kingsley : maker
+val lea : maker
+val regions : maker
+val obstacks : maker
+
+val baselines : unit -> (string * maker) list
 (** The four general-purpose / manually-designed baselines of Table 1. *)
 
-val custom_manager : Dmm_core.Explorer.design -> unit -> Dmm_core.Allocator.t
+val custom_manager : Dmm_core.Explorer.design -> maker
 (** Instantiate a custom design over a fresh address space. *)
 
 (** Per-phase composition (Section 3.3): one atomic design per logical
@@ -34,7 +39,7 @@ type global_spec = {
   overrides : (int * Dmm_core.Explorer.design) list;
 }
 
-val custom_global : global_spec -> unit -> Dmm_core.Allocator.t
+val custom_global : global_spec -> maker
 (** Instantiate a global manager (atomic manager per phase) over a fresh
     address space. *)
 
@@ -64,5 +69,5 @@ val render_paper_design : unit -> global_spec
     fixed-size pools for the stack-like LOD phases, a coalescing
     exact-fit manager for the compositing phase. *)
 
-val max_footprint : Dmm_trace.Trace.t -> (unit -> Dmm_core.Allocator.t) -> int
+val max_footprint : Dmm_trace.Trace.t -> maker -> int
 (** Replay the trace on a fresh manager; return its maximum footprint. *)

@@ -1,9 +1,15 @@
 #!/bin/sh
-# Quick determinism smoke test for the parallel simulation engine: the
-# benchmark driver must print byte-identical tables under DMM_JOBS=1 and
-# DMM_JOBS=2.  Wall-clock lines ([time] ...) and the Bechamel ns/replay
-# numbers are nondeterministic by nature, so the Bechamel section is
-# skipped and timing lines are stripped before diffing.
+# Quick determinism smoke test for the parallel simulation engine and the
+# observability layer:
+#   1. the benchmark driver must print byte-identical tables under
+#      DMM_JOBS=1 and DMM_JOBS=2 (wall-clock lines ([time] ...) and the
+#      Bechamel ns/replay numbers are nondeterministic by nature, so the
+#      Bechamel section is skipped and timing lines are stripped);
+#   2. `dmm table1` must print byte-identical tables with and without a
+#      probe attached (--probe rebuilds every cell from event sinks);
+#   3. a `dmm trace --jsonl` export must be well-formed and its sbrk/trim
+#      deltas must reconstruct exactly the peak footprint `dmm replay`
+#      reports for the same (trace, manager).
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -13,7 +19,8 @@ cd "$(dirname "$0")/.."
 tmpdir=$(mktemp -d)
 trap 'rm -rf "$tmpdir"' EXIT INT TERM
 
-dune build bench/main.exe
+dune build bench/main.exe bin/main.exe
+dmm=_build/default/bin/main.exe
 
 run() {
   jobs=$1
@@ -33,5 +40,43 @@ if diff -u "$tmpdir/jobs1.out" "$tmpdir/jobs2.out"; then
   echo "bench_smoke: PASS (output identical under DMM_JOBS=1 and DMM_JOBS=2)"
 else
   echo "bench_smoke: FAIL (parallel run diverges from sequential run)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: comparing dmm table1 with and without the probe..."
+"$dmm" table1 --quick --seeds 1 > "$tmpdir/t1_off.out"
+"$dmm" table1 --quick --seeds 1 --probe > "$tmpdir/t1_on.out"
+if diff -u "$tmpdir/t1_off.out" "$tmpdir/t1_on.out"; then
+  echo "bench_smoke: PASS (probe-on Table 1 identical to probe-off)"
+else
+  echo "bench_smoke: FAIL (probe-on Table 1 diverges from probe-off)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: validating a JSONL probe export..."
+"$dmm" trace -w drr --quick --seed 1 -o "$tmpdir/drr.trace" --jsonl "$tmpdir/drr.jsonl" -m lea \
+  > "$tmpdir/trace.out"
+# Every line must be a {"t":N,"ev":"<name>",...} object with a known event
+# name and a strictly increasing clock; sbrk minus trim reconstructs the
+# footprint, whose running maximum must equal the replayed peak.
+jsonl_peak=$(awk -F'"' '
+  !/^\{"t":[0-9]+,"ev":"(alloc|free|split|coalesce|phase|sbrk|trim|fit_scan)",.*\}$/ {
+    print "bad line " NR ": " $0 > "/dev/stderr"; bad = 1; exit 1
+  }
+  { split($0, f, /[:,]/); t = f[2] + 0
+    if (t != NR - 1) { print "clock gap at line " NR > "/dev/stderr"; bad = 1; exit 1 } }
+  $6 == "sbrk" || $6 == "trim" {
+    bytes = $0; sub(/.*"bytes":/, "", bytes); sub(/,.*/, "", bytes)
+    cur += ($6 == "sbrk" ? bytes : -bytes)
+    if (cur > peak) peak = cur
+  }
+  END { if (!bad) print peak }
+' "$tmpdir/drr.jsonl")
+replay_peak=$("$dmm" replay -t "$tmpdir/drr.trace" -m lea |
+  awk '/max footprint:/ { print $3 }')
+if [ "$jsonl_peak" = "$replay_peak" ]; then
+  echo "bench_smoke: PASS (JSONL well-formed; reconstructed peak $jsonl_peak B = replay peak)"
+else
+  echo "bench_smoke: FAIL (JSONL peak $jsonl_peak B != replay peak $replay_peak B)" >&2
   exit 1
 fi

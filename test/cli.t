@@ -23,6 +23,35 @@ Record a trace, then replay it against Lea:
   max footprint: 917504 B
   stats:         allocs=20238 frees=20238 splits=9716 coalesces=18351 ops=1049465 live=0B (0 blocks) peak_live=811261B
 
+Observe a replay through the probe: --jsonl exports the event stream as
+JSON Lines, and summing the sbrk/trim byte deltas reconstructs exactly
+the peak footprint the replay reports:
+
+  $ dmm trace -w drr --quick --seed 1 --jsonl drr.jsonl -m obstacks
+  wrote 103850 probe events to drr.jsonl
+  $ head -n 2 drr.jsonl
+  {"t":0,"ev":"fit_scan","steps":1}
+  {"t":1,"ev":"sbrk","bytes":4096,"brk":4096}
+  $ awk -F'"' '$6=="sbrk"||$6=="trim"{b=$0;sub(/.*"bytes":/,"",b);sub(/,.*/,"",b);cur+=($6=="sbrk"?b:-b);if(cur>peak)peak=cur} END{print peak}' drr.jsonl
+  1294336
+  $ dmm replay -t drr.trace -m obstacks | grep 'max footprint'
+  max footprint: 1294336 B
+  $ dmm trace -w drr --quick --seed 1
+  dmm trace: nothing to do (pass -o and/or --jsonl)
+  [2]
+
+The chrome://tracing export: one counter track per manager.
+
+  $ dmm figure5 --quick --chrome f5.json
+  wrote f5.json
+  Lea: peak=589824 B, 19 points
+  custom DM manager 1: peak=577536 B, 19 points
+  $ head -n 1 f5.json; tail -n 1 f5.json
+  {"traceEvents":[
+  ]}
+  $ grep -c '"process_name"' f5.json
+  2
+
 The full exploration is deterministic whatever the worker count: --jobs
 only changes how many domains score the candidate designs.
 

@@ -22,7 +22,7 @@ let non_negative (b : Metrics.breakdown) =
 let check_components_sum () =
   let trace = Scenario.drr_trace () in
   List.iter
-    (fun (name, make) ->
+    (fun (name, (make : Scenario.maker)) ->
       let a = make () in
       Replay.run trace a;
       let b = Allocator.breakdown a in
@@ -35,7 +35,7 @@ let check_components_sum () =
 let check_live_payload_matches_stats () =
   let trace = Scenario.render_trace () in
   List.iter
-    (fun (name, make) ->
+    (fun (name, (make : Scenario.maker)) ->
       let a = make () in
       (* Stop mid-run so blocks are still live. *)
       (try
@@ -92,7 +92,7 @@ let qcheck =
       QCheck.(pair small_int (list_of_size Gen.(10 -- 60) (pair bool (int_range 1 2000))))
       (fun (pick, ops) ->
         let all = managers () in
-        let _, make = List.nth all (abs pick mod List.length all) in
+        let _, (make : Scenario.maker) = List.nth all (abs pick mod List.length all) in
         let a = make () in
         let live = ref [] in
         List.for_all

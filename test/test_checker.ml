@@ -7,7 +7,7 @@ let check_accepts_correct_managers () =
   (* Every shipped manager must pass the checker over a full case study. *)
   let trace = Scenario.drr_trace () in
   List.iter
-    (fun (name, make) ->
+    (fun (name, (make : Scenario.maker)) ->
       try Replay.run trace (Checker.wrap (make ()))
       with Checker.Violation msg -> Alcotest.fail (name ^ ": " ^ msg))
     (Scenario.baselines ()

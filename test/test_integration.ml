@@ -112,7 +112,7 @@ let check_framework_recreates_kingsley () =
       return_to_system = false;
     }
   in
-  let framework () =
+  let framework ?probe:_ () =
     M.allocator (M.create ~params DV.kingsley_like (Address_space.create ()))
   in
   let f1 = fp trace framework in
@@ -177,7 +177,7 @@ let qcheck =
             return_to_system = false;
           }
         in
-        let framework () =
+        let framework ?probe:_ () =
           M.allocator (M.create ~params DV.kingsley_like (Address_space.create ()))
         in
         let f1 = fp trace framework and f2 = fp trace Scenario.kingsley in
@@ -188,7 +188,7 @@ let qcheck =
       (fun input ->
         let trace = trace_of input in
         List.for_all
-          (fun (_, make) ->
+          (fun (_, (make : Scenario.maker)) ->
             match Replay.run trace (Dmm_trace.Checker.wrap (make ())) with
             | () -> true
             | exception Dmm_trace.Checker.Violation _ -> false)

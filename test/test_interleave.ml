@@ -32,16 +32,35 @@ let check_source_order_preserved () =
   Alcotest.(check (list int)) "source A in order" [ 10; 11; 12; 13 ] (List.rev !seen_a);
   Alcotest.(check (list int)) "source B in order" [ 100; 101; 102 ] (List.rev !seen_b)
 
-let check_phase_namespacing () =
-  let a = Trace.of_list [ Event.Phase 1; Event.Alloc { id = 1; size = 8 } ] in
-  let b = Trace.of_list [ Event.Phase 2; Event.Alloc { id = 1; size = 8 } ] in
-  let mix = Trace.interleave ~seed:0 [ a; b ] in
+let phases_of t =
   let phases = ref [] in
   Trace.iter
     (function Event.Phase p -> phases := p :: !phases | Event.Alloc _ | Event.Free _ -> ())
-    mix;
-  Alcotest.(check (list int)) "namespaced phases" [ 1; 1002 ]
-    (List.sort compare !phases)
+    t;
+  List.rev !phases
+
+let check_phase_namespacing () =
+  (* Identical marker values in different sources must stay distinct:
+     global numbers are handed out in first-seen order. *)
+  let a = Trace.of_list [ Event.Phase 7; Event.Alloc { id = 1; size = 8 } ] in
+  let b = Trace.of_list [ Event.Phase 7; Event.Alloc { id = 1; size = 8 } ] in
+  let mix = Trace.interleave ~seed:0 [ a; b ] in
+  Alcotest.(check (list int)) "namespaced phases" [ 0; 1 ]
+    (List.sort compare (phases_of mix));
+  (* Re-entering a phase keeps its assigned number. *)
+  let c = Trace.of_list [ Event.Phase 3; Event.Phase 9; Event.Phase 3 ] in
+  let remix = Trace.interleave [ c ] in
+  Alcotest.(check (list int)) "stable within a source" [ 0; 1; 0 ] (phases_of remix)
+
+let check_large_phase_ids_accepted () =
+  (* Phase numbers used to be capped below 1000 by the i*1000+p scheme;
+     the remap table accepts any marker value. *)
+  let a = Trace.of_list [ Event.Phase 1500; Event.Alloc { id = 1; size = 8 } ] in
+  let b = Trace.of_list [ Event.Phase 123_456; Event.Alloc { id = 1; size = 8 } ] in
+  let mix = Trace.interleave ~seed:2 [ a; b ] in
+  (match Trace.validate mix with Ok () -> () | Error m -> Alcotest.fail m);
+  Alcotest.(check (list int)) "remapped to small distinct ids" [ 0; 1 ]
+    (List.sort compare (phases_of mix))
 
 let check_id_collisions_resolved () =
   (* Both sources use id 1..n; the merge must still validate. *)
@@ -80,6 +99,7 @@ let tests =
       Alcotest.test_case "basic merge" `Quick check_basic_merge;
       Alcotest.test_case "source order preserved" `Quick check_source_order_preserved;
       Alcotest.test_case "phase namespacing" `Quick check_phase_namespacing;
+      Alcotest.test_case "large phase ids accepted" `Quick check_large_phase_ids_accepted;
       Alcotest.test_case "id collisions resolved" `Quick check_id_collisions_resolved;
       Alcotest.test_case "determinism" `Quick check_determinism;
       Alcotest.test_case "single source identity" `Quick check_single_source_identity;

@@ -20,6 +20,7 @@ let () =
       Test_profile.tests;
       Test_explorer.tests;
       Test_trace.tests;
+      Test_obs.tests;
       Test_recorder_replay.tests;
       Test_kingsley.tests;
       Test_lea.tests;
