@@ -3,6 +3,8 @@
 
    Sections:
      EXP-T1   Table 1  - maximum memory footprint per workload and manager
+     EXP-CHECK Heap sanitizer - invariant + conformance pass over the
+              recorded DRR event streams (quick scale, deterministic)
      EXP-F5   Figure 5 - DM footprint over time, Lea vs custom, DRR
      EXP-F4   Figure 4 - tree-order ablation
      EXP-PERF Section 5 text - execution-time comparison (abstract ops and
@@ -133,6 +135,48 @@ let obs_section tables =
   Printf.printf "[time] EXP-OBS   %.2fs
 %!" obs_seconds;
   { obs_seconds; obs_identical; obs_events }
+
+(* ------------------------------------------------------------------ *)
+(* EXP-CHECK: heap sanitizer over the replayed event streams           *)
+
+module Collect_sink = Dmm_obs.Collect_sink
+module Sanitizer = Dmm_check.Sanitizer
+module Stream = Dmm_check.Stream
+
+(* Every baseline's DRR event stream must pass the heap-invariant pass
+   clean, and the custom design must additionally pass design
+   conformance. Always runs at quick scale (like the Bechamel section) so
+   the captured streams stay bounded; diagnostic counts are deterministic
+   and land in the smoke-test diff. *)
+let check_section () =
+  section "EXP-CHECK: heap sanitizer over replayed DRR event streams";
+  let saved = !Experiments.paper_scale in
+  Experiments.paper_scale := false;
+  Fun.protect ~finally:(fun () -> Experiments.paper_scale := saved) @@ fun () ->
+  let trace = Experiments.drr_trace_seed 42 in
+  let capture (make : Scenario.maker) =
+    let probe = Probe.create () in
+    let sink = Collect_sink.create () in
+    Collect_sink.attach probe sink;
+    Replay.run ~probe trace (make ~probe ());
+    Stream.of_pairs (Collect_sink.to_array sink)
+  in
+  let report name (r : Sanitizer.report) =
+    let n = List.length r.Sanitizer.diags in
+    Printf.printf "  %-22s %8d events  %d diagnostics (%s)%s\n" name
+      r.Sanitizer.events n
+      (if r.Sanitizer.conformance_checked then "invariants + design conformance"
+       else "invariants")
+      (if n = 0 then "  clean" else "");
+    List.iter
+      (fun d -> Format.printf "    %a@." Dmm_check.Diag.pp d)
+      r.Sanitizer.diags
+  in
+  List.iter
+    (fun (name, make) -> report name (Sanitizer.run (capture make)))
+    (Scenario.baselines ());
+  let sim = Dmm_engine.Sim.create trace in
+  report "custom" (Dmm_engine.Sim.sanitize sim (Scenario.drr_paper_design ()))
 
 (* ------------------------------------------------------------------ *)
 (* EXP-F5: Figure 5                                                    *)
@@ -468,6 +512,7 @@ let () =
   if quick then Experiments.paper_scale := false;
   let tables, timing = table1 () in
   let obs = obs_section tables in
+  timed "EXP-CHECK" check_section;
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
   timed "EXP-NRG" energy_section;

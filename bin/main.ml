@@ -17,6 +17,10 @@ module Profile_builder = Dmm_trace.Profile_builder
 module Probe = Dmm_obs.Probe
 module Jsonl_sink = Dmm_obs.Jsonl_sink
 module Chrome_sink = Dmm_obs.Chrome_sink
+module Collect_sink = Dmm_obs.Collect_sink
+module Diag = Dmm_check.Diag
+module Stream = Dmm_check.Stream
+module Sanitizer = Dmm_check.Sanitizer
 
 open Cmdliner
 
@@ -61,8 +65,23 @@ let trace_for ~quick ~seed workload =
 (* space                                                               *)
 
 let space_cmd =
-  let run dot =
-    if dot then print_string (Constraints.to_dot ())
+  let run dot check =
+    if check then begin
+      Format.printf "Interdependency rule base@.@.";
+      List.iter
+        (fun (id, doc) -> Format.printf "  [%s]@.      %s@." id doc)
+        Constraints.rules_doc;
+      match Constraints.self_check () with
+      | Ok () ->
+        Format.printf "@.rule base self-check: OK (%d rules, %d dependency edges)@."
+          (List.length Constraints.rules_doc)
+          (List.length Constraints.dependency_edges)
+      | Error problems ->
+        Format.printf "@.rule base self-check: FAILED@.";
+        List.iter (fun p -> Format.printf "  - %s@." p) problems;
+        exit 1
+    end
+    else if dot then print_string (Constraints.to_dot ())
     else begin
     Format.printf "DM management design space (Figure 1)@.@.";
     List.iter
@@ -86,8 +105,15 @@ let space_cmd =
   let dot =
     Arg.(value & flag & info [ "dot" ] ~doc:"Emit the interdependency graph (Figure 2) as Graphviz DOT.")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Print the interdependency rule base as a table and lint it for              self-consistency (unique ids, every rule documents the trees it couples,              every dependency edge cites a documented rule). Exits non-zero on a lint              failure.")
+  in
   Cmd.v (Cmd.info "space" ~doc:"Print the decision trees, their leaves and the interdependency rules.")
-    Term.(const run $ dot)
+    Term.(const run $ dot $ check)
 
 (* ------------------------------------------------------------------ *)
 (* profile                                                             *)
@@ -123,7 +149,7 @@ let jobs_arg =
            whatever the worker count.")
 
 let explore_cmd =
-  let run workload quick seed detect jobs =
+  let run workload quick seed detect jobs check =
     if jobs < 0 then begin
       Printf.eprintf "dmm: --jobs must be non-negative\n";
       exit 124
@@ -151,7 +177,28 @@ let explore_cmd =
     List.iter
       (fun (name, make) ->
         Format.printf "  %-20s %9d B@." name (Scenario.max_footprint trace make))
-      rows
+      rows;
+    if check then begin
+      Format.printf "@.== sanitizer (winning designs) ==@.";
+      let sim = Dmm_engine.Sim.create trace in
+      List.iter
+        (fun (label, d) ->
+          let r = Dmm_engine.Sim.sanitize sim d in
+          if Sanitizer.clean r then
+            Format.printf "  %-18s clean (%d events)@." label r.Sanitizer.events
+          else begin
+            Format.printf "  %-18s %d diagnostics@." label
+              (List.length r.Sanitizer.diags);
+            List.iter
+              (fun d -> Format.printf "    %s@." (Diag.to_string d))
+              r.Sanitizer.diags;
+            exit 1
+          end)
+        (("default", spec.default)
+        :: List.map
+             (fun (phase, d) -> (Printf.sprintf "phase %d" phase, d))
+             spec.overrides)
+    end
   in
   let detect =
     Arg.(
@@ -159,10 +206,17 @@ let explore_cmd =
       & info [ "detect-phases" ]
           ~doc:"Recover phase boundaries from the trace instead of using the application's markers.")
   in
+  let check =
+    Arg.(
+      value & flag
+      & info [ "check" ]
+          ~doc:
+            "Replay every winning design with an event probe attached and run the heap              sanitizer (invariants + design conformance) over the recorded stream.              Exits non-zero on any diagnostic.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Run the full methodology on a workload and print the derived custom manager.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg)
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -443,6 +497,102 @@ let replay_cmd =
     (Cmd.info "replay" ~doc:"Replay a recorded trace against a manager and report its footprint.")
     Term.(const run $ file $ manager)
 
+(* ------------------------------------------------------------------ *)
+(* check                                                               *)
+
+let check_cmd =
+  let run jsonl workload quick seed manager strict =
+    let finish (report : Sanitizer.report) extra_diags =
+      let diags = report.Sanitizer.diags @ extra_diags in
+      List.iter (fun d -> Format.printf "%s@." (Diag.to_string d)) diags;
+      Format.printf "%d events, %d diagnostics%s@." report.Sanitizer.events
+        (List.length diags)
+        (if report.Sanitizer.conformance_checked then
+           " (invariants + design conformance)"
+         else " (invariants)");
+      if diags = [] then Format.printf "clean@." else if strict then exit 1
+    in
+    match (jsonl, workload) with
+    | Some path, _ -> (
+      (* File mode: the design behind the stream is unknown, so only the
+         integrity gate and the design-independent invariants apply. *)
+      match Stream.load_jsonl path with
+      | Error msg ->
+        prerr_endline ("dmm check: " ^ msg);
+        exit 2
+      | Ok stream -> finish (Sanitizer.run stream) [])
+    | None, None ->
+      prerr_endline "dmm check: pass --jsonl FILE or a workload (-w)";
+      exit 2
+    | None, Some w ->
+      (* Manager mode: record the workload, replay it against the manager
+         behind the dynamic checker wrapper with an event capture attached,
+         then sanitize the captured stream. For an atomic custom design the
+         stream is also conformance-checked against that design and the
+         quiesced manager's free structures are shape-linted. *)
+      let trace = trace_for ~quick ~seed w in
+      let probe = Probe.create () in
+      let sink = Collect_sink.create ~capacity:(4 * Trace.length trace) () in
+      Collect_sink.attach probe sink;
+      let wrapper_diags = ref [] in
+      let on_diag d = wrapper_diags := d :: !wrapper_diags in
+      let design, shape_diags =
+        match manager with
+        | `Custom -> (
+          let spec = Scenario.global_design_for trace in
+          match spec.Scenario.overrides with
+          | [] ->
+            let d = spec.Scenario.default in
+            let space = Dmm_vmem.Address_space.create ~probe () in
+            let m =
+              Dmm_core.Manager.create ~params:d.Explorer.params ~probe
+                d.Explorer.vector space
+            in
+            Replay.run ~probe trace
+              (Dmm_trace.Checker.wrap ~on_diag (Dmm_core.Manager.allocator m));
+            (Some d, Dmm_check.Shape.lint_manager m)
+          | _ :: _ ->
+            Replay.run ~probe trace
+              (Dmm_trace.Checker.wrap ~on_diag (Scenario.custom_global spec ~probe ()));
+            (None, []))
+        | _ ->
+          Replay.run ~probe trace
+            (Dmm_trace.Checker.wrap ~on_diag (maker_for manager trace ~probe ()));
+          (None, [])
+      in
+      let stream = Stream.of_pairs (Collect_sink.to_array sink) in
+      finish (Sanitizer.run ?design stream) (List.rev !wrapper_diags @ shape_diags)
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Analyse a recorded event stream ($(b,dmm trace --jsonl) export) offline.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Record this workload (drr, reconstruct or render), replay it against              $(b,--manager) and sanitize the live event stream.")
+  in
+  let manager =
+    manager_arg ~default:`Custom
+      ~doc:"Manager checked in workload mode: kingsley, lea, regions, obstacks or custom."
+  in
+  let strict =
+    Arg.(
+      value & flag
+      & info [ "strict" ] ~doc:"Exit with status 1 when any diagnostic is reported.")
+  in
+  Cmd.v
+    (Cmd.info "check"
+       ~doc:
+         "Heap sanitizer: verify allocator invariants and design conformance over a          recorded allocation-event stream, offline or against a live replay.")
+    Term.(const run $ jsonl $ workload $ quick_arg $ seed_arg $ manager $ strict)
+
 let () =
   let doc = "Custom dynamic-memory manager design methodology (DATE 2004 reproduction)" in
   let info = Cmd.info "dmm" ~version:"1.0.0" ~doc in
@@ -461,4 +611,5 @@ let () =
             micro_cmd;
             trace_cmd;
             replay_cmd;
+            check_cmd;
           ]))

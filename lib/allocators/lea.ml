@@ -137,6 +137,7 @@ let extend_top t need =
 let split_remainder t (b : Block.t) gross =
   let remainder = b.size - gross in
   if remainder >= t.min_chunk then begin
+    let parent = b.size in
     Hashtbl.remove t.by_end (Block.end_addr b);
     b.size <- gross;
     Hashtbl.replace t.by_end (Block.end_addr b) b;
@@ -144,7 +145,9 @@ let split_remainder t (b : Block.t) gross =
     register t rem;
     insert_bin t rem;
     Metrics.on_split t.metrics;
-    if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Split { remainder })
+    if Probe.enabled t.probe then
+      Probe.emit t.probe
+        (Obs_event.Split { addr = b.addr; parent; taken = gross; remainder })
   end
 
 let take_from_bins t gross =
@@ -198,20 +201,23 @@ let merge_neighbours t (b : Block.t) =
     Hashtbl.replace t.by_end (Block.end_addr !b) !b;
     Metrics.on_coalesce t.metrics;
     if Probe.enabled t.probe then
-      Probe.emit t.probe (Obs_event.Coalesce { merged = !b.size })
+      Probe.emit t.probe
+        (Obs_event.Coalesce { addr = !b.addr; merged = !b.size; absorbed = next.size })
   | Some _ | None -> ());
   (match Hashtbl.find_opt t.by_end !b.Block.addr with
   | Some prev when Block.is_free prev ->
     remove_bin t prev;
     unregister t prev;
     unregister t !b;
+    let absorbed = !b.size in
     prev.size <- prev.size + !b.size;
     Hashtbl.replace t.by_base prev.addr prev;
     Hashtbl.replace t.by_end (Block.end_addr prev) prev;
     b := prev;
     Metrics.on_coalesce t.metrics;
     if Probe.enabled t.probe then
-      Probe.emit t.probe (Obs_event.Coalesce { merged = prev.size })
+      Probe.emit t.probe
+        (Obs_event.Coalesce { addr = prev.addr; merged = prev.size; absorbed })
   | Some _ | None -> ());
   !b
 

@@ -1,0 +1,27 @@
+type severity = Info | Warning | Error
+
+type t = { rule_id : string; severity : severity; index : int option; explanation : string }
+
+let v ?(severity = Error) ?index rule_id explanation =
+  { rule_id; severity; index; explanation }
+
+let vf ?severity ?index rule_id fmt =
+  Format.kasprintf (fun explanation -> v ?severity ?index rule_id explanation) fmt
+
+let of_constraint (c : Dmm_core.Constraints.violation) =
+  v c.Dmm_core.Constraints.rule_id c.Dmm_core.Constraints.explanation
+
+let is_error d = d.severity = Error
+
+let severity_label = function Error -> "error" | Warning -> "warning" | Info -> "info"
+
+let pp ppf d =
+  match d.index with
+  | Some i ->
+    Format.fprintf ppf "@[<hov 2>%s[%s]@ event %d:@ %s@]" (severity_label d.severity)
+      d.rule_id i d.explanation
+  | None ->
+    Format.fprintf ppf "@[<hov 2>%s[%s]@ %s@]" (severity_label d.severity) d.rule_id
+      d.explanation
+
+let to_string d = Format.asprintf "%a" pp d

@@ -1,0 +1,34 @@
+(** Typed diagnostics of the heap sanitizer — rule id, severity and the
+    logical-clock index of the offending event, in the same shape as
+    {!Dmm_core.Constraints.violation} so design-conformance findings can
+    point back at the Figure 2/3 interdependency they would break. *)
+
+type severity = Info | Warning | Error
+
+type t = {
+  rule_id : string;  (** e.g. ["live-overlap"], or a {!Dmm_core.Constraints} rule id *)
+  severity : severity;
+  index : int option;  (** logical clock of the offending event, when stream-tied *)
+  explanation : string;
+}
+
+val v : ?severity:severity -> ?index:int -> string -> string -> t
+(** [v rule_id explanation]; [severity] defaults to [Error]. *)
+
+val vf :
+  ?severity:severity ->
+  ?index:int ->
+  string ->
+  ('a, Format.formatter, unit, t) format4 ->
+  'a
+(** Formatted variant of {!v}. *)
+
+val of_constraint : Dmm_core.Constraints.violation -> t
+(** Lift a design-validity violation, keeping its rule id. *)
+
+val is_error : t -> bool
+
+val pp : Format.formatter -> t -> unit
+(** [error[rule-id] event 42: explanation]. *)
+
+val to_string : t -> string

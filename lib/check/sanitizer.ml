@@ -1,0 +1,422 @@
+module Event = Dmm_obs.Event
+module DV = Dmm_core.Decision_vector
+module Manager = Dmm_core.Manager
+module Constraints = Dmm_core.Constraints
+module Explorer = Dmm_core.Explorer
+module Size = Dmm_util.Size
+open Dmm_core.Decision
+module Int_map = Map.Make (Int)
+
+type report = { events : int; diags : Diag.t list; conformance_checked : bool }
+
+let clean r = r.diags = []
+
+(* --- pass 1: heap invariants -----------------------------------------------
+   Design-independent laws every allocator must obey, replayed over the
+   stream with a live-range map: allocations never overlap live blocks,
+   frees hit live addresses exactly once, split/coalesce conserve bytes,
+   and the footprint ledger (sbrk/trim deltas) always covers live payload. *)
+
+let invariants (s : Stream.t) =
+  let diags = ref [] in
+  let add d = diags := d :: !diags in
+  let live = ref Int_map.empty (* payload addr -> payload bytes *) in
+  let live_bytes = ref 0 and held = ref 0 in
+  let brk = ref None in
+  Array.iter
+    (fun { Stream.clock = i; event } ->
+      match event with
+      | Event.Alloc { payload; gross; addr } ->
+        if payload <= 0 then
+          add (Diag.vf ~index:i "alloc-nonpositive" "allocation of %d payload bytes" payload);
+        if gross < payload then
+          add
+            (Diag.vf ~index:i "gross-below-payload"
+               "gross block size %d cannot hold the %d-byte payload" gross payload);
+        if addr < 0 then
+          add (Diag.vf ~index:i "negative-address" "payload address %d is negative" addr);
+        (match Int_map.find_opt addr !live with
+        | Some _ ->
+          add
+            (Diag.vf ~index:i "live-overlap"
+               "address %d returned while still live (its free was never recorded)" addr)
+        | None ->
+          (match Int_map.find_last_opt (fun a -> a <= addr) !live with
+          | Some (a, p) when a + p > addr ->
+            add
+              (Diag.vf ~index:i "live-overlap"
+                 "new block [%d,%d) overlaps live block [%d,%d)" addr
+                 (addr + max 1 payload) a (a + p))
+          | _ -> ());
+          (match Int_map.find_first_opt (fun a -> a > addr) !live with
+          | Some (a, p) when addr + payload > a ->
+            add
+              (Diag.vf ~index:i "live-overlap"
+                 "new block [%d,%d) overlaps live block [%d,%d)" addr (addr + payload) a
+                 (a + p))
+          | _ -> ()));
+        live := Int_map.add addr payload !live;
+        live_bytes := !live_bytes + payload;
+        if !live_bytes > !held then
+          add
+            (Diag.vf ~index:i "footprint-below-live"
+               "live payload (%d bytes) exceeds memory obtained from the system (%d \
+                bytes)"
+               !live_bytes !held)
+      | Event.Free { payload; addr } -> (
+        match Int_map.find_opt addr !live with
+        | None ->
+          add
+            (Diag.vf ~index:i "invalid-free"
+               "free of address %d, which is not live (double free or wild pointer)"
+               addr)
+        | Some p ->
+          if p <> payload then
+            add
+              (Diag.vf ~index:i "free-payload-mismatch"
+                 "free of address %d records %d payload bytes but the allocation \
+                  recorded %d"
+                 addr payload p);
+          live := Int_map.remove addr !live;
+          live_bytes := !live_bytes - p)
+      | Event.Split { addr; parent; taken; remainder } ->
+        if taken <= 0 || remainder <= 0 || taken + remainder <> parent then
+          add
+            (Diag.vf ~index:i "split-algebra"
+               "split at %d does not conserve bytes: taken %d + remainder %d <> parent \
+                %d"
+               addr taken remainder parent)
+      | Event.Coalesce { addr; merged; absorbed } ->
+        if absorbed <= 0 || absorbed >= merged then
+          add
+            (Diag.vf ~index:i "coalesce-algebra"
+               "coalesce at %d does not conserve bytes: absorbed %d must lie strictly \
+                inside the merged size %d"
+               addr absorbed merged)
+      | Event.Sbrk { bytes; brk = b } ->
+        if bytes <= 0 then
+          add (Diag.vf ~index:i "footprint-accounting" "sbrk of %d bytes" bytes);
+        (match !brk with
+        | Some prev when prev + bytes <> b ->
+          add
+            (Diag.vf ~index:i "footprint-accounting"
+               "sbrk of %d bytes moved the break from %d to %d" bytes prev b)
+        | Some _ -> ()
+        | None ->
+          if b < bytes then
+            add
+              (Diag.vf ~index:i "footprint-accounting"
+                 "sbrk of %d bytes left the break at %d" bytes b));
+        brk := Some b;
+        held := !held + bytes
+      | Event.Trim { bytes; brk = b } ->
+        if bytes <= 0 then
+          add (Diag.vf ~index:i "footprint-accounting" "trim of %d bytes" bytes);
+        (match !brk with
+        | Some prev when prev - bytes <> b ->
+          add
+            (Diag.vf ~index:i "footprint-accounting"
+               "trim of %d bytes moved the break from %d to %d" bytes prev b)
+        | _ -> ());
+        brk := Some b;
+        held := !held - bytes;
+        if !held < 0 then
+          add
+            (Diag.vf ~index:i "footprint-accounting"
+               "more bytes trimmed than ever obtained from the system")
+      | Event.Phase _ -> ()
+      | Event.Fit_scan { steps } ->
+        if steps <= 0 then
+          add
+            (Diag.vf ~index:i "fit-scan-steps"
+               "fit scan of %d steps (zero-step scans are suppressed at the emitter)"
+               steps))
+    s;
+  List.rev !diags
+
+(* --- pass 2: design conformance --------------------------------------------
+   Given the decision vector and run-time parameters the stream claims to
+   come from, check that the recorded behaviour is one that design could
+   produce: disabled mechanisms stay silent (A5/D2/E2 gates), sizes respect
+   the A2 regime and E1/D1 bounds, payload addresses respect the layout,
+   and — via a shadow free map replayed from the events — the C1 fit
+   policy actually returned the block it promises (best/exact fit must be
+   minimal-adequate; no design may grow the heap past an adequate free
+   block). The shadow map is only sound in the varying-size regime: fixed
+   regimes carve slabs into free blocks without emitting events, so there
+   the stream under-determines the free set and only the stateless checks
+   apply. *)
+
+let a5_name = function
+  | No_flexibility -> "no flexibility"
+  | Split_only -> "split only"
+  | Coalesce_only -> "coalesce only"
+  | Split_and_coalesce -> "split and coalesce"
+
+let conformance (design : Explorer.design) (s : Stream.t) =
+  let vec = design.Explorer.vector and params = design.Explorer.params in
+  match Constraints.check vec with
+  | _ :: _ as vs -> List.map Diag.of_constraint vs
+  | [] ->
+    let diags = ref [] in
+    let add d = diags := d :: !diags in
+    let lay = Manager.layout params vec in
+    let header = lay.Manager.l_header_bytes in
+    let tag = lay.Manager.l_tag_bytes in
+    let min_block = lay.Manager.l_min_block in
+    let alignment = params.Manager.alignment in
+    let classes =
+      match vec.DV.a2 with
+      | One_fixed_size -> [| params.Manager.fixed_block_size |]
+      | Many_fixed_sizes ->
+        Array.of_list (List.sort_uniq compare params.Manager.size_classes)
+      | Many_varying_sizes -> [||]
+    in
+    let gross_of payload =
+      (* Total even on garbage streams: the invariants pass already reports
+         non-positive payloads, so clamp instead of raising. *)
+      let payload = max 1 payload in
+      let base = max min_block (Size.align_up (payload + tag) alignment) in
+      if Array.length classes = 0 then base
+      else begin
+        let n = Array.length classes in
+        let rec go i =
+          if i >= n then base else if classes.(i) >= base then classes.(i) else go (i + 1)
+        in
+        go 0
+      end
+    in
+    let can_split = DV.can_split vec and can_coalesce = DV.can_coalesce vec in
+    let rigid_fixed = Array.length classes > 0 && (not can_split) && not can_coalesce in
+    let max_class = if Array.length classes = 0 then 0 else classes.(Array.length classes - 1) in
+    let shadow = vec.DV.a2 = Many_varying_sizes in
+    (* Fit behaviour is only predictable when the search covers every
+       adequate block: a single pool trivially, and range pools because any
+       adequate block lives in a bucket the search visits. Per-size pools
+       legitimately miss adequate blocks filed under other sizes. *)
+    let fit_checked =
+      shadow
+      && match vec.DV.b1 with Single_pool | Pool_per_size_range -> true | Pool_per_size -> false
+    in
+    let minimality =
+      fit_checked && match vec.DV.c1 with Best_fit | Exact_fit -> true | _ -> false
+    in
+    let free = ref Int_map.empty (* block base -> gross size *) in
+    let live_gross : (int, int) Hashtbl.t = Hashtbl.create 256 in
+    (* Fit-path split: (base, parent size, free map at fit time). *)
+    let pending_fit = ref None in
+    (* Free map snapshot when the heap last grew: the fit that failed ran
+       against this set, not against remainders registered afterwards. *)
+    let at_last_sbrk = ref None in
+    Array.iter
+      (fun { Stream.clock = i; event } ->
+        match event with
+        | Event.Split { addr; parent; taken; remainder } ->
+          (if not can_split then
+             match vec.DV.a5 with
+             | No_flexibility | Coalesce_only ->
+               add
+                 (Diag.vf ~index:i "split-gated-by-A5"
+                    "split event recorded but A5 (%s) never arms the splitting \
+                     mechanism"
+                    (a5_name vec.DV.a5))
+             | Split_only | Split_and_coalesce ->
+               add
+                 (Diag.vf ~index:i "e2-never-split"
+                    "split event recorded but E2 says never split"));
+          if taken < min_block || remainder < min_block then
+            add
+              (Diag.vf ~index:i "min-block"
+                 "split produces a block below the %d-byte minimum (taken %d, \
+                  remainder %d)"
+                 min_block taken remainder);
+          (match vec.DV.e1 with
+          | One_size ->
+            let unit = max min_block params.Manager.min_split_remainder in
+            if remainder mod unit <> 0 then
+              add
+                (Diag.vf ~index:i "e1-split-size"
+                   "E1 fixes one split size: remainder %d is not a multiple of the \
+                    %d-byte unit"
+                   remainder unit)
+          | Many_fixed ->
+            if Array.length classes > 0 && not (Array.exists (fun c -> c = remainder) classes)
+            then
+              add
+                (Diag.vf ~index:i "e1-split-size"
+                   "E1 allows only declared sizes: remainder %d is not a size class"
+                   remainder)
+          | Not_fixed -> ());
+          if shadow then begin
+            match Int_map.find_opt addr !free with
+            | Some sz ->
+              if sz <> parent then
+                add
+                  (Diag.vf ~index:i "illegal-split"
+                     "split claims parent size %d but the free block at %d has %d \
+                      bytes"
+                     parent addr sz);
+              pending_fit := Some (addr, parent, !free);
+              free := Int_map.add (addr + taken) remainder (Int_map.remove addr !free)
+            | None ->
+              (* Fresh system memory being trimmed to size (greedy grab). *)
+              free := Int_map.add (addr + taken) remainder !free
+          end
+        | Event.Coalesce { addr; merged; absorbed } ->
+          (if not can_coalesce then
+             match vec.DV.a5 with
+             | No_flexibility | Split_only ->
+               add
+                 (Diag.vf ~index:i "coalesce-gated-by-A5"
+                    "coalesce event recorded but A5 (%s) never arms the coalescing \
+                     mechanism"
+                    (a5_name vec.DV.a5))
+             | Coalesce_only | Split_and_coalesce ->
+               add
+                 (Diag.vf ~index:i "d2-never-coalesce"
+                    "coalesce event recorded but D2 says never coalesce"));
+          (match params.Manager.max_coalesced_size with
+          | Some m when merged > m ->
+            add
+              (Diag.vf ~index:i "d1-max-coalesced-size"
+                 "coalesced block of %d bytes exceeds the D1 bound of %d" merged m)
+          | _ -> ());
+          if shadow then begin
+            let survivor = merged - absorbed in
+            let other = addr + survivor in
+            let ok =
+              (match Int_map.find_opt addr !free with
+              | Some sz -> sz = survivor
+              | None -> false)
+              && match Int_map.find_opt other !free with
+                 | Some sz -> sz = absorbed
+                 | None -> false
+            in
+            if not ok then
+              add
+                (Diag.vf ~index:i "illegal-coalesce"
+                   "coalesce at %d merges [%d,+%d) and [%d,+%d), which are not both \
+                    adjacent free blocks"
+                   addr addr survivor other absorbed);
+            free := Int_map.add addr merged (Int_map.remove other !free)
+          end
+        | Event.Alloc { payload; gross; addr } ->
+          let base = addr - header in
+          if alignment > 0 && base mod alignment <> 0 then
+            add
+              (Diag.vf ~index:i "alignment"
+                 "block base %d (payload address %d minus the %d-byte header) is not \
+                  %d-byte aligned"
+                 base addr header alignment);
+          if gross < min_block then
+            add
+              (Diag.vf ~index:i "min-block"
+                 "allocated block of %d gross bytes is below the %d-byte minimum" gross
+                 min_block);
+          if rigid_fixed && gross <= max_class
+             && not (Array.exists (fun c -> c = gross) classes)
+          then
+            add
+              (Diag.vf ~index:i "a2-size-class-membership"
+                 "gross size %d is not a declared size class, yet A2 fixes the size \
+                  set and A5 never changes it"
+                 gross);
+          if shadow then begin
+            let need = gross_of payload in
+            let chosen =
+              match !pending_fit with
+              | Some (b, parent, fit_set) when b = base -> Some (parent, fit_set)
+              | _ -> (
+                match Int_map.find_opt base !free with
+                | Some sz -> Some (sz, !free)
+                | None -> None)
+            in
+            pending_fit := None;
+            (match chosen with
+            | Some (sz, fit_set) ->
+              free := Int_map.remove base !free;
+              if sz < need then
+                add
+                  (Diag.vf ~index:i "c1-fit-policy"
+                     "chosen free block of %d bytes cannot serve a request needing %d \
+                      gross bytes"
+                     sz need);
+              if minimality then begin
+                let minimal =
+                  Int_map.fold
+                    (fun _ s acc ->
+                      if s >= need then
+                        match acc with Some m when m <= s -> acc | _ -> Some s
+                      else acc)
+                    fit_set None
+                in
+                match minimal with
+                | Some m when sz > m ->
+                  add
+                    (Diag.vf ~index:i "c1-fit-policy"
+                       "C1 promises best/exact fit but the %d-byte block was chosen \
+                        while a %d-byte block was adequate for the %d-byte need"
+                       sz m need)
+                | _ -> ()
+              end
+            | None ->
+              (* Served from fresh system memory: the fit that failed ran
+                 against the free set as of the sbrk. *)
+              if fit_checked then begin
+                let fit_set =
+                  match !at_last_sbrk with Some s -> s | None -> !free
+                in
+                if Int_map.exists (fun _ s -> s >= need) fit_set then
+                  add
+                    (Diag.vf ~index:i "c1-fit-policy"
+                       "heap grown for a request needing %d gross bytes although an \
+                        adequate free block existed"
+                       need)
+              end);
+            at_last_sbrk := None;
+            Hashtbl.replace live_gross addr gross
+          end
+        | Event.Free { payload = _; addr } ->
+          if shadow then (
+            match Hashtbl.find_opt live_gross addr with
+            | Some g ->
+              Hashtbl.remove live_gross addr;
+              free := Int_map.add (addr - header) g !free
+            | None -> () (* the invariants pass already reports invalid frees *))
+        | Event.Trim { bytes; brk } ->
+          if shadow then (
+            match Int_map.find_opt brk !free with
+            | Some sz when sz = bytes -> free := Int_map.remove brk !free
+            | Some sz ->
+              add
+                (Diag.vf ~index:i "illegal-trim"
+                   "trim released %d bytes at %d but the free block there has %d" bytes
+                   brk sz);
+              free := Int_map.remove brk !free
+            | None ->
+              add
+                (Diag.vf ~index:i "illegal-trim"
+                   "trim released [%d,%d), which is not a free block" brk (brk + bytes)))
+        | Event.Sbrk _ ->
+          if shadow then at_last_sbrk := Some !free
+        | Event.Phase _ | Event.Fit_scan _ -> ())
+      s;
+    List.rev !diags
+
+(* --- driver ----------------------------------------------------------------- *)
+
+let run ?design (s : Stream.t) =
+  let events = Stream.length s in
+  match Stream.integrity s with
+  | _ :: _ as diags -> { events; diags; conformance_checked = false }
+  | [] -> (
+    let inv = invariants s in
+    match design with
+    | None -> { events; diags = inv; conformance_checked = false }
+    | Some d ->
+      { events; diags = inv @ conformance d s; conformance_checked = true })
+
+let pp_report ppf r =
+  List.iter (fun d -> Format.fprintf ppf "%a@." Diag.pp d) r.diags;
+  Format.fprintf ppf "%d events, %d diagnostics (%s)@." r.events (List.length r.diags)
+    (if r.conformance_checked then "invariants + design conformance" else "invariants")

@@ -1,0 +1,49 @@
+(** Offline heap sanitizer: analyses a recorded allocation-event stream
+    without re-running the workload.
+
+    Two passes over the stream, both prefix-closed:
+
+    - {b Heap invariants} — design-independent laws: live ranges never
+      overlap, every free hits a live address exactly once with the payload
+      its allocation recorded, split and coalesce conserve bytes
+      ([taken + remainder = parent]; the absorbed block lies strictly
+      inside the merged extent), and the sbrk/trim ledger always covers the
+      live payload.
+
+    - {b Design conformance} — given the {!Dmm_core.Explorer.design} the
+      stream claims to come from: disabled mechanisms stay silent (A5
+      arming and the D2/E2 never-policies), sizes respect the A2 regime and
+      the E1/D1 bounds plus the layout's minimum block size, payload
+      addresses respect the tag layout and alignment, and a shadow free map
+      replayed from the events cross-checks the C1 fit promise — best/exact
+      fit must return the minimal adequate block, no fit may grow the heap
+      past an adequate free block, and coalesces must merge two adjacent
+      free blocks. The shadow map is sound only in the varying-size regime
+      (fixed regimes carve slabs without events); fit checks further
+      require a pool layout whose search covers every adequate block
+      (single pool or range pools).
+
+    Both passes are skipped when {!Stream.integrity} rejects the stream, so
+    a tampered record yields the single [incomplete-stream] finding rather
+    than phantom violations. *)
+
+type report = {
+  events : int;
+  diags : Diag.t list;  (** stream order within each pass *)
+  conformance_checked : bool;
+}
+
+val clean : report -> bool
+
+val invariants : Stream.t -> Diag.t list
+
+val conformance : Dmm_core.Explorer.design -> Stream.t -> Diag.t list
+(** If the design itself violates {!Dmm_core.Constraints}, those violations
+    are returned (lifted via {!Diag.of_constraint}) and the behavioural
+    checks are skipped — a stream cannot conform to an invalid design. *)
+
+val run : ?design:Dmm_core.Explorer.design -> Stream.t -> report
+(** Integrity gate, then invariants, then (when [design] is given)
+    conformance. *)
+
+val pp_report : Format.formatter -> report -> unit

@@ -1,0 +1,106 @@
+module Event = Dmm_obs.Event
+
+type entry = { clock : int; event : Event.t }
+type t = entry array
+
+let of_events evs = Array.of_list (List.mapi (fun i event -> { clock = i; event }) evs)
+let of_pairs pairs = Array.map (fun (clock, event) -> { clock; event }) pairs
+let length = Array.length
+let events t = Array.to_list (Array.map (fun e -> e.event) t)
+
+(* --- JSONL parsing ---------------------------------------------------------
+   The [Jsonl_sink] format is flat: one object per line, integer fields plus
+   the ["ev"] tag, no nesting and no escapes — a hand-rolled splitter is
+   enough and keeps the checker dependency-free. *)
+
+let strip_quotes s =
+  let n = String.length s in
+  if n >= 2 && s.[0] = '"' && s.[n - 1] = '"' then String.sub s 1 (n - 2) else s
+
+exception Malformed of string
+
+let parse_line line =
+  let fail fmt = Printf.ksprintf (fun m -> raise (Malformed m)) fmt in
+  let line = String.trim line in
+  let n = String.length line in
+  if n < 2 || line.[0] <> '{' || line.[n - 1] <> '}' then fail "not a JSON object";
+  let fields =
+    String.split_on_char ',' (String.sub line 1 (n - 2))
+    |> List.map (fun f ->
+           match String.index_opt f ':' with
+           | None -> fail "field %S has no colon" f
+           | Some i ->
+             ( strip_quotes (String.trim (String.sub f 0 i)),
+               strip_quotes (String.trim (String.sub f (i + 1) (String.length f - i - 1)))
+             ))
+  in
+  let str k =
+    match List.assoc_opt k fields with
+    | Some v -> v
+    | None -> fail "missing field %S" k
+  in
+  let int k =
+    match int_of_string_opt (str k) with
+    | Some v -> v
+    | None -> fail "field %S is not an integer" k
+  in
+  let clock = int "t" in
+  let event =
+    match str "ev" with
+    | "alloc" -> Event.Alloc { payload = int "payload"; gross = int "gross"; addr = int "addr" }
+    | "free" -> Event.Free { payload = int "payload"; addr = int "addr" }
+    | "split" ->
+      Event.Split
+        { addr = int "addr"; parent = int "parent"; taken = int "taken";
+          remainder = int "remainder" }
+    | "coalesce" ->
+      Event.Coalesce { addr = int "addr"; merged = int "merged"; absorbed = int "absorbed" }
+    | "phase" -> Event.Phase (int "id")
+    | "sbrk" -> Event.Sbrk { bytes = int "bytes"; brk = int "brk" }
+    | "trim" -> Event.Trim { bytes = int "bytes"; brk = int "brk" }
+    | "fit_scan" -> Event.Fit_scan { steps = int "steps" }
+    | other -> fail "unknown event kind %S" other
+  in
+  { clock; event }
+
+let of_jsonl_string s =
+  let entries = ref [] and lineno = ref 0 and error = ref None in
+  (try
+     String.split_on_char '\n' s
+     |> List.iter (fun line ->
+            incr lineno;
+            if String.trim line <> "" then entries := parse_line line :: !entries)
+   with Malformed m -> error := Some (Printf.sprintf "line %d: %s" !lineno m));
+  match !error with
+  | Some e -> Error e
+  | None -> Ok (Array.of_list (List.rev !entries))
+
+let load_jsonl path =
+  match In_channel.with_open_text path In_channel.input_all with
+  | exception Sys_error m -> Error m
+  | contents -> of_jsonl_string contents
+
+(* --- stream integrity ------------------------------------------------------
+   The probe's logical clock ticks exactly once per emitted event, so a
+   faithful record carries clocks 0,1,2,…  Any gap, duplicate or disorder
+   proves events were lost or rearranged; in that case invariant checking
+   would report phantom violations (e.g. a dropped Free makes the next reuse
+   of the address look like a live-range overlap), so the sanitizer reports
+   a single [incomplete-stream] finding and skips the heap passes.  A
+   truncated *tail* leaves a gap-free prefix and is checked normally: every
+   heap invariant here is prefix-closed. *)
+
+let integrity (t : t) =
+  let rec scan i =
+    if i >= Array.length t then []
+    else if t.(i).clock = i then scan (i + 1)
+    else
+      [
+        Diag.vf ~index:t.(i).clock "incomplete-stream"
+          "event clock %d found at position %d: the stream is not a gap-free record \
+           (events lost, duplicated or reordered); heap invariant and conformance \
+           passes skipped to avoid phantom findings"
+          t.(i).clock i;
+      ]
+  in
+  scan 0

@@ -1,0 +1,33 @@
+(** A recorded allocation-event stream: the sanitizer's input.
+
+    Streams come from three places — an in-memory {!Dmm_obs.Collect_sink}
+    capture, a [dmm trace --jsonl] export re-read from disk, or a synthetic
+    list built by tests (fault injection). *)
+
+type entry = { clock : int; event : Dmm_obs.Event.t }
+
+type t = entry array
+
+val of_events : Dmm_obs.Event.t list -> t
+(** Number a synthetic event list with clocks [0,1,2,…]. *)
+
+val of_pairs : (int * Dmm_obs.Event.t) array -> t
+(** From {!Dmm_obs.Collect_sink.to_array} output (clock, event) pairs. *)
+
+val length : t -> int
+
+val events : t -> Dmm_obs.Event.t list
+
+val of_jsonl_string : string -> (t, string) result
+(** Parse the {!Dmm_obs.Jsonl_sink} line format. A parse failure is an
+    I/O-level error (malformed file), not a heap diagnostic. *)
+
+val load_jsonl : string -> (t, string) result
+
+val integrity : t -> Diag.t list
+(** The probe's logical clock ticks once per event, so a faithful record
+    carries clocks [0,1,2,…]. A gap, duplicate or disorder yields a single
+    [incomplete-stream] diagnostic — the caller should then skip invariant
+    checking, whose findings would be phantoms of the missing events. A
+    truncated tail still forms a gap-free prefix and passes: the heap
+    invariants are prefix-closed. *)

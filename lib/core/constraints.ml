@@ -126,7 +126,9 @@ let rules =
     };
     {
       id = "one-size-single-pool";
-      doc = "With one fixed block size (A2) there is nothing to divide pools by size on.";
+      doc =
+        "With one fixed block size (A2) there is nothing to divide the pool set (B1) \
+         by size on.";
       involved = [ A2; B1 ];
       fires =
         (fun p ->
@@ -174,8 +176,8 @@ let rules =
     {
       id = "next-fit-needs-list";
       doc =
-        "Next fit keeps a roving pointer through a list; it is undefined on a \
-         size-ordered tree (Wilson et al.).";
+        "Next fit (C1) keeps a roving pointer through a list structure (A1); it is \
+         undefined on a size-ordered tree (Wilson et al.).";
       involved = [ A1; C1 ];
       fires =
         (fun p ->
@@ -244,6 +246,51 @@ let to_dot () =
     dependency_edges;
   Buffer.add_string buf "}\n";
   Buffer.contents buf
+
+(* --- rule-base self-consistency -------------------------------------------- *)
+
+let tree_code tree =
+  let name = tree_name tree in
+  match String.index_opt name ' ' with
+  | Some i -> String.sub name 0 i
+  | None -> name
+
+let contains_substring haystack needle =
+  let nh = String.length haystack and nn = String.length needle in
+  let rec go i = i + nn <= nh && (String.sub haystack i nn = needle || go (i + 1)) in
+  nn = 0 || go 0
+
+let self_check () =
+  let problems = ref [] in
+  let add fmt = Format.kasprintf (fun m -> problems := m :: !problems) fmt in
+  let rec dups = function
+    | [] -> ()
+    | id :: rest ->
+      if List.mem id rest then add "duplicate rule id %S" id;
+      dups rest
+  in
+  dups (List.map (fun r -> r.id) rules);
+  List.iter
+    (fun r ->
+      (match r.involved with
+      | [] | [ _ ] -> add "rule %S couples fewer than two trees" r.id
+      | _ :: _ :: _ -> ());
+      List.iter
+        (fun tree ->
+          let code = tree_code tree in
+          if not (contains_substring r.doc code) then
+            add "rule %S involves tree %s but its documentation never mentions %s" r.id
+              code code)
+        r.involved)
+    rules;
+  let doc_ids = List.map (fun r -> r.id) rules in
+  List.iter
+    (fun (a, b, id) ->
+      if not (List.mem id doc_ids) then
+        add "dependency edge %s -- %s cites rule %S, which is not in rules_doc"
+          (tree_code a) (tree_code b) id)
+    dependency_edges;
+  match List.rev !problems with [] -> Ok () | ps -> Error ps
 
 let pp_violation ppf v =
   Format.fprintf ppf "@[<hov 2>[%s]@ %s@ (trees:@ %a)@]" v.rule_id v.explanation

@@ -44,3 +44,9 @@ val dependency_edges : (Decision.tree * Decision.tree * string) list
 val to_dot : unit -> string
 (** Graphviz rendering of {!dependency_edges}, trees clustered by
     category — a regenerated Figure 2. *)
+
+val self_check : unit -> (unit, string list) result
+(** Self-consistency lint of the rule base itself ([dmm space --check]):
+    rule ids are unique, every rule couples at least two trees and its
+    documentation names each involved tree's code (A1…E2), and every
+    {!dependency_edges} entry cites a rule present in {!rules_doc}. *)

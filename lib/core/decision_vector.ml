@@ -121,6 +121,19 @@ let simple_region_like =
     e2 = Never;
   }
 
+(* A5 arms the mechanisms; E2/D2 schedule them. Both must agree for the
+   manager to ever split or coalesce (Figure 3's gating, in executable
+   form — shared by the interpreter and the conformance sanitizer). *)
+let can_split t =
+  match t.a5 with
+  | Split_only | Split_and_coalesce -> t.e2 <> Never
+  | No_flexibility | Coalesce_only -> false
+
+let can_coalesce t =
+  match t.a5 with
+  | Coalesce_only | Split_and_coalesce -> t.d2 <> Never
+  | No_flexibility | Split_only -> false
+
 let pp ppf t =
   Format.fprintf ppf "@[<v>";
   List.iter

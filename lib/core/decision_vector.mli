@@ -41,6 +41,14 @@ val simple_region_like : t
 (** Fixed-size pools with no flexibility, as in the embedded-OS region
     managers the paper compares against. *)
 
+val can_split : t -> bool
+(** True when the vector ever splits a block: A5 arms the mechanism and E2
+    is not [Never]. *)
+
+val can_coalesce : t -> bool
+(** True when the vector ever merges blocks: A5 arms the mechanism and D2
+    is not [Never]. *)
+
 val pp : Format.formatter -> t -> unit
 val to_string : t -> string
 

@@ -217,6 +217,17 @@ let iter f t =
   | Dll_impl d | Addr_ordered d -> Dll.iter f d
   | Tree tr -> Size_map.iter (fun _ b -> f b) tr.map
 
+(* Deliberately skips the ordering and duplicate checks [insert] performs:
+   the shape-linter test suite uses this to plant corruptions (out-of-order
+   nodes, stale sizes) that a correct manager could never produce. *)
+let unsafe_push_front t (b : Block.t) =
+  (match t.impl with
+  | Sll s -> s.items <- b :: s.items
+  | Dll_impl d | Addr_ordered d -> Dll.push_front d b
+  | Tree tr -> tr.map <- Size_map.add (b.size, b.addr) b tr.map);
+  t.cardinal <- t.cardinal + 1;
+  t.total_bytes <- t.total_bytes + b.size
+
 let to_list t =
   let acc = ref [] in
   iter (fun b -> acc := b :: !acc) t;

@@ -39,6 +39,12 @@ val take_fit : t -> Decision.fit_algorithm -> int -> Block.t option
 val iter : (Block.t -> unit) -> t -> unit
 (** Iteration in structure order. *)
 
+val unsafe_push_front : t -> Block.t -> unit
+(** Insert at the structure's head {e bypassing} ordering and duplicate
+    checks. Fault injection only: lets tests corrupt a structure (e.g.
+    break the address order of an address-ordered list) and assert the
+    shape linter notices. Never call this from manager code. *)
+
 val to_list : t -> Block.t list
 
 val steps : t -> int

@@ -61,6 +61,7 @@ type t = {
   mutable frees_since_sweep : int;
   mutable held_bytes : int; (* gross bytes currently obtained from the system *)
   mutable max_held_bytes : int;
+  mutable audit : (t -> unit) option; (* opt-in hook, fired after alloc/free *)
 }
 
 let vector t = t.vec
@@ -88,13 +89,15 @@ let acct_free t ~payload ~addr =
   Metrics.on_free t.metrics ~payload;
   if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr })
 
-let acct_split t remainder =
+let acct_split t ~addr ~parent ~taken ~remainder =
   Metrics.on_split t.metrics;
-  if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Split { remainder })
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Split { addr; parent; taken; remainder })
 
-let acct_coalesce t merged =
+let acct_coalesce t ~addr ~merged ~absorbed =
   Metrics.on_coalesce t.metrics;
-  if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Coalesce { merged })
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Coalesce { addr; merged; absorbed })
 
 (* --- configuration derivation ------------------------------------------- *)
 
@@ -108,15 +111,37 @@ let uses_fixed_classes vec =
   | One_fixed_size | Many_fixed_sizes -> true
   | Many_varying_sizes -> false
 
-let can_split vec =
-  match vec.Decision_vector.a5 with
-  | Split_only | Split_and_coalesce -> vec.Decision_vector.e2 <> Never
-  | No_flexibility | Coalesce_only -> false
+let can_split = Decision_vector.can_split
+let can_coalesce = Decision_vector.can_coalesce
 
-let can_coalesce vec =
-  match vec.Decision_vector.a5 with
-  | Coalesce_only | Split_and_coalesce -> vec.Decision_vector.d2 <> Never
-  | No_flexibility | Split_only -> false
+type layout = {
+  l_header_bytes : int;
+  l_footer_bytes : int;
+  l_tag_bytes : int;
+  l_min_block : int;
+}
+
+(* The block geometry a (vector, params) pair implies — shared with the
+   offline sanitizer, which must recompute payload-to-base offsets and
+   minimum block sizes without building a manager. *)
+let layout (params : params) vec =
+  let l_header_bytes =
+    match vec.Decision_vector.a3 with
+    | Header | Header_and_footer -> params.word_size
+    | No_tag | Footer -> 0
+  in
+  let l_footer_bytes =
+    match vec.Decision_vector.a3 with
+    | Footer | Header_and_footer -> params.word_size
+    | No_tag | Header -> 0
+  in
+  let l_tag_bytes = l_header_bytes + l_footer_bytes in
+  let l_min_block =
+    let links = link_words vec.Decision_vector.a1 * params.word_size in
+    Size.align_up (max (l_tag_bytes + links) (l_tag_bytes + params.alignment))
+      params.alignment
+  in
+  { l_header_bytes; l_footer_bytes; l_tag_bytes; l_min_block }
 
 let create ?(expected_live = 256) ?(params = default_params) ?(probe = Probe.null) vec
     space =
@@ -131,20 +156,9 @@ let create ?(expected_live = 256) ?(params = default_params) ?(probe = Probe.nul
     invalid_arg msg);
   if params.word_size <= 0 || params.alignment <= 0 || params.chunk_request <= 0 then
     invalid_arg "Manager.create: non-positive parameter";
-  let header_bytes =
-    match vec.Decision_vector.a3 with
-    | Header | Header_and_footer -> params.word_size
-    | No_tag | Footer -> 0
-  in
-  let footer_bytes =
-    match vec.Decision_vector.a3 with
-    | Footer | Header_and_footer -> params.word_size
-    | No_tag | Header -> 0
-  in
-  let tag_bytes = header_bytes + footer_bytes in
-  let min_block =
-    let links = link_words vec.Decision_vector.a1 * params.word_size in
-    Size.align_up (max (tag_bytes + links) (tag_bytes + params.alignment)) params.alignment
+  let { l_header_bytes = header_bytes; l_tag_bytes = tag_bytes; l_min_block = min_block; _ }
+      =
+    layout params vec
   in
   let classes =
     if uses_fixed_classes vec then begin
@@ -188,6 +202,7 @@ let create ?(expected_live = 256) ?(params = default_params) ?(probe = Probe.nul
     frees_since_sweep = 0;
     held_bytes = 0;
     max_held_bytes = 0;
+    audit = None;
   }
 
 (* --- size classification -------------------------------------------------- *)
@@ -295,6 +310,7 @@ let try_split t (b : Block.t) gross =
         if c >= threshold && c >= t.min_block then c else 0
     in
     if split_off >= t.min_block then begin
+      let parent = b.size in
       Hashtbl.remove t.by_end (Block.end_addr b);
       b.size <- b.size - split_off;
       Hashtbl.replace t.by_end (Block.end_addr b) b;
@@ -304,7 +320,7 @@ let try_split t (b : Block.t) gross =
       in
       register t rem;
       insert_free t rem;
-      acct_split t split_off;
+      acct_split t ~addr:b.addr ~parent ~taken:b.size ~remainder:split_off;
       acct_ops t 1
     end
   end
@@ -330,7 +346,7 @@ let merge_neighbours t (b : Block.t) =
       Hashtbl.remove t.by_end (Block.end_addr !b);
       !b.size <- !b.size + next.size;
       Hashtbl.replace t.by_end (Block.end_addr !b) !b;
-      acct_coalesce t !b.size;
+      acct_coalesce t ~addr:!b.addr ~merged:!b.size ~absorbed:next.size;
       acct_ops t 2;
       forward ()
     | Some _ | None -> ()
@@ -345,11 +361,12 @@ let merge_neighbours t (b : Block.t) =
       remove_free t prev;
       unregister t prev;
       unregister t !b;
+      let absorbed = !b.size in
       prev.size <- prev.size + !b.size;
       Hashtbl.replace t.by_base prev.addr prev;
       Hashtbl.replace t.by_end (Block.end_addr prev) prev;
       b := prev;
-      acct_coalesce t prev.size;
+      acct_coalesce t ~addr:prev.addr ~merged:prev.size ~absorbed;
       acct_ops t 2;
       backward ()
     | Some _ | None -> ()
@@ -381,7 +398,7 @@ let sweep t =
         a.size <- a.size + b.size;
         Hashtbl.replace t.by_end (Block.end_addr a) a;
         insert_free t a;
-        acct_coalesce t a.size;
+        acct_coalesce t ~addr:a.addr ~merged:a.size ~absorbed:b.size;
         go (a :: rest)
       end
       else go (b :: rest)
@@ -526,6 +543,7 @@ let alloc t payload =
   Hashtbl.replace t.req_sizes block.Block.addr payload;
   acct_alloc t ~payload ~gross:block.Block.size
     ~addr:(block.Block.addr + t.header_bytes);
+  (match t.audit with None -> () | Some f -> f t);
   block.Block.addr + t.header_bytes
 
 let free t user_addr =
@@ -552,7 +570,8 @@ let free t user_addr =
         t.frees_since_sweep <- 0;
         sweep t
       end
-    end
+    end;
+    (match t.audit with None -> () | Some f -> f t)
 
 let owns t user_addr =
   match Hashtbl.find_opt t.by_base (user_addr - t.header_bytes) with
@@ -595,6 +614,57 @@ let breakdown t : Metrics.breakdown =
     free_bytes = !free;
     total_held = t.held_bytes;
   }
+
+(* --- introspection (shape linting) ------------------------------------------------ *)
+
+type size_expectation =
+  | Any_size
+  | Exactly of int
+  | Within of { above : int; up_to : int option }
+
+type pool_view = {
+  pool_label : string;
+  expect : size_expectation;
+  fs : Free_structure.t;
+}
+
+(* Expected gross-size interval of range-pool slot [i]: class ceilings when
+   the regime is fixed, synthetic power-of-two buckets otherwise (mirrors
+   [range_index]). *)
+let range_expectation t n i =
+  if Array.length t.classes > 0 then
+    if i >= Array.length t.classes then
+      Within { above = t.classes.(Array.length t.classes - 1); up_to = None }
+    else
+      Within
+        {
+          above = (if i = 0 then 0 else t.classes.(i - 1));
+          up_to = Some t.classes.(i);
+        }
+  else if i >= n - 1 then Within { above = 1 lsl (n - 2); up_to = None }
+  else Within { above = (if i = 0 then 0 else 1 lsl (i - 1)); up_to = Some (1 lsl i) }
+
+let pool_views t =
+  match t.pools with
+  | P_single fs -> [ { pool_label = "single pool"; expect = Any_size; fs } ]
+  | P_by_size tbl ->
+    Hashtbl.fold (fun z fs acc -> (z, fs) :: acc) tbl []
+    |> List.sort (fun (a, _) (b, _) -> compare (a : int) b)
+    |> List.map (fun (z, fs) ->
+           { pool_label = Printf.sprintf "size-%d pool" z; expect = Exactly z; fs })
+  | P_by_range arr ->
+    let n = Array.length arr in
+    Array.to_list
+      (Array.mapi
+         (fun i fs ->
+           {
+             pool_label = Printf.sprintf "range pool %d" i;
+             expect = range_expectation t n i;
+             fs;
+           })
+         arr)
+
+let set_audit t f = t.audit <- f
 
 (* --- invariants ------------------------------------------------------------------ *)
 

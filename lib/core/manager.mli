@@ -70,6 +70,19 @@ val create :
 val vector : t -> Decision_vector.t
 val params : t -> params
 
+type layout = {
+  l_header_bytes : int;  (** payload address = block base + this *)
+  l_footer_bytes : int;
+  l_tag_bytes : int;  (** header + footer *)
+  l_min_block : int;  (** smallest gross block the manager will create *)
+}
+
+val layout : params -> Decision_vector.t -> layout
+(** The block geometry implied by a (params, vector) pair — exactly what
+    {!create} uses internally. Exposed so offline analyses (the
+    [Dmm_check] sanitizer) can map payload addresses back to block bases
+    without instantiating a manager. *)
+
 val alloc : t -> int -> int
 val free : t -> int -> unit
 (** See {!Allocator} for the contract. *)
@@ -98,6 +111,34 @@ val check_invariants : t -> (unit, string) result
 (** Structural self-check used by the test suite: no overlapping blocks,
     registries consistent, free structures in sync with block status,
     adjacency tables correct. *)
+
+(** {2 Shape introspection}
+
+    The free-structure linter ([Dmm_check.Shape]) walks every pool of a
+    live manager; these views expose the pools together with the size
+    constraint each one is supposed to enforce. *)
+
+type size_expectation =
+  | Any_size
+  | Exactly of int  (** per-size pool: every block has this gross size *)
+  | Within of { above : int; up_to : int option }
+      (** range-pool slot: sizes in [(above, up_to]]; [None] = unbounded *)
+
+type pool_view = {
+  pool_label : string;
+  expect : size_expectation;
+  fs : Free_structure.t;
+}
+
+val pool_views : t -> pool_view list
+(** One view per pool, in a deterministic order (per-size pools sorted by
+    size, range slots by index). *)
+
+val set_audit : t -> (t -> unit) option -> unit
+(** Install (or clear) an inline audit hook, called after every completed
+    [alloc] and [free] with the manager itself — the opt-in way to run
+    shape linting while a workload executes. The hook must not call back
+    into [alloc]/[free]. *)
 
 val allocator : t -> Allocator.t
 (** Package as the uniform interface (phase markers are ignored). *)

@@ -98,6 +98,15 @@ let outcomes t designs =
   t.hits <- t.hits + (Array.length designs - Array.length missing);
   Array.map (fun key -> Hashtbl.find t.memo key) keys
 
+let sanitize t (d : Explorer.design) =
+  let probe = Probe.create () in
+  let sink = Dmm_obs.Collect_sink.create ~capacity:(4 * Trace.length t.trace) () in
+  Dmm_obs.Collect_sink.attach probe sink;
+  let (_ : outcome) = timed t (fun () -> replay ~probe t d) in
+  t.replays <- t.replays + 1;
+  let stream = Dmm_check.Stream.of_pairs (Dmm_obs.Collect_sink.to_array sink) in
+  Dmm_check.Sanitizer.run ~design:d stream
+
 let score ?(alpha = 0.0) ?probe t d =
   let o = outcome ?probe t d in
   Explorer.tradeoff_score ~alpha ~footprint:o.footprint ~ops:o.ops

@@ -38,6 +38,13 @@ val outcomes : t -> Dmm_core.Explorer.design array -> outcome array
 (** Memoised batch replay, input-ordered; unique cache misses run through
     {!Pool.map}. *)
 
+val sanitize : t -> Dmm_core.Explorer.design -> Dmm_check.Sanitizer.report
+(** Replay the design live with an in-memory event capture and run the
+    full {!Dmm_check.Sanitizer} (heap invariants plus design conformance)
+    over the recorded stream — the [explore --check] safety net on a
+    winning candidate. Never memoised (the events must exist), but counted
+    in {!replays}/{!replay_seconds}. *)
+
 val score : ?alpha:float -> ?probe:Dmm_obs.Probe.t -> t -> Dmm_core.Explorer.design -> int
 (** [Explorer.tradeoff_score ~alpha] over {!outcome} ([alpha] defaults to
     [0.], the pure footprint objective). *)

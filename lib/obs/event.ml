@@ -1,8 +1,8 @@
 type t =
   | Alloc of { payload : int; gross : int; addr : int }
   | Free of { payload : int; addr : int }
-  | Split of { remainder : int }
-  | Coalesce of { merged : int }
+  | Split of { addr : int; parent : int; taken : int; remainder : int }
+  | Coalesce of { addr : int; merged : int; absorbed : int }
   | Phase of int
   | Sbrk of { bytes : int; brk : int }
   | Trim of { bytes : int; brk : int }
@@ -26,10 +26,13 @@ let to_json ~clock e =
   | Free { payload; addr } ->
     Printf.sprintf "{\"t\":%d,\"ev\":\"free\",\"payload\":%d,\"addr\":%d}" clock payload
       addr
-  | Split { remainder } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"split\",\"remainder\":%d}" clock remainder
-  | Coalesce { merged } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"coalesce\",\"merged\":%d}" clock merged
+  | Split { addr; parent; taken; remainder } ->
+    Printf.sprintf
+      "{\"t\":%d,\"ev\":\"split\",\"addr\":%d,\"parent\":%d,\"taken\":%d,\"remainder\":%d}"
+      clock addr parent taken remainder
+  | Coalesce { addr; merged; absorbed } ->
+    Printf.sprintf "{\"t\":%d,\"ev\":\"coalesce\",\"addr\":%d,\"merged\":%d,\"absorbed\":%d}"
+      clock addr merged absorbed
   | Phase p -> Printf.sprintf "{\"t\":%d,\"ev\":\"phase\",\"id\":%d}" clock p
   | Sbrk { bytes; brk } ->
     Printf.sprintf "{\"t\":%d,\"ev\":\"sbrk\",\"bytes\":%d,\"brk\":%d}" clock bytes brk
@@ -43,8 +46,11 @@ let pp ppf e =
   | Alloc { payload; gross; addr } ->
     Format.fprintf ppf "alloc payload=%d gross=%d addr=%d" payload gross addr
   | Free { payload; addr } -> Format.fprintf ppf "free payload=%d addr=%d" payload addr
-  | Split { remainder } -> Format.fprintf ppf "split remainder=%d" remainder
-  | Coalesce { merged } -> Format.fprintf ppf "coalesce merged=%d" merged
+  | Split { addr; parent; taken; remainder } ->
+    Format.fprintf ppf "split addr=%d parent=%d taken=%d remainder=%d" addr parent taken
+      remainder
+  | Coalesce { addr; merged; absorbed } ->
+    Format.fprintf ppf "coalesce addr=%d merged=%d absorbed=%d" addr merged absorbed
   | Phase p -> Format.fprintf ppf "phase %d" p
   | Sbrk { bytes; brk } -> Format.fprintf ppf "sbrk bytes=%d brk=%d" bytes brk
   | Trim { bytes; brk } -> Format.fprintf ppf "trim bytes=%d brk=%d" bytes brk

@@ -14,11 +14,16 @@ type t =
           and size-class rounding included), payload address [addr]. *)
   | Free of { payload : int; addr : int }
       (** The block at payload address [addr] was released. *)
-  | Split of { remainder : int }
-      (** A block was split; [remainder] bytes went back to a free
-          structure. *)
-  | Coalesce of { merged : int }
-      (** Two adjacent free blocks merged into one of [merged] bytes. *)
+  | Split of { addr : int; parent : int; taken : int; remainder : int }
+      (** The block at base address [addr] of [parent] gross bytes was
+          split: [taken] bytes stay at [addr], the trailing [remainder]
+          bytes (at [addr + taken]) went back to a free structure. The
+          split algebra [taken + remainder = parent] is checkable from the
+          stream alone (tags live inside the gross ranges). *)
+  | Coalesce of { addr : int; merged : int; absorbed : int }
+      (** Two adjacent free blocks merged into one of [merged] gross bytes
+          at base address [addr]; the absorbed neighbour contributed
+          [absorbed] bytes and sat at [addr + merged - absorbed]. *)
   | Phase of int  (** The application crossed a logical-phase boundary. *)
   | Sbrk of { bytes : int; brk : int }
       (** The heap break grew by [bytes] to [brk] — the footprint went

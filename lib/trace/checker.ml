@@ -1,8 +1,7 @@
 module Allocator = Dmm_core.Allocator
+module Diag = Dmm_check.Diag
 
 exception Violation of string
-
-let fail fmt = Format.kasprintf (fun msg -> raise (Violation msg)) fmt
 
 module Int_map = Map.Make (Int)
 
@@ -12,50 +11,67 @@ type state = {
   mutable max_seen : int;
 }
 
-(* Overlap test against the nearest live blocks below and above [addr]. *)
-let check_no_overlap state addr size =
-  (match Int_map.find_last_opt (fun a -> a <= addr) state.live with
-  | Some (a, s) when a + s > addr ->
-    fail "allocated [%d..%d) overlaps live block [%d..%d)" addr (addr + size) a (a + s)
-  | Some _ | None -> ());
-  match Int_map.find_first_opt (fun a -> a > addr) state.live with
-  | Some (a, s) when addr + size > a ->
-    fail "allocated [%d..%d) overlaps live block [%d..%d)" addr (addr + size) a (a + s)
-  | Some _ | None -> ()
-
-let check_footprint state inner =
-  let current = Allocator.current_footprint inner in
-  if current < state.live_bytes then
-    fail "footprint %d below live payload %d" current state.live_bytes;
-  let maximum = Allocator.max_footprint inner in
-  if maximum < state.max_seen then
-    fail "maximum footprint decreased from %d to %d" state.max_seen maximum;
-  if maximum < current then
-    fail "maximum footprint %d below current %d" maximum current;
-  state.max_seen <- maximum
-
-let wrap ?(payload_cap = max_int) inner =
+let wrap ?(payload_cap = max_int) ?(alignment = 4) ?on_diag inner =
+  let report =
+    match on_diag with
+    | Some f -> f
+    | None -> fun d -> raise (Violation (Diag.to_string d))
+  in
+  let fail rule fmt = Format.kasprintf (fun m -> report (Diag.v rule m)) fmt in
   let state = { live = Int_map.empty; live_bytes = 0; max_seen = 0 } in
+  (* Overlap test against the nearest live blocks below and above [addr]. *)
+  let check_no_overlap addr size =
+    (match Int_map.find_last_opt (fun a -> a <= addr) state.live with
+    | Some (a, s) when a + s > addr ->
+      fail "live-overlap" "allocated [%d..%d) overlaps live block [%d..%d)" addr
+        (addr + size) a (a + s)
+    | Some _ | None -> ());
+    match Int_map.find_first_opt (fun a -> a > addr) state.live with
+    | Some (a, s) when addr + size > a ->
+      fail "live-overlap" "allocated [%d..%d) overlaps live block [%d..%d)" addr
+        (addr + size) a (a + s)
+    | Some _ | None -> ()
+  in
+  let check_footprint () =
+    let current = Allocator.current_footprint inner in
+    if current < state.live_bytes then
+      fail "footprint-below-live" "footprint %d below live payload %d" current
+        state.live_bytes;
+    let maximum = Allocator.max_footprint inner in
+    if maximum < state.max_seen then
+      fail "max-footprint-decreased"
+        "maximum footprint decreased from %d to %d (it must stay monotone across \
+         trims)"
+        state.max_seen maximum;
+    if maximum < current then
+      fail "max-footprint-decreased" "maximum footprint %d below current %d" maximum
+        current;
+    state.max_seen <- max state.max_seen maximum
+  in
   let alloc size =
-    if size <= 0 then fail "alloc of non-positive size %d" size;
-    if size > payload_cap then fail "alloc of %d exceeds the payload cap %d" size payload_cap;
+    if size <= 0 then fail "alloc-nonpositive" "alloc of non-positive size %d" size;
+    if size > payload_cap then
+      fail "payload-cap" "alloc of %d exceeds the payload cap %d" size payload_cap;
     let addr = Allocator.alloc inner size in
-    if addr < 0 then fail "negative address %d" addr;
-    if Int_map.mem addr state.live then fail "address %d returned while still live" addr;
-    check_no_overlap state addr size;
+    if addr < 0 then fail "negative-address" "negative address %d" addr;
+    if alignment > 0 && addr mod alignment <> 0 then
+      fail "alignment" "payload address %d is not %d-byte aligned" addr alignment;
+    if Int_map.mem addr state.live then
+      fail "live-overlap" "address %d returned while still live" addr;
+    check_no_overlap addr size;
     state.live <- Int_map.add addr size state.live;
     state.live_bytes <- state.live_bytes + size;
-    check_footprint state inner;
+    check_footprint ();
     addr
   in
   let free addr =
     match Int_map.find_opt addr state.live with
-    | None -> fail "free of address %d, which is not live" addr
+    | None -> fail "invalid-free" "free of address %d, which is not live" addr
     | Some size ->
       Allocator.free inner addr;
       state.live <- Int_map.remove addr state.live;
       state.live_bytes <- state.live_bytes - size;
-      check_footprint state inner
+      check_footprint ()
   in
   {
     inner with

@@ -5,15 +5,30 @@
 
     - payload ranges of live blocks never overlap;
     - an address is freed at most once, and only if live;
+    - payload addresses respect the platform alignment;
     - the footprint never drops below the live payload;
-    - the maximum footprint never decreases.
+    - the maximum footprint never decreases (monotone across trims).
 
-    Violations raise {!Violation} with a description. Use it as an oracle
-    when developing new managers, e.g.
+    Findings are reported as {!Dmm_check.Diag.t} under the same rule ids
+    the offline sanitizer uses ([live-overlap], [invalid-free],
+    [footprint-below-live], …), so [dmm check] in manager mode and this
+    wrapper describe the same defect identically. By default the first
+    finding raises {!Violation} with the rendered diagnostic — the original
+    oracle behaviour — e.g.
     [Replay.run trace (Checker.wrap (My_manager.allocator m))]. *)
 
 exception Violation of string
 
-val wrap : ?payload_cap:int -> Dmm_core.Allocator.t -> Dmm_core.Allocator.t
+val wrap :
+  ?payload_cap:int ->
+  ?alignment:int ->
+  ?on_diag:(Dmm_check.Diag.t -> unit) ->
+  Dmm_core.Allocator.t ->
+  Dmm_core.Allocator.t
 (** [payload_cap] (default unlimited) additionally rejects single requests
-    above the given size, for catching runaway workloads. *)
+    above the given size, for catching runaway workloads. [alignment]
+    (default 4, the tag-word size every shipped manager aligns to; 0
+    disables) checks returned payload addresses. [on_diag] replaces the
+    raising default with a collector — note the wrapped allocator then
+    keeps running past the finding, so later findings may be knock-on
+    effects of the first. *)

@@ -9,7 +9,10 @@
 #      probe attached (--probe rebuilds every cell from event sinks);
 #   3. a `dmm trace --jsonl` export must be well-formed and its sbrk/trim
 #      deltas must reconstruct exactly the peak footprint `dmm replay`
-#      reports for the same (trace, manager).
+#      reports for the same (trace, manager);
+#   4. the heap sanitizer (`dmm check --strict`) must find zero diagnostics
+#      in that export, and a live custom-design replay must pass both the
+#      invariant and design-conformance passes clean.
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -78,5 +81,21 @@ if [ "$jsonl_peak" = "$replay_peak" ]; then
   echo "bench_smoke: PASS (JSONL well-formed; reconstructed peak $jsonl_peak B = replay peak)"
 else
   echo "bench_smoke: FAIL (JSONL peak $jsonl_peak B != replay peak $replay_peak B)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: sanitizing the JSONL export and a custom-design replay..."
+if "$dmm" check --jsonl "$tmpdir/drr.jsonl" --strict > "$tmpdir/check_jsonl.out"; then
+  echo "bench_smoke: PASS (offline sanitizer clean: $(head -n 1 "$tmpdir/check_jsonl.out"))"
+else
+  echo "bench_smoke: FAIL (sanitizer flagged the JSONL export)" >&2
+  cat "$tmpdir/check_jsonl.out" >&2
+  exit 1
+fi
+if "$dmm" check -w drr --quick --seed 1 -m custom --strict > "$tmpdir/check_custom.out"; then
+  echo "bench_smoke: PASS (custom design conformance clean: $(head -n 1 "$tmpdir/check_custom.out"))"
+else
+  echo "bench_smoke: FAIL (custom design failed the sanitizer)" >&2
+  cat "$tmpdir/check_custom.out" >&2
   exit 1
 fi

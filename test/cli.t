@@ -75,6 +75,47 @@ The Figure 4 traversal-order ablation:
     paper order (A2->A5->E2->D2->...)       581632 B
     figure-4 wrong order (A3 first)         768560 B
 
+The heap sanitizer: replay a workload against a manager and check the
+recorded event stream offline. For the atomic custom design the design
+vector is known, so conformance checking rides along with the heap
+invariants:
+
+  $ dmm check -w drr --quick --seed 1 -m custom --strict
+  283198 events, 0 diagnostics (invariants + design conformance)
+  clean
+  $ dmm check -w drr --quick --seed 1 -m lea --strict
+  1117828 events, 0 diagnostics (invariants)
+  clean
+
+The same passes run over a `trace --jsonl` export without re-running the
+workload; a tampered file (one event deleted) is refused as an
+incomplete stream rather than analysed into phantom findings:
+
+  $ dmm check --jsonl drr.jsonl --strict
+  103850 events, 0 diagnostics (invariants)
+  clean
+  $ sed '5000d' drr.jsonl > tampered.jsonl
+  $ dmm check --jsonl tampered.jsonl --strict
+  error[incomplete-stream] event 5000:
+    event clock 5000 found at position 4999: the stream is not a gap-free record (events lost, duplicated or reordered); heap invariant and conformance passes skipped to avoid phantom findings
+  103849 events, 1 diagnostics (invariants)
+  [1]
+  $ dmm check --jsonl missing.jsonl
+  dmm check: missing.jsonl: No such file or directory
+  [2]
+  $ dmm check
+  dmm check: pass --jsonl FILE or a workload (-w)
+  [2]
+
+The exploration safety net sanitizes every winning design, and the rule
+base lints its own consistency:
+
+  $ dmm explore -w drr --quick --seed 1 --check 2>&1 | tail -2
+  == sanitizer (winning designs) ==
+    default            clean (283198 events)
+  $ dmm space --check | tail -1
+  rule base self-check: OK (14 rules, 16 dependency edges)
+
 Bad input is reported, not crashed on:
 
   $ dmm profile -w nonsense --quick 2>&1 | head -2

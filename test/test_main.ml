@@ -33,6 +33,7 @@ let () =
       Test_render.tests;
       Test_breakdown.tests;
       Test_checker.tests;
+      Test_sanitizer.tests;
       Test_phase_detect.tests;
       Test_energy.tests;
       Test_experiments.tests;
