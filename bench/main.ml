@@ -3,6 +3,8 @@
 
    Sections:
      EXP-T1   Table 1  - maximum memory footprint per workload and manager
+     EXP-TELEM Telemetry overhead - the DRR/Lea replay under no probe,
+              null sink, metrics sink, registry sink and stream analytics
      EXP-CHECK Heap sanitizer - invariant + conformance pass over the
               recorded DRR event streams (quick scale, deterministic)
      EXP-F5   Figure 5 - DM footprint over time, Lea vs custom, DRR
@@ -135,6 +137,92 @@ let obs_section tables =
   Printf.printf "[time] EXP-OBS   %.2fs
 %!" obs_seconds;
   { obs_seconds; obs_identical; obs_events }
+
+(* ------------------------------------------------------------------ *)
+(* EXP-TELEM: telemetry overhead on the event hot path                 *)
+
+type telem_report = {
+  telem_events : int;
+  telem_no_probe : float;
+  telem_null : float;
+  telem_metrics : float;
+  telem_registry : float;
+  telem_analytics : float;
+  telem_registry_overhead_pct : float;
+}
+
+(* The same DRR replay under Lea with progressively heavier observers:
+   nothing, a null sink (probe dispatch alone), the bare mutable-field
+   metrics sink, the atomic registry sink, and the full stream-analytics
+   pair (histograms + fragmentation series). The interesting number is
+   the registry's premium over the bare sink — the price of Domain-safe
+   shared cells — which the acceptance bar caps at 10%. *)
+let telem_section () =
+  section "EXP-TELEM: telemetry overhead on the event hot path (DRR under Lea)";
+  let trace = Experiments.drr_trace_seed 42 in
+  (* Best-of-N even in quick mode: each observed replay is ~0.05 s, and a
+     single rep is noisy enough to swamp the <=10% overhead bar. *)
+  let reps = if quick then 3 else 5 in
+  let best f =
+    let rec go i acc =
+      if i = 0 then acc
+      else begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        go (i - 1) (Float.min acc (Unix.gettimeofday () -. t0))
+      end
+    in
+    go reps infinity
+  in
+  let no_probe = best (fun () -> Replay.run trace (Scenario.lea ())) in
+  let with_probe attach =
+    let events = ref 0 in
+    let dt =
+      best (fun () ->
+          let probe = Probe.create () in
+          attach probe;
+          Replay.run ~probe trace (Scenario.lea ~probe ());
+          events := Probe.clock probe)
+    in
+    (dt, !events)
+  in
+  let null_s, events =
+    with_probe (fun probe -> Probe.attach probe (fun _ _ -> ()))
+  in
+  let metrics_s, _ =
+    with_probe (fun probe ->
+        Dmm_obs.Metrics_sink.attach probe (Dmm_obs.Metrics_sink.create ()))
+  in
+  let registry_s, _ =
+    with_probe (fun probe ->
+        let reg = Dmm_obs.Registry.create () in
+        Dmm_obs.Registry_sink.attach probe (Dmm_obs.Registry_sink.create reg))
+  in
+  let analytics_s, _ =
+    with_probe (fun probe ->
+        Dmm_obs.Hist_sink.attach probe (Dmm_obs.Hist_sink.create ());
+        Dmm_obs.Frag_sink.attach probe (Dmm_obs.Frag_sink.create ()))
+  in
+  let rate dt = float_of_int events /. Float.max 1e-9 dt /. 1e6 in
+  let overhead = (registry_s -. metrics_s) /. Float.max 1e-9 metrics_s *. 100. in
+  Printf.printf "  events per observed replay: %d\n" events;
+  Printf.printf "[time]   no probe        %.3fs\n" no_probe;
+  Printf.printf "[time]   null sink       %.3fs  (%.1f Mev/s)\n" null_s (rate null_s);
+  Printf.printf "[time]   metrics sink    %.3fs  (%.1f Mev/s)\n" metrics_s
+    (rate metrics_s);
+  Printf.printf "[time]   registry sink   %.3fs  (%.1f Mev/s)  overhead vs metrics %+.1f%%\n"
+    registry_s (rate registry_s) overhead;
+  Printf.printf "[time]   hist+frag sinks %.3fs  (%.1f Mev/s)\n%!" analytics_s
+    (rate analytics_s);
+  {
+    telem_events = events;
+    telem_no_probe = no_probe;
+    telem_null = null_s;
+    telem_metrics = metrics_s;
+    telem_registry = registry_s;
+    telem_analytics = analytics_s;
+    telem_registry_overhead_pct = overhead;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* EXP-CHECK: heap sanitizer over the replayed event streams           *)
@@ -459,7 +547,8 @@ let json_escape s =
     s;
   Buffer.contents b
 
-let write_results ~(timing : t1_timing) ~(obs : obs_report) tables =
+let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_report)
+    tables =
   let oc = open_out "BENCH_results.json" in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
@@ -478,6 +567,15 @@ let write_results ~(timing : t1_timing) ~(obs : obs_report) tables =
   p "    \"seconds\": %.6f,\n" obs.obs_seconds;
   p "    \"identical\": %b,\n" obs.obs_identical;
   p "    \"drr_lea_events\": %d\n" obs.obs_events;
+  p "  },\n";
+  p "  \"telem\": {\n";
+  p "    \"events\": %d,\n" telem.telem_events;
+  p "    \"no_probe_seconds\": %.6f,\n" telem.telem_no_probe;
+  p "    \"null_sink_seconds\": %.6f,\n" telem.telem_null;
+  p "    \"metrics_sink_seconds\": %.6f,\n" telem.telem_metrics;
+  p "    \"registry_sink_seconds\": %.6f,\n" telem.telem_registry;
+  p "    \"hist_frag_seconds\": %.6f,\n" telem.telem_analytics;
+  p "    \"registry_overhead_pct\": %.2f\n" telem.telem_registry_overhead_pct;
   p "  },\n";
   p "  \"sections\": [\n";
   let times = List.rev !section_times in
@@ -512,6 +610,7 @@ let () =
   if quick then Experiments.paper_scale := false;
   let tables, timing = table1 () in
   let obs = obs_section tables in
+  let telem = timed "EXP-TELEM" telem_section in
   timed "EXP-CHECK" check_section;
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
@@ -523,6 +622,6 @@ let () =
   timed "EXP-MICRO" micro;
   timed "EXP-PERF" (fun () -> ops_summary tables);
   if not skip_wall then bechamel_tests ();
-  write_results ~timing ~obs tables;
+  write_results ~timing ~obs ~telem tables;
   Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
     parallel_jobs timing.speedup

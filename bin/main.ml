@@ -21,6 +21,13 @@ module Collect_sink = Dmm_obs.Collect_sink
 module Diag = Dmm_check.Diag
 module Stream = Dmm_check.Stream
 module Sanitizer = Dmm_check.Sanitizer
+module Registry = Dmm_obs.Registry
+module Log_hist = Dmm_obs.Log_hist
+module Hist_sink = Dmm_obs.Hist_sink
+module Frag_sink = Dmm_obs.Frag_sink
+module Class_sink = Dmm_obs.Class_sink
+module Metrics_sink = Dmm_obs.Metrics_sink
+module Registry_sink = Dmm_obs.Registry_sink
 
 open Cmdliner
 
@@ -148,8 +155,25 @@ let jobs_arg =
            machine's recommended count; 1 = sequential). Results are identical \
            whatever the worker count.")
 
+(* Histogram values are wall-clock measurements, so those lines carry the
+   same "[time]" prefix the benchmark runner uses: strip them (or pin the
+   job count) and the remaining registry lines are byte-for-byte
+   reproducible for a fixed grid, whatever DMM_JOBS says. *)
+let print_registry reg =
+  List.iter
+    (function
+      | Registry.Counter_view (name, v) | Registry.Gauge_view (name, v) ->
+        Format.printf "%s %d@." name v
+      | Registry.Histogram_view (name, h) ->
+        Format.printf "[time] %s count=%d sum=%d p50=%d p99=%d max=%d@." name
+          (Registry.hist_count h) (Registry.hist_sum h)
+          (Registry.hist_percentile h 0.5)
+          (Registry.hist_percentile h 0.99)
+          (Registry.hist_max h))
+    (Registry.view reg)
+
 let explore_cmd =
-  let run workload quick seed detect jobs check =
+  let run workload quick seed detect jobs check telemetry =
     if jobs < 0 then begin
       Printf.eprintf "dmm: --jobs must be non-negative\n";
       exit 124
@@ -162,6 +186,9 @@ let explore_cmd =
         Printf.eprintf "dmm: %s\n" msg;
         exit 124
     end;
+    (* Zero the engine self-metrics so the printout covers this run only
+       (module initialisation may predate us; handles stay valid). *)
+    if telemetry then Registry.reset Registry.global;
     let trace = trace_for ~quick ~seed workload in
     Format.printf "profiling and exploring (%d events)...@." (Trace.length trace);
     let spec = Scenario.global_design_for ~detect_phases:detect trace in
@@ -198,6 +225,10 @@ let explore_cmd =
         :: List.map
              (fun (phase, d) -> (Printf.sprintf "phase %d" phase, d))
              spec.overrides)
+    end;
+    if telemetry then begin
+      Format.printf "@.== engine telemetry ==@.";
+      print_registry Registry.global
     end
   in
   let detect =
@@ -213,10 +244,17 @@ let explore_cmd =
           ~doc:
             "Replay every winning design with an event probe attached and run the heap              sanitizer (invariants + design conformance) over the recorded stream.              Exits non-zero on any diagnostic.")
   in
+  let telemetry =
+    Arg.(
+      value & flag
+      & info [ "telemetry" ]
+          ~doc:
+            "Print the engine self-metrics registry (simulator memo hits/misses,              explorer candidate counts, pool scheduling) after the run. Counter lines              are deterministic for a fixed grid; wall-clock histogram lines carry a              [time] prefix.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Run the full methodology on a workload and print the derived custom manager.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check)
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check $ telemetry)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -593,6 +631,205 @@ let check_cmd =
          "Heap sanitizer: verify allocator invariants and design conformance over a          recorded allocation-event stream, offline or against a live replay.")
     Term.(const run $ jsonl $ workload $ quick_arg $ seed_arg $ manager $ strict)
 
+(* ------------------------------------------------------------------ *)
+(* report                                                              *)
+
+let report_cmd =
+  let run jsonl workload quick seed manager prom json_out =
+    let registry = Registry.create () in
+    let hist = Hist_sink.create () in
+    let frag = Frag_sink.create () in
+    let cls = Class_sink.create () in
+    let met = Metrics_sink.create () in
+    let reg_sink = Registry_sink.create registry in
+    let feed clock ev =
+      Hist_sink.on_event hist clock ev;
+      Frag_sink.on_event frag clock ev;
+      Class_sink.on_event cls clock ev;
+      Metrics_sink.on_event met clock ev;
+      Registry_sink.on_event reg_sink clock ev
+    in
+    let events, source =
+      match (jsonl, workload) with
+      | Some path, _ -> (
+        match Stream.load_jsonl path with
+        | Error msg ->
+          prerr_endline ("dmm report: " ^ msg);
+          exit 2
+        | Ok stream ->
+          Array.iter (fun (e : Stream.entry) -> feed e.Stream.clock e.Stream.event) stream;
+          (Stream.length stream, path))
+      | None, None ->
+        prerr_endline "dmm report: pass --jsonl FILE or a workload (-w)";
+        exit 2
+      | None, Some w ->
+        let trace = trace_for ~quick ~seed w in
+        let probe = Probe.create () in
+        let counted = ref 0 in
+        Probe.attach probe (fun clock ev ->
+            incr counted;
+            feed clock ev);
+        Replay.run ~probe trace (maker_for manager trace ~probe ());
+        let wname =
+          match w with Drr -> "drr" | Reconstruct -> "reconstruct" | Render -> "render"
+        in
+        let mname = Format.asprintf "%a" (Arg.conv_printer manager_conv) manager in
+        (!counted, Printf.sprintf "%s/%s live replay" wname mname)
+    in
+    (* Publish the buffered counter deltas and the aggregated size
+       distributions before the registry is read or exported. *)
+    Registry_sink.flush reg_sink;
+    Registry.merge_log_hist
+      (Registry.histogram ~help:"Requested payload sizes" registry
+         "dmm_request_size_bytes")
+      (Hist_sink.request hist);
+    Registry.merge_log_hist
+      (Registry.histogram ~help:"Gross block sizes" registry "dmm_gross_size_bytes")
+      (Hist_sink.gross hist);
+    Registry.merge_log_hist
+      (Registry.histogram ~help:"Free-list steps per fit scan" registry
+         "dmm_fit_scan_steps")
+      (Hist_sink.fit_steps hist);
+    let counter name = Registry.value (Registry.counter registry name) in
+    let s = Metrics_sink.snapshot met in
+    Format.printf "report: %s (%d events)@.@." source events;
+    Format.printf "== events ==@.";
+    Format.printf "  allocs    %-9d frees     %d@." s.Metrics_sink.allocs
+      s.Metrics_sink.frees;
+    Format.printf "  splits    %-9d coalesces %d@." s.Metrics_sink.splits
+      s.Metrics_sink.coalesces;
+    Format.printf "  sbrks     %-9d trims     %d@." (counter "dmm_sbrks_total")
+      (counter "dmm_trims_total");
+    Format.printf "  fit scans %-9d steps     %d@.@." (counter "dmm_fit_scans_total")
+      s.Metrics_sink.ops;
+    Format.printf "== size distributions ==@.";
+    Format.printf "  request bytes   %a@." Log_hist.pp (Hist_sink.request hist);
+    Format.printf "  gross bytes     %a@." Log_hist.pp (Hist_sink.gross hist);
+    Format.printf "  fit-scan steps  %a@.@." Log_hist.pp (Hist_sink.fit_steps hist);
+    Format.printf "== fragmentation (Section 4.1 factors) ==@.";
+    Format.printf "  peak footprint  %d B@." (Frag_sink.peak_footprint frag);
+    Format.printf "  final           %a@." Frag_sink.pp_point (Frag_sink.current frag);
+    let pts = Array.of_list (Frag_sink.points frag) in
+    let n = Array.length pts in
+    Format.printf "  series          %d retained points (stride %d)@." n
+      (Frag_sink.stride frag);
+    let shown = min n 10 in
+    for i = 0 to shown - 1 do
+      (* Evenly spaced over the retained series, always ending on the
+         latest point. *)
+      let j = if shown = 1 then n - 1 else i * (n - 1) / (shown - 1) in
+      Format.printf "    %a@." Frag_sink.pp_point pts.(j)
+    done;
+    Format.printf "@.== size classes ==@.";
+    let rows = Class_sink.rows cls in
+    let max_peak =
+      List.fold_left (fun m r -> max m r.Class_sink.peak_live_bytes) 1 rows
+    in
+    List.iter
+      (fun (r : Class_sink.row) ->
+        let bar = r.Class_sink.peak_live_bytes * 24 / max_peak in
+        let bar = if r.Class_sink.peak_live_bytes > 0 then max 1 bar else 0 in
+        Format.printf "  <=%-8d allocs=%-8d frees=%-8d peak=%-9dB |%-24s|@."
+          r.Class_sink.size_class r.Class_sink.allocs r.Class_sink.frees
+          r.Class_sink.peak_live_bytes (String.make bar '#'))
+      rows;
+    (match prom with
+    | None -> ()
+    | Some path ->
+      let oc = open_out path in
+      output_string oc (Registry.to_prometheus registry);
+      close_out oc;
+      Format.printf "@.wrote %s@." path);
+    match json_out with
+    | None -> ()
+    | Some path ->
+      let b = Buffer.create 4096 in
+      let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      let hist_json h =
+        Printf.sprintf
+          {|{"count":%d,"min":%d,"p50":%d,"p90":%d,"p99":%d,"max":%d,"mean":%.2f}|}
+          (Log_hist.count h) (Log_hist.min_value h)
+          (Log_hist.percentile h 0.5) (Log_hist.percentile h 0.9)
+          (Log_hist.percentile h 0.99) (Log_hist.max_value h) (Log_hist.mean h)
+      in
+      bpf "{\n  \"source\": %S,\n  \"events\": %d,\n" source events;
+      bpf
+        "  \"counts\": {\"allocs\": %d, \"frees\": %d, \"splits\": %d, \"coalesces\": \
+         %d, \"sbrks\": %d, \"trims\": %d, \"fit_scans\": %d},\n"
+        s.Metrics_sink.allocs s.Metrics_sink.frees s.Metrics_sink.splits
+        s.Metrics_sink.coalesces (counter "dmm_sbrks_total") (counter "dmm_trims_total")
+        (counter "dmm_fit_scans_total");
+      bpf "  \"request_bytes\": %s,\n" (hist_json (Hist_sink.request hist));
+      bpf "  \"gross_bytes\": %s,\n" (hist_json (Hist_sink.gross hist));
+      bpf "  \"fit_scan_steps\": %s,\n" (hist_json (Hist_sink.fit_steps hist));
+      let point_json (p : Frag_sink.point) =
+        Printf.sprintf
+          {|{"clock":%d,"live_payload":%d,"tag_overhead":%d,"internal_padding":%d,"free_bytes":%d,"footprint":%d}|}
+          p.Frag_sink.clock p.Frag_sink.live_payload p.Frag_sink.tag_overhead
+          p.Frag_sink.internal_padding p.Frag_sink.free_bytes p.Frag_sink.footprint
+      in
+      bpf "  \"fragmentation\": {\"peak_footprint\": %d, \"final\": %s, \"points\": [\n"
+        (Frag_sink.peak_footprint frag)
+        (point_json (Frag_sink.current frag));
+      Array.iteri
+        (fun i p -> bpf "    %s%s\n" (point_json p) (if i = n - 1 then "" else ","))
+        pts;
+      bpf "  ]},\n  \"size_classes\": [\n";
+      List.iteri
+        (fun i (r : Class_sink.row) ->
+          bpf
+            "    {\"class\": %d, \"allocs\": %d, \"frees\": %d, \"alloc_bytes\": %d, \
+             \"freed_bytes\": %d, \"live_bytes\": %d, \"peak_live_bytes\": %d}%s\n"
+            r.Class_sink.size_class r.Class_sink.allocs r.Class_sink.frees
+            r.Class_sink.alloc_bytes r.Class_sink.freed_bytes r.Class_sink.live_bytes
+            r.Class_sink.peak_live_bytes
+            (if i = List.length rows - 1 then "" else ","))
+        rows;
+      bpf "  ]\n}\n";
+      let oc = open_out path in
+      Buffer.output_buffer oc b;
+      close_out oc;
+      Format.printf "@.wrote %s@." path
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Analyse a recorded event stream ($(b,dmm trace --jsonl) export) offline.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Record this workload (drr, reconstruct or render), replay it against              $(b,--manager) with the analytics sinks attached and report on the live              stream.")
+  in
+  let manager =
+    manager_arg ~default:`Lea
+      ~doc:"Manager replayed in workload mode: kingsley, lea, regions, obstacks or custom."
+  in
+  let prom =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "prom" ] ~docv:"FILE"
+          ~doc:"Write the stream metrics as Prometheus text exposition to $(docv).")
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full report (counts, percentiles, fragmentation series, size              classes) as JSON to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Stream analytics over an allocation-event stream: size percentiles,          fragmentation factors over time and per-size-class attribution, offline          ($(b,--jsonl)) or from a live replay ($(b,-w)).")
+    Term.(const run $ jsonl $ workload $ quick_arg $ seed_arg $ manager $ prom $ json_out)
+
 let () =
   let doc = "Custom dynamic-memory manager design methodology (DATE 2004 reproduction)" in
   let info = Cmd.info "dmm" ~version:"1.0.0" ~doc in
@@ -612,4 +849,5 @@ let () =
             trace_cmd;
             replay_cmd;
             check_cmd;
+            report_cmd;
           ]))

@@ -86,7 +86,8 @@ let alloc t payload =
   Hashtbl.replace t.req_sizes addr payload;
   Metrics.on_alloc t.metrics ~payload;
   if Probe.enabled t.probe then
-    Probe.emit t.probe (Obs_event.Alloc { payload; gross = cls; addr });
+    Probe.emit t.probe
+      (Obs_event.Alloc { payload; gross = cls; tag = t.config.header_bytes; addr });
   addr
 
 let free t addr =

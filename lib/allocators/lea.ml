@@ -185,6 +185,7 @@ let alloc t payload =
          {
            payload;
            gross = block.Block.size;
+           tag = t.config.header_bytes;
            addr = block.Block.addr + t.config.header_bytes;
          });
   block.Block.addr + t.config.header_bytes

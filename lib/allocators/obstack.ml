@@ -119,7 +119,7 @@ let alloc t payload =
   Hashtbl.replace t.by_addr addr o;
   Metrics.on_alloc t.metrics ~payload;
   if Probe.enabled t.probe then
-    Probe.emit t.probe (Obs_event.Alloc { payload; gross; addr });
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross; tag = 0; addr });
   addr
 
 (* Pop every dead object from the top of the stack, releasing chunks that

@@ -106,7 +106,7 @@ let region_alloc_payload t r payload =
   Hashtbl.replace t.owner addr r;
   Metrics.on_alloc t.metrics ~payload;
   if Probe.enabled t.probe then
-    Probe.emit t.probe (Obs_event.Alloc { payload; gross = r.slot; addr });
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross = r.slot; tag = 0; addr });
   addr
 
 let region_free_internal t r addr =

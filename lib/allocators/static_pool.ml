@@ -82,7 +82,7 @@ let overflow_alloc t payload =
   Hashtbl.replace t.live addr (0, payload);
   acct_ops t 4;
   if Probe.enabled t.probe then
-    Probe.emit t.probe (Obs_event.Alloc { payload; gross; addr });
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross; tag = 0; addr });
   addr
 
 let alloc t payload =
@@ -98,7 +98,7 @@ let alloc t payload =
       pool.free_slots <- rest;
       Hashtbl.replace t.live addr (slot, payload);
       if Probe.enabled t.probe then
-        Probe.emit t.probe (Obs_event.Alloc { payload; gross = slot; addr });
+        Probe.emit t.probe (Obs_event.Alloc { payload; gross = slot; tag = 0; addr });
       addr
     | [] -> overflow_alloc t payload)
 

@@ -26,13 +26,19 @@ let invariants (s : Stream.t) =
   Array.iter
     (fun { Stream.clock = i; event } ->
       match event with
-      | Event.Alloc { payload; gross; addr } ->
+      | Event.Alloc { payload; gross; tag; addr } ->
         if payload <= 0 then
           add (Diag.vf ~index:i "alloc-nonpositive" "allocation of %d payload bytes" payload);
         if gross < payload then
           add
             (Diag.vf ~index:i "gross-below-payload"
                "gross block size %d cannot hold the %d-byte payload" gross payload);
+        if tag < 0 || tag + payload > gross then
+          add
+            (Diag.vf ~index:i "tag-overflow"
+               "%d tag bytes plus the %d-byte payload do not fit the %d-byte gross \
+                block"
+               tag payload gross);
         if addr < 0 then
           add (Diag.vf ~index:i "negative-address" "payload address %d is negative" addr);
         (match Int_map.find_opt addr !live with
@@ -300,7 +306,7 @@ let conformance (design : Explorer.design) (s : Stream.t) =
                    addr addr survivor other absorbed);
             free := Int_map.add addr merged (Int_map.remove other !free)
           end
-        | Event.Alloc { payload; gross; addr } ->
+        | Event.Alloc { payload; gross; tag = etag; addr } ->
           let base = addr - header in
           if alignment > 0 && base mod alignment <> 0 then
             add
@@ -308,6 +314,13 @@ let conformance (design : Explorer.design) (s : Stream.t) =
                  "block base %d (payload address %d minus the %d-byte header) is not \
                   %d-byte aligned"
                  base addr header alignment);
+          (* tag = 0 also parses out of pre-tag recordings, so only a
+             positive claim can contradict the layout. *)
+          if etag <> 0 && etag <> tag then
+            add
+              (Diag.vf ~index:i "a3-tag-bytes"
+                 "allocation carries %d tag bytes but the A3/A4 layout dictates %d"
+                 etag tag);
           if gross < min_block then
             add
               (Diag.vf ~index:i "min-block"

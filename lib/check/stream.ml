@@ -44,10 +44,20 @@ let parse_line line =
     | Some v -> v
     | None -> fail "field %S is not an integer" k
   in
+  (* [tag] is absent from streams recorded before the tag field existed;
+     treat those allocations as tag-free rather than refusing the file. *)
+  let int_default k d =
+    match List.assoc_opt k fields with
+    | None -> d
+    | Some _ -> int k
+  in
   let clock = int "t" in
   let event =
     match str "ev" with
-    | "alloc" -> Event.Alloc { payload = int "payload"; gross = int "gross"; addr = int "addr" }
+    | "alloc" ->
+      Event.Alloc
+        { payload = int "payload"; gross = int "gross"; tag = int_default "tag" 0;
+          addr = int "addr" }
     | "free" -> Event.Free { payload = int "payload"; addr = int "addr" }
     | "split" ->
       Event.Split
@@ -78,7 +88,10 @@ let of_jsonl_string s =
 let load_jsonl path =
   match In_channel.with_open_text path In_channel.input_all with
   | exception Sys_error m -> Error m
-  | contents -> of_jsonl_string contents
+  | contents -> (
+    match of_jsonl_string contents with
+    | Ok _ as ok -> ok
+    | Error msg -> Error (Printf.sprintf "%s: %s" path msg))
 
 (* --- stream integrity ------------------------------------------------------
    The probe's logical clock ticks exactly once per emitted event, so a

@@ -3,6 +3,27 @@ module Size = Dmm_util.Size
 
 type design = { vector : Decision_vector.t; params : Manager.params }
 
+(* Self-metrics. All four are bumped on the calling (parent) domain only,
+   so their values are deterministic for a fixed grid whatever DMM_JOBS
+   says. *)
+module Reg = Dmm_obs.Registry
+
+let m_generated =
+  Reg.counter ~help:"Candidate designs generated (before dedupe)" Reg.global
+    "dmm_explorer_candidates_generated_total"
+
+let m_pruned =
+  Reg.counter ~help:"Candidates dropped as duplicates or constraint-invalid"
+    Reg.global "dmm_explorer_candidates_pruned_total"
+
+let m_scored =
+  Reg.counter ~help:"Designs handed to score_all for simulation" Reg.global
+    "dmm_explorer_designs_scored_total"
+
+let m_fallbacks =
+  Reg.counter ~help:"first_legal walks where no preferred leaf was legal"
+    Reg.global "dmm_explorer_first_legal_fallbacks_total"
+
 let pp_params ppf (p : Manager.params) =
   Format.fprintf ppf
     "word=%d align=%d chunk=%d trim=%b/%d classes=[%a] fixed=%d defer=%d max_coalesced=%s"
@@ -55,7 +76,9 @@ let first_legal tree prefs legal =
       (Printf.sprintf "Explorer.first_legal: no legal leaves for tree %s"
          (tree_name tree));
   let rec go = function
-    | [] -> List.hd legal
+    | [] ->
+      Reg.incr m_fallbacks;
+      List.hd legal
     | p :: rest -> if List.exists (equal_leaf p) legal then p else go rest
   in
   go prefs
@@ -193,7 +216,11 @@ let candidates s base =
   in
   (* The chunk grid can collide with [base] (chunk0 = 2048 or 4096) and
      with itself; keep the first occurrence so [base] stays the head. *)
-  dedupe_designs (base :: (param_variants @ leaf_variants @ fixed_variant))
+  let raw = base :: (param_variants @ leaf_variants @ fixed_variant) in
+  let kept = dedupe_designs raw in
+  Reg.add m_generated (List.length raw);
+  Reg.add m_pruned (List.length raw - List.length kept);
+  kept
 
 let tradeoff_score ~alpha ~footprint ~ops =
   if alpha < 0.0 then invalid_arg "Explorer.tradeoff_score: negative alpha";
@@ -206,6 +233,7 @@ let refine_batch ~score_all = function
   | [] -> invalid_arg "Explorer.refine: no candidates"
   | candidates ->
     let cands = Array.of_list candidates in
+    Reg.add m_scored (Array.length cands);
     let scores = score_all cands in
     if Array.length scores <> Array.length cands then
       invalid_arg "Explorer.refine_batch: score_all changed the candidate count";

@@ -83,7 +83,7 @@ let acct_ops t n =
 let acct_alloc t ~payload ~gross ~addr =
   Metrics.on_alloc t.metrics ~payload;
   if Probe.enabled t.probe then
-    Probe.emit t.probe (Obs_event.Alloc { payload; gross; addr })
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross; tag = t.tag_bytes; addr })
 
 let acct_free t ~payload ~addr =
   Metrics.on_free t.metrics ~payload;

@@ -1,3 +1,28 @@
+(* Self-metrics. Task totals are deterministic (one per mapped item); the
+   sequential/parallel split and domain counts depend on the configured
+   job count, and the wait histogram on scheduling — reporting layers
+   treat everything under dmm_pool_* as machine-dependent. *)
+module Reg = Dmm_obs.Registry
+
+let m_seq_maps =
+  Reg.counter ~help:"map calls that took the sequential path" Reg.global
+    "dmm_pool_sequential_maps_total"
+
+let m_par_maps =
+  Reg.counter ~help:"map calls that fanned out to worker domains" Reg.global
+    "dmm_pool_parallel_maps_total"
+
+let m_tasks =
+  Reg.counter ~help:"Items mapped (both paths)" Reg.global "dmm_pool_tasks_total"
+
+let m_domains =
+  Reg.counter ~help:"Worker domains spawned" Reg.global
+    "dmm_pool_domains_spawned_total"
+
+let m_wait_us =
+  Reg.histogram ~help:"Delay between map start and task pickup" Reg.global
+    "dmm_pool_task_wait_microseconds"
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 1 -> n
@@ -45,8 +70,15 @@ let sequential_map input f =
 let map input f =
   let n = Array.length input in
   let workers = min (jobs ()) n in
-  if workers <= 1 || Domain.DLS.get inside_worker then sequential_map input f
+  Reg.add m_tasks n;
+  if workers <= 1 || Domain.DLS.get inside_worker then begin
+    Reg.incr m_seq_maps;
+    sequential_map input f
+  end
   else begin
+    Reg.incr m_par_maps;
+    Reg.add m_domains (workers - 1);
+    let started = Unix.gettimeofday () in
     (* Each slot is written by exactly one domain (indices are handed out
        through [next]), and the joins publish the writes. *)
     let slots = Array.make n None in
@@ -59,6 +91,8 @@ let map input f =
           let rec go () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
+              Reg.observe m_wait_us
+                (int_of_float (1e6 *. (Unix.gettimeofday () -. started)));
               slots.(i) <-
                 Some
                   (match f input.(i) with

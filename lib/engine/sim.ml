@@ -5,6 +5,27 @@ module Address_space = Dmm_vmem.Address_space
 module Trace = Dmm_trace.Trace
 module Replay = Dmm_trace.Replay
 module Probe = Dmm_obs.Probe
+module Reg = Dmm_obs.Registry
+
+(* Counters are bumped on the parent domain only, in lock-step with the
+   mutable per-[t] fields, so they stay deterministic under DMM_JOBS. The
+   wall-clock histogram is observed inside [replay] on whichever domain
+   runs it (its count is deterministic; its values are not). *)
+let m_hits =
+  Reg.counter ~help:"Design outcomes served from the memo table" Reg.global
+    "dmm_sim_memo_hits_total"
+
+let m_misses =
+  Reg.counter ~help:"Design outcomes that required a replay" Reg.global
+    "dmm_sim_memo_misses_total"
+
+let m_replays =
+  Reg.counter ~help:"Trace replays executed (memo misses + probed runs)"
+    Reg.global "dmm_sim_replays_total"
+
+let m_replay_us =
+  Reg.histogram ~help:"Wall-clock per design replay" Reg.global
+    "dmm_sim_replay_microseconds"
 
 type outcome = { footprint : int; ops : int }
 
@@ -38,6 +59,7 @@ let replay_seconds t = t.replay_seconds
 (* Pure worker function: safe on any domain. Accounting of replay counts
    and wall time happens on the parent domain only. *)
 let replay ?probe t (d : Explorer.design) =
+  let start = Unix.gettimeofday () in
   let space = Address_space.create ?probe () in
   let m =
     Manager.create ~expected_live:t.live_hint ~params:d.Explorer.params ?probe
@@ -45,10 +67,15 @@ let replay ?probe t (d : Explorer.design) =
   in
   let a = Manager.allocator m in
   Replay.run ?probe ~live_hint:t.live_hint t.trace a;
-  {
-    footprint = Allocator.max_footprint a;
-    ops = (Allocator.stats a).Dmm_core.Metrics.ops;
-  }
+  let o =
+    {
+      footprint = Allocator.max_footprint a;
+      ops = (Allocator.stats a).Dmm_core.Metrics.ops;
+    }
+  in
+  Reg.observe m_replay_us
+    (int_of_float (1e6 *. (Unix.gettimeofday () -. start)));
+  o
 
 let timed t f =
   let start = Unix.gettimeofday () in
@@ -62,6 +89,7 @@ let outcome ?(probe = Probe.null) t d =
        serve its result into the table for later unobserved queries). *)
     let o = timed t (fun () -> replay ~probe t d) in
     t.replays <- t.replays + 1;
+    Reg.incr m_replays;
     Hashtbl.replace t.memo (Explorer.design_key d) o;
     o
   end
@@ -70,11 +98,14 @@ let outcome ?(probe = Probe.null) t d =
     match Hashtbl.find_opt t.memo key with
     | Some o ->
       t.hits <- t.hits + 1;
+      Reg.incr m_hits;
       o
     | None ->
       let o = timed t (fun () -> replay t d) in
       t.misses <- t.misses + 1;
       t.replays <- t.replays + 1;
+      Reg.incr m_misses;
+      Reg.incr m_replays;
       Hashtbl.replace t.memo key o;
       o
 
@@ -96,6 +127,9 @@ let outcomes t designs =
   t.misses <- t.misses + Array.length missing;
   t.replays <- t.replays + Array.length missing;
   t.hits <- t.hits + (Array.length designs - Array.length missing);
+  Reg.add m_misses (Array.length missing);
+  Reg.add m_replays (Array.length missing);
+  Reg.add m_hits (Array.length designs - Array.length missing);
   Array.map (fun key -> Hashtbl.find t.memo key) keys
 
 let sanitize t (d : Explorer.design) =
@@ -104,6 +138,7 @@ let sanitize t (d : Explorer.design) =
   Dmm_obs.Collect_sink.attach probe sink;
   let (_ : outcome) = timed t (fun () -> replay ~probe t d) in
   t.replays <- t.replays + 1;
+  Reg.incr m_replays;
   let stream = Dmm_check.Stream.of_pairs (Dmm_obs.Collect_sink.to_array sink) in
   Dmm_check.Sanitizer.run ~design:d stream
 

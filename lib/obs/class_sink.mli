@@ -1,0 +1,27 @@
+(** Per-size-class attribution sink: alloc/free/byte totals keyed by the
+    power-of-two ceiling of each block's gross size — the input for the
+    `dmm report` size-class heatmap. *)
+
+type row = {
+  size_class : int;  (** Power-of-two class ceiling (gross bytes). *)
+  allocs : int;
+  frees : int;
+  alloc_bytes : int;
+  freed_bytes : int;
+  live_blocks : int;
+  peak_live_blocks : int;
+  live_bytes : int;
+  peak_live_bytes : int;
+}
+
+type t
+
+val create : unit -> t
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val rows : t -> row list
+(** One row per touched class, ascending by class. *)
+
+val classes : t -> int
+val pp : Format.formatter -> t -> unit

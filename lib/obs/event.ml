@@ -1,5 +1,5 @@
 type t =
-  | Alloc of { payload : int; gross : int; addr : int }
+  | Alloc of { payload : int; gross : int; tag : int; addr : int }
   | Free of { payload : int; addr : int }
   | Split of { addr : int; parent : int; taken : int; remainder : int }
   | Coalesce of { addr : int; merged : int; absorbed : int }
@@ -20,9 +20,10 @@ let name = function
 
 let to_json ~clock e =
   match e with
-  | Alloc { payload; gross; addr } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"alloc\",\"payload\":%d,\"gross\":%d,\"addr\":%d}"
-      clock payload gross addr
+  | Alloc { payload; gross; tag; addr } ->
+    Printf.sprintf
+      "{\"t\":%d,\"ev\":\"alloc\",\"payload\":%d,\"gross\":%d,\"tag\":%d,\"addr\":%d}"
+      clock payload gross tag addr
   | Free { payload; addr } ->
     Printf.sprintf "{\"t\":%d,\"ev\":\"free\",\"payload\":%d,\"addr\":%d}" clock payload
       addr
@@ -43,8 +44,8 @@ let to_json ~clock e =
 
 let pp ppf e =
   match e with
-  | Alloc { payload; gross; addr } ->
-    Format.fprintf ppf "alloc payload=%d gross=%d addr=%d" payload gross addr
+  | Alloc { payload; gross; tag; addr } ->
+    Format.fprintf ppf "alloc payload=%d gross=%d tag=%d addr=%d" payload gross tag addr
   | Free { payload; addr } -> Format.fprintf ppf "free payload=%d addr=%d" payload addr
   | Split { addr; parent; taken; remainder } ->
     Format.fprintf ppf "split addr=%d parent=%d taken=%d remainder=%d" addr parent taken

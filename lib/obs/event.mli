@@ -8,10 +8,14 @@
     alone. *)
 
 type t =
-  | Alloc of { payload : int; gross : int; addr : int }
+  | Alloc of { payload : int; gross : int; tag : int; addr : int }
       (** A block was handed to the application: [payload] requested
           bytes, [gross] bytes consumed inside the manager (tags, padding
-          and size-class rounding included), payload address [addr]. *)
+          and size-class rounding included), of which [tag] bytes are
+          boundary tags (headers/footers — 0 for tag-free managers), at
+          payload address [addr]. [gross - tag - payload] is the block's
+          internal padding, so the Section-4.1 footprint factors are
+          reconstructible from the stream alone. *)
   | Free of { payload : int; addr : int }
       (** The block at payload address [addr] was released. *)
   | Split of { addr : int; parent : int; taken : int; remainder : int }

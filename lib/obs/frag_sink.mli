@@ -1,0 +1,43 @@
+(** Fragmentation over time: the footprint decomposed into the Section-4.1
+    factors at every footprint- or liveness-changing event.
+
+    Each point satisfies [live_payload + tag_overhead + internal_padding +
+    free_bytes = footprint] exactly — the {!Dmm_core.Metrics.breakdown}
+    invariant, rebuilt from the stream alone. Long runs are downsampled by
+    stride doubling: at most [max_points] snapshots are retained, evenly
+    spread, each still an exact decomposition at its clock. *)
+
+type point = {
+  clock : int;
+  live_payload : int;
+  tag_overhead : int;
+  internal_padding : int;
+  free_bytes : int;
+  footprint : int;
+}
+
+type t
+
+val create : ?max_points:int -> unit -> t
+(** [max_points] (default 4096, minimum 2) bounds the retained series. *)
+
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val current : t -> point
+(** The latest exact decomposition (all-zero before any event). *)
+
+val peak_footprint : t -> int
+
+val iter : (point -> unit) -> t -> unit
+(** Retained snapshots in clock order, ending with the latest state. *)
+
+val points : t -> point list
+
+val length : t -> int
+(** Retained snapshot count (excluding the implicit final point). *)
+
+val stride : t -> int
+(** Current downsampling stride: 1 while the run fits in [max_points]. *)
+
+val pp_point : Format.formatter -> point -> unit

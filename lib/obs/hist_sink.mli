@@ -1,0 +1,19 @@
+(** Latency-style size distributions from the event stream.
+
+    Three {!Log_hist} histograms fed on the hot path in O(1) per event:
+    requested payload bytes and gross block bytes (one sample per
+    {!Event.Alloc}) and {!Event.Fit_scan} step counts — the views
+    Risco-Martín et al. evaluate allocators on (distributions, not just
+    totals). *)
+
+type t
+
+val create : ?sub_bits:int -> unit -> t
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val request : t -> Log_hist.t
+val gross : t -> Log_hist.t
+val fit_steps : t -> Log_hist.t
+
+val pp : Format.formatter -> t -> unit

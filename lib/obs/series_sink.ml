@@ -3,15 +3,28 @@ type point = { clock : int; footprint : int; maximum : int }
 type t = {
   mutable current : int;
   mutable maximum : int;
-  mutable rev_points : point list;
+  (* Points live in a growable array, already in stream order; the list
+     view is built at most once per burst of queries and invalidated on
+     the next record. *)
+  mutable points : point array;
   mutable count : int;
+  mutable cache : point list option;
 }
 
-let create () = { current = 0; maximum = 0; rev_points = []; count = 0 }
+let origin = { clock = 0; footprint = 0; maximum = 0 }
+
+let create () =
+  { current = 0; maximum = 0; points = Array.make 256 origin; count = 0; cache = None }
 
 let record t clock =
-  t.rev_points <- { clock; footprint = t.current; maximum = t.maximum } :: t.rev_points;
-  t.count <- t.count + 1
+  if t.count = Array.length t.points then begin
+    let grown = Array.make (2 * t.count) origin in
+    Array.blit t.points 0 grown 0 t.count;
+    t.points <- grown
+  end;
+  t.points.(t.count) <- { clock; footprint = t.current; maximum = t.maximum };
+  t.count <- t.count + 1;
+  t.cache <- None
 
 let on_event t clock (e : Event.t) =
   match e with
@@ -30,5 +43,18 @@ let attach probe t = Probe.attach probe (on_event t)
 
 let current t = t.current
 let peak t = t.maximum
-let points t = List.rev t.rev_points
+
+let iter f t =
+  for i = 0 to t.count - 1 do
+    f t.points.(i)
+  done
+
+let points t =
+  match t.cache with
+  | Some l -> l
+  | None ->
+    let l = Array.to_list (Array.sub t.points 0 t.count) in
+    t.cache <- Some l;
+    l
+
 let length t = t.count

@@ -23,7 +23,13 @@ val peak : t -> int
 (** Exact maximum footprint over the whole stream. *)
 
 val points : t -> point list
-(** One point per break movement, in stream order. *)
+(** One point per break movement, in stream order. The list is cached:
+    repeated calls between records return the same list without
+    rebuilding it. *)
+
+val iter : (point -> unit) -> t -> unit
+(** Visit the recorded points in stream order without materialising the
+    list — the right entry point for sinks that only fold. *)
 
 val length : t -> int
 (** Number of points recorded ([= List.length (points t)]). *)

@@ -12,7 +12,10 @@
 #      reports for the same (trace, manager);
 #   4. the heap sanitizer (`dmm check --strict`) must find zero diagnostics
 #      in that export, and a live custom-design replay must pass both the
-#      invariant and design-conformance passes clean.
+#      invariant and design-conformance passes clean;
+#   5. `dmm report` over that export must expose the stream metrics
+#      (Prometheus names included), and `dmm explore --telemetry` must
+#      print identical simulator/explorer counters under DMM_JOBS=1 and 2.
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -97,5 +100,44 @@ if "$dmm" check -w drr --quick --seed 1 -m custom --strict > "$tmpdir/check_cust
 else
   echo "bench_smoke: FAIL (custom design failed the sanitizer)" >&2
   cat "$tmpdir/check_custom.out" >&2
+  exit 1
+fi
+
+echo "bench_smoke: stream analytics over the JSONL export..."
+"$dmm" report --jsonl "$tmpdir/drr.jsonl" --prom "$tmpdir/drr.prom" \
+  > "$tmpdir/report.out"
+for needle in \
+  'fragmentation (Section 4.1 factors)' \
+  'request bytes' \
+  'size classes'
+do
+  if ! grep -q "$needle" "$tmpdir/report.out"; then
+    echo "bench_smoke: FAIL (dmm report output missing \"$needle\")" >&2
+    exit 1
+  fi
+done
+for metric in dmm_events_total dmm_request_size_bytes dmm_footprint_bytes; do
+  if ! grep -q "^$metric" "$tmpdir/drr.prom"; then
+    echo "bench_smoke: FAIL (Prometheus export missing $metric)" >&2
+    exit 1
+  fi
+done
+echo "bench_smoke: PASS (dmm report text + Prometheus exposition complete)"
+
+echo "bench_smoke: engine telemetry determinism across worker counts..."
+telem() {
+  "$dmm" explore -w drr --quick --seed 1 --jobs "$1" --telemetry |
+    grep -E '^dmm_(sim|explorer)_'
+}
+telem 1 > "$tmpdir/telem1.out"
+telem 2 > "$tmpdir/telem2.out"
+if ! grep -q '^dmm_sim_memo_hits_total' "$tmpdir/telem1.out"; then
+  echo "bench_smoke: FAIL (explore --telemetry missing dmm_sim_memo_hits_total)" >&2
+  exit 1
+fi
+if diff -u "$tmpdir/telem1.out" "$tmpdir/telem2.out"; then
+  echo "bench_smoke: PASS (telemetry counters identical under DMM_JOBS=1 and 2)"
+else
+  echo "bench_smoke: FAIL (telemetry counters depend on the worker count)" >&2
   exit 1
 fi

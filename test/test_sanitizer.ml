@@ -35,7 +35,7 @@ let check_clean what diags =
 (* --- invariant defects, one synthetic stream per class ------------------- *)
 
 let sbrk n brk = Event.Sbrk { bytes = n; brk }
-let alloc p g a = Event.Alloc { payload = p; gross = g; addr = a }
+let alloc ?(tag = 0) p g a = Event.Alloc { payload = p; gross = g; tag; addr = a }
 let free_ p a = Event.Free { payload = p; addr = a }
 
 let invariant_defects () =
@@ -327,7 +327,9 @@ let qcheck_no_crash =
       let num = int_range (-64) 8192 in
       oneof
         [
-          map3 (fun p g a -> Event.Alloc { payload = p; gross = g; addr = a }) num num num;
+          map3
+            (fun p g a -> Event.Alloc { payload = p; gross = g; tag = a mod 8; addr = a })
+            num num num;
           map2 (fun p a -> Event.Free { payload = p; addr = a }) num num;
           map3
             (fun a p t -> Event.Split { addr = a; parent = p; taken = t; remainder = p - t })
