@@ -5,6 +5,9 @@
      EXP-T1   Table 1  - maximum memory footprint per workload and manager
      EXP-TELEM Telemetry overhead - the DRR/Lea replay under no probe,
               null sink, metrics sink, registry sink and stream analytics
+     EXP-PROFILE Lifetime profiler overhead - the same replay under the
+              span-matching lifetime sink and the heat-map raster, vs the
+              bare metrics sink
      EXP-CHECK Heap sanitizer - invariant + conformance pass over the
               recorded DRR event streams (quick scale, deterministic)
      EXP-F5   Figure 5 - DM footprint over time, Lea vs custom, DRR
@@ -222,6 +225,92 @@ let telem_section () =
     telem_registry = registry_s;
     telem_analytics = analytics_s;
     telem_registry_overhead_pct = overhead;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* EXP-PROFILE: lifetime-profiler overhead on the event hot path       *)
+
+type profile_report = {
+  prof_events : int;
+  prof_metrics : float;
+  prof_lifetime : float;
+  prof_lifetime_heatmap : float;
+  prof_overhead_pct : float;
+  prof_spans : int;
+  prof_leaked_bytes : int;
+}
+
+(* The same DRR replay under Lea with the span-matching profiler
+   attached: the bare mutable-field metrics sink is the floor, then the
+   lifetime sink alone (hashtable per live block + histograms per
+   completion), then lifetime + heat-map raster. The headline number is
+   the lifetime sink's premium over the bare sink — the price `dmm
+   profile` pays on a live replay. *)
+let profile_section () =
+  section "EXP-PROFILE: lifetime profiler overhead (DRR under Lea)";
+  let trace = Experiments.drr_trace_seed 42 in
+  let reps = if quick then 3 else 5 in
+  let best f =
+    let rec go i acc =
+      if i = 0 then acc
+      else begin
+        let t0 = Unix.gettimeofday () in
+        f ();
+        go (i - 1) (Float.min acc (Unix.gettimeofday () -. t0))
+      end
+    in
+    go reps infinity
+  in
+  let with_probe attach =
+    let events = ref 0 in
+    let dt =
+      best (fun () ->
+          let probe = Probe.create () in
+          attach probe;
+          Replay.run ~probe trace (Scenario.lea ~probe ());
+          events := Probe.clock probe)
+    in
+    (dt, !events)
+  in
+  let metrics_s, events =
+    with_probe (fun probe ->
+        Dmm_obs.Metrics_sink.attach probe (Dmm_obs.Metrics_sink.create ()))
+  in
+  let lifetime_s, _ =
+    with_probe (fun probe ->
+        Dmm_obs.Lifetime_sink.attach probe (Dmm_obs.Lifetime_sink.create ()))
+  in
+  let full_s, _ =
+    with_probe (fun probe ->
+        Dmm_obs.Lifetime_sink.attach probe (Dmm_obs.Lifetime_sink.create ());
+        Dmm_obs.Heatmap_sink.attach probe (Dmm_obs.Heatmap_sink.create ()))
+  in
+  (* One more observed replay to capture the profile itself. *)
+  let lt = Dmm_obs.Lifetime_sink.create () in
+  let probe = Probe.create () in
+  Dmm_obs.Lifetime_sink.attach probe lt;
+  Replay.run ~probe trace (Scenario.lea ~probe ());
+  let spans = Dmm_obs.Lifetime_sink.spans lt in
+  let leaked = Dmm_obs.Lifetime_sink.leaked_bytes lt in
+  let rate dt = float_of_int events /. Float.max 1e-9 dt /. 1e6 in
+  let overhead = (lifetime_s -. metrics_s) /. Float.max 1e-9 metrics_s *. 100. in
+  Printf.printf "  events per observed replay: %d   spans: %d   leaked: %d B\n"
+    events spans leaked;
+  Printf.printf "[time]   metrics sink     %.3fs  (%.1f Mev/s)\n" metrics_s
+    (rate metrics_s);
+  Printf.printf
+    "[time]   lifetime sink    %.3fs  (%.1f Mev/s)  overhead vs metrics %+.1f%%\n"
+    lifetime_s (rate lifetime_s) overhead;
+  Printf.printf "[time]   lifetime+heatmap %.3fs  (%.1f Mev/s)\n%!" full_s
+    (rate full_s);
+  {
+    prof_events = events;
+    prof_metrics = metrics_s;
+    prof_lifetime = lifetime_s;
+    prof_lifetime_heatmap = full_s;
+    prof_overhead_pct = overhead;
+    prof_spans = spans;
+    prof_leaked_bytes = leaked;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -548,7 +637,7 @@ let json_escape s =
   Buffer.contents b
 
 let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_report)
-    tables =
+    ~(prof : profile_report) tables =
   let oc = open_out "BENCH_results.json" in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
@@ -576,6 +665,15 @@ let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_repo
   p "    \"registry_sink_seconds\": %.6f,\n" telem.telem_registry;
   p "    \"hist_frag_seconds\": %.6f,\n" telem.telem_analytics;
   p "    \"registry_overhead_pct\": %.2f\n" telem.telem_registry_overhead_pct;
+  p "  },\n";
+  p "  \"profile\": {\n";
+  p "    \"events\": %d,\n" prof.prof_events;
+  p "    \"metrics_sink_seconds\": %.6f,\n" prof.prof_metrics;
+  p "    \"lifetime_sink_seconds\": %.6f,\n" prof.prof_lifetime;
+  p "    \"lifetime_heatmap_seconds\": %.6f,\n" prof.prof_lifetime_heatmap;
+  p "    \"lifetime_overhead_pct\": %.2f,\n" prof.prof_overhead_pct;
+  p "    \"spans\": %d,\n" prof.prof_spans;
+  p "    \"leaked_bytes\": %d\n" prof.prof_leaked_bytes;
   p "  },\n";
   p "  \"sections\": [\n";
   let times = List.rev !section_times in
@@ -611,6 +709,7 @@ let () =
   let tables, timing = table1 () in
   let obs = obs_section tables in
   let telem = timed "EXP-TELEM" telem_section in
+  let prof = timed "EXP-PROFILE" profile_section in
   timed "EXP-CHECK" check_section;
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
@@ -622,6 +721,6 @@ let () =
   timed "EXP-MICRO" micro;
   timed "EXP-PERF" (fun () -> ops_summary tables);
   if not skip_wall then bechamel_tests ();
-  write_results ~timing ~obs ~telem tables;
+  write_results ~timing ~obs ~telem ~prof tables;
   Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
     parallel_jobs timing.speedup

@@ -28,6 +28,8 @@ module Frag_sink = Dmm_obs.Frag_sink
 module Class_sink = Dmm_obs.Class_sink
 module Metrics_sink = Dmm_obs.Metrics_sink
 module Registry_sink = Dmm_obs.Registry_sink
+module Lifetime_sink = Dmm_obs.Lifetime_sink
+module Heatmap_sink = Dmm_obs.Heatmap_sink
 
 open Cmdliner
 
@@ -67,6 +69,27 @@ let trace_for ~quick ~seed workload =
   | Drr -> Experiments.drr_trace_seed seed
   | Reconstruct -> Experiments.reconstruct_trace_seed seed
   | Render -> Experiments.render_trace_seed seed
+
+(* The one JSONL entry point for every stream-consuming subcommand
+   (check, report, profile): same parser, same one-line error, same
+   exit code. *)
+let load_stream_or_exit ~cmd path =
+  match Stream.load_jsonl path with
+  | Error msg ->
+    prerr_endline (Printf.sprintf "dmm %s: %s" cmd msg);
+    exit 2
+  | Ok stream -> stream
+
+let missing_source_exit ~cmd =
+  prerr_endline (Printf.sprintf "dmm %s: pass --jsonl FILE or a workload (-w)" cmd);
+  exit 2
+
+let hist_json h =
+  Printf.sprintf
+    {|{"count":%d,"min":%d,"p50":%d,"p90":%d,"p99":%d,"max":%d,"mean":%.2f}|}
+    (Log_hist.count h) (Log_hist.min_value h)
+    (Log_hist.percentile h 0.5) (Log_hist.percentile h 0.9)
+    (Log_hist.percentile h 0.99) (Log_hist.max_value h) (Log_hist.mean h)
 
 (* ------------------------------------------------------------------ *)
 (* space                                                               *)
@@ -123,27 +146,6 @@ let space_cmd =
     Term.(const run $ dot $ check)
 
 (* ------------------------------------------------------------------ *)
-(* profile                                                             *)
-
-let profile_cmd =
-  let run workload quick seed =
-    let trace = trace_for ~quick ~seed workload in
-    let profile = Profile_builder.of_trace trace in
-    Format.printf "trace: %d events, %d allocs, %d frees@.@." (Trace.length trace)
-      (Trace.alloc_count trace) (Trace.free_count trace);
-    Format.printf "== whole run ==@.%a@.@." Profile.pp_summary (Profile.total profile);
-    match Profile.phases profile with
-    | [ _ ] -> ()
-    | phases ->
-      List.iter
-        (fun s -> Format.printf "== phase %d ==@.%a@.@." s.Profile.phase Profile.pp_summary s)
-        phases
-  in
-  Cmd.v
-    (Cmd.info "profile" ~doc:"Record a workload's DM behaviour and print the profile (methodology step 1).")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg)
-
-(* ------------------------------------------------------------------ *)
 (* explore                                                             *)
 
 let jobs_arg =
@@ -173,7 +175,7 @@ let print_registry reg =
     (Registry.view reg)
 
 let explore_cmd =
-  let run workload quick seed detect jobs check telemetry =
+  let run workload quick seed detect jobs check telemetry advise =
     if jobs < 0 then begin
       Printf.eprintf "dmm: --jobs must be non-negative\n";
       exit 124
@@ -191,7 +193,16 @@ let explore_cmd =
     if telemetry then Registry.reset Registry.global;
     let trace = trace_for ~quick ~seed workload in
     Format.printf "profiling and exploring (%d events)...@." (Trace.length trace);
-    let spec = Scenario.global_design_for ~detect_phases:detect trace in
+    (* The advisor measures the span profile with one extra live replay,
+       then prunes/reorders profile-refuted B3 refinement work. *)
+    let advisor = if advise then Some (Scenario.advisor_for trace) else None in
+    let spec = Scenario.global_design_for ~detect_phases:detect ?advisor trace in
+    (match advisor with
+    | None -> ()
+    | Some a ->
+      Format.printf "@.== lifetime advisor ==@.%a@." Explorer.Profile_advisor.pp a;
+      Format.printf "advisor skipped %d candidates@."
+        (Explorer.Profile_advisor.skipped a));
     Format.printf "@.== chosen design (default) ==@.%a@." Explorer.pp_design spec.default;
     List.iter
       (fun (phase, d) ->
@@ -251,10 +262,17 @@ let explore_cmd =
           ~doc:
             "Print the engine self-metrics registry (simulator memo hits/misses,              explorer candidate counts, pool scheduling) after the run. Counter lines              are deterministic for a fixed grid; wall-clock histogram lines carry a              [time] prefix.")
   in
+  let advise =
+    Arg.(
+      value & flag
+      & info [ "advise" ]
+          ~doc:
+            "Measure the workload's allocation-lifetime profile first (one live replay              with the span profiler attached) and let it prune and reorder the B3              pool-division candidates; reports how many candidates it skipped. The              chosen design is unchanged on the seed workloads — only the simulation              work shrinks.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Run the full methodology on a workload and print the derived custom manager.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check $ telemetry)
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check $ telemetry $ advise)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -551,17 +569,11 @@ let check_cmd =
       if diags = [] then Format.printf "clean@." else if strict then exit 1
     in
     match (jsonl, workload) with
-    | Some path, _ -> (
+    | Some path, _ ->
       (* File mode: the design behind the stream is unknown, so only the
          integrity gate and the design-independent invariants apply. *)
-      match Stream.load_jsonl path with
-      | Error msg ->
-        prerr_endline ("dmm check: " ^ msg);
-        exit 2
-      | Ok stream -> finish (Sanitizer.run stream) [])
-    | None, None ->
-      prerr_endline "dmm check: pass --jsonl FILE or a workload (-w)";
-      exit 2
+      finish (Sanitizer.run (load_stream_or_exit ~cmd:"check" path)) []
+    | None, None -> missing_source_exit ~cmd:"check"
     | None, Some w ->
       (* Manager mode: record the workload, replay it against the manager
          behind the dynamic checker wrapper with an event capture attached,
@@ -651,17 +663,11 @@ let report_cmd =
     in
     let events, source =
       match (jsonl, workload) with
-      | Some path, _ -> (
-        match Stream.load_jsonl path with
-        | Error msg ->
-          prerr_endline ("dmm report: " ^ msg);
-          exit 2
-        | Ok stream ->
-          Array.iter (fun (e : Stream.entry) -> feed e.Stream.clock e.Stream.event) stream;
-          (Stream.length stream, path))
-      | None, None ->
-        prerr_endline "dmm report: pass --jsonl FILE or a workload (-w)";
-        exit 2
+      | Some path, _ ->
+        let stream = load_stream_or_exit ~cmd:"report" path in
+        Array.iter (fun (e : Stream.entry) -> feed e.Stream.clock e.Stream.event) stream;
+        (Stream.length stream, path)
+      | None, None -> missing_source_exit ~cmd:"report"
       | None, Some w ->
         let trace = trace_for ~quick ~seed w in
         let probe = Probe.create () in
@@ -745,13 +751,6 @@ let report_cmd =
     | Some path ->
       let b = Buffer.create 4096 in
       let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
-      let hist_json h =
-        Printf.sprintf
-          {|{"count":%d,"min":%d,"p50":%d,"p90":%d,"p99":%d,"max":%d,"mean":%.2f}|}
-          (Log_hist.count h) (Log_hist.min_value h)
-          (Log_hist.percentile h 0.5) (Log_hist.percentile h 0.9)
-          (Log_hist.percentile h 0.99) (Log_hist.max_value h) (Log_hist.mean h)
-      in
       bpf "{\n  \"source\": %S,\n  \"events\": %d,\n" source events;
       bpf
         "  \"counts\": {\"allocs\": %d, \"frees\": %d, \"splits\": %d, \"coalesces\": \
@@ -829,6 +828,188 @@ let report_cmd =
        ~doc:
          "Stream analytics over an allocation-event stream: size percentiles,          fragmentation factors over time and per-size-class attribution, offline          ($(b,--jsonl)) or from a live replay ($(b,-w)).")
     Term.(const run $ jsonl $ workload $ quick_arg $ seed_arg $ manager $ prom $ json_out)
+
+(* ------------------------------------------------------------------ *)
+(* profile                                                             *)
+
+let pow2_ceil v =
+  let rec go p = if p >= v then p else go (p * 2) in
+  if v <= 1 then 1 else go 1
+
+let profile_cmd =
+  let run jsonl workload quick seed manager json_out chrome =
+    (* One chrome sink carries both the counter tracks (fed the raw
+       stream) and the async span bars (fed by the lifetime sink's
+       completion callback), so spans line up with the footprint curve. *)
+    let chrome_sink =
+      Option.map (fun _ -> Chrome_sink.create ~name:"dmm profile" ~pid:1) chrome
+    in
+    let span_id = ref 0 in
+    let on_span (s : Lifetime_sink.span) =
+      match chrome_sink with
+      | None -> ()
+      | Some cs ->
+        incr span_id;
+        Chrome_sink.async_span cs ~id:!span_id
+          ~name:(Printf.sprintf "<=%d B" (pow2_ceil s.Lifetime_sink.gross))
+          ~start_clock:s.Lifetime_sink.born_clock ~end_clock:s.Lifetime_sink.freed_clock
+          ~payload:s.Lifetime_sink.payload
+    in
+    let lt = Lifetime_sink.create ~on_span () in
+    let hm = Heatmap_sink.create () in
+    let feed clock ev =
+      Lifetime_sink.on_event lt clock ev;
+      Heatmap_sink.on_event hm clock ev;
+      Option.iter (fun cs -> Chrome_sink.on_event cs clock ev) chrome_sink
+    in
+    let events, source =
+      match (jsonl, workload) with
+      | Some path, _ ->
+        let stream = load_stream_or_exit ~cmd:"profile" path in
+        Array.iter (fun (e : Stream.entry) -> feed e.Stream.clock e.Stream.event) stream;
+        (Stream.length stream, path)
+      | None, None -> missing_source_exit ~cmd:"profile"
+      | None, Some w ->
+        let trace = trace_for ~quick ~seed w in
+        let probe = Probe.create () in
+        let counted = ref 0 in
+        Probe.attach probe (fun clock ev ->
+            incr counted;
+            feed clock ev);
+        Replay.run ~probe trace (maker_for manager trace ~probe ());
+        let wname =
+          match w with Drr -> "drr" | Reconstruct -> "reconstruct" | Render -> "render"
+        in
+        let mname = Format.asprintf "%a" (Arg.conv_printer manager_conv) manager in
+        (!counted, Printf.sprintf "%s/%s live replay" wname mname)
+    in
+    let u = Lifetime_sink.unmatched lt in
+    let classes = Lifetime_sink.class_rows lt in
+    let phases = Lifetime_sink.phase_summaries lt in
+    Format.printf "profile: %s (%d events)@.@." source events;
+    Format.printf "== spans ==@.";
+    Format.printf "  completed %-9d leaked    %d (%d B)@." (Lifetime_sink.spans lt)
+      (Lifetime_sink.live_spans lt) (Lifetime_sink.leaked_bytes lt);
+    Format.printf "  unmatched frees %d, allocs over live spans %d@.@."
+      u.Lifetime_sink.free_without_alloc u.Lifetime_sink.realloc_over_live;
+    Format.printf "== lifetimes (clock ticks) ==@.";
+    Format.printf "  all spans  %a@.@." Log_hist.pp (Lifetime_sink.lifetimes lt);
+    Format.printf "== size classes ==@.";
+    List.iter
+      (fun (r : Lifetime_sink.class_row) ->
+        Format.printf "  <=%-8d spans=%-8d leaked=%-6d %a@." r.Lifetime_sink.size_class
+          r.Lifetime_sink.spans r.Lifetime_sink.live Log_hist.pp r.Lifetime_sink.lifetimes)
+      classes;
+    Format.printf "@.== phases ==@.";
+    List.iter
+      (fun s -> Format.printf "  %a@." Lifetime_sink.pp_phase_summary s)
+      phases;
+    Format.printf "@.== address-space heat map ==@.%a@." Heatmap_sink.pp hm;
+    (match chrome with
+    | None -> ()
+    | Some path ->
+      Chrome_sink.write_file path (Option.to_list chrome_sink);
+      Format.printf "@.wrote %s@." path);
+    match json_out with
+    | None -> ()
+    | Some path ->
+      let b = Buffer.create 4096 in
+      let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+      bpf "{\n  \"source\": %S,\n  \"events\": %d,\n" source events;
+      bpf
+        "  \"spans\": {\"completed\": %d, \"leaked\": %d, \"leaked_bytes\": %d, \
+         \"free_without_alloc\": %d, \"realloc_over_live\": %d},\n"
+        (Lifetime_sink.spans lt) (Lifetime_sink.live_spans lt)
+        (Lifetime_sink.leaked_bytes lt) u.Lifetime_sink.free_without_alloc
+        u.Lifetime_sink.realloc_over_live;
+      bpf "  \"lifetimes\": %s,\n" (hist_json (Lifetime_sink.lifetimes lt));
+      bpf "  \"size_classes\": [\n";
+      List.iteri
+        (fun i (r : Lifetime_sink.class_row) ->
+          bpf
+            "    {\"class\": %d, \"spans\": %d, \"leaked\": %d, \"leaked_bytes\": %d, \
+             \"lifetimes\": %s}%s\n"
+            r.Lifetime_sink.size_class r.Lifetime_sink.spans r.Lifetime_sink.live
+            r.Lifetime_sink.leaked_bytes
+            (hist_json r.Lifetime_sink.lifetimes)
+            (if i = List.length classes - 1 then "" else ","))
+        classes;
+      bpf "  ],\n  \"phases\": [\n";
+      List.iteri
+        (fun i (s : Lifetime_sink.phase_summary) ->
+          bpf
+            "    {\"phase\": %d, \"spans\": %d, \"contained\": %d, \"escaped\": %d, \
+             \"leaked\": %d, \"p50\": %d, \"p99\": %d, \"max\": %d}%s\n"
+            s.Lifetime_sink.s_phase s.Lifetime_sink.s_spans s.Lifetime_sink.s_contained
+            s.Lifetime_sink.s_escaped s.Lifetime_sink.s_leaked
+            s.Lifetime_sink.s_p50_lifetime s.Lifetime_sink.s_p99_lifetime
+            s.Lifetime_sink.s_max_lifetime
+            (if i = List.length phases - 1 then "" else ","))
+        phases;
+      let g = Heatmap_sink.grid hm in
+      bpf "  ],\n  \"heatmap\": {\"cols\": %d, \"addr_per_col\": %d, \"clock_per_row\": %d, \"rows\": [\n"
+        g.Heatmap_sink.g_cols g.Heatmap_sink.g_addr_per_col g.Heatmap_sink.g_clock_per_row;
+      let nrows = List.length g.Heatmap_sink.g_rows in
+      let ints a = String.concat "," (List.map string_of_int (Array.to_list a)) in
+      List.iteri
+        (fun i (r : Heatmap_sink.row) ->
+          let free =
+            String.concat ","
+              (List.init g.Heatmap_sink.g_cols (fun c ->
+                   string_of_int (Heatmap_sink.free_in g r c)))
+          in
+          bpf
+            "    {\"clock\": %d, \"brk\": %d, \"live\": [%s], \"overhead\": [%s], \
+             \"free\": [%s]}%s\n"
+            r.Heatmap_sink.r_clock r.Heatmap_sink.r_brk (ints r.Heatmap_sink.live)
+            (ints r.Heatmap_sink.overhead) free
+            (if i = nrows - 1 then "" else ","))
+        g.Heatmap_sink.g_rows;
+      bpf "  ]}\n}\n";
+      let oc = open_out path in
+      Buffer.output_buffer oc b;
+      close_out oc;
+      Format.printf "@.wrote %s@." path
+  in
+  let jsonl =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "jsonl" ] ~docv:"FILE"
+          ~doc:"Profile a recorded event stream ($(b,dmm trace --jsonl) export) offline.")
+  in
+  let workload =
+    Arg.(
+      value
+      & opt (some workload_conv) None
+      & info [ "w"; "workload" ] ~docv:"WORKLOAD"
+          ~doc:
+            "Record this workload (drr, reconstruct or render), replay it against              $(b,--manager) with the span profiler attached and profile the live              stream.")
+  in
+  let manager =
+    manager_arg ~default:`Lea
+      ~doc:"Manager replayed in workload mode: kingsley, lea, regions, obstacks or custom."
+  in
+  let json_out =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "json" ] ~docv:"FILE"
+          ~doc:"Write the full profile (span counts, lifetime percentiles per size class              and phase, heat-map grid) as JSON to $(docv).")
+  in
+  let chrome =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "chrome" ] ~docv:"FILE"
+          ~doc:"Write every allocation span as a chrome://tracing async event (plus the              footprint counter tracks) to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "profile"
+       ~doc:
+         "Span-matching lifetime profiler: pair every alloc with its free, aggregate          lifetime histograms per size class and phase, rasterize address-space          occupancy into a heat map — offline ($(b,--jsonl)) or from a live replay          ($(b,-w)). The profile feeds $(b,dmm explore --advise).")
+    Term.(
+      const run $ jsonl $ workload $ quick_arg $ seed_arg $ manager $ json_out $ chrome)
 
 let () =
   let doc = "Custom dynamic-memory manager design methodology (DATE 2004 reproduction)" in

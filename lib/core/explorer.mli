@@ -45,11 +45,64 @@ val heuristic_params : Profile.phase_summary -> Decision_vector.t -> Manager.par
 val heuristic_design :
   ?order:Decision.tree list -> Profile.phase_summary -> (design, string) result
 
-val candidates : Profile.phase_summary -> design -> design list
+(** Lifetime-profile advisor for the B3 (pool division by lifetime) axis.
+
+    Built from the per-phase span digest of
+    {!Dmm_obs.Lifetime_sink.phase_summaries} — the measured
+    characterization the paper's pool-division-by-lifetime decision
+    presupposes. {!candidates} consults it to drop the per-phase pool-set
+    variant when no phase keeps its spans to itself, and multi-phase
+    drivers ({!Dmm_workloads.Scenario.global_design_for}) use it to skip
+    and reorder per-phase refinement rounds. Every candidate it drops is
+    tallied, so [dmm explore --advise] can report how much simulation the
+    profile saved. *)
+module Profile_advisor : sig
+  type t
+
+  val of_phase_summaries : Dmm_obs.Lifetime_sink.phase_summary list -> t
+
+  val min_share : float
+  (** Span-share floor (0.02) below which a phase gets no refinement round
+      of its own. *)
+
+  val phases : t -> Dmm_obs.Lifetime_sink.phase_summary list
+
+  val share : t -> int -> float
+  (** Fraction of all completed-or-leaked spans born in the phase (0. for
+      an unknown phase or an empty profile). *)
+
+  val want_phase_pools : t -> bool
+  (** True iff the profile has more than one phase and at least one phase
+      with share >= {!min_share} whose spans mostly die inside it
+      (contained > escaped) — the precondition for a per-phase pool set
+      (B3) to be worth a simulation. *)
+
+  val refine_phase : t -> int -> bool
+  (** True iff the phase carries spans and at least {!min_share} of the
+      span volume. *)
+
+  val order : t -> int list -> int list
+  (** Refinement agenda: phase ids sorted by descending span share,
+      stable on ties. *)
+
+  val skipped : t -> int
+  (** Candidates dropped on this advisor's say-so, cumulative. *)
+
+  val note_skipped : t -> int -> unit
+  (** Tally [n] more dropped candidates (used by drivers that skip whole
+      refinement rounds). *)
+
+  val pp : Format.formatter -> t -> unit
+end
+
+val candidates : ?advisor:Profile_advisor.t -> Profile.phase_summary -> design -> design list
 (** The simulation round: the heuristic design plus parameter and
     near-miss leaf variations worth trying (all constraint-valid),
     deduplicated by {!design_key} keeping first occurrences. The heuristic
-    design itself is always the head of the list. *)
+    design itself is always the head of the list. The list includes the
+    per-phase pool-set (B3) alternative when it is constraint-valid;
+    [advisor] prunes it when the measured lifetime profile rules it out
+    ({!Profile_advisor.want_phase_pools}), tallying the drop. *)
 
 val tradeoff_score : alpha:float -> footprint:int -> ops:int -> int
 (** Scalarised objective [footprint + alpha * ops]: the paper's closing
@@ -73,15 +126,17 @@ val refine_batch : score_all:(design array -> int array) -> design list -> desig
 
 val explore :
   ?order:Decision.tree list ->
+  ?advisor:Profile_advisor.t ->
   profile:Profile.phase_summary ->
   score:(design -> int) ->
   unit ->
   (design * int, string) result
-(** Full methodology: heuristic walk, candidate generation, scored
-    refinement. *)
+(** Full methodology: heuristic walk, candidate generation (advised when
+    [advisor] is given), scored refinement. *)
 
 val explore_batch :
   ?order:Decision.tree list ->
+  ?advisor:Profile_advisor.t ->
   profile:Profile.phase_summary ->
   score_all:(design array -> int array) ->
   unit ->

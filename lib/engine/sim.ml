@@ -132,6 +132,13 @@ let outcomes t designs =
   Reg.add m_hits (Array.length designs - Array.length missing);
   Array.map (fun key -> Hashtbl.find t.memo key) keys
 
+let lifetimes t (d : Explorer.design) =
+  let probe = Probe.create () in
+  let sink = Dmm_obs.Lifetime_sink.create ~capacity:t.live_hint () in
+  Dmm_obs.Lifetime_sink.attach probe sink;
+  let (_ : outcome) = outcome ~probe t d in
+  Dmm_obs.Lifetime_sink.phase_summaries sink
+
 let sanitize t (d : Explorer.design) =
   let probe = Probe.create () in
   let sink = Dmm_obs.Collect_sink.create ~capacity:(4 * Trace.length t.trace) () in

@@ -38,6 +38,13 @@ val outcomes : t -> Dmm_core.Explorer.design array -> outcome array
 (** Memoised batch replay, input-ordered; unique cache misses run through
     {!Pool.map}. *)
 
+val lifetimes : t -> Dmm_core.Explorer.design -> Dmm_obs.Lifetime_sink.phase_summary list
+(** Replay the design live with a {!Dmm_obs.Lifetime_sink} attached and
+    return its per-phase span digest — the measured input of
+    {!Dmm_core.Explorer.Profile_advisor}. Like every probed replay it
+    bypasses the memo table (but refreshes it) and is counted in
+    {!replays}. *)
+
 val sanitize : t -> Dmm_core.Explorer.design -> Dmm_check.Sanitizer.report
 (** Replay the design live with an in-memory event capture and run the
     full {!Dmm_check.Sanitizer} (heap invariants plus design conformance)

@@ -57,6 +57,20 @@ let json_escape s =
     s;
   Buffer.contents b
 
+(* Async begin/end pair: chrome://tracing draws one bar per id between
+   the two timestamps. Both halves are emitted at once (a span is only
+   known complete at its Free), which Trace Event Format permits —
+   events need not be sorted. *)
+let async_span t ~id ~name ~start_clock ~end_clock ~payload =
+  add t
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"b\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":0,\"args\":{\"payload\":%d}}"
+       (json_escape name) id start_clock t.pid payload);
+  add t
+    (Printf.sprintf
+       "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":0}"
+       (json_escape name) id end_clock t.pid)
+
 let write_file path sinks =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->

@@ -26,6 +26,12 @@ val on_event : t -> int -> Event.t -> unit
 val events : t -> int
 (** Trace events buffered so far (excluding metadata). *)
 
+val async_span :
+  t -> id:int -> name:string -> start_clock:int -> end_clock:int -> payload:int -> unit
+(** Buffer an async begin/end pair ([ph:"b"]/[ph:"e"]) — one bar per [id]
+    on the sink's track between the two clocks. Used by [dmm profile
+    --chrome] to render every allocation span from {!Lifetime_sink}. *)
+
 val write_file : string -> t list -> unit
 (** Write all sinks' buffered events into one [{"traceEvents":[...]}]
     file. *)

@@ -1,0 +1,51 @@
+(** Address-space occupancy heat map.
+
+    Rasterizes the heap into a fixed-width grid: columns are equal byte
+    bands of the address range, rows are snapshots taken at regular
+    logical-clock intervals. Both scales adapt by doubling (columns merge
+    pairwise when the break outgrows the gridded range; rows collapse to
+    the later member of each pair when the budget fills, as in
+    {!Frag_sink}), so the rendered grid depends only on the event stream —
+    a recorded [--jsonl] replay and a live replay of the same trace
+    produce identical maps.
+
+    Cells hold exact byte counts of live payload and overhead
+    (tag + padding) from the blocks overlapping the column; free bytes
+    are derived at render time from the break. *)
+
+type row = {
+  r_clock : int;  (** logical clock this snapshot represents *)
+  live : int array;  (** live payload bytes per column *)
+  overhead : int array;  (** tag + padding bytes per column *)
+  r_brk : int;  (** heap break at the snapshot *)
+}
+
+type grid = {
+  g_cols : int;
+  g_addr_per_col : int;  (** bytes of address space per column *)
+  g_clock_per_row : int;  (** clock ticks per row at the final scale *)
+  g_rows : row list;  (** oldest first; last row is the final state *)
+}
+
+type t
+
+val create : ?rows:int -> ?cols:int -> unit -> t
+(** Defaults: 16 rows, 64 columns. [rows] is the budget before the time
+    scale doubles, not an exact count. Raises [Invalid_argument] if
+    [rows < 2] or [cols < 1]. *)
+
+val on_event : t -> int -> Event.t -> unit
+val attach : Probe.t -> t -> unit
+
+val grid : t -> grid
+(** Snapshot the map so far; non-destructive (the sink keeps
+    accumulating). *)
+
+val free_in : grid -> row -> int -> int
+(** [free_in g row c] is the free-byte count of column [c]: the column's
+    share of [0, brk) minus live and overhead bytes, clamped at 0. *)
+
+val pp : Format.formatter -> t -> unit
+(** ASCII rendering: one line per row, one character per column —
+    [' '] beyond the break, ['.'] empty, then [':' 'o' 'O' '#'] by
+    occupancy quartile. *)

@@ -75,21 +75,34 @@ let custom_global spec ?(probe = Probe.null) () =
 
 let max_footprint trace (make : maker) = Replay.max_footprint_of trace (make ())
 
-let design_for ?(alpha = 0.0) trace =
+let advisor_for trace =
+  let profile = Profile_builder.of_trace trace in
+  match Explorer.heuristic_design (Dmm_core.Profile.total profile) with
+  | Error msg -> invalid_arg ("Scenario.advisor_for: " ^ msg)
+  | Ok base ->
+    (* One live replay of the heuristic design measures the span profile;
+       the matching is address-based, so any correct design yields the
+       same per-phase digest. *)
+    let sim = Dmm_engine.Sim.create trace in
+    Explorer.Profile_advisor.of_phase_summaries (Dmm_engine.Sim.lifetimes sim base)
+
+let design_for ?(alpha = 0.0) ?advisor trace =
   let profile = Profile_builder.of_trace trace in
   (* Candidate scoring goes through the engine: memoised per design key,
      cache misses replayed on the worker pool. *)
   let sim = Dmm_engine.Sim.create trace in
   let score_all = Dmm_engine.Sim.score_all ~alpha sim in
-  match Explorer.explore_batch ~profile:(Dmm_core.Profile.total profile) ~score_all () with
+  match
+    Explorer.explore_batch ?advisor ~profile:(Dmm_core.Profile.total profile) ~score_all ()
+  with
   | Ok (design, _) -> design
   | Error msg -> invalid_arg ("Scenario.design_for: " ^ msg)
 
-let global_design_for ?(detect_phases = false) trace =
+let global_design_for ?(detect_phases = false) ?advisor trace =
   let trace = if detect_phases then Dmm_trace.Phase_detect.annotate trace else trace in
   let profile = Profile_builder.of_trace trace in
   match Dmm_core.Profile.phases profile with
-  | [] | [ _ ] -> { default = design_for trace; overrides = [] }
+  | [] | [ _ ] -> { default = design_for ?advisor trace; overrides = [] }
   | phases ->
     let heuristic (s : Dmm_core.Profile.phase_summary) =
       match Explorer.heuristic_design s with
@@ -113,11 +126,36 @@ let global_design_for ?(detect_phases = false) trace =
            replays out to the pool. *)
         Explorer.refine_batch
           ~score_all:(fun ds -> Dmm_engine.Pool.map ds (fun d -> score (with_design d)))
-          (Explorer.candidates s base)
+          (Explorer.candidates ?advisor s base)
       in
       List.map (fun (p, x) -> (p, if p = pid then best else x)) overrides
     in
-    let overrides = List.fold_left refine_one initial phases in
+    (* The advisor turns the refinement sweep into an agenda: phases with
+       a negligible span share keep their initial per-phase heuristic
+       (their dropped candidates are tallied), the rest are refined in
+       descending span-share order so the dominant phases settle first. *)
+    let agenda =
+      match advisor with
+      | None -> phases
+      | Some a ->
+        let kept, skipped =
+          List.partition
+            (fun (s : Dmm_core.Profile.phase_summary) ->
+              Explorer.Profile_advisor.refine_phase a s.phase)
+            phases
+        in
+        List.iter
+          (fun (s : Dmm_core.Profile.phase_summary) ->
+            Explorer.Profile_advisor.note_skipped a
+              (List.length (Explorer.candidates ~advisor:a s (List.assoc s.phase initial))))
+          skipped;
+        let order = Explorer.Profile_advisor.order a (List.map (fun (s : Dmm_core.Profile.phase_summary) -> s.phase) kept) in
+        List.map
+          (fun pid ->
+            List.find (fun (s : Dmm_core.Profile.phase_summary) -> s.phase = pid) kept)
+          order
+    in
+    let overrides = List.fold_left refine_one initial agenda in
     { default; overrides }
 
 let drr_paper_design () =

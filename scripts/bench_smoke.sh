@@ -15,7 +15,11 @@
 #      invariant and design-conformance passes clean;
 #   5. `dmm report` over that export must expose the stream metrics
 #      (Prometheus names included), and `dmm explore --telemetry` must
-#      print identical simulator/explorer counters under DMM_JOBS=1 and 2.
+#      print identical simulator/explorer counters under DMM_JOBS=1 and 2;
+#   6. `dmm profile` over that export must match the live-replay profile
+#      byte for byte after the source line, its --json/--chrome exports
+#      must be well-formed, and `dmm explore --advise` must skip B3
+#      candidates without changing the footprint comparison.
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -139,5 +143,49 @@ if diff -u "$tmpdir/telem1.out" "$tmpdir/telem2.out"; then
   echo "bench_smoke: PASS (telemetry counters identical under DMM_JOBS=1 and 2)"
 else
   echo "bench_smoke: FAIL (telemetry counters depend on the worker count)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: lifetime profiler over the JSONL export vs a live replay..."
+"$dmm" profile --jsonl "$tmpdir/drr.jsonl" | tail -n +2 > "$tmpdir/profile_off.out"
+"$dmm" profile -w drr --quick --seed 1 -m lea | tail -n +2 > "$tmpdir/profile_live.out"
+"$dmm" profile --jsonl "$tmpdir/drr.jsonl" \
+  --json "$tmpdir/profile.json" --chrome "$tmpdir/profile.trace" > /dev/null
+if diff -u "$tmpdir/profile_off.out" "$tmpdir/profile_live.out"; then
+  echo "bench_smoke: PASS (offline profile identical to live replay after the source line)"
+else
+  echo "bench_smoke: FAIL (offline profile diverges from live replay)" >&2
+  exit 1
+fi
+for needle in '"spans"' '"size_classes"' '"phases"' '"heatmap"'; do
+  if ! grep -q "$needle" "$tmpdir/profile.json"; then
+    echo "bench_smoke: FAIL (profile JSON export missing $needle)" >&2
+    exit 1
+  fi
+done
+spans=$(awk '/^  completed/ { print $2 }' "$tmpdir/profile_off.out")
+begins=$(grep -c '"ph":"b"' "$tmpdir/profile.trace")
+ends=$(grep -c '"ph":"e"' "$tmpdir/profile.trace")
+if [ "$spans" -gt 0 ] && [ "$begins" = "$spans" ] && [ "$ends" = "$spans" ]; then
+  echo "bench_smoke: PASS (chrome export has one async b/e pair per span: $spans)"
+else
+  echo "bench_smoke: FAIL (chrome export pairs b=$begins e=$ends != spans=$spans)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: profile-advised exploration vs exhaustive..."
+"$dmm" explore -w drr --quick --seed 1 |
+  grep -A 6 'footprint comparison' > "$tmpdir/fp_exhaustive.out"
+"$dmm" explore -w drr --quick --seed 1 --advise > "$tmpdir/explore_advised.out"
+grep -A 6 'footprint comparison' "$tmpdir/explore_advised.out" > "$tmpdir/fp_advised.out"
+skipped=$(awk '/^advisor skipped/ { print $3 }' "$tmpdir/explore_advised.out")
+if [ -z "$skipped" ] || [ "$skipped" -le 0 ]; then
+  echo "bench_smoke: FAIL (dmm explore --advise skipped no candidates)" >&2
+  exit 1
+fi
+if diff -u "$tmpdir/fp_exhaustive.out" "$tmpdir/fp_advised.out"; then
+  echo "bench_smoke: PASS (advisor skipped $skipped candidates; footprint comparison unchanged)"
+else
+  echo "bench_smoke: FAIL (advised exploration changed the footprint comparison)" >&2
   exit 1
 fi

@@ -169,6 +169,54 @@ and check alike:
   dmm report: pass --jsonl FILE or a workload (-w)
   [2]
 
+The span-matching lifetime profiler consumes the same --jsonl export (or
+a live replay): alloc/free pairs become spans with per-size-class and
+per-phase lifetime histograms, plus an address-space heat map. Offline
+and live profiles are byte-identical after the source line:
+
+  $ dmm profile --jsonl drr.jsonl | head -6
+  profile: drr.jsonl (103850 events)
+  
+  == spans ==
+    completed 20238     leaked    0 (0 B)
+    unmatched frees 0, allocs over live spans 0
+  
+
+  $ dmm profile --jsonl drr.jsonl | tail -n +2 > profile_off.out
+  $ dmm profile -w drr --quick --seed 1 -m obstacks | tail -n +2 > profile_live.out
+  $ diff profile_off.out profile_live.out
+
+The JSON and chrome://tracing exports: one async begin/end pair per
+completed span.
+
+  $ dmm profile --jsonl drr.jsonl --json p.json --chrome p.trace > /dev/null
+  $ grep -c '"lifetimes"' p.json
+  8
+  $ grep -c '"ph":"b"' p.trace
+  20238
+
+Malformed and missing inputs fail exactly like report and check:
+
+  $ dmm profile --jsonl broken.jsonl
+  dmm profile: broken.jsonl: line 2: not a JSON object
+  [2]
+  $ dmm profile --jsonl missing.jsonl
+  dmm profile: missing.jsonl: No such file or directory
+  [2]
+  $ dmm profile
+  dmm profile: pass --jsonl FILE or a workload (-w)
+  [2]
+
+The measured lifetime profile advises the explorer: profile-refuted B3
+(pool division by lifetime) candidates are skipped, and the chosen
+design — the whole footprint comparison — is unchanged:
+
+  $ dmm explore -w drr --quick --seed 1 --advise | grep 'advisor skipped'
+  advisor skipped 1 candidates
+  $ dmm explore -w drr --quick --seed 1 | grep -A 6 'footprint comparison' > fp_exhaustive.out
+  $ dmm explore -w drr --quick --seed 1 --advise | grep -A 6 'footprint comparison' > fp_advised.out
+  $ diff fp_exhaustive.out fp_advised.out
+
 Engine self-metrics: the memoising simulator and the explorer count their
 own work, and the counters are identical whatever the worker count (only
 [time]-prefixed wall-clock lines and pool scheduling vary):
@@ -177,19 +225,19 @@ own work, and the counters are identical whatever the worker count (only
   $ dmm explore -w drr --quick --seed 1 --jobs 4 --telemetry | grep -E '^dmm_(sim|explorer)' > telem_j4.out
   $ diff telem_j1.out telem_j4.out
   $ cat telem_j1.out
-  dmm_explorer_candidates_generated_total 12
+  dmm_explorer_candidates_generated_total 13
   dmm_explorer_candidates_pruned_total 1
-  dmm_explorer_designs_scored_total 11
+  dmm_explorer_designs_scored_total 12
   dmm_explorer_first_legal_fallbacks_total 0
   dmm_sim_memo_hits_total 0
-  dmm_sim_memo_misses_total 11
-  dmm_sim_replays_total 11
+  dmm_sim_memo_misses_total 12
+  dmm_sim_replays_total 12
 
 Bad input is reported, not crashed on:
 
   $ dmm profile -w nonsense --quick 2>&1 | head -2
   dmm: option '-w': unknown workload "nonsense" (drr|reconstruct|render)
-  Usage: dmm profile [--quick] [--seed=SEED] [--workload=WORKLOAD] [OPTION]…
+  Usage: dmm profile [OPTION]…
   $ dmm replay -t missing.trace -m lea
   missing.trace: No such file or directory
   [1]

@@ -35,6 +35,7 @@ let () =
       Test_breakdown.tests;
       Test_checker.tests;
       Test_sanitizer.tests;
+      Test_profiler.tests;
       Test_phase_detect.tests;
       Test_energy.tests;
       Test_experiments.tests;
