@@ -330,6 +330,8 @@ let figure5_cmd =
             ("Lea", Scenario.lea);
             ( "custom DM manager 1",
               Scenario.custom_manager (Scenario.drr_paper_design ()) );
+            ("Fixed-pool", Scenario.fixed_pool);
+            ("Buddy-bitmap", Scenario.buddy_bitmap);
           ]
       in
       Chrome_sink.write_file path sinks;
@@ -455,6 +457,8 @@ let manager_conv =
     | "lea" -> Ok `Lea
     | "regions" -> Ok `Regions
     | "obstacks" -> Ok `Obstacks
+    | "fixed-pool" -> Ok `Fixed_pool
+    | "buddy-bitmap" -> Ok `Buddy_bitmap
     | "custom" -> Ok `Custom
     | s -> Error (`Msg (Printf.sprintf "unknown manager %S" s))
   in
@@ -465,6 +469,8 @@ let manager_conv =
       | `Lea -> "lea"
       | `Regions -> "regions"
       | `Obstacks -> "obstacks"
+      | `Fixed_pool -> "fixed-pool"
+      | `Buddy_bitmap -> "buddy-bitmap"
       | `Custom -> "custom")
   in
   Arg.conv (parse, print)
@@ -475,6 +481,8 @@ let maker_for manager trace : Scenario.maker =
   | `Lea -> Scenario.lea
   | `Regions -> Scenario.regions
   | `Obstacks -> Scenario.obstacks
+  | `Fixed_pool -> Scenario.fixed_pool
+  | `Buddy_bitmap -> Scenario.buddy_bitmap
   | `Custom -> Scenario.custom_global (Scenario.global_design_for trace)
 
 let manager_arg ~default ~doc =
@@ -518,7 +526,7 @@ let trace_cmd =
   let manager =
     manager_arg ~default:`Lea
       ~doc:
-        "Manager observed by $(b,--jsonl): kingsley, lea, regions, obstacks or custom          (methodology-derived). Default lea."
+        "Manager observed by $(b,--jsonl): kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom          (methodology-derived). Default lea."
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Record a workload's allocation trace to a file.")
@@ -547,7 +555,7 @@ let replay_cmd =
   in
   let manager =
     manager_arg ~default:`Custom
-      ~doc:"kingsley, lea, regions, obstacks or custom (methodology-derived)."
+      ~doc:"kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom (methodology-derived)."
   in
   Cmd.v
     (Cmd.info "replay" ~doc:"Replay a recorded trace against a manager and report its footprint.")
@@ -630,7 +638,7 @@ let check_cmd =
   in
   let manager =
     manager_arg ~default:`Custom
-      ~doc:"Manager checked in workload mode: kingsley, lea, regions, obstacks or custom."
+      ~doc:"Manager checked in workload mode: kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom."
   in
   let strict =
     Arg.(
@@ -807,7 +815,7 @@ let report_cmd =
   in
   let manager =
     manager_arg ~default:`Lea
-      ~doc:"Manager replayed in workload mode: kingsley, lea, regions, obstacks or custom."
+      ~doc:"Manager replayed in workload mode: kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom."
   in
   let prom =
     Arg.(
@@ -988,7 +996,7 @@ let profile_cmd =
   in
   let manager =
     manager_arg ~default:`Lea
-      ~doc:"Manager replayed in workload mode: kingsley, lea, regions, obstacks or custom."
+      ~doc:"Manager replayed in workload mode: kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom."
   in
   let json_out =
     Arg.(

@@ -1,0 +1,244 @@
+module Address_space = Dmm_vmem.Address_space
+module Size = Dmm_util.Size
+module Metrics = Dmm_core.Metrics
+module Allocator = Dmm_core.Allocator
+module Probe = Dmm_obs.Probe
+module Obs_event = Dmm_obs.Event
+
+(* MintOS-style binary buddy system (SNIPPETS.md §1–2): the heap is one
+   power-of-two arena based at address 0, managed with one occupancy bitmap
+   per level plus a per-block level byte.
+
+     level 0:  blocks of min_block bytes          bit i  <->  [i*min,  +min)
+     level l:  blocks of min_block * 2^l bytes    bit i  <->  [i*min*2^l, ...)
+
+   A set bit means "this block is free at this level". Allocation finds the
+   first set bit at the request's level (scanning upward), then splits the
+   block down, re-flagging the upper halves; freeing re-sets the bit and
+   greedily merges with the buddy (addr XOR size) as long as it is free.
+   Because the base is 0 and the capacity a power of two, buddy arithmetic
+   stays valid across capacity doublings — each doubling simply appends a
+   free block of the old capacity at its level.
+
+   The per-min-block level byte (0xFF = not an allocated block base) is the
+   MintOS allocated-block index: O(1) size recovery and wild/double-free
+   detection on free. The requested payload is stored in-band in the arena
+   at the block base. *)
+
+type config = { min_block : int }
+
+let default_config = { min_block = 32 }
+
+type t = {
+  config : config;
+  space : Address_space.t;
+  mutable cap : int; (* power-of-two arena size (0 before first use) *)
+  mutable n_levels : int; (* log2 (cap / min_block) + 1 *)
+  mutable bitmaps : Bytes.t array; (* level -> occupancy bitmap, 1 = free *)
+  mutable level_bytes : Bytes.t; (* addr/min_block -> level | 0xFF *)
+  metrics : Metrics.t;
+  probe : Probe.t;
+  shift : int; (* log2 min_block *)
+  mutable live_payload : int;
+  mutable live_gross : int;
+}
+
+let create ?(config = default_config) ?(probe = Probe.null) space =
+  if not (Size.is_power_of_two config.min_block) then
+    invalid_arg "Buddy_bitmap.create: min_block must be a power of two";
+  if config.min_block < 8 then invalid_arg "Buddy_bitmap.create: min_block too small";
+  {
+    config;
+    space;
+    cap = 0;
+    n_levels = 0;
+    bitmaps = [||];
+    level_bytes = Bytes.empty;
+    metrics = Metrics.create ();
+    probe;
+    shift = Size.log2_ceil config.min_block;
+    live_payload = 0;
+    live_gross = 0;
+  }
+
+(* Zero-step scans are accounting no-ops: keep them out of the stream. *)
+let acct_ops t n =
+  Metrics.add_ops t.metrics n;
+  if n <> 0 && Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Fit_scan { steps = n })
+
+let bit_get bm i = Char.code (Bytes.unsafe_get bm (i lsr 3)) land (1 lsl (i land 7)) <> 0
+
+let bit_set bm i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set bm j (Char.unsafe_chr (Char.code (Bytes.unsafe_get bm j) lor (1 lsl (i land 7))))
+
+let bit_clear bm i =
+  let j = i lsr 3 in
+  Bytes.unsafe_set bm j
+    (Char.unsafe_chr (Char.code (Bytes.unsafe_get bm j) land lnot (1 lsl (i land 7)) land 0xff))
+
+let bits_at_level t l = t.cap asr (t.shift + l)
+
+let bitmap_bytes nbits = (nbits + 7) / 8
+
+(* First set bit in [bm] among the first [nbits] bits, skipping zero bytes. *)
+let first_set bm nbits =
+  let nbytes = bitmap_bytes nbits in
+  let rec go j =
+    if j >= nbytes then -1
+    else
+      let byte = Char.code (Bytes.unsafe_get bm j) in
+      if byte = 0 then go (j + 1)
+      else begin
+        let rec bit k = if byte land (1 lsl k) <> 0 then (j lsl 3) + k else bit (k + 1) in
+        let i = bit 0 in
+        if i < nbits then i else -1
+      end
+  in
+  go 0
+
+(* First use: one sbrk covering the request, the whole arena a single free
+   block at the top level. *)
+let init_arena t needed =
+  let request = max 4096 (Size.pow2_ceil needed) in
+  let (_ : int) = Address_space.sbrk t.space request in
+  acct_ops t 4;
+  t.cap <- request;
+  t.n_levels <- Size.log2_ceil (request asr t.shift) + 1;
+  t.bitmaps <-
+    Array.init t.n_levels (fun l -> Bytes.make (bitmap_bytes (max 1 (t.cap asr (t.shift + l)))) '\000');
+  t.level_bytes <- Bytes.make (t.cap asr t.shift) '\255';
+  bit_set t.bitmaps.(t.n_levels - 1) 0
+
+(* Double the arena: every bitmap doubles its bit count (base 0 keeps every
+   existing index valid), a fresh top level appears, and the new upper half
+   becomes one free block of the old capacity at the old top level. *)
+let grow_once t =
+  let old_cap = t.cap in
+  let (_ : int) = Address_space.sbrk t.space old_cap in
+  acct_ops t 4;
+  t.cap <- 2 * old_cap;
+  let n = t.n_levels + 1 in
+  let bitmaps =
+    Array.init n (fun l ->
+        let bm = Bytes.make (bitmap_bytes (max 1 (t.cap asr (t.shift + l)))) '\000' in
+        if l < t.n_levels then Bytes.blit t.bitmaps.(l) 0 bm 0 (Bytes.length t.bitmaps.(l));
+        bm)
+  in
+  t.bitmaps <- bitmaps;
+  t.n_levels <- n;
+  let lb = Bytes.make (t.cap asr t.shift) '\255' in
+  Bytes.blit t.level_bytes 0 lb 0 (Bytes.length t.level_bytes);
+  t.level_bytes <- lb;
+  bit_set t.bitmaps.(t.n_levels - 2) 1
+
+(* Find a free block at [lt] or above; each level probed charges one step. *)
+let scan t lt =
+  let rec go l steps =
+    if l >= t.n_levels then (-1, -1, steps + 1)
+    else
+      let i = first_set t.bitmaps.(l) (max 1 (bits_at_level t l)) in
+      if i >= 0 then (l, i, steps + 1) else go (l + 1) (steps + 1)
+  in
+  go lt 0
+
+let alloc t payload =
+  if payload <= 0 then invalid_arg "Buddy_bitmap.alloc: non-positive size";
+  let needed = max t.config.min_block (Size.pow2_ceil payload) in
+  let lt = Size.log2_ceil needed - t.shift in
+  if t.cap = 0 then init_arena t needed;
+  let rec acquire () =
+    let l, i, steps = scan t lt in
+    acct_ops t steps;
+    if l < 0 then begin
+      grow_once t;
+      acquire ()
+    end
+    else (l, i)
+  in
+  let l, i = acquire () in
+  bit_clear t.bitmaps.(l) i;
+  let addr = i lsl (t.shift + l) in
+  (* Split down to the target level, re-flagging each upper half. *)
+  let lvl = ref l in
+  while !lvl > lt do
+    let parent = t.config.min_block lsl !lvl in
+    let half = parent lsr 1 in
+    decr lvl;
+    bit_set t.bitmaps.(!lvl) ((addr + half) asr (t.shift + !lvl));
+    acct_ops t 1;
+    Metrics.on_split t.metrics;
+    if Probe.enabled t.probe then
+      Probe.emit t.probe
+        (Obs_event.Split { addr; parent; taken = half; remainder = half })
+  done;
+  Bytes.unsafe_set t.level_bytes (addr asr t.shift) (Char.unsafe_chr lt);
+  Address_space.arena_set32 t.space addr payload;
+  t.live_payload <- t.live_payload + payload;
+  t.live_gross <- t.live_gross + needed;
+  Metrics.on_alloc t.metrics ~payload;
+  if Probe.enabled t.probe then
+    Probe.emit t.probe (Obs_event.Alloc { payload; gross = needed; tag = 0; addr });
+  addr
+
+let free t addr =
+  let idx = addr asr t.shift in
+  if
+    addr < 0
+    || addr land (t.config.min_block - 1) <> 0
+    || idx >= Bytes.length t.level_bytes
+    || Bytes.unsafe_get t.level_bytes idx = '\255'
+  then raise (Allocator.Invalid_free addr);
+  let lt = Char.code (Bytes.unsafe_get t.level_bytes idx) in
+  Bytes.unsafe_set t.level_bytes idx '\255';
+  let payload = Address_space.arena_get32 t.space addr in
+  t.live_payload <- t.live_payload - payload;
+  t.live_gross <- t.live_gross - (t.config.min_block lsl lt);
+  acct_ops t 1;
+  Metrics.on_free t.metrics ~payload;
+  if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr });
+  (* Greedy buddy merging: the buddy of [a] at level [l] is a XOR size. *)
+  let a = ref addr and l = ref lt in
+  let continue_ = ref true in
+  while !continue_ && !l < t.n_levels - 1 do
+    let sz = t.config.min_block lsl !l in
+    let buddy = !a lxor sz in
+    if buddy < t.cap && bit_get t.bitmaps.(!l) (buddy asr (t.shift + !l)) then begin
+      bit_clear t.bitmaps.(!l) (buddy asr (t.shift + !l));
+      a := min !a buddy;
+      incr l;
+      acct_ops t 1;
+      Metrics.on_coalesce t.metrics;
+      if Probe.enabled t.probe then
+        Probe.emit t.probe
+          (Obs_event.Coalesce { addr = !a; merged = 2 * sz; absorbed = sz })
+    end
+    else continue_ := false
+  done;
+  bit_set t.bitmaps.(!l) (!a asr (t.shift + !l))
+
+let current_footprint t = t.cap
+let max_footprint t = t.cap (* the arena never shrinks *)
+let metrics t = Metrics.snapshot t.metrics
+
+let breakdown t : Metrics.breakdown =
+  {
+    Metrics.live_payload = t.live_payload;
+    tag_overhead = 0;
+    internal_padding = t.live_gross - t.live_payload;
+    free_bytes = t.cap - t.live_gross;
+    total_held = t.cap;
+  }
+
+let allocator t =
+  {
+    Allocator.name = "buddy-bitmap";
+    alloc = (fun size -> alloc t size);
+    free = (fun addr -> free t addr);
+    phase = Allocator.ignore_phase;
+    current_footprint = (fun () -> current_footprint t);
+    max_footprint = (fun () -> max_footprint t);
+    stats = (fun () -> metrics t);
+    breakdown = (fun () -> breakdown t);
+  }

@@ -1,0 +1,45 @@
+(** MintOS-style binary buddy allocator over per-level occupancy bitmaps.
+
+    The heap is a single power-of-two arena based at address 0. Each level
+    [l] covers blocks of [min_block * 2^l] bytes and owns one bitmap in
+    which a set bit marks a free block; a side byte table keyed by
+    [addr / min_block] records the level of every allocated block (O(1)
+    size recovery and wild/double-free detection). Allocation takes the
+    first set bit at the request's level — scanning upward and splitting
+    down, re-flagging the upper halves — and freeing greedily merges with
+    the buddy ([addr XOR size]) while it is free. Capacity grows by
+    doubling; each doubling appends one free block of the old capacity, and
+    the zero base keeps all existing bit positions valid. Addresses are
+    naturally size-aligned: [addr mod gross = 0]. *)
+
+type config = {
+  min_block : int;  (** smallest block size, a power of two (default 32) *)
+}
+
+val default_config : config
+
+type t
+
+val create : ?config:config -> ?probe:Dmm_obs.Probe.t -> Dmm_vmem.Address_space.t -> t
+(** Raises [Invalid_argument] on a non-power-of-two or too-small
+    [min_block]. [probe] mirrors the full accounting stream, including the
+    Split events of the split-down path and the Coalesce events of buddy
+    merging. *)
+
+val alloc : t -> int -> int
+(** Raises [Invalid_argument] on a non-positive request. *)
+
+val free : t -> int -> unit
+(** Raises {!Dmm_core.Allocator.Invalid_free} on wild or double frees. *)
+
+val current_footprint : t -> int
+
+val max_footprint : t -> int
+(** Equal to {!current_footprint}: the arena never shrinks. *)
+
+val metrics : t -> Dmm_core.Metrics.snapshot
+
+val breakdown : t -> Dmm_core.Metrics.breakdown
+(** Decompose the current footprint (Section 4.1 factors). *)
+
+val allocator : t -> Dmm_core.Allocator.t

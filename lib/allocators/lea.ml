@@ -24,13 +24,22 @@ let default_config =
     small_bin_max = 512;
   }
 
+(* Chunk bookkeeping lives in-band, dlmalloc style: every chunk in
+   [0, top_addr) carries a 32-bit boundary tag at its base and a copy at its
+   last 4 bytes, encoding [size * 2 + used]. Neighbour discovery on free is
+   pure arena arithmetic — the header at [end_addr] is the next chunk, the
+   footer at [addr - 4] describes the previous one. Chunks exactly tile
+   [0, top_addr) and the wilderness [top_addr, brk) has no tags, so both
+   probes are guarded by the tiling invariant alone; no side maps of chunk
+   records are needed. [req_sizes] (base -> requested payload) remains the
+   liveness authority for wild/double-free detection, exactly as before. *)
+
 type t = {
   config : config;
   space : Address_space.t;
   bins : Free_structure.t array;
-  by_base : (int, Block.t) Hashtbl.t;
-  by_end : (int, Block.t) Hashtbl.t;
-  req_sizes : (int, int) Hashtbl.t;
+  binmap : int array; (* occupancy bitmap: bit (i mod 62) of word (i / 62) *)
+  req_sizes : int Dmm_util.Int_table.t;
   metrics : Metrics.t;
   probe : Probe.t;
   mutable top_addr : int;
@@ -62,9 +71,8 @@ let create ?(config = default_config) ?(probe = Probe.null) space =
     config;
     space;
     bins;
-    by_base = Hashtbl.create 256;
-    by_end = Hashtbl.create 256;
-    req_sizes = Hashtbl.create 256;
+    binmap = Array.make ((Array.length bins + 61) / 62) 0;
+    req_sizes = Dmm_util.Int_table.create ~size:256 (-1);
     metrics = Metrics.create ();
     probe;
     top_addr = 0;
@@ -93,21 +101,48 @@ let bin_index t gross =
 let gross_of_request t payload =
   max t.min_chunk (Size.align_up (payload + t.config.header_bytes) t.config.alignment)
 
-let register t (b : Block.t) =
-  Hashtbl.replace t.by_base b.addr b;
-  Hashtbl.replace t.by_end (Block.end_addr b) b
+(* Boundary tags: [size * 2 + used] at the chunk base and again in the last
+   4 bytes (min_chunk >= 16 keeps the two words disjoint). *)
+let set_tags t addr size used =
+  let v = (size lsl 1) lor (if used then 1 else 0) in
+  Address_space.arena_set32 t.space addr v;
+  Address_space.arena_set32 t.space (addr + size - 4) v
 
-let unregister t (b : Block.t) =
-  Hashtbl.remove t.by_base b.addr;
-  Hashtbl.remove t.by_end (Block.end_addr b)
+let tag_size v = v asr 1
+let tag_used v = v land 1 <> 0
+
+let binmap_update t i =
+  let w = i / 62 and bit = 1 lsl (i mod 62) in
+  if Free_structure.cardinal t.bins.(i) > 0 then t.binmap.(w) <- t.binmap.(w) lor bit
+  else t.binmap.(w) <- t.binmap.(w) land lnot bit
+
+(* Index of the first non-empty bin >= [i], or -1: skip whole empty words,
+   then isolate the lowest set bit (a power of two, so [log2_ceil] is its
+   index). *)
+let rec next_nonempty t i =
+  let nbins = Array.length t.bins in
+  if i >= nbins then -1
+  else begin
+    let w = i / 62 in
+    let masked = t.binmap.(w) land ((-1) lsl (i mod 62)) land max_int in
+    if masked <> 0 then (w * 62) + Size.log2_ceil (masked land -masked)
+    else next_nonempty t ((w + 1) * 62)
+  end
 
 let insert_bin t (b : Block.t) =
   b.status <- Block.Free;
-  Free_structure.insert t.bins.(bin_index t b.size) b;
+  let i = bin_index t b.size in
+  Free_structure.insert t.bins.(i) b;
+  binmap_update t i;
   acct_ops t 1
 
-let remove_bin t (b : Block.t) =
-  Free_structure.remove t.bins.(bin_index t b.size) b;
+(* Unlink the chunk at [addr]/[size] from its bin. Bins key doubly linked
+   lists by address and trees by (size, addr), so an ephemeral record with
+   the right coordinates names the stored one. *)
+let remove_bin t ~addr ~size =
+  let i = bin_index t size in
+  Free_structure.remove t.bins.(i) (Block.v ~addr ~size ~status:Block.Free ~run_id:0);
+  binmap_update t i;
   acct_ops t 1
 
 (* Carve [gross] bytes from the bottom of the top chunk. *)
@@ -116,10 +151,9 @@ let carve_top t gross =
   let addr = t.top_addr in
   t.top_addr <- t.top_addr + gross;
   t.top_size <- t.top_size - gross;
-  let b = Block.v ~addr ~size:gross ~status:Block.Used ~run_id:0 in
-  register t b;
+  set_tags t addr gross true;
   acct_ops t 1;
-  b
+  Block.v ~addr ~size:gross ~status:Block.Used ~run_id:0
 
 let extend_top t need =
   let request = Size.align_up (max need t.config.granularity) t.config.granularity in
@@ -138,11 +172,9 @@ let split_remainder t (b : Block.t) gross =
   let remainder = b.size - gross in
   if remainder >= t.min_chunk then begin
     let parent = b.size in
-    Hashtbl.remove t.by_end (Block.end_addr b);
     b.size <- gross;
-    Hashtbl.replace t.by_end (Block.end_addr b) b;
     let rem = Block.v ~addr:(Block.end_addr b) ~size:remainder ~status:Block.Free ~run_id:0 in
-    register t rem;
+    set_tags t rem.addr remainder false;
     insert_bin t rem;
     Metrics.on_split t.metrics;
     if Probe.enabled t.probe then
@@ -150,19 +182,59 @@ let split_remainder t (b : Block.t) gross =
         (Obs_event.Split { addr = b.addr; parent; taken = gross; remainder })
   end
 
+(* Walking a run of empty bins charges 1 per bin visited plus 1 per empty
+   tree bin probed (a [take_fit] on an empty tree records one step). The
+   fast path below skips those bins via the occupancy bitmap and settles
+   the identical charge arithmetically; tree bins are the [i >= n_small]
+   suffix, and every skipped bin is empty by construction. *)
+let skipped_charge t ~from ~until =
+  (until - from) + max 0 (until - max from (n_small t))
+
 let take_from_bins t gross =
-  let rec go i =
-    if i >= Array.length t.bins then None
-    else begin
-      acct_ops t 1;
-      let fs = t.bins.(i) in
-      let before = Free_structure.steps fs in
-      let r = Free_structure.take_fit fs Dmm_core.Decision.Best_fit gross in
-      acct_ops t (Free_structure.steps fs - before);
-      match r with Some _ -> r | None -> go (i + 1)
-    end
-  in
-  go (bin_index t gross)
+  if Probe.enabled t.probe then begin
+    (* Probe on: each bin visit and each non-zero scan is its own Fit_scan
+       event, so walk bin by bin exactly as the stream promises. *)
+    let rec go i =
+      if i >= Array.length t.bins then None
+      else begin
+        acct_ops t 1;
+        let fs = t.bins.(i) in
+        let before = Free_structure.steps fs in
+        let r = Free_structure.take_fit fs Dmm_core.Decision.Best_fit gross in
+        acct_ops t (Free_structure.steps fs - before);
+        match r with
+        | Some _ ->
+          binmap_update t i;
+          r
+        | None -> go (i + 1)
+      end
+    in
+    go (bin_index t gross)
+  end
+  else begin
+    let nbins = Array.length t.bins in
+    let rec go i charge =
+      let j = next_nonempty t i in
+      if j < 0 then begin
+        Metrics.add_ops t.metrics (charge + skipped_charge t ~from:i ~until:nbins);
+        None
+      end
+      else begin
+        let charge = charge + skipped_charge t ~from:i ~until:j + 1 in
+        let fs = t.bins.(j) in
+        let before = Free_structure.steps fs in
+        let r = Free_structure.take_fit fs Dmm_core.Decision.Best_fit gross in
+        let charge = charge + (Free_structure.steps fs - before) in
+        match r with
+        | Some _ ->
+          binmap_update t j;
+          Metrics.add_ops t.metrics charge;
+          r
+        | None -> go (j + 1) charge
+      end
+    in
+    go (bin_index t gross) 0
+  end
 
 let alloc t payload =
   if payload <= 0 then invalid_arg "Lea.alloc: non-positive size";
@@ -172,12 +244,13 @@ let alloc t payload =
     | Some b ->
       b.status <- Block.Used;
       split_remainder t b gross;
+      set_tags t b.addr b.size true;
       b
     | None ->
       if t.top_size < gross then extend_top t gross;
       carve_top t gross
   in
-  Hashtbl.replace t.req_sizes block.Block.addr payload;
+  Dmm_util.Int_table.replace t.req_sizes block.Block.addr payload;
   Metrics.on_alloc t.metrics ~payload;
   if Probe.enabled t.probe then
     Probe.emit t.probe
@@ -190,36 +263,42 @@ let alloc t payload =
          });
   block.Block.addr + t.config.header_bytes
 
-(* Immediate bidirectional coalescing, dlmalloc-style. *)
+(* Immediate bidirectional coalescing, dlmalloc-style, via boundary tags.
+   Forward: chunks tile [0, top_addr), so a header exists at [end_addr b]
+   iff that is below the wilderness. Backward: the previous chunk's footer
+   sits at [addr - 4] whenever addr > 0. *)
 let merge_neighbours t (b : Block.t) =
   let b = ref b in
-  (match Hashtbl.find_opt t.by_base (Block.end_addr !b) with
-  | Some next when Block.is_free next ->
-    remove_bin t next;
-    unregister t next;
-    Hashtbl.remove t.by_end (Block.end_addr !b);
-    !b.size <- !b.size + next.size;
-    Hashtbl.replace t.by_end (Block.end_addr !b) !b;
-    Metrics.on_coalesce t.metrics;
-    if Probe.enabled t.probe then
-      Probe.emit t.probe
-        (Obs_event.Coalesce { addr = !b.addr; merged = !b.size; absorbed = next.size })
-  | Some _ | None -> ());
-  (match Hashtbl.find_opt t.by_end !b.Block.addr with
-  | Some prev when Block.is_free prev ->
-    remove_bin t prev;
-    unregister t prev;
-    unregister t !b;
-    let absorbed = !b.size in
-    prev.size <- prev.size + !b.size;
-    Hashtbl.replace t.by_base prev.addr prev;
-    Hashtbl.replace t.by_end (Block.end_addr prev) prev;
-    b := prev;
-    Metrics.on_coalesce t.metrics;
-    if Probe.enabled t.probe then
-      Probe.emit t.probe
-        (Obs_event.Coalesce { addr = prev.addr; merged = prev.size; absorbed })
-  | Some _ | None -> ());
+  (let nxt = Block.end_addr !b in
+   if nxt < t.top_addr then begin
+     let v = Address_space.arena_get32 t.space nxt in
+     if not (tag_used v) then begin
+       let absorbed = tag_size v in
+       remove_bin t ~addr:nxt ~size:absorbed;
+       !b.size <- !b.size + absorbed;
+       set_tags t !b.addr !b.size false;
+       Metrics.on_coalesce t.metrics;
+       if Probe.enabled t.probe then
+         Probe.emit t.probe
+           (Obs_event.Coalesce { addr = !b.addr; merged = !b.size; absorbed })
+     end
+   end);
+  (if !b.Block.addr > 0 then begin
+     let v = Address_space.arena_get32 t.space (!b.Block.addr - 4) in
+     if not (tag_used v) then begin
+       let psize = tag_size v in
+       let prev_addr = !b.Block.addr - psize in
+       remove_bin t ~addr:prev_addr ~size:psize;
+       let absorbed = !b.size in
+       let merged = Block.v ~addr:prev_addr ~size:(psize + absorbed) ~status:Block.Free ~run_id:0 in
+       set_tags t merged.addr merged.size false;
+       b := merged;
+       Metrics.on_coalesce t.metrics;
+       if Probe.enabled t.probe then
+         Probe.emit t.probe
+           (Obs_event.Coalesce { addr = merged.addr; merged = merged.size; absorbed })
+     end
+   end);
   !b
 
 let maybe_trim t =
@@ -234,19 +313,18 @@ let maybe_trim t =
 
 let free t addr =
   let base = addr - t.config.header_bytes in
-  match Hashtbl.find_opt t.by_base base with
+  match Dmm_util.Int_table.find_opt t.req_sizes base with
   | None -> raise (Allocator.Invalid_free addr)
-  | Some b when Block.is_free b -> raise (Allocator.Invalid_free addr)
-  | Some b ->
-    let payload = match Hashtbl.find_opt t.req_sizes base with Some p -> p | None -> 0 in
-    Hashtbl.remove t.req_sizes base;
+  | Some payload ->
+    Dmm_util.Int_table.remove t.req_sizes base;
     Metrics.on_free t.metrics ~payload;
     if Probe.enabled t.probe then Probe.emit t.probe (Obs_event.Free { payload; addr });
-    b.status <- Block.Free;
+    let size = tag_size (Address_space.arena_get32 t.space base) in
+    let b = Block.v ~addr:base ~size ~status:Block.Free ~run_id:0 in
+    set_tags t base size false;
     let b = merge_neighbours t b in
-    if t.top_size >= 0 && Block.end_addr b = t.top_addr then begin
+    if Block.end_addr b = t.top_addr then begin
       (* The freed run touches the wilderness: absorb it into top. *)
-      unregister t b;
       t.top_addr <- b.addr;
       t.top_size <- t.top_size + b.size;
       maybe_trim t
@@ -262,17 +340,13 @@ let binned_bytes t = Array.fold_left (fun acc fs -> acc + Free_structure.total_b
 
 let breakdown t : Metrics.breakdown =
   let live_payload = ref 0 and tags = ref 0 and padding = ref 0 in
-  Hashtbl.iter
-    (fun _ (b : Block.t) ->
-      if not (Block.is_free b) then begin
-        let payload =
-          match Hashtbl.find_opt t.req_sizes b.addr with Some p -> p | None -> 0
-        in
-        live_payload := !live_payload + payload;
-        tags := !tags + t.config.header_bytes;
-        padding := !padding + (b.size - t.config.header_bytes - payload)
-      end)
-    t.by_base;
+  Dmm_util.Int_table.iter
+    (fun base payload ->
+      let gross = tag_size (Address_space.arena_get32 t.space base) in
+      live_payload := !live_payload + payload;
+      tags := !tags + t.config.header_bytes;
+      padding := !padding + (gross - t.config.header_bytes - payload))
+    t.req_sizes;
   {
     Metrics.live_payload = !live_payload;
     tag_overhead = !tags;

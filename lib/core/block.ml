@@ -1,11 +1,34 @@
 type status = Free | Used
 
-type t = { addr : int; mutable size : int; mutable status : status; run_id : int }
+type t = {
+  addr : int;
+  mutable size : int;
+  mutable status : status;
+  run_id : int;
+  mutable req_size : int;
+  mutable fs_slot : int;
+  mutable phys_prev : t;
+  mutable phys_next : t;
+}
+
+(* Sentinel for "no physical neighbour"; compared with [==] and never
+   mutated by well-behaved code. *)
+let rec none =
+  {
+    addr = 0;
+    size = 1;
+    status = Free;
+    run_id = -1;
+    req_size = 0;
+    fs_slot = -1;
+    phys_prev = none;
+    phys_next = none;
+  }
 
 let v ~addr ~size ~status ~run_id =
   if size <= 0 then invalid_arg "Block.v: non-positive size";
   if addr < 0 then invalid_arg "Block.v: negative address";
-  { addr; size; status; run_id }
+  { addr; size; status; run_id; req_size = 0; fs_slot = -1; phys_prev = none; phys_next = none }
 
 let end_addr t = t.addr + t.size
 

@@ -13,7 +13,23 @@ type t = {
   mutable size : int;
   mutable status : status;
   run_id : int;
+  mutable req_size : int;
+      (** Requested payload bytes while [Used]; 0 when none is recorded.
+          Lives in the block so the hot alloc/free paths need no side
+          table. *)
+  mutable fs_slot : int;
+      (** Slot index inside the unboxed free structure currently holding
+          this block; -1 when the block is in none. Owned by
+          [Free_structure]. *)
+  mutable phys_prev : t;
+      (** Physically preceding block in the owning manager's address-ordered
+          chain; [none] at the low boundary. Owned by [Manager]. *)
+  mutable phys_next : t;
+      (** Physically following block; [none] at the heap top. *)
 }
+
+val none : t
+(** Sentinel for "no neighbour". Compare with [==]; never mutate. *)
 
 val v : addr:int -> size:int -> status:status -> run_id:int -> t
 

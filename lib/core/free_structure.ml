@@ -111,6 +111,249 @@ module Dll = struct
     go t.head None 0
 end
 
+(* Flat slot-arena twin of the boxed lists: blocks park in parallel unboxed
+   arrays, so the fit scans chase int indices through [addrs]/[sizes]/[nxt]
+   instead of pointer-hopping across heap-allocated nodes. The physical
+   [Block.t] records are retained in [blocks] because managers mutate and
+   re-insert the very records they take out. Charge counts, scan order and
+   iteration order mirror the boxed structures exactly (pinned by the
+   equivalence property tests); slots are recycled through a free chain
+   threaded through [nxt]. *)
+module Flat = struct
+  type t = {
+    mutable blocks : Block.t array; (* slot -> the physical block record *)
+    mutable addrs : int array; (* slot -> addr, scan key without a deref *)
+    mutable sizes : int array; (* slot -> size at insert time *)
+    mutable nxt : int array; (* slot -> next slot | -1 *)
+    mutable prv : int array; (* slot -> prev slot | -1 *)
+    mutable head : int;
+    mutable tail : int;
+    mutable free_slot : int; (* head of the free-slot chain (via nxt) *)
+    dummy : Block.t;
+  }
+
+  let create () =
+    {
+      blocks = [||];
+      addrs = [||];
+      sizes = [||];
+      nxt = [||];
+      prv = [||];
+      head = -1;
+      tail = -1;
+      free_slot = -1;
+      dummy = Block.v ~addr:0 ~size:1 ~status:Block.Free ~run_id:(-1);
+    }
+
+  let grow t =
+    let old = Array.length t.nxt in
+    let cap = max 64 (old * 2) in
+    let blocks = Array.make cap t.dummy in
+    let addrs = Array.make cap 0 in
+    let sizes = Array.make cap 0 in
+    let nxt = Array.make cap (-1) in
+    let prv = Array.make cap (-1) in
+    Array.blit t.blocks 0 blocks 0 old;
+    Array.blit t.addrs 0 addrs 0 old;
+    Array.blit t.sizes 0 sizes 0 old;
+    Array.blit t.nxt 0 nxt 0 old;
+    Array.blit t.prv 0 prv 0 old;
+    for i = old to cap - 1 do
+      nxt.(i) <- (if i = cap - 1 then t.free_slot else i + 1)
+    done;
+    t.blocks <- blocks;
+    t.addrs <- addrs;
+    t.sizes <- sizes;
+    t.nxt <- nxt;
+    t.prv <- prv;
+    t.free_slot <- old
+
+  (* The member block remembers its own slot ([Block.fs_slot]); membership
+     is the physical-identity check below, so no addr -> slot table is
+     needed at all. A block is in at most one structure at a time, exactly
+     as in a real allocator. *)
+
+  let alloc_slot t (b : Block.t) =
+    if t.free_slot < 0 then grow t;
+    let s = t.free_slot in
+    t.free_slot <- t.nxt.(s);
+    t.blocks.(s) <- b;
+    t.addrs.(s) <- b.addr;
+    t.sizes.(s) <- b.size;
+    b.fs_slot <- s;
+    s
+
+  let release_slot t s =
+    t.blocks.(s).Block.fs_slot <- -1;
+    t.blocks.(s) <- t.dummy;
+    t.nxt.(s) <- t.free_slot;
+    t.free_slot <- s
+
+  let mem t (b : Block.t) =
+    let s = b.fs_slot in
+    s >= 0 && s < Array.length t.blocks && t.blocks.(s) == b
+
+  (* Slot holding [b], or -1. The fast path is the O(1) identity check; the
+     address scan backs up callers that pass a reconstructed twin of the
+     stored block (same address, fresh record), as the boundary-tag
+     managers do when they rebuild neighbours from in-band tags. *)
+  let slot_of t (b : Block.t) =
+    if mem t b then b.fs_slot
+    else
+      let rec go cur =
+        if cur < 0 then -1 else if t.addrs.(cur) = b.addr then cur else go t.nxt.(cur)
+      in
+      go t.head
+
+  let push_front t (b : Block.t) =
+    let s = alloc_slot t b in
+    t.prv.(s) <- -1;
+    t.nxt.(s) <- t.head;
+    if t.head >= 0 then t.prv.(t.head) <- s else t.tail <- s;
+    t.head <- s
+
+  (* Insert keeping ascending address order; returns nodes visited, counted
+     exactly like [Dll.insert_sorted]. *)
+  let insert_sorted t (b : Block.t) =
+    let rec find_pos cur visited =
+      if cur < 0 then (-1, visited)
+      else if t.addrs.(cur) > b.addr then (cur, visited + 1)
+      else find_pos t.nxt.(cur) (visited + 1)
+    in
+    let succ, visited = find_pos t.head 0 in
+    let s = alloc_slot t b in
+    (if succ < 0 then begin
+       (* Append at tail. *)
+       t.prv.(s) <- t.tail;
+       t.nxt.(s) <- -1;
+       if t.tail >= 0 then t.nxt.(t.tail) <- s else t.head <- s;
+       t.tail <- s
+     end
+     else begin
+       t.nxt.(s) <- succ;
+       t.prv.(s) <- t.prv.(succ);
+       if t.prv.(succ) >= 0 then t.nxt.(t.prv.(succ)) <- s else t.head <- s;
+       t.prv.(succ) <- s
+     end);
+    visited
+
+  let unlink t s =
+    let p = t.prv.(s) and n = t.nxt.(s) in
+    if p >= 0 then t.nxt.(p) <- n else t.head <- n;
+    if n >= 0 then t.prv.(n) <- p else t.tail <- p;
+    release_slot t s
+
+  let remove t (b : Block.t) =
+    let s = slot_of t b in
+    if s < 0 then raise Not_found else unlink t s
+
+  (* Linear removal with Sll cost semantics: walk from the head, return the
+     1-based position of the match as the traversal charge. *)
+  let remove_scan t (b : Block.t) =
+    let rec go cur visited =
+      if cur < 0 then raise Not_found
+      else if t.addrs.(cur) = b.addr then begin
+        unlink t cur;
+        visited + 1
+      end
+      else go t.nxt.(cur) (visited + 1)
+    in
+    go t.head 0
+
+  let iter f t =
+    let rec go s =
+      if s >= 0 then begin
+        let next = t.nxt.(s) in
+        f t.blocks.(s);
+        go next
+      end
+    in
+    go t.head
+
+  (* The fit scans below are the hottest loops in the replay engine: every
+     abstract step the metrics charge corresponds to one iteration here, so
+     per-step cost is all that is left to optimise. The loops are
+     specialised per fit policy (no per-node dispatch) and use unsafe array
+     reads — every slot index reachable through [head]/[nxt] is a live slot
+     below the arrays' length by construction. *)
+
+  let scan_first t need =
+    let nxt = t.nxt and sizes = t.sizes in
+    let rec go cur steps =
+      if cur < 0 then (-1, steps)
+      else
+        let steps = steps + 1 in
+        if Array.unsafe_get sizes cur >= need then (cur, steps)
+        else go (Array.unsafe_get nxt cur) steps
+    in
+    go t.head 0
+
+  (* Exact and best fit share a loop: stop on an exact hit, otherwise keep
+     the smallest block that fits (first encountered wins ties). *)
+  let scan_exact t need =
+    let nxt = t.nxt and sizes = t.sizes in
+    let rec go cur best best_sz steps =
+      if cur < 0 then (best, steps)
+      else
+        let sz = Array.unsafe_get sizes cur in
+        let steps = steps + 1 in
+        if sz = need then (cur, steps)
+        else if sz > need && sz < best_sz then
+          go (Array.unsafe_get nxt cur) cur sz steps
+        else go (Array.unsafe_get nxt cur) best best_sz steps
+    in
+    go t.head (-1) max_int 0
+
+  (* Full scan keeping the largest fitting block (earlier node wins ties). *)
+  let scan_worst t need =
+    let nxt = t.nxt and sizes = t.sizes in
+    let rec go cur best best_sz steps =
+      if cur < 0 then (best, steps)
+      else
+        let sz = Array.unsafe_get sizes cur in
+        let steps = steps + 1 in
+        if sz >= need && not (best >= 0 && best_sz >= sz) then
+          go (Array.unsafe_get nxt cur) cur sz steps
+        else go (Array.unsafe_get nxt cur) best best_sz steps
+    in
+    go t.head (-1) 0 0
+
+  (* Next fit with a roving pointer: first fitting node not equal to the
+     previous winner; the skipped previous winner is the fallback. *)
+  let scan_next t need ~after =
+    let nxt = t.nxt and sizes = t.sizes and addrs = t.addrs in
+    let rec go cur best steps =
+      if cur < 0 then (best, steps)
+      else
+        let sz = Array.unsafe_get sizes cur in
+        let steps = steps + 1 in
+        if sz < need then go (Array.unsafe_get nxt cur) best steps
+        else if Array.unsafe_get addrs cur <> after then (cur, steps)
+        else go (Array.unsafe_get nxt cur) (if best < 0 then cur else best) steps
+    in
+    go t.head (-1) 0
+
+  (* Twin of [Dll.scan_fit]: same traversal, same step counting, best as a
+     slot index (-1 = none). *)
+  let scan_fit t fit need ~after =
+    match fit with
+    | First_fit -> scan_first t need
+    | Next_fit -> (
+      match after with
+      | None -> scan_first t need
+      | Some a -> scan_next t need ~after:a)
+    | Exact_fit | Best_fit -> scan_exact t need
+    | Worst_fit -> scan_worst t need
+
+  (* Twin of the inline Sll scan in [take_fit]: every node charges a visit
+     and Next_fit degrades to First_fit (no roving pointer in an SLL). *)
+  let scan_lifo t fit need =
+    match fit with
+    | First_fit | Next_fit -> scan_first t need
+    | Exact_fit | Best_fit -> scan_exact t need
+    | Worst_fit -> scan_worst t need
+end
+
 module Size_key = struct
   type t = int * int (* size, addr *)
 
@@ -120,11 +363,16 @@ end
 
 module Size_map = Map.Make (Size_key)
 
+type repr = Boxed | Unboxed
+
 type impl =
   | Sll of { mutable items : Block.t list }
   | Dll_impl of Dll.t
   | Addr_ordered of Dll.t
   | Tree of { mutable map : Block.t Size_map.t }
+  | Fsll of Flat.t
+  | Fdll of Flat.t
+  | Faddr of Flat.t
 
 type t = {
   structure : block_structure;
@@ -135,13 +383,18 @@ type t = {
   mutable last_fit_addr : int option; (* roving pointer for next fit *)
 }
 
-let create structure =
+let create ?(repr = Unboxed) structure =
   let impl =
-    match structure with
-    | Singly_linked_list -> Sll { items = [] }
-    | Doubly_linked_list -> Dll_impl (Dll.create ())
-    | Address_ordered_list -> Addr_ordered (Dll.create ())
-    | Size_ordered_tree -> Tree { map = Size_map.empty }
+    match (repr, structure) with
+    | Boxed, Singly_linked_list -> Sll { items = [] }
+    | Boxed, Doubly_linked_list -> Dll_impl (Dll.create ())
+    | Boxed, Address_ordered_list -> Addr_ordered (Dll.create ())
+    | Unboxed, Singly_linked_list -> Fsll (Flat.create ())
+    | Unboxed, Doubly_linked_list -> Fdll (Flat.create ())
+    | Unboxed, Address_ordered_list -> Faddr (Flat.create ())
+    (* The tree is index-free already (logarithmic over a balanced map);
+       both representations share it. *)
+    | (Boxed | Unboxed), Size_ordered_tree -> Tree { map = Size_map.empty }
   in
   {
     structure;
@@ -153,6 +406,12 @@ let create structure =
   }
 
 let structure t = t.structure
+
+let repr t =
+  match t.impl with
+  | Sll _ | Dll_impl _ | Addr_ordered _ -> Boxed
+  | Fsll _ | Fdll _ | Faddr _ -> Unboxed
+  | Tree _ -> Unboxed
 let cardinal t = t.cardinal
 let total_bytes t = t.total_bytes
 let steps t = t.steps
@@ -165,6 +424,7 @@ let mem t (b : Block.t) =
   match t.impl with
   | Sll s -> List.exists (fun (x : Block.t) -> x.addr = b.addr) s.items
   | Dll_impl d | Addr_ordered d -> Dll.mem d b
+  | Fsll f | Fdll f | Faddr f -> Flat.mem f b
   | Tree tr -> Size_map.mem (b.size, b.addr) tr.map
 
 let insert t (b : Block.t) =
@@ -176,8 +436,14 @@ let insert t (b : Block.t) =
   | Dll_impl d ->
     charge t 1;
     Dll.push_front d b
+  | Fsll f | Fdll f ->
+    charge t 1;
+    Flat.push_front f b
   | Addr_ordered d ->
     let visited = Dll.insert_sorted d b in
+    charge t (visited + 1)
+  | Faddr f ->
+    let visited = Flat.insert_sorted f b in
     charge t (visited + 1)
   | Tree tr ->
     charge t (log2_card t);
@@ -198,9 +464,13 @@ let remove t (b : Block.t) =
         else go (x :: acc) (visited + 1) rest
     in
     go [] 0 s.items
+  | Fsll f -> charge t (Flat.remove_scan f b)
   | Dll_impl d | Addr_ordered d ->
     charge t 1;
     Dll.remove d b
+  | Fdll f | Faddr f ->
+    charge t 1;
+    Flat.remove f b
   | Tree tr ->
     if not (Size_map.mem (b.size, b.addr) tr.map) then raise Not_found;
     charge t (log2_card t);
@@ -215,6 +485,7 @@ let iter f t =
   match t.impl with
   | Sll s -> List.iter f s.items
   | Dll_impl d | Addr_ordered d -> Dll.iter f d
+  | Fsll fl | Fdll fl | Faddr fl -> Flat.iter f fl
   | Tree tr -> Size_map.iter (fun _ b -> f b) tr.map
 
 (* Deliberately skips the ordering and duplicate checks [insert] performs:
@@ -224,6 +495,7 @@ let unsafe_push_front t (b : Block.t) =
   (match t.impl with
   | Sll s -> s.items <- b :: s.items
   | Dll_impl d | Addr_ordered d -> Dll.push_front d b
+  | Fsll f | Fdll f | Faddr f -> Flat.push_front f b
   | Tree tr -> tr.map <- Size_map.add (b.size, b.addr) b tr.map);
   t.cardinal <- t.cardinal + 1;
   t.total_bytes <- t.total_bytes + b.size
@@ -243,7 +515,16 @@ let take_from_list t (d : Dll.t) fit need =
     Dll.unlink d n;
     Some n.Dll.block
 
+(* Empty-structure fast path: the scans below charge exactly 0 on an empty
+   list (no node visited) and [log2_card] = 1 on an empty tree, so the
+   early exit can charge that without touching the structure. This is what
+   makes walking a run of empty bins cheap for the segregated managers. *)
 let take_fit t fit need =
+  if t.cardinal = 0 then begin
+    (match t.impl with Tree _ -> charge t 1 | _ -> ());
+    None
+  end
+  else
   let found =
     match t.impl with
     | Sll s ->
@@ -284,7 +565,25 @@ let take_fit t fit need =
         in
         s.items <- drop [] s.items;
         Some b)
+    | Fsll f ->
+      let slot, visited = Flat.scan_lifo f fit need in
+      charge t visited;
+      if slot < 0 then None
+      else begin
+        let b = f.Flat.blocks.(slot) in
+        Flat.unlink f slot;
+        Some b
+      end
     | Dll_impl d | Addr_ordered d -> take_from_list t d fit need
+    | Fdll f | Faddr f ->
+      let slot, visited = Flat.scan_fit f fit need ~after:t.last_fit_addr in
+      charge t visited;
+      if slot < 0 then None
+      else begin
+        let b = f.Flat.blocks.(slot) in
+        Flat.unlink f slot;
+        Some b
+      end
     | Tree tr -> (
       charge t (log2_card t);
       let candidate =
@@ -303,8 +602,8 @@ let take_fit t fit need =
   | None -> None
   | Some b ->
     (match t.impl with
-    | Tree _ | Sll _ -> () (* already removed above *)
-    | Dll_impl _ | Addr_ordered _ -> () (* unlinked in take_from_list *));
+    | Tree _ | Sll _ | Fsll _ -> () (* already removed above *)
+    | Dll_impl _ | Addr_ordered _ | Fdll _ | Faddr _ -> () (* unlinked above *));
     t.cardinal <- t.cardinal - 1;
     t.total_bytes <- t.total_bytes - b.Block.size;
     t.last_fit_addr <- Some b.Block.addr;

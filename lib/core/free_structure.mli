@@ -15,9 +15,22 @@
 
 type t
 
-val create : Decision.block_structure -> t
+(** Storage backend. Both representations implement identical multiset,
+    ordering and step-charge semantics (pinned by the equivalence property
+    tests); they differ only in constant factors. [Boxed] is the historical
+    node-per-block implementation (heap-allocated list cells); [Unboxed] —
+    the default — parks blocks in parallel int/record arrays and runs the
+    fit scans over flat indices, which keeps the hot path cache-resident.
+    The size-ordered tree is shared by both (already index-free). *)
+type repr = Boxed | Unboxed
+
+val create : ?repr:repr -> Decision.block_structure -> t
+(** [repr] defaults to [Unboxed]. *)
 
 val structure : t -> Decision.block_structure
+
+val repr : t -> repr
+(** The backend actually in use ([Unboxed] for the shared tree). *)
 
 val insert : t -> Block.t -> unit
 (** Raises [Invalid_argument] if a block at the same address is present. *)

@@ -1,6 +1,7 @@
 open Decision
 module Address_space = Dmm_vmem.Address_space
 module Size = Dmm_util.Size
+module Int_table = Dmm_util.Int_table
 module Probe = Dmm_obs.Probe
 module Obs_event = Dmm_obs.Event
 
@@ -48,9 +49,8 @@ type t = {
   space : Address_space.t;
   metrics : Metrics.t;
   probe : Probe.t;
-  by_base : (int, Block.t) Hashtbl.t;
-  by_end : (int, Block.t) Hashtbl.t;
-  req_sizes : (int, int) Hashtbl.t; (* base addr -> requested payload bytes *)
+  by_base : Block.t Int_table.t;
+  mutable phys_last : Block.t; (* highest-addressed block; chain tail *)
   pools : pools;
   classes : int array; (* ascending gross ceilings; empty in varying regimes *)
   header_bytes : int;
@@ -183,15 +183,15 @@ let create ?(expected_live = 256) ?(params = default_params) ?(probe = Probe.nul
       let n = if Array.length classes > 0 then Array.length classes + 1 else 32 + 1 in
       P_by_range (Array.init n (fun _ -> Free_structure.create vec.Decision_vector.a1))
   in
+  let dummy_block = Block.v ~addr:0 ~size:1 ~status:Block.Free ~run_id:(-1) in
   {
     vec;
     params;
     space;
     metrics = Metrics.create ();
     probe;
-    by_base = Hashtbl.create (max 16 expected_live);
-    by_end = Hashtbl.create (max 16 expected_live);
-    req_sizes = Hashtbl.create (max 16 expected_live);
+    by_base = Int_table.create ~size:(max 16 expected_live) dummy_block;
+    phys_last = Block.none;
     pools;
     classes;
     header_bytes;
@@ -261,14 +261,29 @@ let pool_for_size t z =
 
 (* --- registries ------------------------------------------------------------ *)
 
-let register t (b : Block.t) =
-  Hashtbl.replace t.by_base b.addr b;
-  Hashtbl.replace t.by_end (Block.end_addr b) b;
+(* Blocks carry their own address-ordered chain ([Block.phys_prev/next]),
+   so neighbour discovery during coalescing is a field read instead of a
+   hash lookup. [register] splices [b] in right after [after] —
+   [Block.none] for an empty chain. New system chunks append after
+   [t.phys_last] (sbrk grows monotonically); split remainders go after
+   their parent. *)
+let register t ~after (b : Block.t) =
+  Int_table.replace t.by_base b.addr b;
+  let n = if after == Block.none then Block.none else after.Block.phys_next in
+  b.phys_prev <- after;
+  b.phys_next <- n;
+  if after != Block.none then after.Block.phys_next <- b;
+  if n != Block.none then n.Block.phys_prev <- b else t.phys_last <- b;
   acct_ops t 1
 
 let unregister t (b : Block.t) =
-  Hashtbl.remove t.by_base b.addr;
-  Hashtbl.remove t.by_end (Block.end_addr b);
+  Int_table.remove t.by_base b.addr;
+  let p = b.phys_prev and n = b.phys_next in
+  if p != Block.none then p.phys_next <- n;
+  if n != Block.none then n.phys_prev <- p
+  else if t.phys_last == b then t.phys_last <- p;
+  b.phys_prev <- Block.none;
+  b.phys_next <- Block.none;
   acct_ops t 1
 
 let insert_free t (b : Block.t) =
@@ -311,14 +326,12 @@ let try_split t (b : Block.t) gross =
     in
     if split_off >= t.min_block then begin
       let parent = b.size in
-      Hashtbl.remove t.by_end (Block.end_addr b);
       b.size <- b.size - split_off;
-      Hashtbl.replace t.by_end (Block.end_addr b) b;
       let rem =
         Block.v ~addr:(Block.end_addr b) ~size:split_off ~status:Block.Free
           ~run_id:b.run_id
       in
-      register t rem;
+      register t ~after:b rem;
       insert_free t rem;
       acct_split t ~addr:b.addr ~parent ~taken:b.size ~remainder:split_off;
       acct_ops t 1
@@ -334,42 +347,46 @@ let within_coalesce_bound t size =
    same run. Returns the surviving block, also not in any free structure. *)
 let merge_neighbours t (b : Block.t) =
   let b = ref b in
+  (* Neighbours come straight off the physical chain. Same-run neighbours
+     tile the run, so a run-id match implies address contiguity. *)
   (* Forward: absorb the successor. *)
   let rec forward () =
-    match Hashtbl.find_opt t.by_base (Block.end_addr !b) with
-    | Some next
-      when Block.is_free next
-           && next.run_id = !b.run_id
-           && within_coalesce_bound t (!b.size + next.size) ->
+    let next = !b.Block.phys_next in
+    if
+      next != Block.none
+      && Block.is_free next
+      && next.run_id = !b.run_id
+      && within_coalesce_bound t (!b.size + next.size)
+    then begin
       remove_free t next;
+      let absorbed = next.size in
       unregister t next;
-      Hashtbl.remove t.by_end (Block.end_addr !b);
-      !b.size <- !b.size + next.size;
-      Hashtbl.replace t.by_end (Block.end_addr !b) !b;
-      acct_coalesce t ~addr:!b.addr ~merged:!b.size ~absorbed:next.size;
+      !b.size <- !b.size + absorbed;
+      acct_coalesce t ~addr:!b.addr ~merged:!b.size ~absorbed;
       acct_ops t 2;
       forward ()
-    | Some _ | None -> ()
+    end
   in
   (* Backward: be absorbed by the predecessor. *)
   let rec backward () =
-    match Hashtbl.find_opt t.by_end !b.Block.addr with
-    | Some prev
-      when Block.is_free prev
-           && prev.run_id = !b.run_id
-           && within_coalesce_bound t (prev.size + !b.size) ->
+    let prev = !b.Block.phys_prev in
+    if
+      prev != Block.none
+      && Block.is_free prev
+      && prev.run_id = !b.run_id
+      && within_coalesce_bound t (prev.size + !b.size)
+    then begin
       remove_free t prev;
-      unregister t prev;
+      (* One re-registration step, as when the registries were rebuilt. *)
+      acct_ops t 1;
       unregister t !b;
       let absorbed = !b.size in
-      prev.size <- prev.size + !b.size;
-      Hashtbl.replace t.by_base prev.addr prev;
-      Hashtbl.replace t.by_end (Block.end_addr prev) prev;
+      prev.size <- prev.size + absorbed;
       b := prev;
       acct_coalesce t ~addr:prev.addr ~merged:prev.size ~absorbed;
       acct_ops t 2;
       backward ()
-    | Some _ | None -> ()
+    end
   in
   forward ();
   backward ();
@@ -378,7 +395,7 @@ let merge_neighbours t (b : Block.t) =
 (* Deferred coalescing sweep: merge every adjacent pair of free blocks. *)
 let sweep t =
   let frees =
-    Hashtbl.fold (fun _ b acc -> if Block.is_free b then b :: acc else acc) t.by_base []
+    Int_table.fold (fun _ b acc -> if Block.is_free b then b :: acc else acc) t.by_base []
   in
   let sorted = List.sort (fun (a : Block.t) b -> compare a.addr b.Block.addr) frees in
   acct_ops t (List.length sorted);
@@ -394,9 +411,7 @@ let sweep t =
         remove_free t a;
         remove_free t b;
         unregister t b;
-        Hashtbl.remove t.by_end (Block.end_addr a);
         a.size <- a.size + b.size;
-        Hashtbl.replace t.by_end (Block.end_addr a) a;
         insert_free t a;
         acct_coalesce t ~addr:a.addr ~merged:a.size ~absorbed:b.size;
         go (a :: rest)
@@ -432,12 +447,12 @@ let grab_from_system t gross =
     let base = Address_space.sbrk t.space request in
     let run_id = note_new_run t base request in
     let first = Block.v ~addr:base ~size:gross ~status:Block.Used ~run_id in
-    register t first;
+    register t ~after:t.phys_last first;
     for i = 1 to per_chunk - 1 do
       let b =
         Block.v ~addr:(base + (i * gross)) ~size:gross ~status:Block.Free ~run_id
       in
-      register t b;
+      register t ~after:t.phys_last b;
       insert_free t b
     done;
     first
@@ -452,7 +467,7 @@ let grab_from_system t gross =
     let base = Address_space.sbrk t.space request in
     let run_id = note_new_run t base request in
     let b = Block.v ~addr:base ~size:request ~status:Block.Used ~run_id in
-    register t b;
+    register t ~after:t.phys_last b;
     try_split t b gross;
     b
   end
@@ -540,7 +555,7 @@ let alloc t payload =
       end
       else grab_from_system t gross
   in
-  Hashtbl.replace t.req_sizes block.Block.addr payload;
+  block.Block.req_size <- payload;
   acct_alloc t ~payload ~gross:block.Block.size
     ~addr:(block.Block.addr + t.header_bytes);
   (match t.audit with None -> () | Some f -> f t);
@@ -548,14 +563,12 @@ let alloc t payload =
 
 let free t user_addr =
   let base = user_addr - t.header_bytes in
-  match Hashtbl.find_opt t.by_base base with
-  | None -> raise (Allocator.Invalid_free user_addr)
-  | Some b when Block.is_free b -> raise (Allocator.Invalid_free user_addr)
-  | Some b ->
-    let payload =
-      match Hashtbl.find_opt t.req_sizes base with Some p -> p | None -> 0
-    in
-    Hashtbl.remove t.req_sizes base;
+  let miss = Int_table.dummy t.by_base in
+  let b = Int_table.find t.by_base base ~default:miss in
+  if b == miss || Block.is_free b then raise (Allocator.Invalid_free user_addr)
+  else begin
+    let payload = b.Block.req_size in
+    b.Block.req_size <- 0;
     acct_free t ~payload ~addr:user_addr;
     b.status <- Block.Free;
     let b =
@@ -572,14 +585,15 @@ let free t user_addr =
       end
     end;
     (match t.audit with None -> () | Some f -> f t)
+  end
 
 let owns t user_addr =
-  match Hashtbl.find_opt t.by_base (user_addr - t.header_bytes) with
-  | Some b -> not (Block.is_free b)
-  | None -> false
+  let miss = Int_table.dummy t.by_base in
+  let b = Int_table.find t.by_base (user_addr - t.header_bytes) ~default:miss in
+  b != miss && not (Block.is_free b)
 
 let free_blocks t =
-  Hashtbl.fold
+  Int_table.fold
     (fun _ (b : Block.t) acc -> if Block.is_free b then (b.addr, b.size) :: acc else acc)
     t.by_base []
   |> List.sort compare
@@ -595,17 +609,14 @@ let free_bytes t =
 let breakdown t : Metrics.breakdown =
   let live_payload = ref 0 and tag_overhead = ref 0 in
   let internal_padding = ref 0 and free = ref 0 in
-  Hashtbl.iter
+  Int_table.iter
     (fun _ (b : Block.t) ->
       match b.status with
       | Block.Free -> free := !free + b.size
       | Block.Used ->
-        let payload =
-          match Hashtbl.find_opt t.req_sizes b.addr with Some p -> p | None -> 0
-        in
-        live_payload := !live_payload + payload;
+        live_payload := !live_payload + b.req_size;
         tag_overhead := !tag_overhead + t.tag_bytes;
-        internal_padding := !internal_padding + (b.size - t.tag_bytes - payload))
+        internal_padding := !internal_padding + (b.size - t.tag_bytes - b.req_size))
     t.by_base;
   {
     Metrics.live_payload = !live_payload;
@@ -670,7 +681,7 @@ let set_audit t f = t.audit <- f
 
 let check_invariants t =
   let ( let* ) r f = Result.bind r f in
-  let blocks = Hashtbl.fold (fun _ b acc -> b :: acc) t.by_base [] in
+  let blocks = Int_table.fold (fun _ b acc -> b :: acc) t.by_base [] in
   let sorted = List.sort (fun (a : Block.t) b -> compare a.addr b.Block.addr) blocks in
   let* () =
     let rec overlap = function
@@ -684,14 +695,21 @@ let check_invariants t =
     overlap sorted
   in
   let* () =
-    List.fold_left
-      (fun acc (b : Block.t) ->
-        let* () = acc in
-        match Hashtbl.find_opt t.by_end (Block.end_addr b) with
-        | Some b' when b' == b -> Ok ()
-        | Some _ -> Error (Format.asprintf "by_end mismatch for %a" Block.pp b)
-        | None -> Error (Format.asprintf "missing by_end entry for %a" Block.pp b))
-      (Ok ()) sorted
+    (* The physical chain must mirror the address-sorted registry. *)
+    let rec chain (prev : Block.t) = function
+      | [] ->
+        if prev != Block.none && prev.Block.phys_next != Block.none then
+          Error (Format.asprintf "dangling phys_next after %a" Block.pp prev)
+        else if t.phys_last != prev then Error "phys_last out of sync with the registry"
+        else Ok ()
+      | (b : Block.t) :: rest ->
+        if b.Block.phys_prev != prev then
+          Error (Format.asprintf "phys chain break before %a" Block.pp b)
+        else if prev != Block.none && prev.Block.phys_next != b then
+          Error (Format.asprintf "phys chain break after %a" Block.pp prev)
+        else chain b rest
+    in
+    chain Block.none sorted
   in
   let in_pool (b : Block.t) =
     match t.pools with
@@ -711,7 +729,7 @@ let check_invariants t =
           if in_pool b then Ok ()
           else Error (Format.asprintf "free block not in its pool: %a" Block.pp b)
         | Block.Used ->
-          if Hashtbl.mem t.req_sizes b.addr then Ok ()
+          if b.req_size > 0 then Ok ()
           else Error (Format.asprintf "used block without request record: %a" Block.pp b))
       (Ok ()) sorted
   in

@@ -2,27 +2,58 @@ module Allocator = Dmm_core.Allocator
 module Probe = Dmm_obs.Probe
 module Obs_event = Dmm_obs.Event
 
+(* Live id -> address table. Recorder ids are dense small integers, so a
+   growable int array beats a hashtable on the replay hot path; -1 marks
+   "not live" (0 is a valid heap address, so absence needs a sentinel). *)
+type id_map = { mutable addrs : int array }
+
+let id_map_create hint = { addrs = Array.make (max 16 hint) (-1) }
+
+let id_map_set m id addr =
+  let n = Array.length m.addrs in
+  if id >= n then begin
+    let cap = ref (max 16 (2 * n)) in
+    while !cap <= id do
+      cap := !cap * 2
+    done;
+    let grown = Array.make !cap (-1) in
+    Array.blit m.addrs 0 grown 0 n;
+    m.addrs <- grown
+  end;
+  m.addrs.(id) <- addr
+
 let run ?(probe = Probe.null) ?on_event ?(live_hint = 256) trace a =
-  let addrs = Hashtbl.create (max 16 live_hint) in
-  Trace.iteri
-    (fun i event ->
-      (match event with
-      | Event.Alloc { id; size } ->
-        let addr = Allocator.alloc a size in
-        Hashtbl.replace addrs id addr
-      | Event.Free { id } -> (
-        match Hashtbl.find_opt addrs id with
-        | None -> invalid_arg (Printf.sprintf "Replay.run: free of non-live id %d" id)
-        | Some addr ->
-          Hashtbl.remove addrs id;
-          Allocator.free a addr)
-      | Event.Phase p ->
-        (* The replay driver owns phase markers: managers never re-emit
-           them, so each one appears exactly once in the stream. *)
-        if Probe.enabled probe then Probe.emit probe (Obs_event.Phase p);
-        Allocator.phase a p);
-      match on_event with None -> () | Some f -> f i a)
-    trace
+  let addrs = id_map_create live_hint in
+  let step event =
+    match event with
+    | Event.Alloc { id; size } ->
+      let addr = Allocator.alloc a size in
+      id_map_set addrs id addr
+    | Event.Free { id } ->
+      let addr =
+        if id < 0 || id >= Array.length addrs.addrs then -1 else addrs.addrs.(id)
+      in
+      if addr < 0 then
+        invalid_arg (Printf.sprintf "Replay.run: free of non-live id %d" id)
+      else begin
+        addrs.addrs.(id) <- -1;
+        Allocator.free a addr
+      end
+    | Event.Phase p ->
+      (* The replay driver owns phase markers: managers never re-emit
+         them, so each one appears exactly once in the stream. *)
+      if Probe.enabled probe then Probe.emit probe (Obs_event.Phase p);
+      Allocator.phase a p
+  in
+  (* Hoist the observer dispatch out of the per-event loop. *)
+  match on_event with
+  | None -> Trace.iteri (fun _ event -> step event) trace
+  | Some f ->
+    Trace.iteri
+      (fun i event ->
+        step event;
+        f i a)
+      trace
 
 let max_footprint_of trace a =
   run trace a;

@@ -49,4 +49,28 @@ val trim_calls : t -> int
 val bytes_released : t -> int
 (** Cumulative bytes returned via {!trim}. *)
 
+(** {1 Flat arena view}
+
+    A contiguous, zero-initialised, byte-addressable image of the space, so
+    allocators can keep their bookkeeping in-band — boundary tags, in-band
+    free-list links, occupancy bitmaps — in flat unboxed storage instead of
+    heap-allocated records. Positions are heap addresses (the same integers
+    {!sbrk} hands out). The backing buffer grows lazily by amortised
+    doubling; reads beyond what was ever written return 0. Values are
+    little-endian; 32-bit accessors sign-extend, so small negative sentinels
+    (e.g. -1 list terminators) round-trip. *)
+
+val arena_get32 : t -> int -> int
+(** [arena_get32 t pos] reads the signed 32-bit word at byte [pos].
+    Raises [Invalid_argument] if [pos < 0]. *)
+
+val arena_set32 : t -> int -> int -> unit
+(** [arena_set32 t pos v] writes [v]'s low 32 bits at byte [pos]. *)
+
+val arena_get8 : t -> int -> int
+(** [arena_get8 t pos] reads the unsigned byte at [pos] (0..255). *)
+
+val arena_set8 : t -> int -> int -> unit
+(** [arena_set8 t pos v] writes [v land 0xff] at byte [pos]. *)
+
 val pp : Format.formatter -> t -> unit

@@ -180,6 +180,8 @@ let figure5 ?(every = 2000) () =
   [
     ("Lea", series Scenario.lea);
     ("custom DM manager 1", series (Scenario.custom_manager (Scenario.drr_paper_design ())));
+    ("Fixed-pool", series Scenario.fixed_pool);
+    ("Buddy-bitmap", series Scenario.buddy_bitmap);
   ]
 
 let breakdown_at_peak trace (make : Scenario.maker) =

@@ -11,6 +11,8 @@ module Kingsley = Dmm_allocators.Kingsley
 module Lea = Dmm_allocators.Lea
 module Region = Dmm_allocators.Region
 module Obstack = Dmm_allocators.Obstack
+module Fixed_pool = Dmm_allocators.Fixed_pool
+module Buddy_bitmap = Dmm_allocators.Buddy_bitmap
 
 let drr_trace ?(traffic = Traffic.default_config) ?(drr = Drr.default_config) () =
   let recorder, trace = Recorder.recording_allocator () in
@@ -45,12 +47,20 @@ let regions ?(probe = Probe.null) () =
 let obstacks ?(probe = Probe.null) () =
   Obstack.allocator (Obstack.create ~probe (Address_space.create ~probe ()))
 
+let fixed_pool ?(probe = Probe.null) () =
+  Fixed_pool.allocator (Fixed_pool.create ~probe (Address_space.create ~probe ()))
+
+let buddy_bitmap ?(probe = Probe.null) () =
+  Buddy_bitmap.allocator (Buddy_bitmap.create ~probe (Address_space.create ~probe ()))
+
 let baselines () =
   [
     ("Kingsley-Windows", kingsley);
     ("Lea-Linux", lea);
     ("Regions", regions);
     ("Obstacks", obstacks);
+    ("Fixed-pool", fixed_pool);
+    ("Buddy-bitmap", buddy_bitmap);
   ]
 
 let custom_manager (design : Explorer.design) ?(probe = Probe.null) () =

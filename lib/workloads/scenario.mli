@@ -26,8 +26,16 @@ val lea : maker
 val regions : maker
 val obstacks : maker
 
+val fixed_pool : maker
+(** Kenwright in-band index-linked fixed-size pools
+    ({!Dmm_allocators.Fixed_pool}): loop-free O(1) raw-speed baseline. *)
+
+val buddy_bitmap : maker
+(** Bitmap-driven binary buddy system ({!Dmm_allocators.Buddy_bitmap}). *)
+
 val baselines : unit -> (string * maker) list
-(** The four general-purpose / manually-designed baselines of Table 1. *)
+(** The general-purpose / manually-designed baselines of Table 1: the
+    paper's four plus the two raw-speed cores (fixed-pool, buddy). *)
 
 val custom_manager : Dmm_core.Explorer.design -> maker
 (** Instantiate a custom design over a fresh address space. *)

@@ -19,7 +19,11 @@
 #   6. `dmm profile` over that export must match the live-replay profile
 #      byte for byte after the source line, its --json/--chrome exports
 #      must be well-formed, and `dmm explore --advise` must skip B3
-#      candidates without changing the footprint comparison.
+#      candidates without changing the footprint comparison;
+#   7. against the committed BENCH_results.json, every peak-footprint row
+#      (workload, manager, bytes, ops) must reproduce byte-identically —
+#      speed work must never change simulated results — and no throughput
+#      row may fall below 75% of the committed ops/sec.
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -31,6 +35,10 @@ trap 'rm -rf "$tmpdir"' EXIT INT TERM
 
 dune build bench/main.exe bin/main.exe
 dmm=_build/default/bin/main.exe
+
+# The benchmark driver rewrites BENCH_results.json; keep the committed
+# grid around as the reference for step 7 and restore it afterwards.
+cp BENCH_results.json "$tmpdir/committed.json"
 
 run() {
   jobs=$1
@@ -50,6 +58,65 @@ if diff -u "$tmpdir/jobs1.out" "$tmpdir/jobs2.out"; then
   echo "bench_smoke: PASS (output identical under DMM_JOBS=1 and DMM_JOBS=2)"
 else
   echo "bench_smoke: FAIL (parallel run diverges from sequential run)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: footprint identity and throughput floor vs the committed grid..."
+# BENCH_results.json writes one row object per line, so the grids extract
+# with sed alone. Footprint rows carry the simulated results (bytes, ops)
+# and must match the committed file exactly; throughput rows are wall
+# clock, so they only have to clear 75% of the committed ops/sec.
+footprint_rows() {
+  sed -n '/"peak_footprints": \[/,/^  \]/p' "$1" |
+    sed -n 's/.*"workload": "\([^"]*\)", "manager": "\([^"]*\)", "bytes": \([0-9]*\), "ops": \([0-9]*\).*/\1|\2|\3|\4/p'
+}
+throughput_rows() {
+  sed -n '/"throughput": \[/,/^  \]/p' "$1" |
+    sed -n 's/.*"workload": "\([^"]*\)", "manager": "\([^"]*\)",.*"ops_per_sec": \([0-9]*\).*/\1|\2|\3/p'
+}
+footprint_rows "$tmpdir/committed.json" > "$tmpdir/fp_committed.rows"
+footprint_rows BENCH_results.json > "$tmpdir/fp_fresh.rows"
+throughput_rows "$tmpdir/committed.json" > "$tmpdir/thru_committed.rows"
+throughput_rows BENCH_results.json > "$tmpdir/thru_fresh.rows"
+cp "$tmpdir/committed.json" BENCH_results.json
+if [ ! -s "$tmpdir/fp_committed.rows" ] || [ ! -s "$tmpdir/thru_committed.rows" ]; then
+  echo "bench_smoke: FAIL (no peak_footprints/throughput rows in the committed BENCH_results.json)" >&2
+  exit 1
+fi
+# Every committed footprint row must reappear with the same bytes and ops;
+# extra rows (a manager added since the commit) are fine.
+if awk -F'|' '
+    NR == FNR { fresh[$1 "|" $2] = $3 "|" $4; next }
+    {
+      key = $1 "|" $2
+      if (!(key in fresh)) { printf "  missing row: %s\n", key; bad = 1 }
+      else if (fresh[key] != $3 "|" $4) {
+        printf "  %s: committed bytes|ops %s|%s, fresh %s\n", key, $3, $4, fresh[key]
+        bad = 1
+      }
+    }
+    END { exit bad }
+  ' "$tmpdir/fp_fresh.rows" "$tmpdir/fp_committed.rows"; then
+  echo "bench_smoke: PASS (peak footprints byte-identical to the committed grid)"
+else
+  echo "bench_smoke: FAIL (peak footprints diverge from the committed BENCH_results.json)" >&2
+  exit 1
+fi
+if awk -F'|' '
+    NR == FNR { fresh[$1 "|" $2] = $3; next }
+    {
+      key = $1 "|" $2
+      if (!(key in fresh)) { printf "  missing row: %s\n", key; bad = 1 }
+      else if (fresh[key] + 0 < 0.75 * $3) {
+        printf "  %s: %d ops/s < 75%% of committed %d\n", key, fresh[key], $3
+        bad = 1
+      }
+    }
+    END { exit bad }
+  ' "$tmpdir/thru_fresh.rows" "$tmpdir/thru_committed.rows"; then
+  echo "bench_smoke: PASS (replay throughput within 25% of the committed numbers)"
+else
+  echo "bench_smoke: FAIL (replay throughput regressed past the 25% floor)" >&2
   exit 1
 fi
 

@@ -23,6 +23,18 @@ Record a trace, then replay it against Lea:
   max footprint: 917504 B
   stats:         allocs=20238 frees=20238 splits=9716 coalesces=18351 ops=1049465 live=0B (0 blocks) peak_live=811261B
 
+The raw-speed cores replay the same trace: the fixed pool never splits
+or coalesces (size-class carving only), the buddy always does both:
+
+  $ dmm replay -t drr.trace -m fixed-pool
+  events:        40476
+  max footprint: 1503232 B
+  stats:         allocs=20238 frees=20238 splits=0 coalesces=0 ops=41944 live=0B (0 blocks) peak_live=811261B
+  $ dmm replay -t drr.trace -m buddy-bitmap
+  events:        40476
+  max footprint: 2097152 B
+  stats:         allocs=20238 frees=20238 splits=14584 coalesces=14593 ops=84357 live=0B (0 blocks) peak_live=811261B
+
 Observe a replay through the probe: --jsonl exports the event stream as
 JSON Lines, and summing the sbrk/trim byte deltas reconstructs exactly
 the peak footprint the replay reports:
@@ -46,11 +58,48 @@ The chrome://tracing export: one counter track per manager.
   wrote f5.json
   Lea: peak=589824 B, 19 points
   custom DM manager 1: peak=577536 B, 19 points
+  Fixed-pool: peak=913408 B, 19 points
+  Buddy-bitmap: peak=1048576 B, 19 points
   $ head -n 1 f5.json; tail -n 1 f5.json
   {"traceEvents":[
   ]}
   $ grep -c '"process_name"' f5.json
-  2
+  4
+
+Table 1 at quick scale: all seven managers, the raw-speed cores
+included, against the paper's reference numbers:
+
+  $ dmm table1 --quick | grep -v '^\[time\]'
+  DRR scheduler  (events=32809, peak live payload=428170 B)
+    manager                       bytes   spread     x live    vs custom  paper bytes
+    Kingsley-Windows             755029    39.6%       1.76       +62.2%      2090000
+    Lea-Linux                    480597    40.9%       1.12        +3.2%       234000
+    Regions                      753664    39.7%       1.76       +61.9%            -
+    Obstacks                    1202858    48.0%       2.81      +158.4%            -
+    Fixed-pool                   753664    39.7%       1.76       +61.9%            -
+    Buddy-bitmap                1048576     0.0%       2.45      +125.2%            -
+    custom DM manager            465578    40.5%       1.09            -       148000
+  
+  3D image reconstruction  (events=44759, peak live payload=378682 B)
+    manager                       bytes   spread     x live    vs custom  paper bytes
+    Kingsley-Windows             738645    29.4%       1.95       +85.4%      2260000
+    Lea-Linux                    436906    30.0%       1.15        +9.6%            -
+    Regions                      614400    23.3%       1.62       +54.2%      2080000
+    Obstacks                    4646016    15.0%      12.27     +1065.8%            -
+    Fixed-pool                   614400    23.3%       1.62       +54.2%            -
+    Buddy-bitmap                 873813    60.0%       2.31      +119.3%            -
+    custom DM manager            398509    33.1%       1.05            -      1490000
+  
+  3D scalable rendering  (events=65891, peak live payload=266752 B)
+    manager                       bytes   spread     x live    vs custom  paper bytes
+    Kingsley-Windows             516096     1.6%       1.93       +85.5%      3960000
+    Lea-Linux                    393216     0.0%       1.47       +41.3%      1860000
+    Regions                      499712     1.6%       1.87       +79.6%            -
+    Obstacks                     358890    12.0%       1.35       +29.0%      1550000
+    Fixed-pool                   499712     1.6%       1.87       +79.6%            -
+    Buddy-bitmap                 524288     0.0%       1.97       +88.4%            -
+    custom DM manager            278264     0.0%       1.04            -      1070000
+  
 
 The full exploration is deterministic whatever the worker count: --jobs
 only changes how many domains score the candidate designs.
@@ -85,6 +134,15 @@ invariants:
   clean
   $ dmm check -w drr --quick --seed 1 -m lea --strict
   1117828 events, 0 diagnostics (invariants)
+  clean
+
+The raw-speed cores pass the same strict invariant checks:
+
+  $ dmm check -w drr --quick --seed 1 -m fixed-pool --strict
+  81686 events, 0 diagnostics (invariants)
+  clean
+  $ dmm check -w drr --quick --seed 1 -m buddy-bitmap --strict
+  139335 events, 0 diagnostics (invariants)
   clean
 
 The same passes run over a `trace --jsonl` export without re-running the

@@ -38,7 +38,7 @@ let check_energy_table_shape () =
   Alcotest.(check bool) "workloads present" true (List.length table >= 2);
   List.iter
     (fun (_, rows) ->
-      Alcotest.(check int) "five managers" 5 (List.length rows);
+      Alcotest.(check int) "seven managers" 7 (List.length rows);
       List.iter
         (fun (name, nj) ->
           Alcotest.(check bool) (name ^ " positive energy") true (nj > 0.0))

@@ -217,6 +217,78 @@ let qcheck =
             ops))
     structures
 
+(* Equivalence: the unboxed (flat-array) representation must match the
+   boxed one op for op — same chosen blocks, same cumulative traversal
+   charges, same iteration order, same exceptions — for every structure
+   and all five fit algorithms. The two instances share the physical
+   block records, exactly as a manager does. *)
+let repr_equivalence =
+  let fits = [| D.First_fit; D.Next_fit; D.Best_fit; D.Exact_fit; D.Worst_fit |] in
+  let ops_gen =
+    QCheck.Gen.(
+      list_size (1 -- 80)
+        (frequency
+           [
+             (4, map (fun s -> `Insert (16 + (8 * (s mod 32)))) nat);
+             (3, map2 (fun f n -> `Take (f, n)) (int_bound 4) (1 -- 300));
+             (2, map (fun i -> `Remove i) nat);
+             (1, return `RemoveAbsent);
+           ]))
+  in
+  let arb = QCheck.make ops_gen in
+  List.map
+    (fun (sname, structure) ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s: unboxed repr equivalent to boxed" sname)
+        ~count:300 arb
+        (fun ops ->
+          let fsb = FS.create ~repr:FS.Boxed structure in
+          let fsu = FS.create ~repr:FS.Unboxed structure in
+          let live = ref [] and next = ref 0 in
+          let addrs fs = List.map (fun (b : Block.t) -> b.addr) (FS.to_list fs) in
+          let agree () =
+            FS.cardinal fsb = FS.cardinal fsu
+            && FS.total_bytes fsb = FS.total_bytes fsu
+            && FS.steps fsb = FS.steps fsu
+            && addrs fsb = addrs fsu
+          in
+          List.for_all
+            (fun op ->
+              match op with
+              | `Insert size ->
+                let b = block ~addr:!next ~size in
+                next := !next + 16;
+                FS.insert fsb b;
+                FS.insert fsu b;
+                live := b :: !live;
+                agree ()
+              | `Take (fi, need) -> (
+                let fit = fits.(fi) in
+                let rb = FS.take_fit fsb fit need in
+                let ru = FS.take_fit fsu fit need in
+                match (rb, ru) with
+                | None, None -> agree ()
+                | Some a, Some b when a.Block.addr = b.Block.addr ->
+                  live := List.filter (fun (x : Block.t) -> x.addr <> a.Block.addr) !live;
+                  agree ()
+                | _, _ -> false)
+              | `Remove i -> (
+                match !live with
+                | [] -> true
+                | l ->
+                  let b = List.nth l (i mod List.length l) in
+                  FS.remove fsb b;
+                  FS.remove fsu b;
+                  live := List.filter (fun (x : Block.t) -> x.addr <> b.Block.addr) !live;
+                  agree ())
+              | `RemoveAbsent ->
+                let ghost = block ~addr:999_999_983 ~size:64 in
+                let r1 = try FS.remove fsb ghost; false with Not_found -> true in
+                let r2 = try FS.remove fsu ghost; false with Not_found -> true in
+                r1 && r2 && agree ())
+            ops))
+    structures
+
 let tests =
   ( "free_structure",
     [
@@ -234,4 +306,5 @@ let tests =
       Alcotest.test_case "next fit skips the previous block" `Quick check_next_fit_skips_previous;
       Alcotest.test_case "steps accumulate" `Quick check_steps_accumulate;
     ]
-    @ List.map QCheck_alcotest.to_alcotest qcheck )
+    @ List.map QCheck_alcotest.to_alcotest qcheck
+    @ List.map QCheck_alcotest.to_alcotest repr_equivalence )

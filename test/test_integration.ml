@@ -82,7 +82,7 @@ let check_order_ablation_direction () =
 
 let check_figure5_series () =
   let series = Experiments.figure5 ~every:500 () in
-  Alcotest.(check int) "two curves" 2 (List.length series);
+  Alcotest.(check int) "four curves" 4 (List.length series);
   List.iter
     (fun (name, points) ->
       Alcotest.(check bool) (name ^ " sampled") true (List.length points > 5);
@@ -94,7 +94,7 @@ let check_figure5_series () =
 
 let check_table_structure () =
   let t = Experiments.drr_table ~seeds:1 () in
-  Alcotest.(check int) "five managers" 5 (List.length t.Experiments.rows);
+  Alcotest.(check int) "seven managers" 7 (List.length t.Experiments.rows);
   Alcotest.(check bool) "events counted" true (t.Experiments.events > 0);
   let custom =
     List.find (fun r -> r.Experiments.manager = "custom DM manager") t.Experiments.rows

@@ -25,6 +25,7 @@ let () =
       Test_recorder_replay.tests;
       Test_kingsley.tests;
       Test_lea.tests;
+      Test_pool_cores.tests;
       Test_region.tests;
       Test_obstack.tests;
       Test_static_pool.tests;

@@ -1,0 +1,222 @@
+(* The raw-speed allocator cores (Fixed_pool, Buddy_bitmap) against a naive
+   reference model, plus invariants the flat-arena layouts must uphold:
+   alignment, non-overlap, O(1) liveness validation, buddy merging, and
+   clean sanitizer verdicts on their emitted event streams. *)
+
+module Address_space = Dmm_vmem.Address_space
+module Allocator = Dmm_core.Allocator
+module Metrics = Dmm_core.Metrics
+module Size = Dmm_util.Size
+module Fixed_pool = Dmm_allocators.Fixed_pool
+module Buddy_bitmap = Dmm_allocators.Buddy_bitmap
+module Probe = Dmm_obs.Probe
+module Collect_sink = Dmm_obs.Collect_sink
+module Stream = Dmm_check.Stream
+module Sanitizer = Dmm_check.Sanitizer
+
+type core = {
+  name : string;
+  make : ?probe:Probe.t -> unit -> Allocator.t;
+  gross_of : int -> int; (* expected gross block size for a payload *)
+  aligned : addr:int -> gross:int -> bool;
+}
+
+let fixed_core =
+  {
+    name = "fixed-pool";
+    make =
+      (fun ?(probe = Probe.null) () ->
+        Fixed_pool.allocator (Fixed_pool.create ~probe (Address_space.create ~probe ())));
+    gross_of = (fun p -> max 16 (Size.pow2_ceil p));
+    aligned = (fun ~addr ~gross:_ -> addr mod 16 = 0);
+  }
+
+let buddy_core =
+  {
+    name = "buddy-bitmap";
+    make =
+      (fun ?(probe = Probe.null) () ->
+        Buddy_bitmap.allocator
+          (Buddy_bitmap.create ~probe (Address_space.create ~probe ())));
+    gross_of = (fun p -> max 32 (Size.pow2_ceil p));
+    (* Buddy blocks are naturally size-aligned. *)
+    aligned = (fun ~addr ~gross -> addr mod gross = 0);
+  }
+
+let cores = [ fixed_core; buddy_core ]
+
+let for_all_cores f = List.iter (fun c -> f c) cores
+
+(* Random alloc/free scripts vs the naive model: every allocation must land
+   on an aligned address, must not overlap any live block, and the
+   footprint must cover the live gross bytes; the breakdown must add up. *)
+let qcheck_model =
+  let ops_gen =
+    QCheck.Gen.(
+      list_size (1 -- 150)
+        (frequency
+           [
+             (3, map (fun s -> `Alloc (1 + (s mod 5000))) nat);
+             (2, map (fun i -> `Free i) nat);
+           ]))
+  in
+  let arb = QCheck.make ops_gen in
+  List.map
+    (fun core ->
+      QCheck.Test.make
+        ~name:(Printf.sprintf "%s agrees with the naive model" core.name)
+        ~count:100 arb
+        (fun ops ->
+          let a = core.make () in
+          let live = ref [] in
+          let overlaps addr g =
+            List.exists (fun (x, _, xg) -> addr < x + xg && x < addr + g) !live
+          in
+          List.for_all
+            (fun op ->
+              match op with
+              | `Alloc payload ->
+                let addr = a.Allocator.alloc payload in
+                let g = core.gross_of payload in
+                let fresh =
+                  addr >= 0 && core.aligned ~addr ~gross:g && not (overlaps addr g)
+                in
+                live := (addr, payload, g) :: !live;
+                let gross_live =
+                  List.fold_left (fun acc (_, _, xg) -> acc + xg) 0 !live
+                in
+                fresh && a.Allocator.current_footprint () >= gross_live
+              | `Free i -> (
+                match !live with
+                | [] -> true
+                | l ->
+                  let addr, _, _ = List.nth l (i mod List.length l) in
+                  a.Allocator.free addr;
+                  live := List.filter (fun (x, _, _) -> x <> addr) !live;
+                  true))
+            ops
+          &&
+          let b = a.Allocator.breakdown () in
+          b.Metrics.live_payload
+            = List.fold_left (fun acc (_, p, _) -> acc + p) 0 !live
+          && b.Metrics.total_held = a.Allocator.current_footprint ()
+          && b.Metrics.free_bytes >= 0
+          && b.Metrics.internal_padding >= 0))
+    cores
+
+let check_invalid_free () =
+  for_all_cores (fun core ->
+      let a = core.make () in
+      let addr = a.Allocator.alloc 100 in
+      (try
+         a.Allocator.free (addr + 4);
+         Alcotest.fail (core.name ^ ": misaligned free should raise")
+       with Allocator.Invalid_free _ -> ());
+      (try
+         a.Allocator.free (addr + core.gross_of 100);
+         Alcotest.fail (core.name ^ ": free of a never-allocated block should raise")
+       with Allocator.Invalid_free _ -> ());
+      a.Allocator.free addr;
+      try
+        a.Allocator.free addr;
+        Alcotest.fail (core.name ^ ": double free should raise")
+      with Allocator.Invalid_free _ -> ())
+
+(* Kenwright's in-band free list is LIFO: a freed block is the next one
+   handed out for its class, whatever payload maps to that class. *)
+let check_fixed_pool_lifo () =
+  let a = fixed_core.make () in
+  let x = a.Allocator.alloc 100 in
+  let y = a.Allocator.alloc 101 in
+  a.Allocator.free x;
+  Alcotest.(check int) "LIFO reuse" x (a.Allocator.alloc 90);
+  a.Allocator.free y;
+  Alcotest.(check int) "LIFO reuse again" y (a.Allocator.alloc 120)
+
+let check_buddy_split_merge () =
+  let space = Address_space.create () in
+  let b = Buddy_bitmap.create space in
+  let a1 = Buddy_bitmap.alloc b 32 in
+  (* Fresh 4096-byte arena split down to a 32-byte block: 7 splits. *)
+  Alcotest.(check int) "splits on first carve" 7 (Buddy_bitmap.metrics b).Metrics.splits;
+  let a2 = Buddy_bitmap.alloc b 32 in
+  Alcotest.(check int) "buddy handed out" (a1 lxor 32) a2;
+  Buddy_bitmap.free b a1;
+  Buddy_bitmap.free b a2;
+  Alcotest.(check int) "merged all the way back up" 7
+    (Buddy_bitmap.metrics b).Metrics.coalesces;
+  let cap = Buddy_bitmap.current_footprint b in
+  (* The whole arena is one free block again: a capacity-sized request is
+     served at base 0 without growing. *)
+  Alcotest.(check int) "arena reassembled" 0 (Buddy_bitmap.alloc b cap);
+  Alcotest.(check int) "no growth" cap (Buddy_bitmap.current_footprint b)
+
+let check_buddy_growth () =
+  let space = Address_space.create () in
+  let b = Buddy_bitmap.create space in
+  let a1 = Buddy_bitmap.alloc b 4096 in
+  let a2 = Buddy_bitmap.alloc b 4096 in
+  Alcotest.(check bool) "distinct blocks" true (a1 <> a2);
+  Alcotest.(check bool) "arena doubled" true (Buddy_bitmap.current_footprint b >= 8192);
+  Buddy_bitmap.free b a1;
+  Buddy_bitmap.free b a2;
+  let held = Buddy_bitmap.current_footprint b in
+  Alcotest.(check int) "never trims" held (Buddy_bitmap.max_footprint b)
+
+(* A deterministic mixed script shared by the stream checks below. *)
+let run_script (a : Allocator.t) =
+  let live = ref [] in
+  for i = 0 to 499 do
+    if i mod 3 <> 2 then live := a.Allocator.alloc (8 + (i * 37 mod 2000)) :: !live
+    else
+      match !live with
+      | [] -> ()
+      | addr :: rest ->
+        a.Allocator.free addr;
+        live := rest
+  done;
+  List.iter a.Allocator.free !live
+
+(* The emitted event stream must pass the heap sanitizer's invariant pass
+   with zero diagnostics — same bar as EXP-CHECK and `dmm check`. *)
+let check_sanitizer_clean () =
+  for_all_cores (fun core ->
+      let probe = Probe.create () in
+      let sink = Collect_sink.create () in
+      Collect_sink.attach probe sink;
+      run_script (core.make ~probe ());
+      let report = Sanitizer.run (Stream.of_pairs (Collect_sink.to_array sink)) in
+      List.iter
+        (fun d -> Format.printf "%s: %a@." core.name Dmm_check.Diag.pp d)
+        report.Sanitizer.diags;
+      Alcotest.(check int) (core.name ^ " stream clean") 0
+        (List.length report.Sanitizer.diags);
+      Alcotest.(check bool) (core.name ^ " events seen") true
+        (report.Sanitizer.events > 0))
+
+(* Probe-on and probe-off runs must agree byte for byte on footprint and
+   ops (the acct_ops contract every manager honours). *)
+let check_probe_identity () =
+  for_all_cores (fun core ->
+      let observe ?probe () =
+        let a = core.make ?probe () in
+        run_script a;
+        (a.Allocator.max_footprint (), (a.Allocator.stats ()).Metrics.ops)
+      in
+      let off = observe () in
+      let probe = Probe.create () in
+      Probe.attach probe (fun _ _ -> ());
+      let on = observe ~probe () in
+      Alcotest.(check (pair int int)) (core.name ^ " probe on/off identical") off on)
+
+let tests =
+  ( "pool_cores",
+    [
+      Alcotest.test_case "invalid frees" `Quick check_invalid_free;
+      Alcotest.test_case "fixed-pool LIFO reuse" `Quick check_fixed_pool_lifo;
+      Alcotest.test_case "buddy split/merge symmetry" `Quick check_buddy_split_merge;
+      Alcotest.test_case "buddy growth" `Quick check_buddy_growth;
+      Alcotest.test_case "sanitizer-clean streams" `Quick check_sanitizer_clean;
+      Alcotest.test_case "probe on/off identity" `Quick check_probe_identity;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest qcheck_model )
