@@ -111,7 +111,16 @@ let table1 () =
 (* ------------------------------------------------------------------ *)
 (* EXP-OBS: the observability layer reproducing Table 1                *)
 
-type obs_report = { obs_seconds : float; obs_identical : bool; obs_events : int }
+module Jsonl_sink = Dmm_obs.Jsonl_sink
+module Binary_sink = Dmm_obs.Binary_sink
+
+type obs_report = {
+  obs_seconds : float;
+  obs_identical : bool;
+  obs_events : int;
+  obs_jsonl_record_seconds : float;  (* replay + buffered JSONL export *)
+  obs_binary_record_seconds : float;  (* replay + chunked binary export *)
+}
 
 (* Probe-on replays must reproduce the probe-off Table 1 exactly: the
    footprint column is rebuilt by a Series_sink from sbrk/trim deltas and
@@ -136,10 +145,47 @@ let obs_section tables =
 " obs_events;
   if not obs_identical then
     prerr_endline "EXP-OBS: WARNING: probe-on tables differ from probe-off!";
+  (* Recording overhead: the same replay exporting its stream to the
+     null device through each codec — buffered JSONL rendering vs the
+     chunked binary framing. Best of 3, wall-clock only. *)
+  let record_with make_sink =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let oc = open_out_bin Filename.null in
+      let probe = Probe.create () in
+      let finish = make_sink probe oc in
+      let t0 = Unix.gettimeofday () in
+      Replay.run ~probe trace (Scenario.lea ~probe ());
+      finish ();
+      let dt = Unix.gettimeofday () -. t0 in
+      close_out oc;
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let obs_jsonl_record_seconds =
+    record_with (fun probe oc ->
+        let sink = Jsonl_sink.create oc in
+        Jsonl_sink.attach probe sink;
+        fun () -> Jsonl_sink.flush sink)
+  in
+  let obs_binary_record_seconds =
+    record_with (fun probe oc ->
+        let sink = Binary_sink.create oc in
+        Binary_sink.attach probe sink;
+        fun () -> Binary_sink.finish sink)
+  in
   section_times := ("EXP-OBS", obs_seconds) :: !section_times;
   Printf.printf "[time] EXP-OBS   %.2fs
 %!" obs_seconds;
-  { obs_seconds; obs_identical; obs_events }
+  Printf.printf
+    "[time] EXP-OBS   recording: jsonl %.3fs (%.1f Mev/s)  binary %.3fs (%.1f Mev/s)\n%!"
+    obs_jsonl_record_seconds
+    (float_of_int obs_events /. obs_jsonl_record_seconds /. 1e6)
+    obs_binary_record_seconds
+    (float_of_int obs_events /. obs_binary_record_seconds /. 1e6);
+  { obs_seconds; obs_identical; obs_events; obs_jsonl_record_seconds;
+    obs_binary_record_seconds }
 
 (* ------------------------------------------------------------------ *)
 (* EXP-TELEM: telemetry overhead on the event hot path                 *)
@@ -354,6 +400,150 @@ let check_section () =
     (Scenario.baselines ());
   let sim = Dmm_engine.Sim.create trace in
   report "custom" (Dmm_engine.Sim.sanitize sim (Scenario.drr_paper_design ()))
+
+(* ------------------------------------------------------------------ *)
+(* EXP-INGEST: codec load speed and sharded online ingest              *)
+
+module Ingest = Dmm_engine.Ingest
+module Registry = Dmm_obs.Registry
+
+type ingest_report = {
+  ing_events : int;  (** events in the rendered DRR/Lea stream *)
+  ing_jsonl_bytes : int;
+  ing_binary_bytes : int;
+  ing_jsonl_load_seconds : float;
+  ing_binary_load_seconds : float;
+  ing_load_speedup : float;  (** jsonl / binary offline load time *)
+  ing_identical : bool;  (** both files decode to the same entries *)
+  ing_streams : int;
+  ing_serve_seconds : float;  (** sharded full-pipeline ingest, wall *)
+  ing_events_per_sec : float;  (** aggregate across all streams *)
+}
+
+(* One observed DRR replay under Lea is rendered once through both
+   codecs, then read back: best-of-3 cold iteration over each file gives
+   the offline load comparison (the binary framing should be >= 5x
+   faster than JSONL parsing), a digest fold proves the two encodings
+   decode to identical entries, and finally [ing_streams] copies of the
+   binary stream are pushed through the full [dmm serve] pipeline
+   (sanitizer + registry + histogram + lifetime sinks) sharded across
+   the pool, reporting aggregate events/second. Every line except the
+   [time]-prefixed rates is jobs-invariant. *)
+let ingest_section () =
+  section "EXP-INGEST: binary codec load speed and sharded online ingest";
+  let trace = Experiments.drr_trace_seed 42 in
+  let jsonl_path = Filename.temp_file "dmm_ingest" ".jsonl" in
+  let binary_path = Filename.temp_file "dmm_ingest" ".dmmt" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove jsonl_path with Sys_error _ -> ());
+      try Sys.remove binary_path with Sys_error _ -> ())
+  @@ fun () ->
+  (* Render the stream once, through both sinks. *)
+  let ing_events =
+    let jc = open_out_bin jsonl_path and bc = open_out_bin binary_path in
+    let probe = Probe.create () in
+    let js = Jsonl_sink.create jc and bs = Binary_sink.create bc in
+    Jsonl_sink.attach probe js;
+    Binary_sink.attach probe bs;
+    Replay.run ~probe trace (Scenario.lea ~probe ());
+    Jsonl_sink.flush js;
+    Binary_sink.finish bs;
+    close_out jc;
+    close_out bc;
+    Probe.clock probe
+  in
+  let size path = (Unix.stat path).Unix.st_size in
+  let ing_jsonl_bytes = size jsonl_path
+  and ing_binary_bytes = size binary_path in
+  Printf.printf "  stream: %d events  jsonl %d B  binary %d B (%.1fx smaller)\n"
+    ing_events ing_jsonl_bytes ing_binary_bytes
+    (float_of_int ing_jsonl_bytes /. float_of_int (max 1 ing_binary_bytes));
+  let must = function
+    | Ok v -> v
+    | Error e -> failwith ("EXP-INGEST: " ^ e)
+  in
+  (* Offline load: iterate every entry of each file, best of 3. *)
+  let load_time path =
+    let best = ref infinity in
+    for _ = 1 to 3 do
+      let src = must (Stream.source_of_file path) in
+      let t0 = Unix.gettimeofday () in
+      let n = must (Stream.iter_source src ~f:ignore) in
+      let dt = Unix.gettimeofday () -. t0 in
+      if n <> ing_events then
+        failwith (Printf.sprintf "EXP-INGEST: %s decoded %d of %d events" path n
+                    ing_events);
+      if dt < !best then best := dt
+    done;
+    !best
+  in
+  let ing_jsonl_load_seconds = load_time jsonl_path in
+  let ing_binary_load_seconds = load_time binary_path in
+  let ing_load_speedup =
+    ing_jsonl_load_seconds /. Float.max 1e-9 ing_binary_load_seconds
+  in
+  (* Differential digest: both encodings must decode to the same entries. *)
+  let digest path =
+    let src = must (Stream.source_of_file path) in
+    must
+      (Stream.fold_source src ~init:0 ~f:(fun acc (e : Stream.entry) ->
+           ((acc * 131) + Hashtbl.hash (e.clock, e.event)) land max_int))
+  in
+  let ing_identical = digest jsonl_path = digest binary_path in
+  Printf.printf "  decoded entries identical across codecs: %b\n" ing_identical;
+  if not ing_identical then
+    prerr_endline "EXP-INGEST: WARNING: jsonl and binary decode differently!";
+  (* Sharded online ingest: every stream through the full serve pipeline
+     against one shared registry, fanned out over the pool. The stream
+     count is fixed so stdout stays identical across DMM_JOBS values. *)
+  let ing_streams = 4 in
+  let data =
+    let ic = open_in_bin binary_path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  in
+  let ctx = Ingest.create (Registry.create ()) in
+  let t0 = Unix.gettimeofday () in
+  let summaries =
+    Pool.map (Array.init ing_streams Fun.id) (fun _ ->
+        must (Ingest.run_source ctx (Stream.source_of_string data)))
+  in
+  let ing_serve_seconds = Unix.gettimeofday () -. t0 in
+  let total_events =
+    Array.fold_left
+      (fun acc (s : Ingest.summary) -> acc + s.report.Sanitizer.events)
+      0 summaries
+  in
+  let total_diags =
+    Array.fold_left
+      (fun acc (s : Ingest.summary) ->
+        acc + List.length s.report.Sanitizer.diags)
+      0 summaries
+  in
+  let ing_events_per_sec =
+    float_of_int total_events /. Float.max 1e-9 ing_serve_seconds
+  in
+  Printf.printf "  sharded ingest: %d streams  %d events  %d diagnostics\n"
+    ing_streams total_events total_diags;
+  Printf.printf
+    "[time] EXP-INGEST load: jsonl %.3fs  binary %.3fs  speedup %.1fx\n%!"
+    ing_jsonl_load_seconds ing_binary_load_seconds ing_load_speedup;
+  Printf.printf
+    "[time] EXP-INGEST serve: %d streams in %.3fs  %.2f Mev/s aggregate\n%!"
+    ing_streams ing_serve_seconds (ing_events_per_sec /. 1e6);
+  {
+    ing_events;
+    ing_jsonl_bytes;
+    ing_binary_bytes;
+    ing_jsonl_load_seconds;
+    ing_binary_load_seconds;
+    ing_load_speedup;
+    ing_identical;
+    ing_streams;
+    ing_serve_seconds;
+    ing_events_per_sec;
+  }
 
 (* ------------------------------------------------------------------ *)
 (* EXP-F5: Figure 5                                                    *)
@@ -707,7 +897,8 @@ let json_escape s =
   Buffer.contents b
 
 let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_report)
-    ~(prof : profile_report) ~(thru : thru_row list) tables =
+    ~(prof : profile_report) ~(ingest : ingest_report) ~(thru : thru_row list)
+    tables =
   let oc = open_out "BENCH_results.json" in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
@@ -725,7 +916,21 @@ let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_repo
   p "  \"obs\": {\n";
   p "    \"seconds\": %.6f,\n" obs.obs_seconds;
   p "    \"identical\": %b,\n" obs.obs_identical;
-  p "    \"drr_lea_events\": %d\n" obs.obs_events;
+  p "    \"drr_lea_events\": %d,\n" obs.obs_events;
+  p "    \"jsonl_record_seconds\": %.6f,\n" obs.obs_jsonl_record_seconds;
+  p "    \"binary_record_seconds\": %.6f\n" obs.obs_binary_record_seconds;
+  p "  },\n";
+  p "  \"ingest\": {\n";
+  p "    \"events\": %d,\n" ingest.ing_events;
+  p "    \"jsonl_bytes\": %d,\n" ingest.ing_jsonl_bytes;
+  p "    \"binary_bytes\": %d,\n" ingest.ing_binary_bytes;
+  p "    \"jsonl_load_seconds\": %.6f,\n" ingest.ing_jsonl_load_seconds;
+  p "    \"binary_load_seconds\": %.6f,\n" ingest.ing_binary_load_seconds;
+  p "    \"load_speedup\": %.2f,\n" ingest.ing_load_speedup;
+  p "    \"identical\": %b,\n" ingest.ing_identical;
+  p "    \"streams\": %d,\n" ingest.ing_streams;
+  p "    \"serve_seconds\": %.6f,\n" ingest.ing_serve_seconds;
+  p "    \"events_per_sec\": %.0f\n" ingest.ing_events_per_sec;
   p "  },\n";
   p "  \"telem\": {\n";
   p "    \"events\": %d,\n" telem.telem_events;
@@ -796,6 +1001,7 @@ let () =
   let telem = timed "EXP-TELEM" telem_section in
   let prof = timed "EXP-PROFILE" profile_section in
   timed "EXP-CHECK" check_section;
+  let ingest = timed "EXP-INGEST" ingest_section in
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
   timed "EXP-NRG" energy_section;
@@ -807,6 +1013,6 @@ let () =
   timed "EXP-PERF" (fun () -> ops_summary tables);
   let thru = timed "EXP-THRU" throughput_section in
   if not skip_wall then bechamel_tests ();
-  write_results ~timing ~obs ~telem ~prof ~thru tables;
+  write_results ~timing ~obs ~telem ~prof ~ingest ~thru tables;
   Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
     parallel_jobs timing.speedup

@@ -16,6 +16,7 @@ module Csv = Dmm_trace.Csv
 module Profile_builder = Dmm_trace.Profile_builder
 module Probe = Dmm_obs.Probe
 module Jsonl_sink = Dmm_obs.Jsonl_sink
+module Binary_sink = Dmm_obs.Binary_sink
 module Chrome_sink = Dmm_obs.Chrome_sink
 module Collect_sink = Dmm_obs.Collect_sink
 module Diag = Dmm_check.Diag
@@ -30,6 +31,8 @@ module Metrics_sink = Dmm_obs.Metrics_sink
 module Registry_sink = Dmm_obs.Registry_sink
 module Lifetime_sink = Dmm_obs.Lifetime_sink
 module Heatmap_sink = Dmm_obs.Heatmap_sink
+module Pool = Dmm_engine.Pool
+module Ingest = Dmm_engine.Ingest
 
 open Cmdliner
 
@@ -70,18 +73,22 @@ let trace_for ~quick ~seed workload =
   | Reconstruct -> Experiments.reconstruct_trace_seed seed
   | Render -> Experiments.render_trace_seed seed
 
-(* The one JSONL entry point for every stream-consuming subcommand
-   (check, report, profile): same parser, same one-line error, same
-   exit code. *)
-let load_stream_or_exit ~cmd path =
-  match Stream.load_jsonl path with
-  | Error msg ->
+(* The one trace-file entry point for every stream-consuming subcommand
+   (check, report, profile): auto-detected format (JSONL or binary),
+   incremental iteration in memory bounded by one event, same one-line
+   error, same exit code. Returns the event count. *)
+let iter_stream_or_exit ~cmd path ~f =
+  let die msg =
     prerr_endline (Printf.sprintf "dmm %s: %s" cmd msg);
     exit 2
-  | Ok stream -> stream
+  in
+  match Stream.source_of_file path with
+  | Error msg -> die msg
+  | Ok src -> (
+    match Stream.iter_source src ~f with Error msg -> die msg | Ok n -> n)
 
 let missing_source_exit ~cmd =
-  prerr_endline (Printf.sprintf "dmm %s: pass --jsonl FILE or a workload (-w)" cmd);
+  prerr_endline (Printf.sprintf "dmm %s: pass --stream FILE or a workload (-w)" cmd);
   exit 2
 
 let hist_json h =
@@ -489,26 +496,55 @@ let manager_arg ~default ~doc =
   Arg.(value & opt manager_conv default & info [ "m"; "manager" ] ~docv:"MANAGER" ~doc)
 
 let trace_cmd =
-  let run workload quick seed out jsonl manager =
+  let run workload quick seed out jsonl binary manager =
     let trace = trace_for ~quick ~seed workload in
     (match out with
     | None -> ()
     | Some out ->
       Trace.save trace out;
       Format.printf "wrote %d events to %s@." (Trace.length trace) out);
-    (match jsonl with
-    | None -> ()
-    | Some path ->
+    (match (jsonl, binary) with
+    | None, None -> ()
+    | _ ->
+      (* One replay drives every requested export: both sinks hang off the
+         same probe, so the two files describe the same run. *)
       let probe = Probe.create () in
-      let oc = open_out path in
-      Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
-      let sink = Jsonl_sink.create oc in
-      Jsonl_sink.attach probe sink;
+      let closers = ref [] in
+      Fun.protect ~finally:(fun () -> List.iter (fun f -> f ()) !closers) @@ fun () ->
+      let open_sink path =
+        let oc = open_out_bin path in
+        closers := (fun () -> close_out_noerr oc) :: !closers;
+        oc
+      in
+      let jsink =
+        Option.map
+          (fun path ->
+            let sink = Jsonl_sink.create (open_sink path) in
+            Jsonl_sink.attach probe sink;
+            (path, sink))
+          jsonl
+      in
+      let bsink =
+        Option.map
+          (fun path ->
+            let sink = Binary_sink.create (open_sink path) in
+            Binary_sink.attach probe sink;
+            (path, sink))
+          binary
+      in
       Replay.run ~probe trace (maker_for manager trace ~probe ());
-      Jsonl_sink.flush sink;
-      Format.printf "wrote %d probe events to %s@." (Jsonl_sink.events sink) path);
-    if out = None && jsonl = None then begin
-      prerr_endline "dmm trace: nothing to do (pass -o and/or --jsonl)";
+      Option.iter
+        (fun (path, sink) ->
+          Jsonl_sink.flush sink;
+          Format.printf "wrote %d probe events to %s@." (Jsonl_sink.events sink) path)
+        jsink;
+      Option.iter
+        (fun (path, sink) ->
+          Binary_sink.finish sink;
+          Format.printf "wrote %d probe events to %s@." (Binary_sink.events sink) path)
+        bsink);
+    if out = None && jsonl = None && binary = None then begin
+      prerr_endline "dmm trace: nothing to do (pass -o, --jsonl and/or --binary)";
       exit 2
     end
   in
@@ -523,14 +559,22 @@ let trace_cmd =
           ~doc:
             "Replay the recorded trace against $(b,--manager) with an observability              probe attached and export the event stream as JSON Lines.")
   in
+  let binary =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "binary" ] ~docv:"FILE"
+          ~doc:
+            "Export the same event stream in the compact binary trace framing              (varint events in checksummed chunks — see $(b,dmm convert)).")
+  in
   let manager =
     manager_arg ~default:`Lea
       ~doc:
-        "Manager observed by $(b,--jsonl): kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom          (methodology-derived). Default lea."
+        "Manager observed by $(b,--jsonl)/$(b,--binary): kingsley, lea, regions, obstacks, fixed-pool, buddy-bitmap or custom          (methodology-derived). Default lea."
   in
   Cmd.v
     (Cmd.info "trace" ~doc:"Record a workload's allocation trace to a file.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ out $ jsonl $ manager)
+    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ out $ jsonl $ binary $ manager)
 
 let replay_cmd =
   let run file manager =
@@ -579,8 +623,13 @@ let check_cmd =
     match (jsonl, workload) with
     | Some path, _ ->
       (* File mode: the design behind the stream is unknown, so only the
-         integrity gate and the design-independent invariants apply. *)
-      finish (Sanitizer.run (load_stream_or_exit ~cmd:"check" path)) []
+         integrity gate and the design-independent invariants apply. The
+         file is checked incrementally — never materialised. *)
+      let st = Sanitizer.start () in
+      let (_ : int) =
+        iter_stream_or_exit ~cmd:"check" path ~f:(fun e -> Sanitizer.feed st e)
+      in
+      finish (Sanitizer.finalize st) []
     | None, None -> missing_source_exit ~cmd:"check"
     | None, Some w ->
       (* Manager mode: record the workload, replay it against the manager
@@ -625,8 +674,9 @@ let check_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:"Analyse a recorded event stream ($(b,dmm trace --jsonl) export) offline.")
+      & info [ "stream"; "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Analyse a recorded event stream offline — a $(b,dmm trace) export in              either JSONL or compact binary framing, auto-detected.")
   in
   let workload =
     Arg.(
@@ -672,9 +722,11 @@ let report_cmd =
     let events, source =
       match (jsonl, workload) with
       | Some path, _ ->
-        let stream = load_stream_or_exit ~cmd:"report" path in
-        Array.iter (fun (e : Stream.entry) -> feed e.Stream.clock e.Stream.event) stream;
-        (Stream.length stream, path)
+        let n =
+          iter_stream_or_exit ~cmd:"report" path ~f:(fun (e : Stream.entry) ->
+              feed e.Stream.clock e.Stream.event)
+        in
+        (n, path)
       | None, None -> missing_source_exit ~cmd:"report"
       | None, Some w ->
         let trace = trace_for ~quick ~seed w in
@@ -802,8 +854,9 @@ let report_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:"Analyse a recorded event stream ($(b,dmm trace --jsonl) export) offline.")
+      & info [ "stream"; "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Analyse a recorded event stream offline — a $(b,dmm trace) export in              either JSONL or compact binary framing, auto-detected.")
   in
   let workload =
     Arg.(
@@ -873,9 +926,11 @@ let profile_cmd =
     let events, source =
       match (jsonl, workload) with
       | Some path, _ ->
-        let stream = load_stream_or_exit ~cmd:"profile" path in
-        Array.iter (fun (e : Stream.entry) -> feed e.Stream.clock e.Stream.event) stream;
-        (Stream.length stream, path)
+        let n =
+          iter_stream_or_exit ~cmd:"profile" path ~f:(fun (e : Stream.entry) ->
+              feed e.Stream.clock e.Stream.event)
+        in
+        (n, path)
       | None, None -> missing_source_exit ~cmd:"profile"
       | None, Some w ->
         let trace = trace_for ~quick ~seed w in
@@ -983,8 +1038,9 @@ let profile_cmd =
     Arg.(
       value
       & opt (some string) None
-      & info [ "jsonl" ] ~docv:"FILE"
-          ~doc:"Profile a recorded event stream ($(b,dmm trace --jsonl) export) offline.")
+      & info [ "stream"; "jsonl" ] ~docv:"FILE"
+          ~doc:
+            "Profile a recorded event stream offline — a $(b,dmm trace) export in              either JSONL or compact binary framing, auto-detected.")
   in
   let workload =
     Arg.(
@@ -1019,6 +1075,445 @@ let profile_cmd =
     Term.(
       const run $ jsonl $ workload $ quick_arg $ seed_arg $ manager $ json_out $ chrome)
 
+(* ------------------------------------------------------------------ *)
+(* convert                                                             *)
+
+let format_name = function `Jsonl -> "jsonl" | `Binary -> "binary"
+
+let convert_cmd =
+  let run input output to_fmt =
+    let die msg =
+      prerr_endline (Printf.sprintf "dmm convert: %s" msg);
+      exit 2
+    in
+    let in_fmt = match Stream.file_format input with Error m -> die m | Ok f -> f in
+    let out_fmt =
+      (* Default to the other encoding: convert round-trips by default. *)
+      match to_fmt with
+      | Some f -> f
+      | None -> ( match in_fmt with `Jsonl -> `Binary | `Binary -> `Jsonl)
+    in
+    match Stream.source_of_file input with
+    | Error m -> die m
+    | Ok src -> (
+      let oc = try open_out_bin output with Sys_error m -> die m in
+      let result =
+        match out_fmt with
+        | `Binary ->
+          let sink = Binary_sink.create oc in
+          let r =
+            Stream.iter_source src ~f:(fun (e : Stream.entry) ->
+                Binary_sink.on_event sink e.Stream.clock e.Stream.event)
+          in
+          if Result.is_ok r then Binary_sink.finish sink;
+          r
+        | `Jsonl ->
+          let sink = Jsonl_sink.create oc in
+          let r =
+            Stream.iter_source src ~f:(fun (e : Stream.entry) ->
+                Jsonl_sink.on_event sink e.Stream.clock e.Stream.event)
+          in
+          Jsonl_sink.flush sink;
+          r
+      in
+      close_out oc;
+      match result with
+      | Error m ->
+        (* Never leave a half-written output behind a failed decode. *)
+        (try Sys.remove output with Sys_error _ -> ());
+        die m
+      | Ok n ->
+        Format.printf "converted %d events: %s (%s) -> %s (%s)@." n input
+          (format_name in_fmt) output (format_name out_fmt))
+  in
+  let input =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "i"; "in" ] ~docv:"FILE" ~doc:"Input event stream (format auto-detected).")
+  in
+  let output =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "o"; "out" ] ~docv:"FILE" ~doc:"Output file.")
+  in
+  let to_fmt =
+    Arg.(
+      value
+      & opt (some (enum [ ("binary", `Binary); ("jsonl", `Jsonl) ])) None
+      & info [ "to" ] ~docv:"FORMAT"
+          ~doc:
+            "Target encoding: $(b,binary) or $(b,jsonl). Default: the opposite of the              input's encoding.")
+  in
+  Cmd.v
+    (Cmd.info "convert"
+       ~doc:
+         "Re-encode a recorded event stream between JSON Lines and the compact binary          trace framing. Both directions are lossless: check/report/profile produce          identical output on either encoding.")
+    Term.(const run $ input $ output $ to_fmt)
+
+(* ------------------------------------------------------------------ *)
+(* serve / feed / scrape                                               *)
+
+(* Listen/connect addresses: a path (contains '/' or ends in ".sock") is
+   a Unix-domain socket; a bare integer is a TCP port on 127.0.0.1;
+   anything else is HOST:PORT. *)
+type addr = AUnix of string | ATcp of string * int
+
+let parse_addr s =
+  if String.contains s '/' || Filename.check_suffix s ".sock" then Ok (AUnix s)
+  else
+    match int_of_string_opt s with
+    | Some port -> Ok (ATcp ("127.0.0.1", port))
+    | None -> (
+      match String.rindex_opt s ':' with
+      | None -> Error (Printf.sprintf "bad address %S (PATH, PORT or HOST:PORT)" s)
+      | Some i -> (
+        let host = String.sub s 0 i in
+        match int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) with
+        | None -> Error (Printf.sprintf "bad port in address %S" s)
+        | Some port -> Ok (ATcp (host, port))))
+
+let sockaddr_of = function
+  | AUnix path -> Unix.ADDR_UNIX path
+  | ATcp (host, port) ->
+    let ip =
+      try Unix.inet_addr_of_string host
+      with Failure _ -> (
+        match Unix.gethostbyname host with
+        | exception Not_found -> failwith (Printf.sprintf "unknown host %S" host)
+        | h -> h.Unix.h_addr_list.(0))
+    in
+    Unix.ADDR_INET (ip, port)
+
+let listen_on addr =
+  (match addr with
+  | AUnix path when Sys.file_exists path -> Sys.remove path
+  | _ -> ());
+  let sock =
+    Unix.socket
+      (match addr with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET)
+      Unix.SOCK_STREAM 0
+  in
+  Unix.setsockopt sock Unix.SO_REUSEADDR true;
+  Unix.bind sock (sockaddr_of addr);
+  Unix.listen sock 64;
+  sock
+
+let rec accept_retry sock =
+  try Unix.accept sock
+  with Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry sock
+
+(* Minimal Prometheus exposition endpoint: answer any request on the
+   socket with the text rendering of the registry. Polls [running]
+   between accepts so shutdown never races a blocking accept. *)
+let metrics_loop registry sock running =
+  while Atomic.get running do
+    match Unix.select [ sock ] [] [] 0.05 with
+    | [], _, _ -> ()
+    | _ ->
+      let fd, _ = accept_retry sock in
+      (try
+         let ic = Unix.in_channel_of_descr fd in
+         let oc = Unix.out_channel_of_descr fd in
+         (* Drain the request head; the path is irrelevant (everything is
+            /metrics). *)
+         (try
+            while String.trim (input_line ic) <> "" do
+              ()
+            done
+          with End_of_file -> ());
+         let body = Registry.to_prometheus registry in
+         Printf.fprintf oc
+           "HTTP/1.1 200 OK\r\n\
+            Content-Type: text/plain; version=0.0.4\r\n\
+            Content-Length: %d\r\n\
+            Connection: close\r\n\
+            \r\n\
+            %s"
+           (String.length body) body;
+         flush oc
+       with Sys_error _ | Unix.Unix_error _ -> ());
+      (try Unix.close fd with Unix.Unix_error _ -> ())
+  done;
+  Unix.close sock
+
+let serve_cmd =
+  let run listen metrics exit_after jobs =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let die msg =
+      prerr_endline (Printf.sprintf "dmm serve: %s" msg);
+      exit 2
+    in
+    let laddr = match parse_addr listen with Ok a -> a | Error m -> die m in
+    let ingest = Ingest.create (Registry.create ()) in
+    let registry = Ingest.registry ingest in
+    let lsock = try listen_on laddr with Unix.Unix_error (e, _, _) -> die (Unix.error_message e) in
+    Printf.printf "serve: ingest on %s\n%!" listen;
+    let running = Atomic.make true in
+    let metrics_domain =
+      match metrics with
+      | None -> None
+      | Some m ->
+        let maddr = match parse_addr m with Ok a -> a | Error msg -> die msg in
+        let msock =
+          try listen_on maddr with Unix.Unix_error (e, _, _) -> die (Unix.error_message e)
+        in
+        Printf.printf "serve: metrics on %s\n%!" m;
+        Some (Domain.spawn (fun () -> metrics_loop registry msock running))
+    in
+    (* Connections are sharded over worker domains through one queue:
+       each stream is pinned to a worker, whose pipeline publishes into
+       the shared (atomic) registry. *)
+    let jobs = match jobs with Some j -> max 1 j | None -> Pool.jobs () in
+    let queue : Unix.file_descr option Queue.t = Queue.create () in
+    let qlock = Mutex.create () in
+    let qcond = Condition.create () in
+    let push v =
+      Mutex.lock qlock;
+      Queue.push v queue;
+      Condition.signal qcond;
+      Mutex.unlock qlock
+    in
+    let pop () =
+      Mutex.lock qlock;
+      while Queue.is_empty queue do
+        Condition.wait qcond qlock
+      done;
+      let v = Queue.pop queue in
+      Mutex.unlock qlock;
+      v
+    in
+    let handle fd =
+      let ic = Unix.in_channel_of_descr fd in
+      let oc = Unix.out_channel_of_descr fd in
+      let reply =
+        match Ingest.run_source ingest (Stream.source_of_channel ic) with
+        | Ok { Ingest.report; _ } ->
+          Printf.sprintf "ok %d events, %d diagnostics\n" report.Sanitizer.events
+            (List.length report.Sanitizer.diags)
+        | Error m ->
+          Printf.eprintf "serve: stream error: %s\n%!" m;
+          Printf.sprintf "error: %s\n" m
+      in
+      (try
+         output_string oc reply;
+         flush oc
+       with Sys_error _ -> ());
+      try Unix.close fd with Unix.Unix_error _ -> ()
+    in
+    let worker () =
+      let rec loop () =
+        match pop () with
+        | None -> ()
+        | Some fd ->
+          (try handle fd with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+          loop ()
+      in
+      loop ()
+    in
+    let workers = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let accepted = ref 0 in
+    let continue () = match exit_after with None -> true | Some n -> !accepted < n in
+    while continue () do
+      let fd, _ = accept_retry lsock in
+      incr accepted;
+      push (Some fd)
+    done;
+    for _ = 1 to jobs do
+      push None
+    done;
+    Array.iter Domain.join workers;
+    Atomic.set running false;
+    Option.iter Domain.join metrics_domain;
+    Unix.close lsock;
+    (match laddr with AUnix path -> ( try Sys.remove path with Sys_error _ -> ()) | ATcp _ -> ());
+    let v name = Registry.value (Registry.counter registry name) in
+    Printf.printf "serve: done: %d streams, %d events, %d diagnostics, %d stream errors\n"
+      (v "dmm_ingest_streams_total") (v "dmm_events_total")
+      (v "dmm_ingest_diagnostics_total")
+      (v "dmm_ingest_errors_total")
+  in
+  let listen =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "listen" ] ~docv:"ADDR"
+          ~doc:
+            "Accept event streams on $(docv): a Unix-socket path, a TCP port (on              127.0.0.1) or HOST:PORT. One connection carries one stream, JSONL or              binary, auto-detected; the reply is one line, $(b,ok ...) or              $(b,error: ...).")
+  in
+  let metrics =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "metrics" ] ~docv:"ADDR"
+          ~doc:
+            "Expose the aggregated registry as Prometheus text exposition over HTTP on              $(docv) (same address forms as $(b,--listen)).")
+  in
+  let exit_after =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "exit-after" ] ~docv:"N"
+          ~doc:
+            "Shut down cleanly after $(docv) streams (soak tests); default: run              forever.")
+  in
+  let jobs =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "jobs" ] ~docv:"N"
+          ~doc:
+            "Worker domains sharding the incoming streams. Default: the engine pool              width ($(b,DMM_JOBS) or the host's core count).")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Long-running ingest daemon: accept concurrent allocation-event streams          (JSONL or binary, auto-detected per connection), run the sanitizer and the          telemetry and lifetime sinks online on each, and aggregate everything into          one registry for Prometheus scraping.")
+    Term.(const run $ listen $ metrics $ exit_after $ jobs)
+
+let feed_cmd =
+  let run to_addr parallel files =
+    Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
+    let die msg =
+      prerr_endline (Printf.sprintf "dmm feed: %s" msg);
+      exit 2
+    in
+    let addr = match parse_addr to_addr with Ok a -> a | Error m -> die m in
+    let sa = try sockaddr_of addr with Failure m -> die m in
+    let connect () =
+      (* The daemon may still be binding (soak scripts start both at
+         once): retry briefly before giving up. *)
+      let sock () =
+        Unix.socket
+          (match addr with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      let rec go tries =
+        let s = sock () in
+        match Unix.connect s sa with
+        | () -> s
+        | exception Unix.Unix_error ((ECONNREFUSED | ENOENT), _, _) when tries > 0 ->
+          Unix.close s;
+          Unix.sleepf 0.05;
+          go (tries - 1)
+        | exception e ->
+          Unix.close s;
+          raise e
+      in
+      go 100
+    in
+    let feed_one file =
+      match open_in_bin file with
+      | exception Sys_error m -> Printf.sprintf "error: %s" m
+      | ic -> (
+        match connect () with
+        | exception Unix.Unix_error (e, _, _) ->
+          close_in_noerr ic;
+          Printf.sprintf "error: %s" (Unix.error_message e)
+        | s ->
+          Fun.protect ~finally:(fun () -> ( try Unix.close s with Unix.Unix_error _ -> ()))
+          @@ fun () ->
+          let buf = Bytes.create 65536 in
+          let rec copy () =
+            let n = input ic buf 0 (Bytes.length buf) in
+            if n > 0 then begin
+              let rec write off =
+                if off < n then write (off + Unix.write s buf off (n - off))
+              in
+              write 0;
+              copy ()
+            end
+          in
+          let r =
+            match copy () with
+            | () ->
+              close_in_noerr ic;
+              Unix.shutdown s Unix.SHUTDOWN_SEND;
+              let rc = Unix.in_channel_of_descr s in
+              (try String.trim (input_line rc) with End_of_file -> "error: no reply")
+            | exception (Sys_error m | Failure m) ->
+              close_in_noerr ic;
+              Printf.sprintf "error: %s" m
+            | exception Unix.Unix_error (e, _, _) ->
+              close_in_noerr ic;
+              Printf.sprintf "error: %s" (Unix.error_message e)
+          in
+          r)
+    in
+    let files = Array.of_list files in
+    let replies = if parallel then Pool.map files feed_one else Array.map feed_one files in
+    let failed = ref false in
+    Array.iteri
+      (fun i reply ->
+        if String.length reply >= 5 && String.sub reply 0 5 = "error" then failed := true;
+        Printf.printf "feed: %s: %s\n" files.(i) reply)
+      replies;
+    if !failed then exit 1
+  in
+  let to_addr =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "to" ] ~docv:"ADDR" ~doc:"The $(b,dmm serve) ingest address to feed.")
+  in
+  let parallel =
+    Arg.(
+      value & flag
+      & info [ "parallel" ]
+          ~doc:"Feed all files concurrently (one engine-pool domain per file).")
+  in
+  let files =
+    Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"Event-stream files to send.")
+  in
+  Cmd.v
+    (Cmd.info "feed"
+       ~doc:
+         "Send recorded event-stream files to a running $(b,dmm serve) daemon, one          connection per file, and print each stream's verdict.")
+    Term.(const run $ to_addr $ parallel $ files)
+
+let scrape_cmd =
+  let run addr_s =
+    let die msg =
+      prerr_endline (Printf.sprintf "dmm scrape: %s" msg);
+      exit 2
+    in
+    let addr = match parse_addr addr_s with Ok a -> a | Error m -> die m in
+    let sa = try sockaddr_of addr with Failure m -> die m in
+    let s =
+      Unix.socket
+        (match addr with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET)
+        Unix.SOCK_STREAM 0
+    in
+    (match Unix.connect s sa with
+    | () -> ()
+    | exception Unix.Unix_error (e, _, _) -> die (Unix.error_message e));
+    let oc = Unix.out_channel_of_descr s in
+    output_string oc "GET /metrics HTTP/1.1\r\nHost: dmm\r\nConnection: close\r\n\r\n";
+    flush oc;
+    let ic = Unix.in_channel_of_descr s in
+    (* Skip the response head, print the body. *)
+    (try
+       while String.trim (input_line ic) <> "" do
+         ()
+       done;
+       while true do
+         print_endline (input_line ic)
+       done
+     with End_of_file -> ());
+    try Unix.close s with Unix.Unix_error _ -> ()
+  in
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"The $(b,dmm serve --metrics) address.")
+  in
+  Cmd.v
+    (Cmd.info "scrape"
+       ~doc:"Fetch and print the Prometheus exposition of a running $(b,dmm serve).")
+    Term.(const run $ addr)
+
 let () =
   let doc = "Custom dynamic-memory manager design methodology (DATE 2004 reproduction)" in
   let info = Cmd.info "dmm" ~version:"1.0.0" ~doc in
@@ -1039,4 +1534,8 @@ let () =
             replay_cmd;
             check_cmd;
             report_cmd;
+            convert_cmd;
+            serve_cmd;
+            feed_cmd;
+            scrape_cmd;
           ]))

@@ -11,20 +11,29 @@ type report = { events : int; diags : Diag.t list; conformance_checked : bool }
 
 let clean r = r.diags = []
 
+(* Each pass is an incremental stepper: feed entries one at a time, then
+   collect the diagnostics. Batch [invariants]/[conformance] and the
+   streaming sanitizer drive the very same steppers, so file-at-once and
+   socket-fed checking cannot drift apart. *)
+type pass = { pass_feed : int -> Event.t -> unit; pass_done : unit -> Diag.t list }
+
+let drive_pass p (s : Stream.t) =
+  Array.iter (fun { Stream.clock; event } -> p.pass_feed clock event) s;
+  p.pass_done ()
+
 (* --- pass 1: heap invariants -----------------------------------------------
    Design-independent laws every allocator must obey, replayed over the
    stream with a live-range map: allocations never overlap live blocks,
    frees hit live addresses exactly once, split/coalesce conserve bytes,
    and the footprint ledger (sbrk/trim deltas) always covers live payload. *)
 
-let invariants (s : Stream.t) =
+let invariants_pass () =
   let diags = ref [] in
   let add d = diags := d :: !diags in
   let live = ref Int_map.empty (* payload addr -> payload bytes *) in
   let live_bytes = ref 0 and held = ref 0 in
   let brk = ref None in
-  Array.iter
-    (fun { Stream.clock = i; event } ->
+  let feed i event =
       match event with
       | Event.Alloc { payload; gross; tag; addr } ->
         if payload <= 0 then
@@ -136,9 +145,11 @@ let invariants (s : Stream.t) =
           add
             (Diag.vf ~index:i "fit-scan-steps"
                "fit scan of %d steps (zero-step scans are suppressed at the emitter)"
-               steps))
-    s;
-  List.rev !diags
+               steps)
+  in
+  { pass_feed = feed; pass_done = (fun () -> List.rev !diags) }
+
+let invariants s = drive_pass (invariants_pass ()) s
 
 (* --- pass 2: design conformance --------------------------------------------
    Given the decision vector and run-time parameters the stream claims to
@@ -159,10 +170,16 @@ let a5_name = function
   | Coalesce_only -> "coalesce only"
   | Split_and_coalesce -> "split and coalesce"
 
-let conformance (design : Explorer.design) (s : Stream.t) =
+let conformance_pass (design : Explorer.design) =
   let vec = design.Explorer.vector and params = design.Explorer.params in
   match Constraints.check vec with
-  | _ :: _ as vs -> List.map Diag.of_constraint vs
+  | _ :: _ as vs ->
+    (* A stream cannot conform to an invalid design: report the
+       constraint violations and ignore the events. *)
+    {
+      pass_feed = (fun _ _ -> ());
+      pass_done = (fun () -> List.map Diag.of_constraint vs);
+    }
   | [] ->
     let diags = ref [] in
     let add d = diags := d :: !diags in
@@ -214,9 +231,8 @@ let conformance (design : Explorer.design) (s : Stream.t) =
     (* Free map snapshot when the heap last grew: the fit that failed ran
        against this set, not against remainders registered afterwards. *)
     let at_last_sbrk = ref None in
-    Array.iter
-      (fun { Stream.clock = i; event } ->
-        match event with
+    let feed i event =
+      match event with
         | Event.Split { addr; parent; taken; remainder } ->
           (if not can_split then
              match vec.DV.a5 with
@@ -412,22 +428,67 @@ let conformance (design : Explorer.design) (s : Stream.t) =
                    "trim released [%d,%d), which is not a free block" brk (brk + bytes)))
         | Event.Sbrk _ ->
           if shadow then at_last_sbrk := Some !free
-        | Event.Phase _ | Event.Fit_scan _ -> ())
-      s;
-    List.rev !diags
+        | Event.Phase _ | Event.Fit_scan _ -> ()
+    in
+    { pass_feed = feed; pass_done = (fun () -> List.rev !diags) }
 
-(* --- driver ----------------------------------------------------------------- *)
+let conformance design s = drive_pass (conformance_pass design) s
+
+(* --- driver -----------------------------------------------------------------
+   The incremental sanitizer is the primary driver: the integrity gate, the
+   invariants pass and (when a design is given) the conformance pass all
+   advance one event at a time, so a socket-fed stream is checked online in
+   memory bounded by the live-block maps — never by the stream length.
+   Batch [run] replays an in-memory stream through the same machinery. *)
+
+type incremental = {
+  mutable fed : int;  (* events seen = the clock the next event must carry *)
+  mutable gap : Diag.t option;  (* first integrity violation, if any *)
+  inv : pass;
+  conf : pass option;
+  checked : bool;
+}
+
+let start ?design () =
+  let conf, checked =
+    match design with None -> (None, false) | Some d -> (Some (conformance_pass d), true)
+  in
+  { fed = 0; gap = None; inv = invariants_pass (); conf; checked }
+
+let feed st ({ Stream.clock; event } : Stream.entry) =
+  (match st.gap with
+  | Some _ -> () (* keep counting, but the heap passes are already moot *)
+  | None ->
+    if clock <> st.fed then st.gap <- Some (Stream.clock_gap ~clock ~position:st.fed)
+    else begin
+      st.inv.pass_feed clock event;
+      match st.conf with None -> () | Some p -> p.pass_feed clock event
+    end);
+  st.fed <- st.fed + 1
+
+let finalize st =
+  match st.gap with
+  | Some d ->
+    (* Same shape as the batch path: the single incomplete-stream finding,
+       with whatever the passes saw before the gap discarded as phantom. *)
+    { events = st.fed; diags = [ d ]; conformance_checked = false }
+  | None ->
+    let diags =
+      st.inv.pass_done ()
+      @ (match st.conf with None -> [] | Some p -> p.pass_done ())
+    in
+    { events = st.fed; diags; conformance_checked = st.checked }
 
 let run ?design (s : Stream.t) =
-  let events = Stream.length s in
-  match Stream.integrity s with
-  | _ :: _ as diags -> { events; diags; conformance_checked = false }
-  | [] -> (
-    let inv = invariants s in
-    match design with
-    | None -> { events; diags = inv; conformance_checked = false }
-    | Some d ->
-      { events; diags = inv @ conformance d s; conformance_checked = true })
+  let st = start ?design () in
+  Array.iter (fun e -> feed st e) s;
+  finalize st
+
+let run_source ?design src =
+  let st = start ?design () in
+  match Stream.iter_source src ~f:(fun e -> feed st e) with
+  | Error _ as e -> e
+  | Ok _ -> Ok (finalize st)
 
 let pp_report ppf r =
   List.iter (fun d -> Format.fprintf ppf "%a@." Diag.pp d) r.diags;

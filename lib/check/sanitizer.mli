@@ -44,6 +44,32 @@ val conformance : Dmm_core.Explorer.design -> Stream.t -> Diag.t list
 
 val run : ?design:Dmm_core.Explorer.design -> Stream.t -> report
 (** Integrity gate, then invariants, then (when [design] is given)
-    conformance. *)
+    conformance. Implemented as {!start}/{!feed}/{!finalize} over the
+    in-memory stream, so batch and streaming checking agree exactly. *)
+
+(** {1 Incremental checking}
+
+    The passes advance one event at a time; memory is bounded by the
+    live-block maps, never by the stream length. This is how the ingest
+    daemon sanitizes sockets online and how [dmm check] reads trace
+    files of either format without materialising them. *)
+
+type incremental
+
+val start : ?design:Dmm_core.Explorer.design -> unit -> incremental
+
+val feed : incremental -> Stream.entry -> unit
+(** Feed the next event. The integrity gate is applied positionally: the
+    [n]th event fed must carry clock [n], otherwise the whole run
+    degenerates to the single [incomplete-stream] finding (events keep
+    being counted). *)
+
+val finalize : incremental -> report
+(** Collect the verdict. The incremental state must not be fed again. *)
+
+val run_source : ?design:Dmm_core.Explorer.design -> Stream.source -> (report, string) result
+(** Drive a {!Stream.source} to exhaustion through {!feed}. [Error] is a
+    decode failure of the underlying record (malformed line, corrupt
+    chunk) — distinct from heap diagnostics, which live in the report. *)
 
 val pp_report : Format.formatter -> report -> unit

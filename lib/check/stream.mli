@@ -1,8 +1,15 @@
 (** A recorded allocation-event stream: the sanitizer's input.
 
-    Streams come from three places — an in-memory {!Dmm_obs.Collect_sink}
-    capture, a [dmm trace --jsonl] export re-read from disk, or a synthetic
-    list built by tests (fault injection). *)
+    Streams come from an in-memory {!Dmm_obs.Collect_sink} capture, a
+    [dmm trace] export re-read from disk (JSONL or the
+    {!Dmm_obs.Codec} binary framing, auto-detected), a socket feeding
+    the ingest daemon, or a synthetic list built by tests.
+
+    Two representations coexist: the in-memory array [t] for synthetic
+    and captured streams, and the pull-based {!source} for everything
+    read from the outside world — a source surfaces one {!entry} at a
+    time so consumers run in memory bounded by a single event, not by
+    the file. *)
 
 type entry = { clock : int; event : Dmm_obs.Event.t }
 
@@ -18,11 +25,73 @@ val length : t -> int
 
 val events : t -> Dmm_obs.Event.t list
 
+(** {1 Incremental sources} *)
+
+type source
+(** A pull-based entry stream. Decode errors (malformed JSONL line,
+    corrupt or truncated binary chunk) surface as the [Error] of
+    {!fold_source} — they are I/O-level failures of the record itself,
+    not heap diagnostics. *)
+
+val source_of_entries : t -> source
+(** In-memory replay of an already-materialised stream. *)
+
+val source_of_string : ?path:string -> string -> source
+(** Over an in-memory buffer; format auto-detected as in
+    {!source_of_channel}. [path] prefixes error messages. *)
+
+val source_of_channel : ?path:string -> in_channel -> source
+(** Over an open channel (file or socket). The first four bytes decide
+    the format — the binary magic ["DMMT"] or JSONL text — and are
+    pushed back, so unseekable inputs work. The caller owns the
+    channel unless a close hook was wired by the constructor. *)
+
+val source_of_file : string -> (source, string) result
+(** Open [path] and auto-detect its format. The returned source owns
+    the file handle and closes it when the source is exhausted or
+    folded. *)
+
+val next_entry : source -> entry option
+(** Pull the next entry; [None] at end of stream. Raises on decode
+    errors — prefer {!fold_source}/{!iter_source}, which turn them
+    into [Error]. *)
+
+val close_source : source -> unit
+(** Release the underlying handle early (abnormal exits). Folding a
+    source to completion closes it already. *)
+
+val fold_source : source -> init:'a -> f:('a -> entry -> 'a) -> ('a, string) result
+(** Drive the source to exhaustion, folding each entry. Always closes
+    the source. [Error] carries ["<path>: line N: <why>"] for JSONL
+    and ["<path>: <why>"] for binary corruption or truncation. *)
+
+val iter_source : source -> f:(entry -> unit) -> (int, string) result
+(** Like {!fold_source}; returns the number of entries seen. *)
+
+val file_format : string -> ([ `Jsonl | `Binary ], string) result
+(** Sniff a file's format from its first four bytes without decoding
+    it. *)
+
+(** {1 Whole-file loading} *)
+
+val load : string -> (t, string) result
+(** Materialise a trace file of either format into memory. *)
+
 val of_jsonl_string : string -> (t, string) result
 (** Parse the {!Dmm_obs.Jsonl_sink} line format. A parse failure is an
     I/O-level error (malformed file), not a heap diagnostic. *)
 
 val load_jsonl : string -> (t, string) result
+(** Like {!load} but the format is forced to JSONL. Reads line by line
+    through one reused buffer: peak memory is a single line, whatever
+    the file size, and parse errors name the offending line. *)
+
+(** {1 Integrity} *)
+
+val clock_gap : clock:int -> position:int -> Diag.t
+(** The [incomplete-stream] diagnostic for an event whose clock does
+    not equal its position — shared by {!integrity} and the
+    sanitizer's incremental gate so both report identically. *)
 
 val integrity : t -> Diag.t list
 (** The probe's logical clock ticks once per event, so a faithful record

@@ -1,0 +1,115 @@
+module Registry = Dmm_obs.Registry
+module Registry_sink = Dmm_obs.Registry_sink
+module Hist_sink = Dmm_obs.Hist_sink
+module Lifetime_sink = Dmm_obs.Lifetime_sink
+module Stream = Dmm_check.Stream
+module Sanitizer = Dmm_check.Sanitizer
+
+type t = {
+  registry : Registry.t;
+  design : Dmm_core.Explorer.design option;
+  streams_total : Registry.counter;
+  errors_total : Registry.counter;
+  diags_total : Registry.counter;
+  active : Registry.gauge;
+  h_request : Registry.histogram;
+  h_gross : Registry.histogram;
+  h_fit : Registry.histogram;
+  h_lifetime : Registry.histogram;
+}
+
+let create ?design registry =
+  {
+    registry;
+    design;
+    streams_total =
+      Registry.counter ~help:"Streams accepted by the ingest daemon" registry
+        "dmm_ingest_streams_total";
+    errors_total =
+      Registry.counter ~help:"Streams that died mid-decode (malformed or corrupt)"
+        registry "dmm_ingest_errors_total";
+    diags_total =
+      Registry.counter ~help:"Sanitizer diagnostics across all finished streams"
+        registry "dmm_ingest_diagnostics_total";
+    active =
+      Registry.gauge ~help:"Streams currently being ingested" registry
+        "dmm_ingest_active_streams";
+    h_request =
+      Registry.histogram ~help:"Requested payload sizes" registry
+        "dmm_request_size_bytes";
+    h_gross =
+      Registry.histogram ~help:"Gross block sizes" registry "dmm_gross_size_bytes";
+    h_fit =
+      Registry.histogram ~help:"Free-list steps per fit scan" registry
+        "dmm_fit_scan_steps";
+    h_lifetime =
+      Registry.histogram ~help:"Completed allocation-span lifetimes in clock ticks"
+        registry "dmm_span_lifetime_ticks";
+  }
+
+let registry t = t.registry
+
+type pipeline = {
+  ctx : t;
+  san : Sanitizer.incremental;
+  reg_sink : Registry_sink.t;
+  hist : Hist_sink.t;
+  life : Lifetime_sink.t;
+}
+
+type summary = {
+  report : Sanitizer.report;
+  spans : int;
+  live_spans : int;
+  leaked_bytes : int;
+}
+
+let stream ctx =
+  Registry.incr ctx.streams_total;
+  Registry.gauge_add ctx.active 1;
+  {
+    ctx;
+    san = Sanitizer.start ?design:ctx.design ();
+    reg_sink = Registry_sink.create ctx.registry;
+    hist = Hist_sink.create ();
+    life = Lifetime_sink.create ();
+  }
+
+let feed p ({ Stream.clock; event } as entry) =
+  Sanitizer.feed p.san entry;
+  Registry_sink.on_event p.reg_sink clock event;
+  Hist_sink.on_event p.hist clock event;
+  Lifetime_sink.on_event p.life clock event
+
+(* Publish the per-stream buffers into the shared registry — the only
+   cross-domain step, all atomic adds. *)
+let publish p =
+  Registry_sink.flush p.reg_sink;
+  Registry.merge_log_hist p.ctx.h_request (Hist_sink.request p.hist);
+  Registry.merge_log_hist p.ctx.h_gross (Hist_sink.gross p.hist);
+  Registry.merge_log_hist p.ctx.h_fit (Hist_sink.fit_steps p.hist);
+  Registry.merge_log_hist p.ctx.h_lifetime (Lifetime_sink.lifetimes p.life);
+  Registry.gauge_add p.ctx.active (-1)
+
+let finish p =
+  publish p;
+  let report = Sanitizer.finalize p.san in
+  Registry.add p.ctx.diags_total (List.length report.Sanitizer.diags);
+  {
+    report;
+    spans = Lifetime_sink.spans p.life;
+    live_spans = Lifetime_sink.live_spans p.life;
+    leaked_bytes = Lifetime_sink.leaked_bytes p.life;
+  }
+
+let fail p =
+  publish p;
+  Registry.incr p.ctx.errors_total
+
+let run_source ctx src =
+  let p = stream ctx in
+  match Stream.iter_source src ~f:(fun e -> feed p e) with
+  | Ok _ -> Ok (finish p)
+  | Error _ as e ->
+    fail p;
+    e

@@ -1,0 +1,52 @@
+(** Online per-stream analysis pipeline: the engine behind [dmm serve].
+
+    One {!t} is the shared ingest context — a {!Dmm_obs.Registry} plus
+    the daemon's own metrics ([dmm_ingest_streams_total],
+    [dmm_ingest_errors_total], [dmm_ingest_active_streams], and the
+    aggregated size/lifetime distributions). From it, {!stream} opens a
+    per-stream {!pipeline} that runs the incremental sanitizer, a
+    {!Dmm_obs.Registry_sink}, a {!Dmm_obs.Hist_sink} and a
+    {!Dmm_obs.Lifetime_sink} over events fed one at a time — memory per
+    stream is bounded by the sanitizer's live maps, never by stream
+    length.
+
+    The registry is domain-safe, so pipelines may run on different
+    {!Pool} domains against one shared context; each pipeline itself is
+    single-domain (its sinks buffer locally and publish on
+    {!finish}/{!fail}). *)
+
+type t
+
+val create : ?design:Dmm_core.Explorer.design -> Dmm_obs.Registry.t -> t
+(** Register the ingest metrics in [registry]. When [design] is given
+    every stream is additionally checked for design conformance. *)
+
+val registry : t -> Dmm_obs.Registry.t
+
+type pipeline
+
+type summary = {
+  report : Dmm_check.Sanitizer.report;
+  spans : int;  (** completed allocation spans *)
+  live_spans : int;  (** allocations never freed by end of stream *)
+  leaked_bytes : int;  (** gross bytes held by those live spans *)
+}
+
+val stream : t -> pipeline
+(** Open a pipeline for one incoming stream: bumps
+    [dmm_ingest_streams_total] and [dmm_ingest_active_streams]. *)
+
+val feed : pipeline -> Dmm_check.Stream.entry -> unit
+
+val finish : pipeline -> summary
+(** Close the stream cleanly: flush the registry sink, merge the
+    distributions into the shared registry, drop the active gauge, and
+    return the sanitizer verdict. The pipeline must not be fed again. *)
+
+val fail : pipeline -> unit
+(** Close a stream that died mid-decode: publish what was seen, drop
+    the active gauge and bump [dmm_ingest_errors_total]. *)
+
+val run_source : t -> Dmm_check.Stream.source -> (summary, string) result
+(** Drive a whole {!Dmm_check.Stream.source} through one pipeline.
+    [Error] (a decode failure) has already been accounted via {!fail}. *)

@@ -1,0 +1,75 @@
+type t = {
+  oc : out_channel;
+  chunk_events : int;
+  payload : Buffer.t;  (* open chunk, reused between flushes *)
+  head : Buffer.t;  (* header scratch, reused *)
+  mutable count : int;  (* events in the open chunk *)
+  mutable first_clock : int;  (* clock of the open chunk's first event *)
+  mutable prev_clock : int;  (* last clock written, across chunks *)
+  mutable events : int;
+  mutable finished : bool;
+}
+
+let create ?(chunk_events = 4096) oc =
+  if chunk_events < 1 then invalid_arg "Binary_sink.create: chunk_events must be positive";
+  let head = Buffer.create Codec.header_bytes in
+  Codec.add_magic head;
+  Buffer.output_buffer oc head;
+  Buffer.clear head;
+  {
+    oc;
+    chunk_events;
+    payload = Buffer.create (64 * chunk_events);
+    head;
+    count = 0;
+    first_clock = 0;
+    prev_clock = -1;
+    events = 0;
+    finished = false;
+  }
+
+let write_chunk t =
+  if t.count > 0 then begin
+    let body = Buffer.contents t.payload in
+    let len = String.length body in
+    Buffer.clear t.head;
+    Codec.add_header t.head
+      {
+        Codec.h_len = len;
+        h_count = t.count;
+        h_first_clock = t.first_clock;
+        h_crc = Codec.fnv32 body 0 len;
+      };
+    Buffer.output_buffer t.oc t.head;
+    output_string t.oc body;
+    Buffer.clear t.payload;
+    t.count <- 0
+  end
+
+let on_event t clock e =
+  if t.finished then invalid_arg "Binary_sink.on_event: stream already finished";
+  if t.count = 0 then t.first_clock <- clock;
+  Codec.add_event t.payload ~prev_clock:t.prev_clock ~clock e;
+  t.prev_clock <- clock;
+  t.count <- t.count + 1;
+  t.events <- t.events + 1;
+  if t.count >= t.chunk_events then write_chunk t
+
+let attach probe t = Probe.attach probe (on_event t)
+let events t = t.events
+
+let flush t =
+  write_chunk t;
+  flush t.oc
+
+let finish t =
+  if not t.finished then begin
+    write_chunk t;
+    Buffer.clear t.head;
+    Codec.add_header t.head
+      { Codec.h_len = 0; h_count = 0; h_first_clock = t.events; h_crc = 0 };
+    Buffer.output_buffer t.oc t.head;
+    Buffer.clear t.head;
+    Stdlib.flush t.oc;
+    t.finished <- true
+  end

@@ -1,0 +1,28 @@
+(** Binary export sink: the {!Codec} chunked framing, written as events
+    arrive — the compact, seekable sibling of {!Jsonl_sink}.
+
+    Events accumulate in a reused buffer and are flushed as one chunk
+    every [chunk_events] events (or on {!flush}); {!finish} seals the
+    stream with the trailer chunk, without which a reader reports
+    truncation. The caller owns the channel. *)
+
+type t
+
+val create : ?chunk_events:int -> out_channel -> t
+(** Writes the magic immediately. [chunk_events] (default 4096, minimum 1)
+    is the flush threshold — larger chunks amortise the 20-byte header,
+    smaller ones tighten a tail reader's latency. *)
+
+val attach : Probe.t -> t -> unit
+val on_event : t -> int -> Event.t -> unit
+
+val events : t -> int
+(** Events written (including any still buffered in the open chunk). *)
+
+val flush : t -> unit
+(** Seal and write the open chunk (if any) and flush the channel. The
+    stream stays open: more events may follow. *)
+
+val finish : t -> unit
+(** {!flush}, then write the end-of-stream trailer. Idempotent; events
+    arriving after [finish] raise [Invalid_argument]. *)

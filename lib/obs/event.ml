@@ -18,29 +18,57 @@ let name = function
   | Trim _ -> "trim"
   | Fit_scan _ -> "fit_scan"
 
-let to_json ~clock e =
-  match e with
+(* The JSONL render is on the recording hot path (Jsonl_sink writes one
+   line per probe event), so it goes through a caller-owned buffer with
+   string_of_int rather than a sprintf per event. *)
+let add_json b ~clock e =
+  let field k v =
+    Buffer.add_string b k;
+    Buffer.add_string b (string_of_int v)
+  in
+  field "{\"t\":" clock;
+  (match e with
   | Alloc { payload; gross; tag; addr } ->
-    Printf.sprintf
-      "{\"t\":%d,\"ev\":\"alloc\",\"payload\":%d,\"gross\":%d,\"tag\":%d,\"addr\":%d}"
-      clock payload gross tag addr
+    Buffer.add_string b ",\"ev\":\"alloc\"";
+    field ",\"payload\":" payload;
+    field ",\"gross\":" gross;
+    field ",\"tag\":" tag;
+    field ",\"addr\":" addr
   | Free { payload; addr } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"free\",\"payload\":%d,\"addr\":%d}" clock payload
-      addr
+    Buffer.add_string b ",\"ev\":\"free\"";
+    field ",\"payload\":" payload;
+    field ",\"addr\":" addr
   | Split { addr; parent; taken; remainder } ->
-    Printf.sprintf
-      "{\"t\":%d,\"ev\":\"split\",\"addr\":%d,\"parent\":%d,\"taken\":%d,\"remainder\":%d}"
-      clock addr parent taken remainder
+    Buffer.add_string b ",\"ev\":\"split\"";
+    field ",\"addr\":" addr;
+    field ",\"parent\":" parent;
+    field ",\"taken\":" taken;
+    field ",\"remainder\":" remainder
   | Coalesce { addr; merged; absorbed } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"coalesce\",\"addr\":%d,\"merged\":%d,\"absorbed\":%d}"
-      clock addr merged absorbed
-  | Phase p -> Printf.sprintf "{\"t\":%d,\"ev\":\"phase\",\"id\":%d}" clock p
+    Buffer.add_string b ",\"ev\":\"coalesce\"";
+    field ",\"addr\":" addr;
+    field ",\"merged\":" merged;
+    field ",\"absorbed\":" absorbed
+  | Phase p ->
+    Buffer.add_string b ",\"ev\":\"phase\"";
+    field ",\"id\":" p
   | Sbrk { bytes; brk } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"sbrk\",\"bytes\":%d,\"brk\":%d}" clock bytes brk
+    Buffer.add_string b ",\"ev\":\"sbrk\"";
+    field ",\"bytes\":" bytes;
+    field ",\"brk\":" brk
   | Trim { bytes; brk } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"trim\",\"bytes\":%d,\"brk\":%d}" clock bytes brk
+    Buffer.add_string b ",\"ev\":\"trim\"";
+    field ",\"bytes\":" bytes;
+    field ",\"brk\":" brk
   | Fit_scan { steps } ->
-    Printf.sprintf "{\"t\":%d,\"ev\":\"fit_scan\",\"steps\":%d}" clock steps
+    Buffer.add_string b ",\"ev\":\"fit_scan\"";
+    field ",\"steps\":" steps);
+  Buffer.add_char b '}'
+
+let to_json ~clock e =
+  let b = Buffer.create 80 in
+  add_json b ~clock e;
+  Buffer.contents b
 
 let pp ppf e =
   match e with

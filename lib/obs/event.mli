@@ -44,9 +44,13 @@ val name : t -> string
 (** Lowercase tag: ["alloc"], ["free"], ["split"], ["coalesce"],
     ["phase"], ["sbrk"], ["trim"] or ["fit_scan"]. *)
 
+val add_json : Buffer.t -> clock:int -> t -> unit
+(** Append the JSON render to a caller-owned buffer — the allocation-free
+    path {!Jsonl_sink} records through. *)
+
 val to_json : clock:int -> t -> string
 (** One self-contained JSON object (no trailing newline):
     [{"t":<clock>,"ev":"<name>",...fields}]. The field set per event kind
-    is documented in EXPERIMENTS.md. *)
+    is documented in EXPERIMENTS.md. Equals what {!add_json} appends. *)
 
 val pp : Format.formatter -> t -> unit

@@ -1,12 +1,27 @@
-type t = { oc : out_channel; mutable events : int }
+(* One reused buffer for all events, drained to the channel in ~64 KiB
+   slabs rather than per event: the render is a handful of
+   Buffer.add_string calls and the channel write amortises away, so
+   recording costs allocation-free buffer appends on the hot path. *)
 
-let create oc = { oc; events = 0 }
+let flush_bytes = 64 * 1024
+
+type t = { oc : out_channel; buf : Buffer.t; mutable events : int }
+
+let create oc = { oc; buf = Buffer.create (flush_bytes + 256); events = 0 }
 
 let on_event t clock e =
-  output_string t.oc (Event.to_json ~clock e);
-  output_char t.oc '\n';
-  t.events <- t.events + 1
+  Event.add_json t.buf ~clock e;
+  Buffer.add_char t.buf '\n';
+  t.events <- t.events + 1;
+  if Buffer.length t.buf >= flush_bytes then begin
+    Buffer.output_buffer t.oc t.buf;
+    Buffer.clear t.buf
+  end
 
 let attach probe t = Probe.attach probe (on_event t)
 let events t = t.events
-let flush t = flush t.oc
+
+let flush t =
+  Buffer.output_buffer t.oc t.buf;
+  Buffer.clear t.buf;
+  flush t.oc

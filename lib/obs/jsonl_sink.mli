@@ -7,13 +7,15 @@
 type t
 
 val create : out_channel -> t
-(** Lines are written to the channel as events arrive; the caller owns the
-    channel (call {!flush} or close it when the run ends). *)
+(** Lines accumulate in a reused buffer and are drained to the channel in
+    ~64 KiB slabs; the caller owns the channel and must call {!flush}
+    before closing it or the buffered tail is lost. *)
 
 val attach : Probe.t -> t -> unit
 val on_event : t -> int -> Event.t -> unit
 
 val events : t -> int
-(** Lines written so far. *)
+(** Lines recorded so far (buffered lines included). *)
 
 val flush : t -> unit
+(** Drain the buffer and flush the channel. *)

@@ -74,6 +74,7 @@ let gauge ?(help = "") t name =
     (function Gauge g -> Some g | Counter _ | Histogram _ -> None)
 
 let set g v = Atomic.set g.gcell v
+let gauge_add g d = ignore (Atomic.fetch_and_add g.gcell d)
 
 let rec set_max cell v =
   let cur = Atomic.get cell in

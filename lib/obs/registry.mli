@@ -40,6 +40,11 @@ val add : counter -> int -> unit
 
 val set : gauge -> int -> unit
 
+val gauge_add : gauge -> int -> unit
+(** Move the gauge by a (possibly negative) delta — one atomic add, so
+    concurrent movers from several domains never lose updates the way
+    read-modify-{!set} would. *)
+
 val gauge_max : gauge -> int -> unit
 (** Raise the gauge to [v] if it is currently lower (CAS loop). *)
 

@@ -23,7 +23,15 @@
 #   7. against the committed BENCH_results.json, every peak-footprint row
 #      (workload, manager, bytes, ops) must reproduce byte-identically —
 #      speed work must never change simulated results — and no throughput
-#      row may fall below 75% of the committed ops/sec.
+#      row may fall below 75% of the committed ops/sec;
+#   8. `dmm convert` must round-trip the JSONL export through the binary
+#      framing and back byte-identically, the sanitizer and analytics must
+#      read the binary file transparently, and a truncated binary file
+#      must be rejected;
+#   9. a short `dmm serve` soak: a sharded daemon on a unix socket must
+#      ingest concurrent streams in both encodings, reject a malformed
+#      one with a one-line error, expose its registry over /metrics, and
+#      shut down cleanly with an accurate summary line.
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -254,5 +262,78 @@ if diff -u "$tmpdir/fp_exhaustive.out" "$tmpdir/fp_advised.out"; then
   echo "bench_smoke: PASS (advisor skipped $skipped candidates; footprint comparison unchanged)"
 else
   echo "bench_smoke: FAIL (advised exploration changed the footprint comparison)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: binary codec round-trip and transparent binary reads..."
+"$dmm" convert -i "$tmpdir/drr.jsonl" -o "$tmpdir/drr.dmmt" > /dev/null
+"$dmm" convert -i "$tmpdir/drr.dmmt" -o "$tmpdir/drr2.jsonl" > /dev/null
+"$dmm" convert -i "$tmpdir/drr2.jsonl" -o "$tmpdir/drr2.dmmt" > /dev/null
+if cmp -s "$tmpdir/drr.jsonl" "$tmpdir/drr2.jsonl" &&
+   cmp -s "$tmpdir/drr.dmmt" "$tmpdir/drr2.dmmt"; then
+  echo "bench_smoke: PASS (convert round-trips both encodings byte-identically)"
+else
+  echo "bench_smoke: FAIL (convert round-trip is not the identity)" >&2
+  exit 1
+fi
+if ! "$dmm" check --stream "$tmpdir/drr.dmmt" --strict > "$tmpdir/check_bin.out"; then
+  echo "bench_smoke: FAIL (sanitizer flagged the binary export)" >&2
+  cat "$tmpdir/check_bin.out" >&2
+  exit 1
+fi
+"$dmm" report --stream "$tmpdir/drr.dmmt" | tail -n +2 > "$tmpdir/report_bin.out"
+"$dmm" report --stream "$tmpdir/drr.jsonl" | tail -n +2 > "$tmpdir/report_jsonl.out"
+if diff -u "$tmpdir/report_jsonl.out" "$tmpdir/report_bin.out"; then
+  echo "bench_smoke: PASS (report identical over JSONL and binary after the source line)"
+else
+  echo "bench_smoke: FAIL (report over the binary file diverges from JSONL)" >&2
+  exit 1
+fi
+head -c 100 "$tmpdir/drr.dmmt" > "$tmpdir/trunc.dmmt"
+if "$dmm" check --stream "$tmpdir/trunc.dmmt" > /dev/null 2>&1; then
+  echo "bench_smoke: FAIL (truncated binary stream was accepted)" >&2
+  exit 1
+fi
+echo "bench_smoke: PASS (truncated binary stream rejected)"
+
+echo "bench_smoke: short dmm serve soak over a unix socket..."
+printf 'garbage\n' > "$tmpdir/bad.txt"
+"$dmm" serve --listen "$tmpdir/ingest.sock" --metrics "$tmpdir/metrics.sock" \
+  --exit-after 4 --jobs 2 > "$tmpdir/serve.out" 2> "$tmpdir/serve.err" &
+serve_pid=$!
+for _ in $(seq 200); do
+  if [ -S "$tmpdir/ingest.sock" ]; then break; fi
+  sleep 0.05
+done
+"$dmm" feed --to "$tmpdir/ingest.sock" "$tmpdir/drr.jsonl" "$tmpdir/drr.dmmt" \
+  > "$tmpdir/feed_ok.out"
+if [ "$(grep -c ': ok ' "$tmpdir/feed_ok.out")" != 2 ]; then
+  echo "bench_smoke: FAIL (serve did not accept both encodings)" >&2
+  cat "$tmpdir/feed_ok.out" >&2
+  exit 1
+fi
+if "$dmm" feed --to "$tmpdir/ingest.sock" "$tmpdir/bad.txt" > "$tmpdir/feed_bad.out"; then
+  echo "bench_smoke: FAIL (serve accepted a malformed stream)" >&2
+  exit 1
+fi
+if ! grep -q 'error: line 1:' "$tmpdir/feed_bad.out"; then
+  echo "bench_smoke: FAIL (malformed stream did not yield a one-line error)" >&2
+  cat "$tmpdir/feed_bad.out" >&2
+  exit 1
+fi
+"$dmm" scrape "$tmpdir/metrics.sock" > "$tmpdir/metrics.out"
+for metric in dmm_ingest_streams_total dmm_ingest_errors_total dmm_events_total; do
+  if ! grep -q "^$metric" "$tmpdir/metrics.out"; then
+    echo "bench_smoke: FAIL (/metrics missing $metric)" >&2
+    exit 1
+  fi
+done
+"$dmm" feed --to "$tmpdir/ingest.sock" "$tmpdir/drr.dmmt" > /dev/null
+wait "$serve_pid"
+if grep -q '^serve: done: 4 streams, .* 1 stream errors$' "$tmpdir/serve.out"; then
+  echo "bench_smoke: PASS (serve ingested 4 streams, flagged 1 error, exited cleanly)"
+else
+  echo "bench_smoke: FAIL (serve summary line missing or wrong)" >&2
+  cat "$tmpdir/serve.out" "$tmpdir/serve.err" >&2
   exit 1
 fi

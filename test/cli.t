@@ -49,7 +49,7 @@ the peak footprint the replay reports:
   $ dmm replay -t drr.trace -m obstacks | grep 'max footprint'
   max footprint: 1294336 B
   $ dmm trace -w drr --quick --seed 1
-  dmm trace: nothing to do (pass -o and/or --jsonl)
+  dmm trace: nothing to do (pass -o, --jsonl and/or --binary)
   [2]
 
 The chrome://tracing export: one counter track per manager.
@@ -162,7 +162,7 @@ incomplete stream rather than analysed into phantom findings:
   dmm check: missing.jsonl: No such file or directory
   [2]
   $ dmm check
-  dmm check: pass --jsonl FILE or a workload (-w)
+  dmm check: pass --stream FILE or a workload (-w)
   [2]
 
 The exploration safety net sanitizes every winning design, and the rule
@@ -224,7 +224,7 @@ and check alike:
   dmm report: missing.jsonl: No such file or directory
   [2]
   $ dmm report
-  dmm report: pass --jsonl FILE or a workload (-w)
+  dmm report: pass --stream FILE or a workload (-w)
   [2]
 
 The span-matching lifetime profiler consumes the same --jsonl export (or
@@ -262,7 +262,7 @@ Malformed and missing inputs fail exactly like report and check:
   dmm profile: missing.jsonl: No such file or directory
   [2]
   $ dmm profile
-  dmm profile: pass --jsonl FILE or a workload (-w)
+  dmm profile: pass --stream FILE or a workload (-w)
   [2]
 
 The measured lifetime profile advises the explorer: profile-refuted B3
@@ -299,3 +299,58 @@ Bad input is reported, not crashed on:
   $ dmm replay -t missing.trace -m lea
   missing.trace: No such file or directory
   [1]
+
+The compact binary trace codec: convert re-encodes losslessly in both
+directions (byte-identical round trips), every stream consumer accepts
+either encoding transparently, and truncation is caught by the framing:
+
+  $ dmm convert -i drr.jsonl -o drr.dmmt
+  converted 103850 events: drr.jsonl (jsonl) -> drr.dmmt (binary)
+  $ dmm convert -i drr.dmmt -o drr2.jsonl
+  converted 103850 events: drr.dmmt (binary) -> drr2.jsonl (jsonl)
+  $ cmp drr.jsonl drr2.jsonl
+  $ dmm convert -i drr2.jsonl -o drr2.dmmt
+  converted 103850 events: drr2.jsonl (jsonl) -> drr2.dmmt (binary)
+  $ cmp drr.dmmt drr2.dmmt
+  $ dmm check --stream drr.dmmt
+  103850 events, 0 diagnostics (invariants)
+  clean
+  $ dmm report --stream drr.dmmt | tail -n +2 > report_bin.out
+  $ dmm report --jsonl drr.jsonl | tail -n +2 > report_jsonl.out
+  $ diff report_bin.out report_jsonl.out
+  $ dmm profile --stream drr.dmmt | tail -n +2 > profile_bin.out
+  $ dmm profile --jsonl drr.jsonl | tail -n +2 > profile_jsonl.out
+  $ diff profile_bin.out profile_jsonl.out
+  $ head -c 5 drr.dmmt > trunc.dmmt
+  $ dmm check --stream trunc.dmmt
+  dmm check: trunc.dmmt: truncated stream (missing end-of-stream trailer)
+  [2]
+
+The ingest daemon: concurrent streams over a Unix socket, sanitized and
+aggregated online, Prometheus metrics scrapeable while it runs, a
+one-line error per malformed stream, clean shutdown after N streams:
+
+  $ printf 'garbage\n' > bad.txt
+  $ dmm serve --listen ingest.sock --metrics metrics.sock --exit-after 4 --jobs 2 > serve.out 2> serve.err &
+  $ for i in $(seq 200); do [ -S ingest.sock ] && break; sleep 0.05; done
+  $ dmm feed --to ingest.sock drr.jsonl drr.dmmt
+  feed: drr.jsonl: ok 103850 events, 0 diagnostics
+  feed: drr.dmmt: ok 103850 events, 0 diagnostics
+  $ dmm feed --to ingest.sock bad.txt
+  feed: bad.txt: error: line 1: not a JSON object
+  [1]
+  $ dmm scrape metrics.sock | grep -E '^dmm_(ingest|events)'
+  dmm_events_total 207700
+  dmm_ingest_active_streams 0
+  dmm_ingest_diagnostics_total 0
+  dmm_ingest_errors_total 1
+  dmm_ingest_streams_total 3
+  $ dmm feed --to ingest.sock --parallel drr.dmmt
+  feed: drr.dmmt: ok 103850 events, 0 diagnostics
+  $ wait
+  $ cat serve.out
+  serve: ingest on ingest.sock
+  serve: metrics on metrics.sock
+  serve: done: 4 streams, 311550 events, 0 diagnostics, 1 stream errors
+  $ cat serve.err
+  serve: stream error: line 1: not a JSON object

@@ -1,0 +1,281 @@
+(* The binary trace codec: varint/event round trips, chunked file framing
+   (including the sniffing loader), the differential JSONL/binary
+   properties behind `dmm convert`, and the incremental sanitizer's
+   equivalence with the batch driver. *)
+
+module Event = Dmm_obs.Event
+module Codec = Dmm_obs.Codec
+module Binary_sink = Dmm_obs.Binary_sink
+module Jsonl_sink = Dmm_obs.Jsonl_sink
+module Stream = Dmm_check.Stream
+module Sanitizer = Dmm_check.Sanitizer
+
+(* --- generators ---------------------------------------------------------- *)
+
+(* Field values mix small magnitudes (the common case), negatives (zigzag
+   low bytes) and full-width ints (9-byte varints). *)
+let gen_field st =
+  let open QCheck.Gen in
+  (oneof
+     [
+       int_range (-4096) 4096;
+       int_range 0 (1 lsl 30);
+       oneofl [ 0; 1; -1; max_int; min_int; 1 lsl 62; -(1 lsl 62) ];
+     ])
+    st
+
+let gen_event st =
+  let f () = gen_field st in
+  match QCheck.Gen.int_bound 7 st with
+  | 0 -> Event.Alloc { payload = f (); gross = f (); tag = f (); addr = f () }
+  | 1 -> Event.Free { payload = f (); addr = f () }
+  | 2 -> Event.Split { addr = f (); parent = f (); taken = f (); remainder = f () }
+  | 3 -> Event.Coalesce { addr = f (); merged = f (); absorbed = f () }
+  | 4 -> Event.Phase (f ())
+  | 5 -> Event.Sbrk { bytes = f (); brk = f () }
+  | 6 -> Event.Trim { bytes = f (); brk = f () }
+  | _ -> Event.Fit_scan { steps = f () }
+
+let gen_events = QCheck.Gen.(list_size (1 -- 200) gen_event)
+
+let arb_stream =
+  QCheck.make
+    ~print:(fun (chunk, evs) ->
+      Printf.sprintf "chunk_events=%d, %d events" chunk (List.length evs))
+    QCheck.Gen.(pair (1 -- 64) gen_events)
+
+(* --- helpers ------------------------------------------------------------- *)
+
+let write_binary ?chunk_events events =
+  let path = Filename.temp_file "dmm_codec" ".dmmt" in
+  let oc = open_out_bin path in
+  let sink = Binary_sink.create ?chunk_events oc in
+  List.iteri (fun clock e -> Binary_sink.on_event sink clock e) events;
+  Binary_sink.finish sink;
+  close_out oc;
+  path
+
+let read_file path = In_channel.with_open_bin path In_channel.input_all
+
+let write_file path s =
+  let oc = open_out_bin path in
+  output_string oc s;
+  close_out oc
+
+let with_temp_data data f =
+  let path = Filename.temp_file "dmm_codec" ".dmmt" in
+  write_file path data;
+  Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> f path)
+
+let jsonl_of events =
+  String.concat ""
+    (List.mapi (fun clock e -> Event.to_json ~clock e ^ "\n") events)
+
+(* --- unit cases ---------------------------------------------------------- *)
+
+let varint_extremes () =
+  let values =
+    [ 0; 1; -1; 63; -64; 64; -65; 300; -300; 1 lsl 20; max_int; min_int;
+      max_int - 1; min_int + 1 ]
+  in
+  let b = Buffer.create 64 in
+  List.iter (Codec.add_varint b) values;
+  let s = Buffer.contents b in
+  let pos = ref 0 in
+  List.iter
+    (fun v ->
+      let d = Codec.read_varint s ~pos ~limit:(String.length s) in
+      Alcotest.(check int) (Printf.sprintf "varint %d" v) v d)
+    values;
+  Alcotest.(check int) "all bytes consumed" (String.length s) !pos;
+  (* A gap-free clock sequence costs one byte per event. *)
+  let b = Buffer.create 8 in
+  Codec.add_varint b 0;
+  Alcotest.(check int) "zero delta is one byte" 1 (Buffer.length b)
+
+let empty_stream () =
+  let path = write_binary [] in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  (match Stream.load path with
+  | Ok arr -> Alcotest.(check int) "no entries" 0 (Array.length arr)
+  | Error m -> Alcotest.fail m);
+  (* magic (5) + trailer header (20), nothing else *)
+  Alcotest.(check int) "file is magic + trailer"
+    (Codec.magic_bytes + Codec.header_bytes)
+    (String.length (read_file path))
+
+let format_sniffing () =
+  let events = [ Event.Phase 1; Event.Sbrk { bytes = 64; brk = 64 } ] in
+  let path = write_binary events in
+  let data = Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> read_file path) in
+  (* In-memory sniffing picks the right decoder for both encodings. *)
+  let from_bin = Stream.fold_source (Stream.source_of_string data) ~init:0 ~f:(fun n _ -> n + 1) in
+  Alcotest.(check (result int string)) "binary sniffed" (Ok 2) from_bin;
+  let from_jsonl =
+    Stream.fold_source (Stream.source_of_string (jsonl_of events)) ~init:0 ~f:(fun n _ -> n + 1)
+  in
+  Alcotest.(check (result int string)) "jsonl sniffed" (Ok 2) from_jsonl;
+  with_temp_data data (fun p ->
+      Alcotest.(check bool) "file_format binary" true (Stream.file_format p = Ok `Binary));
+  with_temp_data (jsonl_of events) (fun p ->
+      Alcotest.(check bool) "file_format jsonl" true (Stream.file_format p = Ok `Jsonl))
+
+let jsonl_line_numbers () =
+  (* The streaming JSONL reader reports the offending line of the file,
+     blank lines included in the count. *)
+  let text = "{\"t\":0,\"ev\":\"phase\",\"id\":1}\n\nnot json\n" in
+  match Stream.of_jsonl_string text with
+  | Ok _ -> Alcotest.fail "garbage line must not parse"
+  | Error m ->
+    Alcotest.(check bool) (Printf.sprintf "line number in %S" m) true
+      (String.length m >= 7 && String.sub m 0 7 = "line 3:")
+
+let trailer_guard () =
+  let events = [ Event.Phase 1; Event.Phase 2; Event.Phase 3 ] in
+  let path = write_binary events in
+  let data = Fun.protect ~finally:(fun () -> Sys.remove path) (fun () -> read_file path) in
+  (* Trailing bytes after the trailer are an error, not silently ignored. *)
+  with_temp_data (data ^ "x") (fun p ->
+      match Stream.load p with
+      | Ok _ -> Alcotest.fail "trailing bytes must be rejected"
+      | Error m ->
+        Alcotest.(check bool) (Printf.sprintf "mentions trailer: %s" m) true
+          (String.length m > 0));
+  (* A missing trailer (clean EOF at a chunk boundary) is truncation. *)
+  let cut = String.length data - Codec.header_bytes in
+  with_temp_data (String.sub data 0 cut) (fun p ->
+      match Stream.load p with
+      | Ok _ -> Alcotest.fail "missing trailer must be rejected"
+      | Error _ -> ())
+
+(* --- properties ---------------------------------------------------------- *)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"binary file round trip: decode (encode s) = s" ~count:60
+    arb_stream (fun (chunk_events, events) ->
+      let path = write_binary ~chunk_events events in
+      let r = Stream.load path in
+      Sys.remove path;
+      match r with
+      | Error m -> QCheck.Test.fail_reportf "load failed: %s" m
+      | Ok arr -> arr = Stream.of_events events)
+
+let prop_jsonl_binary_agree =
+  QCheck.Test.make
+    ~name:"jsonl and binary encodings decode to the same stream" ~count:40 arb_stream
+    (fun (chunk_events, events) ->
+      let path = write_binary ~chunk_events events in
+      let from_bin = Stream.load path in
+      Sys.remove path;
+      let from_jsonl = Stream.of_jsonl_string (jsonl_of events) in
+      match (from_bin, from_jsonl) with
+      | Ok b, Ok j -> b = j
+      | Error m, _ | _, Error m -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let prop_truncation_detected =
+  QCheck.Test.make
+    ~name:"any strict truncation past the magic is an error" ~count:60
+    (QCheck.make
+       ~print:(fun ((c, evs), frac) ->
+         Printf.sprintf "chunk_events=%d, %d events, frac=%.3f" c (List.length evs) frac)
+       QCheck.Gen.(pair (pair (1 -- 64) gen_events) (float_bound_inclusive 1.)))
+    (fun ((chunk_events, events), frac) ->
+      let path = write_binary ~chunk_events events in
+      let data = read_file path in
+      Sys.remove path;
+      let len = String.length data in
+      (* Below 5 bytes the magic itself is cut and the sniffing loader
+         legitimately treats the prefix as (empty or garbage) JSONL. *)
+      let cut = Codec.magic_bytes + int_of_float (frac *. float_of_int (len - Codec.magic_bytes)) in
+      let cut = min cut (len - 1) in
+      with_temp_data (String.sub data 0 cut) (fun p ->
+          match Stream.load p with
+          | Ok _ -> false
+          | Error _ -> true))
+
+let prop_corruption_detected =
+  QCheck.Test.make
+    ~name:"single-byte payload corruption is caught by the chunk checksum"
+    ~count:60
+    (QCheck.make
+       ~print:(fun ((c, evs), (pick, bit)) ->
+         Printf.sprintf "chunk_events=%d, %d events, pick=%.3f, bit=%d" c
+           (List.length evs) pick bit)
+       QCheck.Gen.(
+         pair (pair (1 -- 64) gen_events) (pair (float_bound_inclusive 1.) (0 -- 7))))
+    (fun ((chunk_events, events), (pick, bit)) ->
+      let path = write_binary ~chunk_events events in
+      let data = read_file path in
+      Sys.remove path;
+      (* Flip one bit inside the first chunk's payload. FNV-1a's
+         per-byte steps are bijections on the running state, so a
+         same-length payload with one byte changed can never keep its
+         checksum — the property holds for every flip, not just most. *)
+      let h = Codec.read_header data ~pos:Codec.magic_bytes in
+      let payload_off = Codec.magic_bytes + Codec.header_bytes in
+      let idx = payload_off + int_of_float (pick *. float_of_int (h.Codec.h_len - 1)) in
+      let b = Bytes.of_string data in
+      Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lxor (1 lsl bit)));
+      with_temp_data (Bytes.to_string b) (fun p ->
+          match Stream.load p with Ok _ -> false | Error _ -> true))
+
+(* Clock tampering exercised too: the incremental sanitizer must agree
+   with the batch driver on faithful and on gap-damaged streams alike. *)
+let prop_incremental_sanitizer =
+  QCheck.Test.make
+    ~name:"incremental sanitizer = batch sanitizer (with and without gaps)"
+    ~count:80
+    (QCheck.make
+       ~print:(fun (evs, gap) ->
+         Printf.sprintf "%d events, gap=%b" (List.length evs) gap)
+       QCheck.Gen.(pair gen_events bool))
+    (fun (events, inject_gap) ->
+      let entries = Stream.of_events events in
+      let entries =
+        if inject_gap && Array.length entries > 0 then begin
+          let i = Array.length entries / 2 in
+          let e = entries.(i) in
+          let damaged = Array.copy entries in
+          damaged.(i) <- { e with Stream.clock = e.Stream.clock + 7 };
+          damaged
+        end
+        else entries
+      in
+      let batch = Sanitizer.run entries in
+      match Sanitizer.run_source (Stream.source_of_entries entries) with
+      | Error m -> QCheck.Test.fail_reportf "run_source failed: %s" m
+      | Ok incr -> incr = batch)
+
+let prop_jsonl_sink_buffering =
+  QCheck.Test.make
+    ~name:"buffered Jsonl_sink writes exactly the to_json lines" ~count:40
+    (QCheck.make ~print:(fun evs -> Printf.sprintf "%d events" (List.length evs)) gen_events)
+    (fun events ->
+      let path = Filename.temp_file "dmm_codec" ".jsonl" in
+      let oc = open_out_bin path in
+      let sink = Jsonl_sink.create oc in
+      List.iteri (fun clock e -> Jsonl_sink.on_event sink clock e) events;
+      Jsonl_sink.flush sink;
+      close_out oc;
+      let written = read_file path in
+      Sys.remove path;
+      written = jsonl_of events)
+
+let tests =
+  ( "codec",
+    [
+      Alcotest.test_case "varint extremes" `Quick varint_extremes;
+      Alcotest.test_case "empty stream" `Quick empty_stream;
+      Alcotest.test_case "format sniffing" `Quick format_sniffing;
+      Alcotest.test_case "jsonl line numbers" `Quick jsonl_line_numbers;
+      Alcotest.test_case "trailer guards" `Quick trailer_guard;
+    ]
+    @ List.map QCheck_alcotest.to_alcotest
+        [
+          prop_roundtrip;
+          prop_jsonl_binary_agree;
+          prop_truncation_detected;
+          prop_corruption_detected;
+          prop_incremental_sanitizer;
+          prop_jsonl_sink_buffering;
+        ] )

@@ -21,6 +21,7 @@ let () =
       Test_explorer.tests;
       Test_trace.tests;
       Test_obs.tests;
+      Test_codec.tests;
       Test_telemetry.tests;
       Test_recorder_replay.tests;
       Test_kingsley.tests;
