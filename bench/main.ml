@@ -402,6 +402,95 @@ let check_section () =
   report "custom" (Dmm_engine.Sim.sanitize sim (Scenario.drr_paper_design ()))
 
 (* ------------------------------------------------------------------ *)
+(* EXP-ORACLE: Merlin lifetime oracle - drag, leaks, throughput        *)
+
+module Oracle = Dmm_check.Oracle
+module Gcheap = Dmm_workloads.Gcheap
+
+type oracle_report = {
+  orc_events : int;  (** events in the graph-level DRR/Lea stream *)
+  orc_seconds : float;  (** best-of-3 oracle analysis wall *)
+  orc_events_per_sec : float;
+  orc_drr_leaks : int;  (** must be 0: scripted replays are leak-clean *)
+  orc_drr_drag : int;  (** must be 0: death coincides with the free *)
+  orc_gc_objects : int;
+  orc_gc_freed : int;
+  orc_gc_leaks : int;
+  orc_gc_drag_p50 : int;
+  orc_gc_drag_p99 : int;
+  orc_gc_defects : int;
+}
+
+(* Two halves. First the soundness anchor: the scripted DRR replay at
+   the graph probe level must come out of the oracle with zero drag and
+   zero leaks — every free is exact, so any nonzero number is a false
+   positive — and that run doubles as the analysis-throughput
+   measurement (best of 3 over the captured stream). Then the GC-heap
+   client with lagged refcount frees, where drag and leaks are the
+   expected signal: the lag shows up as per-object drag and the dropped
+   cycles as oracle-leak reports, with zero graph defects. *)
+let oracle_section () =
+  section "EXP-ORACLE: Merlin lifetime oracle (drag, leaks, throughput)";
+  let saved = !Experiments.paper_scale in
+  Experiments.paper_scale := false;
+  Fun.protect ~finally:(fun () -> Experiments.paper_scale := saved) @@ fun () ->
+  let trace = Experiments.drr_trace_seed 42 in
+  let probe = Probe.create () in
+  let sink = Collect_sink.create () in
+  Collect_sink.attach probe sink;
+  Replay.run ~probe ~graph:true trace (Scenario.lea ~probe ());
+  let stream = Stream.of_pairs (Collect_sink.to_array sink) in
+  let orc_events = Stream.length stream in
+  let best = ref infinity and last = ref None in
+  for _ = 1 to 3 do
+    let t0 = Unix.gettimeofday () in
+    let r = Oracle.run stream in
+    let dt = Unix.gettimeofday () -. t0 in
+    if dt < !best then best := dt;
+    last := Some r
+  done;
+  let r = Option.get !last in
+  let orc_drr_leaks = List.length r.Oracle.r_leaks in
+  let orc_drr_drag = Dmm_obs.Log_hist.sum r.Oracle.r_drag in
+  let orc_seconds = !best in
+  let orc_events_per_sec = float_of_int orc_events /. Float.max 1e-9 orc_seconds in
+  Printf.printf "  drr/lea: %d events (%d graph), %d objects, leaks %d, total drag %d\n"
+    orc_events r.Oracle.r_graph_events (Array.length r.Oracle.r_objects)
+    orc_drr_leaks orc_drr_drag;
+  if orc_drr_leaks <> 0 || orc_drr_drag <> 0 then
+    prerr_endline "EXP-ORACLE: WARNING: false positives on the scripted replay!";
+  let config =
+    { Gcheap.default_config with Gcheap.nodes_per_phase = 400; free_lag = Some 50 }
+  in
+  let gc_stream, stats = Scenario.gcheap_stream ~config Scenario.lea in
+  let g = Oracle.run gc_stream in
+  let orc_gc_defects = Oracle.defect_count g.Oracle.r_defects in
+  let orc_gc_drag_p50 = Dmm_obs.Log_hist.percentile g.Oracle.r_drag 0.5
+  and orc_gc_drag_p99 = Dmm_obs.Log_hist.percentile g.Oracle.r_drag 0.99 in
+  Printf.printf
+    "  gcheap (lag 50): %d objects, freed %d, leaked %d, drag p50 %d p99 %d, defects %d\n"
+    stats.Gcheap.g_allocs g.Oracle.r_freed
+    (List.length g.Oracle.r_leaks)
+    orc_gc_drag_p50 orc_gc_drag_p99 orc_gc_defects;
+  if orc_gc_defects <> 0 then
+    prerr_endline "EXP-ORACLE: WARNING: coherent gcheap stream produced defects!";
+  Printf.printf "[time] EXP-ORACLE analysis: %.3fs (%.1f Mev/s)\n%!" orc_seconds
+    (orc_events_per_sec /. 1e6);
+  {
+    orc_events;
+    orc_seconds;
+    orc_events_per_sec;
+    orc_drr_leaks;
+    orc_drr_drag;
+    orc_gc_objects = stats.Gcheap.g_allocs;
+    orc_gc_freed = g.Oracle.r_freed;
+    orc_gc_leaks = List.length g.Oracle.r_leaks;
+    orc_gc_drag_p50;
+    orc_gc_drag_p99;
+    orc_gc_defects;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* EXP-INGEST: codec load speed and sharded online ingest              *)
 
 module Ingest = Dmm_engine.Ingest
@@ -897,8 +986,8 @@ let json_escape s =
   Buffer.contents b
 
 let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_report)
-    ~(prof : profile_report) ~(ingest : ingest_report) ~(thru : thru_row list)
-    tables =
+    ~(prof : profile_report) ~(orc : oracle_report) ~(ingest : ingest_report)
+    ~(thru : thru_row list) tables =
   let oc = open_out "BENCH_results.json" in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
@@ -949,6 +1038,19 @@ let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_repo
   p "    \"lifetime_overhead_pct\": %.2f,\n" prof.prof_overhead_pct;
   p "    \"spans\": %d,\n" prof.prof_spans;
   p "    \"leaked_bytes\": %d\n" prof.prof_leaked_bytes;
+  p "  },\n";
+  p "  \"oracle\": {\n";
+  p "    \"events\": %d,\n" orc.orc_events;
+  p "    \"analysis_seconds\": %.6f,\n" orc.orc_seconds;
+  p "    \"events_per_sec\": %.0f,\n" orc.orc_events_per_sec;
+  p "    \"drr_leaks\": %d,\n" orc.orc_drr_leaks;
+  p "    \"drr_drag_total\": %d,\n" orc.orc_drr_drag;
+  p "    \"gcheap_objects\": %d,\n" orc.orc_gc_objects;
+  p "    \"gcheap_freed\": %d,\n" orc.orc_gc_freed;
+  p "    \"gcheap_leaks\": %d,\n" orc.orc_gc_leaks;
+  p "    \"gcheap_drag_p50\": %d,\n" orc.orc_gc_drag_p50;
+  p "    \"gcheap_drag_p99\": %d,\n" orc.orc_gc_drag_p99;
+  p "    \"gcheap_defects\": %d\n" orc.orc_gc_defects;
   p "  },\n";
   p "  \"sections\": [\n";
   let times = List.rev !section_times in
@@ -1001,6 +1103,7 @@ let () =
   let telem = timed "EXP-TELEM" telem_section in
   let prof = timed "EXP-PROFILE" profile_section in
   timed "EXP-CHECK" check_section;
+  let orc = timed "EXP-ORACLE" oracle_section in
   let ingest = timed "EXP-INGEST" ingest_section in
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
@@ -1013,6 +1116,6 @@ let () =
   timed "EXP-PERF" (fun () -> ops_summary tables);
   let thru = timed "EXP-THRU" throughput_section in
   if not skip_wall then bechamel_tests ();
-  write_results ~timing ~obs ~telem ~prof ~ingest ~thru tables;
+  write_results ~timing ~obs ~telem ~prof ~orc ~ingest ~thru tables;
   Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
     parallel_jobs timing.speedup

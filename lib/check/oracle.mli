@@ -1,0 +1,117 @@
+(** Merlin-style lifetime oracle over recorded event streams.
+
+    Explicit [Free] events say when the application {e returned} memory;
+    the object-graph events ([Ptr_write], [Root_add]/[Root_remove]) say
+    when it could last have {e used} it. Following Merlin lifetime
+    analysis (the Elephant-Tracks lineage), the forward pass advances an
+    object's {e last-reachable stamp} to the probe's logical clock every
+    time it loses a reference — a pointer slot holding it is
+    overwritten, the object holding that slot is freed, or one of its
+    roots is dropped — and the backward pass then propagates death times
+    through the retained pointer graph: an object's death is the latest
+    death among the objects that could still reach it, clamped to its
+    own horizon (its explicit free, or the end of the stream).
+
+    Two products fall out:
+
+    - {b drag} — [free clock - death clock] per explicitly freed object
+      (≥ 0 by construction): heap bytes the design held live that the
+      application could never have touched again, histogrammed overall,
+      per power-of-two size class and per birth phase;
+    - {b leaks} — objects that end the stream unreachable but were never
+      freed, reported through the shared {!Diag} vocabulary (the
+      [oracle-leak] rule) and exposed to [dmm check --leaks] via the
+      {!Sanitizer}.
+
+    Streams without any graph event degrade soundly: no object can be
+    observed losing reachability, so death equals the explicit free,
+    every drag is zero and no leak is reported — the oracle never
+    produces a false positive on a plain manager recording. *)
+
+type obj = {
+  o_id : int;  (** allocation order; index into {!report.r_objects} *)
+  o_addr : int;
+  o_payload : int;
+  o_gross : int;
+  o_birth : int;  (** clock of the [Alloc] *)
+  o_birth_phase : int;
+  o_free : int option;  (** clock of the explicit [Free], if any *)
+  o_death : int;  (** oracle death clock; [birth <= death <= free] *)
+  o_reached : bool;  (** still reachable when the stream ended *)
+}
+
+type defects = {
+  d_src_missing : int;
+  d_dst_missing : int;
+  d_old_mismatch : int;
+  d_root_missing : int;
+  d_root_underflow : int;
+  d_addr_reuse : int;
+}
+(** Graph events that contradicted the tracked object graph (pointer
+    writes from/to unknown objects, [old_dst] disagreeing with the
+    tracked slot, root events on unknown objects, root underflow,
+    allocation over a live address). Counted and survived: the tracked
+    graph wins. *)
+
+val no_defects : defects
+val defect_count : defects -> int
+
+type report = {
+  r_events : int;
+  r_graph_events : int;
+  r_graph : bool;  (** [false] = degenerate oracle (no graph events seen) *)
+  r_objects : obj array;
+  r_freed : int;
+  r_leaks : obj list;
+  r_end_live : int;
+  r_end_clock : int;
+  r_drag : Dmm_obs.Log_hist.t;
+  r_drag_by_class : (int * Dmm_obs.Log_hist.t) list;
+  r_drag_by_phase : (int * Dmm_obs.Log_hist.t) list;
+  r_defects : defects;
+  r_phases : (int * int) list;
+}
+
+(** {1 Running the analysis}
+
+    Incremental ([create]/[feed]/[finalize]) and batch ([run],
+    [run_source]) drivers agree exactly — [run] is implemented on the
+    incremental state. *)
+
+type t
+
+val create : unit -> t
+val feed : t -> Stream.entry -> unit
+
+val finalize : t -> report
+(** Backward pass + report. The state must not be fed again. *)
+
+val run : Stream.t -> report
+
+val run_source : Stream.source -> (report, string) result
+(** [Error] is a decode failure of the underlying record, as with
+    {!Sanitizer.run_source}. *)
+
+(** {1 Consumers} *)
+
+val leak_diags : report -> Diag.t list
+(** One [oracle-leak] diagnostic per leak, indexed by the death clock. *)
+
+type phase_drag = { pd_phase : int; pd_count : int; pd_p50 : int; pd_p99 : int }
+
+val phase_drags : report -> phase_drag list
+(** Per-birth-phase drag digest in the shape
+    {!Dmm_core.Explorer.Profile_advisor} consumes to refute pool
+    candidates whose lifetime profile is inflated by drag. *)
+
+type op = Op_alloc of { id : int; size : int } | Op_free of { id : int } | Op_phase of int
+
+val synthesize : report -> op list
+(** The stream rewritten with the oracle's frees: allocations and phase
+    markers in stream order, every dead object freed at its death clock,
+    end-live objects left allocated. Object ids are dense in allocation
+    order, so the result maps 1:1 onto a {!Dmm_trace.Trace} for replay
+    against any manager. *)
+
+val pp : Format.formatter -> report -> unit

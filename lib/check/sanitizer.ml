@@ -146,6 +146,20 @@ let invariants_pass () =
             (Diag.vf ~index:i "fit-scan-steps"
                "fit scan of %d steps (zero-step scans are suppressed at the emitter)"
                steps)
+      | Event.Ptr_write { src; old_dst; new_dst; _ } ->
+        (* Graph events carry payload addresses: -1 is the null object,
+           anything else must look like an address the stream could have
+           handed out. Reachability itself is the oracle's concern. *)
+        if src < 0 then
+          add (Diag.vf ~index:i "graph-address" "pointer write from address %d" src);
+        if old_dst < -1 || new_dst < -1 then
+          add
+            (Diag.vf ~index:i "graph-address"
+               "pointer write to address %d (null is -1)"
+               (min old_dst new_dst))
+      | Event.Root_add { addr } | Event.Root_remove { addr } ->
+        if addr < 0 then
+          add (Diag.vf ~index:i "graph-address" "root event on address %d" addr)
   in
   { pass_feed = feed; pass_done = (fun () -> List.rev !diags) }
 
@@ -428,7 +442,9 @@ let conformance_pass (design : Explorer.design) =
                    "trim released [%d,%d), which is not a free block" brk (brk + bytes)))
         | Event.Sbrk _ ->
           if shadow then at_last_sbrk := Some !free
-        | Event.Phase _ | Event.Fit_scan _ -> ()
+        | Event.Phase _ | Event.Fit_scan _ | Event.Ptr_write _ | Event.Root_add _
+        | Event.Root_remove _ ->
+          ()
     in
     { pass_feed = feed; pass_done = (fun () -> List.rev !diags) }
 
@@ -446,14 +462,16 @@ type incremental = {
   mutable gap : Diag.t option;  (* first integrity violation, if any *)
   inv : pass;
   conf : pass option;
+  oracle : Oracle.t option;  (* the opt-in leak pass *)
   checked : bool;
 }
 
-let start ?design () =
+let start ?design ?(leaks = false) () =
   let conf, checked =
     match design with None -> (None, false) | Some d -> (Some (conformance_pass d), true)
   in
-  { fed = 0; gap = None; inv = invariants_pass (); conf; checked }
+  let oracle = if leaks then Some (Oracle.create ()) else None in
+  { fed = 0; gap = None; inv = invariants_pass (); conf; oracle; checked }
 
 let feed st ({ Stream.clock; event } : Stream.entry) =
   (match st.gap with
@@ -462,7 +480,10 @@ let feed st ({ Stream.clock; event } : Stream.entry) =
     if clock <> st.fed then st.gap <- Some (Stream.clock_gap ~clock ~position:st.fed)
     else begin
       st.inv.pass_feed clock event;
-      match st.conf with None -> () | Some p -> p.pass_feed clock event
+      (match st.conf with None -> () | Some p -> p.pass_feed clock event);
+      match st.oracle with
+      | None -> ()
+      | Some o -> Oracle.feed o { Stream.clock; event }
     end);
   st.fed <- st.fed + 1
 
@@ -476,16 +497,19 @@ let finalize st =
     let diags =
       st.inv.pass_done ()
       @ (match st.conf with None -> [] | Some p -> p.pass_done ())
+      @ (match st.oracle with
+        | None -> []
+        | Some o -> Oracle.leak_diags (Oracle.finalize o))
     in
     { events = st.fed; diags; conformance_checked = st.checked }
 
-let run ?design (s : Stream.t) =
-  let st = start ?design () in
+let run ?design ?leaks (s : Stream.t) =
+  let st = start ?design ?leaks () in
   Array.iter (fun e -> feed st e) s;
   finalize st
 
-let run_source ?design src =
-  let st = start ?design () in
+let run_source ?design ?leaks src =
+  let st = start ?design ?leaks () in
   match Stream.iter_source src ~f:(fun e -> feed st e) with
   | Error _ as e -> e
   | Ok _ -> Ok (finalize st)

@@ -42,10 +42,12 @@ val conformance : Dmm_core.Explorer.design -> Stream.t -> Diag.t list
     are returned (lifted via {!Diag.of_constraint}) and the behavioural
     checks are skipped — a stream cannot conform to an invalid design. *)
 
-val run : ?design:Dmm_core.Explorer.design -> Stream.t -> report
+val run : ?design:Dmm_core.Explorer.design -> ?leaks:bool -> Stream.t -> report
 (** Integrity gate, then invariants, then (when [design] is given)
-    conformance. Implemented as {!start}/{!feed}/{!finalize} over the
-    in-memory stream, so batch and streaming checking agree exactly. *)
+    conformance, then (when [leaks] is true) the {!Oracle} leak pass —
+    its [oracle-leak] findings are appended to the report's diagnostics.
+    Implemented as {!start}/{!feed}/{!finalize} over the in-memory
+    stream, so batch and streaming checking agree exactly. *)
 
 (** {1 Incremental checking}
 
@@ -56,7 +58,7 @@ val run : ?design:Dmm_core.Explorer.design -> Stream.t -> report
 
 type incremental
 
-val start : ?design:Dmm_core.Explorer.design -> unit -> incremental
+val start : ?design:Dmm_core.Explorer.design -> ?leaks:bool -> unit -> incremental
 
 val feed : incremental -> Stream.entry -> unit
 (** Feed the next event. The integrity gate is applied positionally: the
@@ -67,7 +69,8 @@ val feed : incremental -> Stream.entry -> unit
 val finalize : incremental -> report
 (** Collect the verdict. The incremental state must not be fed again. *)
 
-val run_source : ?design:Dmm_core.Explorer.design -> Stream.source -> (report, string) result
+val run_source :
+  ?design:Dmm_core.Explorer.design -> ?leaks:bool -> Stream.source -> (report, string) result
 (** Drive a {!Stream.source} to exhaustion through {!feed}. [Error] is a
     decode failure of the underlying record (malformed line, corrupt
     chunk) — distinct from heap diagnostics, which live in the report. *)

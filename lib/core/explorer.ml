@@ -183,8 +183,11 @@ let heuristic_design ?order s =
    Everything it drops is tallied in [skipped], so drivers can report
    exactly how much simulation the profile saved. *)
 module Profile_advisor = struct
+  type phase_drag = { pd_phase : int; pd_count : int; pd_p50 : int; pd_p99 : int }
+
   type t = {
     phases : Dmm_obs.Lifetime_sink.phase_summary list;
+    drag : phase_drag list;
     total_spans : int;
     mutable skipped : int;
   }
@@ -193,13 +196,13 @@ module Profile_advisor = struct
      footprint enough to justify its own refinement round. *)
   let min_share = 0.02
 
-  let of_phase_summaries phases =
+  let of_phase_summaries ?(drag = []) phases =
     let total =
       List.fold_left
         (fun acc (s : Dmm_obs.Lifetime_sink.phase_summary) -> acc + s.s_spans)
         0 phases
     in
-    { phases; total_spans = total; skipped = 0 }
+    { phases; drag; total_spans = total; skipped = 0 }
 
   let phases t = t.phases
   let skipped t = t.skipped
@@ -217,17 +220,38 @@ module Profile_advisor = struct
       | None -> 0.0
       | Some s -> float_of_int s.Dmm_obs.Lifetime_sink.s_spans /. float_of_int t.total_spans
 
+  (* A phase whose median drag rivals its median lifetime has a span
+     profile the application's frees inflated: the Merlin oracle says
+     the objects were dead for most of their measured lifetime, so
+     sizing a per-phase pool from those spans would provision for
+     garbage. Such a phase cannot argue *for* pool refinement (it can
+     still ride along when another phase justifies the B3 variant).
+     Without oracle data — or on scripted clients, whose drag is zero —
+     no phase is ever drag-dominated, so the pruning is conservative. *)
+  let drag_dominated t phase =
+    match List.find_opt (fun d -> d.pd_phase = phase) t.drag with
+    | None -> false
+    | Some d -> (
+      d.pd_count > 0
+      && d.pd_p50 > 0
+      &&
+      match summary t phase with
+      | None -> false
+      | Some s -> 2 * d.pd_p50 >= s.Dmm_obs.Lifetime_sink.s_p50_lifetime)
+
   let want_phase_pools t =
     List.length t.phases > 1
     && List.exists
          (fun (s : Dmm_obs.Lifetime_sink.phase_summary) ->
-           share t s.s_phase >= min_share && s.s_contained > s.s_escaped)
+           share t s.s_phase >= min_share
+           && s.s_contained > s.s_escaped
+           && not (drag_dominated t s.s_phase))
          t.phases
 
   let refine_phase t phase =
     match summary t phase with
     | None -> false
-    | Some s -> s.s_spans > 0 && share t phase >= min_share
+    | Some s -> s.s_spans > 0 && share t phase >= min_share && not (drag_dominated t phase)
 
   (* Refinement agenda: biggest span share first (stable on ties), so the
      phases that dominate the footprint are settled before the long tail. *)
@@ -239,6 +263,16 @@ module Profile_advisor = struct
   let pp ppf t =
     Format.fprintf ppf "@[<v>advisor: %d phases, %d spans@," (List.length t.phases)
       t.total_spans;
+    (match t.drag with
+    | [] -> ()
+    | drags ->
+      Format.fprintf ppf "  oracle drag:";
+      List.iter
+        (fun d ->
+          Format.fprintf ppf " phase %d p50 %d (%s)" d.pd_phase d.pd_p50
+            (if drag_dominated t d.pd_phase then "dominated" else "ok"))
+        drags;
+      Format.fprintf ppf "@,");
     List.iter
       (fun (s : Dmm_obs.Lifetime_sink.phase_summary) ->
         Format.fprintf ppf "  %a (share %.3f, refine %b)@,"

@@ -59,7 +59,19 @@ val heuristic_design :
 module Profile_advisor : sig
   type t
 
-  val of_phase_summaries : Dmm_obs.Lifetime_sink.phase_summary list -> t
+  type phase_drag = { pd_phase : int; pd_count : int; pd_p50 : int; pd_p99 : int }
+  (** Per-phase drag digest from the Merlin oracle ([Dmm_check.Oracle]):
+      how long, at the median/p99, explicitly freed objects born in the
+      phase had already been dead (in probe clocks) when the application
+      freed them. *)
+
+  val of_phase_summaries : ?drag:phase_drag list -> Dmm_obs.Lifetime_sink.phase_summary list -> t
+  (** [drag] (default none) sharpens the B3 pruning: a phase whose median
+      drag rivals its median lifetime ([2*p50_drag >= p50_lifetime]) has a
+      span profile inflated by late frees and is refuted as a pool-refine
+      argument ({!refine_phase} false, and it cannot by itself satisfy
+      {!want_phase_pools}). Scripted explicit-free clients measure zero
+      drag, so their advice is unchanged. *)
 
   val min_share : float
   (** Span-share floor (0.02) below which a phase gets no refinement round
@@ -78,8 +90,8 @@ module Profile_advisor : sig
       (B3) to be worth a simulation. *)
 
   val refine_phase : t -> int -> bool
-  (** True iff the phase carries spans and at least {!min_share} of the
-      span volume. *)
+  (** True iff the phase carries spans, at least {!min_share} of the span
+      volume, and its lifetime profile is not drag-dominated. *)
 
   val order : t -> int list -> int list
   (** Refinement agenda: phase ids sorted by descending span share,

@@ -58,7 +58,7 @@ let replay_seconds t = t.replay_seconds
 
 (* Pure worker function: safe on any domain. Accounting of replay counts
    and wall time happens on the parent domain only. *)
-let replay ?probe t (d : Explorer.design) =
+let replay ?probe ?graph t (d : Explorer.design) =
   let start = Unix.gettimeofday () in
   let space = Address_space.create ?probe () in
   let m =
@@ -66,7 +66,7 @@ let replay ?probe t (d : Explorer.design) =
       d.Explorer.vector space
   in
   let a = Manager.allocator m in
-  Replay.run ?probe ~live_hint:t.live_hint t.trace a;
+  Replay.run ?probe ?graph ~live_hint:t.live_hint t.trace a;
   let o =
     {
       footprint = Allocator.max_footprint a;
@@ -138,6 +138,18 @@ let lifetimes t (d : Explorer.design) =
   Dmm_obs.Lifetime_sink.attach probe sink;
   let (_ : outcome) = outcome ~probe t d in
   Dmm_obs.Lifetime_sink.phase_summaries sink
+
+let oracle t (d : Explorer.design) =
+  (* One observed replay at the graph probe level, fed straight into the
+     Merlin oracle — no stream materialised. *)
+  let probe = Probe.create () in
+  let orc = Dmm_check.Oracle.create () in
+  Probe.attach probe (fun clock event ->
+      Dmm_check.Oracle.feed orc { Dmm_check.Stream.clock; event });
+  let (_ : outcome) = timed t (fun () -> replay ~probe ~graph:true t d) in
+  t.replays <- t.replays + 1;
+  Reg.incr m_replays;
+  Dmm_check.Oracle.finalize orc
 
 let sanitize t (d : Explorer.design) =
   let probe = Probe.create () in

@@ -45,6 +45,13 @@ val lifetimes : t -> Dmm_core.Explorer.design -> Dmm_obs.Lifetime_sink.phase_sum
     bypasses the memo table (but refreshes it) and is counted in
     {!replays}. *)
 
+val oracle : t -> Dmm_core.Explorer.design -> Dmm_check.Oracle.report
+(** One observed replay at the graph probe level ({!Dmm_trace.Replay.run}
+    with [~graph:true]), fed event-by-event into the Merlin oracle. On a
+    scripted trace every object holds exactly one root from alloc to
+    free, so the report is the zero-drag, zero-leak baseline; its
+    per-phase digests feed {!Dmm_core.Explorer.Profile_advisor}. *)
+
 val sanitize : t -> Dmm_core.Explorer.design -> Dmm_check.Sanitizer.report
 (** Replay the design live with an in-memory event capture and run the
     full {!Dmm_check.Sanitizer} (heap invariants plus design conformance)

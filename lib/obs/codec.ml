@@ -1,7 +1,14 @@
 let magic = "DMMT"
-let version = 1
+let version = 2
 let magic_bytes = 5
+let feature_bytes = 4
 let header_bytes = 20
+
+(* Feature bits carried by version-2 streams in a u32 word right after
+   the magic. A version-1 stream has no feature word and implicitly
+   declares zero bits. *)
+let feature_graph = 1
+let supported_features = feature_graph
 
 (* Chunks past this are certainly garbage: a length field this large can
    only come from reading non-chunk bytes as a header, and trusting it
@@ -54,6 +61,9 @@ let tag_of = function
   | Event.Sbrk _ -> 5
   | Event.Trim _ -> 6
   | Event.Fit_scan _ -> 7
+  | Event.Ptr_write _ -> 8
+  | Event.Root_add _ -> 9
+  | Event.Root_remove _ -> 10
 
 let add_event b ~prev_clock ~clock e =
   Buffer.add_char b (Char.unsafe_chr (tag_of e));
@@ -84,6 +94,13 @@ let add_event b ~prev_clock ~clock e =
     add_varint b bytes;
     add_varint b brk
   | Event.Fit_scan { steps } -> add_varint b steps
+  | Event.Ptr_write { src; field; old_dst; new_dst } ->
+    add_varint b src;
+    add_varint b field;
+    add_varint b old_dst;
+    add_varint b new_dst
+  | Event.Root_add { addr } -> add_varint b addr
+  | Event.Root_remove { addr } -> add_varint b addr
 
 let read_event s ~pos ~limit ~prev_clock =
   if !pos >= limit then corrupt "truncated event (missing tag byte)";
@@ -124,6 +141,14 @@ let read_event s ~pos ~limit ~prev_clock =
       let brk = v () in
       Event.Trim { bytes; brk }
     | 7 -> Event.Fit_scan { steps = v () }
+    | 8 ->
+      let src = v () in
+      let field = v () in
+      let old_dst = v () in
+      let new_dst = v () in
+      Event.Ptr_write { src; field; old_dst; new_dst }
+    | 9 -> Event.Root_add { addr = v () }
+    | 10 -> Event.Root_remove { addr = v () }
     | t -> corrupt "unknown event tag %d" t
   in
   (clock, event)
@@ -161,9 +186,11 @@ let get_i64 s off =
   done;
   Int64.to_int !v
 
-let add_magic b =
+let add_magic ?(version = version) ?(features = supported_features) b =
   Buffer.add_string b magic;
-  Buffer.add_char b (Char.chr version)
+  Buffer.add_char b (Char.chr version);
+  (* Version 1 predates the feature word; only the v2 prefix carries it. *)
+  if version >= 2 then add_u32 b features
 
 let add_header b h =
   add_u32 b h.h_len;

@@ -5,9 +5,14 @@
 
     {v
     "DMMT" version(1)            5-byte magic
+    features u32                 version >= 2 only: feature-bit word
     chunk*                       length-prefixed, independently skippable
     trailer                      a zero-length chunk carrying the event total
     v}
+
+    Version 1 (pre-graph-events) streams have no feature word and no
+    graph event tags; readers accept both versions, so every pre-existing
+    [DMMT] file keeps decoding to the identical entry sequence.
 
     where each chunk is a 20-byte little-endian header followed by the
     varint-packed events:
@@ -39,9 +44,21 @@ val magic : string
 (** ["DMMT"] — also what format sniffing looks for. *)
 
 val version : int
+(** The version written by {!add_magic} by default (2). *)
 
 val magic_bytes : int
-(** Bytes of magic + version prefix (5). *)
+(** Bytes of magic + version prefix (5), excluding the feature word. *)
+
+val feature_bytes : int
+(** Bytes of the version-2 feature word (4). *)
+
+val feature_graph : int
+(** Feature bit 0: the stream may carry object-graph events
+    ([Ptr_write]/[Root_add]/[Root_remove], tags 8–10). *)
+
+val supported_features : int
+(** Union of every feature bit this reader understands; unknown bits in
+    a stream's feature word are a decode error. *)
 
 val header_bytes : int
 (** Chunk header size (20). *)
@@ -74,7 +91,12 @@ type header = { h_len : int; h_count : int; h_first_clock : int; h_crc : int }
 
 val is_trailer : header -> bool
 
-val add_magic : Buffer.t -> unit
+val add_magic : ?version:int -> ?features:int -> Buffer.t -> unit
+(** Appends the stream prefix: magic, version byte (default {!version})
+    and — for version 2 and up — the feature word (default
+    {!supported_features}). [~version:1] reproduces the pre-PR-8 5-byte
+    prefix exactly. *)
+
 val add_header : Buffer.t -> header -> unit
 
 val read_header : string -> pos:int -> header
@@ -82,6 +104,10 @@ val read_header : string -> pos:int -> header
     exactly {!header_bytes} bytes). Sanity-checks the fields ([len] within
     the 1 GiB chunk bound, [count] consistent with [len]) and raises
     {!Corrupt} otherwise. *)
+
+val get_u32 : string -> int -> int
+(** Little-endian u32 at a byte offset — what the version-2 feature word
+    is stored as. *)
 
 val fnv32 : string -> int -> int -> int
 (** [fnv32 s off len]: FNV-1a 32-bit over [s.[off .. off+len-1]]. Every

@@ -155,7 +155,8 @@ let on_event t clock (e : Event.t) =
             freed_clock = clock;
             freed_phase = t.phase;
           })
-  | Event.Split _ | Event.Coalesce _ | Event.Sbrk _ | Event.Trim _ | Event.Fit_scan _ ->
+  | Event.Split _ | Event.Coalesce _ | Event.Sbrk _ | Event.Trim _ | Event.Fit_scan _
+  | Event.Ptr_write _ | Event.Root_add _ | Event.Root_remove _ ->
     ()
 
 let attach probe t = Probe.attach probe (on_event t)

@@ -46,7 +46,9 @@ let on_event t _clock (e : Event.t) =
   | Event.Split _ -> t.splits <- t.splits + 1
   | Event.Coalesce _ -> t.coalesces <- t.coalesces + 1
   | Event.Fit_scan { steps } -> t.ops <- t.ops + steps
-  | Event.Phase _ | Event.Sbrk _ | Event.Trim _ -> ()
+  | Event.Phase _ | Event.Sbrk _ | Event.Trim _ | Event.Ptr_write _ | Event.Root_add _
+  | Event.Root_remove _ ->
+    ()
 
 let attach probe t = Probe.attach probe (on_event t)
 

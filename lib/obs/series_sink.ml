@@ -36,7 +36,7 @@ let on_event t clock (e : Event.t) =
     t.current <- t.current - bytes;
     record t clock
   | Event.Alloc _ | Event.Free _ | Event.Split _ | Event.Coalesce _ | Event.Phase _
-  | Event.Fit_scan _ ->
+  | Event.Fit_scan _ | Event.Ptr_write _ | Event.Root_add _ | Event.Root_remove _ ->
     ()
 
 let attach probe t = Probe.attach probe (on_event t)

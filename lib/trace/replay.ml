@@ -22,12 +22,21 @@ let id_map_set m id addr =
   end;
   m.addrs.(id) <- addr
 
-let run ?(probe = Probe.null) ?on_event ?(live_hint = 256) trace a =
+let run ?(probe = Probe.null) ?(graph = false) ?on_event ?(live_hint = 256) trace a =
   let addrs = id_map_create live_hint in
+  (* The graph probe level models the scripted client faithfully: each
+     trace id is one rooted object, and the client holds that root right
+     up to the free (freeing a still-rooted object is how the oracle
+     learns the object was reachable until then — death coincides with
+     the explicit free, zero drag). No Root_remove is emitted: the free
+     itself retires the root. This is the baseline the GC-heap
+     scenarios are measured against. *)
+  let graph = graph && Probe.enabled probe in
   let step event =
     match event with
     | Event.Alloc { id; size } ->
       let addr = Allocator.alloc a size in
+      if graph then Probe.emit probe (Obs_event.Root_add { addr });
       id_map_set addrs id addr
     | Event.Free { id } ->
       let addr =

@@ -6,6 +6,7 @@
 
 val run :
   ?probe:Dmm_obs.Probe.t ->
+  ?graph:bool ->
   ?on_event:(int -> Dmm_core.Allocator.t -> unit) ->
   ?live_hint:int ->
   Trace.t ->
@@ -17,6 +18,12 @@ val run :
     [probe] receives one {!Dmm_obs.Event.Phase} per phase marker replayed
     (pass the same probe the manager and its address space were built
     with, so the whole event stream shares one logical clock).
+    [graph] (default false) additionally emits the opt-in object-graph
+    probe level: a {!Dmm_obs.Event.Root_add} after each allocation. The
+    scripted client holds that single root until the block's free — no
+    {!Dmm_obs.Event.Root_remove} is emitted, the free itself retires the
+    root — so the Merlin oracle's death times coincide with the explicit
+    frees (zero drag, no leaks).
     [live_hint] pre-sizes the id-to-address table (use
     {!Trace.peak_live_count} when replaying the same trace repeatedly;
     default 256). *)

@@ -1,0 +1,272 @@
+module Allocator = Dmm_core.Allocator
+module Probe = Dmm_obs.Probe
+module Event = Dmm_obs.Event
+module Prng = Dmm_util.Prng
+
+(* A GC-managed mutator: it allocates nodes, wires them into linked
+   structures hanging off a small root table, and drops references —
+   but (in the default mode) never calls free. Every reference
+   manipulation is emitted as an object-graph event through the shared
+   probe, so the Merlin oracle can reconstruct exactly when each node
+   died and synthesise the frees the client never issued. The optional
+   [free_lag] mode models a sloppy deferred-reference-counting client
+   instead: it does free nodes whose last reference is dropped, but only
+   [lag] allocations later (non-zero drag), and it loses cycles
+   entirely (leaks). *)
+
+type config = {
+  seed : int;
+  phases : int;
+  nodes_per_phase : int;
+  root_slots : int;  (** persistent root table size *)
+  fanout : int;  (** pointer fields per node *)
+  link_p : float;  (** chance a new node is linked under a live parent *)
+  promote_p : float;  (** chance a new node takes a persistent root slot *)
+  drop_root_p : float;  (** chance per step to clear a random root slot *)
+  null_field_p : float;  (** chance per step to null a random pointer field *)
+  back_edge_p : float;  (** chance a new node points back at an older one (cycles) *)
+  free_lag : int option;
+      (** [None]: pure GC client, no frees at all. [Some lag]: deferred
+          refcount client freeing dead nodes [lag] allocations late. *)
+}
+
+let default_config =
+  {
+    seed = 1;
+    phases = 3;
+    nodes_per_phase = 400;
+    root_slots = 16;
+    fanout = 4;
+    link_p = 0.9;
+    promote_p = 0.25;
+    drop_root_p = 0.03;
+    null_field_p = 0.10;
+    back_edge_p = 0.05;
+    free_lag = None;
+  }
+
+type stats = {
+  g_allocs : int;
+  g_frees : int;
+  g_ptr_writes : int;
+  g_root_ops : int;
+  g_refcount_live : int;  (** nodes the client still holds a reference to at exit *)
+}
+
+(* Client-side view of one node. [rc] counts incoming references (roots
+   + pointer fields) the way a refcounting client would; it drives
+   candidate selection (only referenced nodes get picked as parents) and
+   the lagged-free mode. Cycles defeat it — exactly the leak the oracle
+   is there to catch. *)
+type node = {
+  n_addr : int;
+  fields : int array;  (* target addr per slot, -1 = null *)
+  mutable rc : int;
+  mutable pool_idx : int;  (* index in the pickable pool, -1 = not pickable *)
+}
+
+type state = {
+  cfg : config;
+  rng : Prng.t;
+  probe : Probe.t;
+  a : Allocator.t;
+  nodes : (int, node) Hashtbl.t;
+  mutable pool : node array;  (* pickable (rc > 0) nodes, dense prefix *)
+  mutable pool_len : int;
+  roots : int array;  (* addr per slot, -1 = empty *)
+  mutable pending : (int * int) list;  (* (due alloc count, addr), ascending due *)
+  mutable allocs : int;
+  mutable frees : int;
+  mutable ptr_writes : int;
+  mutable root_ops : int;
+}
+
+let emit t e = if Probe.enabled t.probe then Probe.emit t.probe e
+
+let pool_add t n =
+  if n.pool_idx < 0 then begin
+    if t.pool_len >= Array.length t.pool then begin
+      let grown = Array.make (max 16 (2 * Array.length t.pool)) n in
+      Array.blit t.pool 0 grown 0 t.pool_len;
+      t.pool <- grown
+    end;
+    t.pool.(t.pool_len) <- n;
+    n.pool_idx <- t.pool_len;
+    t.pool_len <- t.pool_len + 1
+  end
+
+let pool_remove t n =
+  if n.pool_idx >= 0 then begin
+    let last = t.pool.(t.pool_len - 1) in
+    t.pool.(n.pool_idx) <- last;
+    last.pool_idx <- n.pool_idx;
+    t.pool_len <- t.pool_len - 1;
+    n.pool_idx <- -1
+  end
+
+let pick t = if t.pool_len = 0 then None else Some t.pool.(Prng.int t.rng t.pool_len)
+
+(* Reference-count bookkeeping. Dropping the last reference retires the
+   node from the pickable pool; the lagged client also schedules its
+   free. *)
+let rec incref t n = ignore t; n.rc <- n.rc + 1
+
+and decref t n =
+  n.rc <- n.rc - 1;
+  if n.rc <= 0 then begin
+    pool_remove t n;
+    match t.cfg.free_lag with
+    | None -> ()
+    | Some lag -> t.pending <- t.pending @ [ (t.allocs + lag, n.n_addr) ]
+  end
+
+and release t addr =
+  (* The deferred free finally runs: the node's own outgoing references
+     die with it (cascading), then the block goes back to the manager. *)
+  match Hashtbl.find_opt t.nodes addr with
+  | None -> ()
+  | Some n ->
+    Hashtbl.remove t.nodes addr;
+    pool_remove t n;
+    Array.iter
+      (fun tgt ->
+        if tgt >= 0 then
+          match Hashtbl.find_opt t.nodes tgt with Some q -> decref t q | None -> ())
+      n.fields;
+    t.frees <- t.frees + 1;
+    Allocator.free t.a addr
+
+let run_pending t =
+  let rec go () =
+    match t.pending with
+    | (due, addr) :: rest when due <= t.allocs ->
+      t.pending <- rest;
+      release t addr;
+      go ()
+    | _ -> ()
+  in
+  go ()
+
+let node_size t phase =
+  (* Phase-shifted trimodal mix: list cells, records, buffers — so the
+     drag report has distinct size classes and phase compositions. *)
+  let r = Prng.int t.rng 100 in
+  let cell_cut = 55 - (10 * (phase mod 3)) and rec_cut = 85 - (5 * (phase mod 3)) in
+  if r < cell_cut then 8 * Prng.int_in t.rng 2 8
+  else if r < rec_cut then 8 * Prng.int_in t.rng 16 64
+  else 8 * Prng.int_in t.rng 128 512
+
+let set_field t (src : node) slot (dst : node option) =
+  let old = src.fields.(slot) in
+  let new_dst = match dst with None -> -1 | Some d -> d.n_addr in
+  if old <> new_dst then begin
+    emit t (Event.Ptr_write { src = src.n_addr; field = slot; old_dst = old; new_dst });
+    t.ptr_writes <- t.ptr_writes + 1;
+    src.fields.(slot) <- new_dst;
+    (if old >= 0 then
+       match Hashtbl.find_opt t.nodes old with Some q -> decref t q | None -> ());
+    match dst with Some d -> incref t d | None -> ()
+  end
+
+let root_add t (n : node) =
+  emit t (Event.Root_add { addr = n.n_addr });
+  t.root_ops <- t.root_ops + 1;
+  incref t n
+
+let root_remove t addr =
+  emit t (Event.Root_remove { addr });
+  t.root_ops <- t.root_ops + 1;
+  match Hashtbl.find_opt t.nodes addr with Some n -> decref t n | None -> ()
+
+let step t phase =
+  run_pending t;
+  let size = node_size t phase in
+  let addr = Allocator.alloc t.a size in
+  t.allocs <- t.allocs + 1;
+  let n = { n_addr = addr; fields = Array.make t.cfg.fanout (-1); rc = 0; pool_idx = -1 } in
+  Hashtbl.replace t.nodes addr n;
+  pool_add t n;
+  (* The new node is born held by the mutator (a stack reference). *)
+  root_add t n;
+  (* Usually it gets wired under something already live… *)
+  if Prng.bernoulli t.rng t.cfg.link_p then begin
+    match pick t with
+    | Some parent when parent != n ->
+      set_field t parent (Prng.int t.rng t.cfg.fanout) (Some n)
+    | _ -> ()
+  end;
+  (* …sometimes it points back into the old heap (cycle fodder). *)
+  if Prng.bernoulli t.rng t.cfg.back_edge_p then begin
+    match pick t with
+    | Some older when older != n -> set_field t n (Prng.int t.rng t.cfg.fanout) (Some older)
+    | _ -> ()
+  end;
+  (* The stack reference either graduates to a root-table slot or dies. *)
+  if t.cfg.root_slots > 0 && Prng.bernoulli t.rng t.cfg.promote_p then begin
+    let slot = Prng.int t.rng t.cfg.root_slots in
+    let prev = t.roots.(slot) in
+    t.roots.(slot) <- addr;
+    if prev >= 0 then root_remove t prev
+    (* the scratch Root_add now stands for the slot *)
+  end
+  else root_remove t addr;
+  (* Background mutation: clear a root, null a field. *)
+  if Prng.bernoulli t.rng t.cfg.drop_root_p then begin
+    let slot = Prng.int t.rng t.cfg.root_slots in
+    if t.roots.(slot) >= 0 then begin
+      root_remove t t.roots.(slot);
+      t.roots.(slot) <- -1
+    end
+  end;
+  if Prng.bernoulli t.rng t.cfg.null_field_p then begin
+    match pick t with
+    | Some o ->
+      let slot = Prng.int t.rng t.cfg.fanout in
+      if o.fields.(slot) >= 0 then set_field t o slot None
+    | None -> ()
+  end
+
+let run ?(probe = Probe.null) cfg a =
+  if cfg.phases < 1 then invalid_arg "Gcheap.run: phases must be >= 1";
+  if cfg.nodes_per_phase < 1 then invalid_arg "Gcheap.run: nodes_per_phase must be >= 1";
+  if cfg.fanout < 1 then invalid_arg "Gcheap.run: fanout must be >= 1";
+  let t =
+    {
+      cfg;
+      rng = Prng.create cfg.seed;
+      probe;
+      a;
+      nodes = Hashtbl.create 1024;
+      pool = Array.make 0 { n_addr = -1; fields = [||]; rc = 0; pool_idx = -1 };
+      pool_len = 0;
+      roots = Array.make (max 1 cfg.root_slots) (-1);
+      pending = [];
+      allocs = 0;
+      frees = 0;
+      ptr_writes = 0;
+      root_ops = 0;
+    }
+  in
+  for phase = 0 to cfg.phases - 1 do
+    if phase > 0 then begin
+      (* Like the replay driver, the mutator owns its phase markers:
+         managers never re-emit them. *)
+      emit t (Event.Phase phase);
+      Allocator.phase a phase
+    end;
+    for _ = 1 to cfg.nodes_per_phase do
+      step t phase
+    done
+  done;
+  (* A real GC client exits without unwinding its heap; the sloppy
+     refcounting one walks off leaving its deferred queue unflushed.
+     Either way the stream just stops — end-of-stream garbage is the
+     oracle's to find. *)
+  let live = Hashtbl.fold (fun _ n acc -> if n.rc > 0 then acc + 1 else acc) t.nodes 0 in
+  {
+    g_allocs = t.allocs;
+    g_frees = t.frees;
+    g_ptr_writes = t.ptr_writes;
+    g_root_ops = t.root_ops;
+    g_refcount_live = live;
+  }

@@ -1,0 +1,58 @@
+(** Pointer-aware GC-heap workload: a mutator that builds and drops
+    linked structures without freeing them.
+
+    Every reference manipulation — the scratch root a new node is born
+    with, links into the live graph, root-table updates, field nulling —
+    is emitted as an object-graph event ({!Dmm_obs.Event.Ptr_write},
+    [Root_add], [Root_remove]) through the probe shared with the manager,
+    so the stream carries enough information for the Merlin oracle
+    ({!Dmm_check.Oracle}) to compute every node's death time and
+    synthesise the frees the client never issued.
+
+    Two client models share the generator:
+
+    - [free_lag = None] (default): a pure GC client. No [free] is ever
+      called; all garbage is end-of-stream garbage and the oracle's
+      synthesised schedule is the only free schedule.
+    - [free_lag = Some lag]: a sloppy deferred-reference-counting client.
+      A node whose last reference is dropped is freed [lag] allocations
+      later (every freed node shows positive drag), and reference cycles
+      are never freed at all (guaranteed leaks for the detector to find).
+
+    Runs are deterministic given [seed]. *)
+
+type config = {
+  seed : int;
+  phases : int;  (** logical phases; markers are sent via [Allocator.phase] *)
+  nodes_per_phase : int;
+  root_slots : int;  (** persistent root table size *)
+  fanout : int;  (** pointer fields per node *)
+  link_p : float;  (** chance a new node is linked under a live parent *)
+  promote_p : float;  (** chance a new node takes a persistent root slot *)
+  drop_root_p : float;  (** chance per step to clear a random root slot *)
+  null_field_p : float;  (** chance per step to null a random pointer field *)
+  back_edge_p : float;  (** chance a new node points back at an older one (cycles) *)
+  free_lag : int option;
+      (** [None]: pure GC client, no frees at all. [Some lag]: deferred
+          refcount client freeing dead nodes [lag] allocations late. *)
+}
+
+val default_config : config
+(** 3 phases x 400 nodes, 16 roots, fanout 4, occasional cycles, no
+    frees. *)
+
+type stats = {
+  g_allocs : int;
+  g_frees : int;  (** always 0 when [free_lag = None] *)
+  g_ptr_writes : int;
+  g_root_ops : int;  (** [Root_add] plus [Root_remove] events *)
+  g_refcount_live : int;  (** nodes the client still holds a reference to at exit *)
+}
+
+val run : ?probe:Dmm_obs.Probe.t -> config -> Dmm_core.Allocator.t -> stats
+(** [run ~probe cfg a] drives the mutator against [a]. Pass the same
+    probe [a] (and its address space) were built with, so graph events
+    interleave with the manager's own events on one logical clock; with
+    the default {!Dmm_obs.Probe.null} the mutator still exercises the
+    manager but emits nothing. Raises [Invalid_argument] when [phases],
+    [nodes_per_phase] or [fanout] is not positive. *)

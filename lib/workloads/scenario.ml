@@ -85,6 +85,14 @@ let custom_global spec ?(probe = Probe.null) () =
 
 let max_footprint trace (make : maker) = Replay.max_footprint_of trace (make ())
 
+let gcheap_stream ?(config = Gcheap.default_config) (make : maker) =
+  let probe = Probe.create () in
+  let sink = Dmm_obs.Collect_sink.create ~capacity:4096 () in
+  Dmm_obs.Collect_sink.attach probe sink;
+  let a = make ~probe () in
+  let stats = Gcheap.run ~probe config a in
+  (Dmm_check.Stream.of_pairs (Dmm_obs.Collect_sink.to_array sink), stats)
+
 let advisor_for trace =
   let profile = Profile_builder.of_trace trace in
   match Explorer.heuristic_design (Dmm_core.Profile.total profile) with
@@ -92,9 +100,24 @@ let advisor_for trace =
   | Ok base ->
     (* One live replay of the heuristic design measures the span profile;
        the matching is address-based, so any correct design yields the
-       same per-phase digest. *)
+       same per-phase digest. A second replay at the graph probe level
+       runs the Merlin oracle so drag-inflated lifetime profiles are
+       refuted before they argue for a per-phase pool set (a scripted
+       trace measures zero drag, leaving the advice unchanged). *)
     let sim = Dmm_engine.Sim.create trace in
-    Explorer.Profile_advisor.of_phase_summaries (Dmm_engine.Sim.lifetimes sim base)
+    let summaries = Dmm_engine.Sim.lifetimes sim base in
+    let drag =
+      List.map
+        (fun (d : Dmm_check.Oracle.phase_drag) ->
+          {
+            Explorer.Profile_advisor.pd_phase = d.pd_phase;
+            pd_count = d.pd_count;
+            pd_p50 = d.pd_p50;
+            pd_p99 = d.pd_p99;
+          })
+        (Dmm_check.Oracle.phase_drags (Dmm_engine.Sim.oracle sim base))
+    in
+    Explorer.Profile_advisor.of_phase_summaries ~drag summaries
 
 let design_for ?(alpha = 0.0) ?advisor trace =
   let profile = Profile_builder.of_trace trace in

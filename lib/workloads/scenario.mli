@@ -97,3 +97,10 @@ val render_paper_design : unit -> global_spec
 
 val max_footprint : Dmm_trace.Trace.t -> maker -> int
 (** Replay the trace on a fresh manager; return its maximum footprint. *)
+
+val gcheap_stream :
+  ?config:Gcheap.config -> maker -> Dmm_check.Stream.t * Gcheap.stats
+(** Run the {!Gcheap} mutator against a fresh manager with an in-memory
+    capture attached and return the recorded event stream — manager
+    events and object-graph events interleaved on one logical clock, the
+    Merlin oracle's richest input ([dmm oracle --gcheap]). *)

@@ -28,7 +28,12 @@
 #      framing and back byte-identically, the sanitizer and analytics must
 #      read the binary file transparently, and a truncated binary file
 #      must be rejected;
-#   9. a short `dmm serve` soak: a sharded daemon on a unix socket must
+#   9. the Merlin lifetime oracle must report exactly zero drag and zero
+#      leaks on the scripted DRR replay (`dmm oracle -w`), `dmm check
+#      --leaks` must pass the same replay and the JSONL export clean
+#      under --strict, and the GC-heap client with lagged frees must
+#      show nonzero drag and leaks with zero graph defects;
+#  10. a short `dmm serve` soak: a sharded daemon on a unix socket must
 #      ingest concurrent streams in both encodings, reject a malformed
 #      one with a one-line error, expose its registry over /metrics, and
 #      shut down cleanly with an accurate summary line.
@@ -295,6 +300,40 @@ if "$dmm" check --stream "$tmpdir/trunc.dmmt" > /dev/null 2>&1; then
   exit 1
 fi
 echo "bench_smoke: PASS (truncated binary stream rejected)"
+
+echo "bench_smoke: lifetime oracle over the scripted replay and the GC-heap client..."
+# A scripted replay frees every block exactly when it dies, so any drag
+# or leak the oracle reports there is a false positive.
+"$dmm" oracle -w drr --quick --seed 1 -m lea > "$tmpdir/oracle_drr.out"
+if grep -q ', leaked 0, live at end 0$' "$tmpdir/oracle_drr.out" &&
+   grep -q '^  drag: count [0-9]*, p50 0, p99 0, max 0, total 0 clocks$' \
+     "$tmpdir/oracle_drr.out"; then
+  echo "bench_smoke: PASS (oracle: zero drag, zero leaks on the scripted replay)"
+else
+  echo "bench_smoke: FAIL (oracle found drag or leaks in a scripted replay)" >&2
+  cat "$tmpdir/oracle_drr.out" >&2
+  exit 1
+fi
+if "$dmm" check -w drr --quick --seed 1 -m lea --leaks --strict > "$tmpdir/leaks_live.out" &&
+   "$dmm" check --jsonl "$tmpdir/drr.jsonl" --leaks --strict > "$tmpdir/leaks_off.out"; then
+  echo "bench_smoke: PASS (dmm check --leaks clean: $(head -n 1 "$tmpdir/leaks_live.out"))"
+else
+  echo "bench_smoke: FAIL (dmm check --leaks flagged a leak-free stream)" >&2
+  cat "$tmpdir/leaks_live.out" "$tmpdir/leaks_off.out" >&2
+  exit 1
+fi
+"$dmm" oracle --gcheap --seed 7 --nodes 150 --lag 20 > "$tmpdir/oracle_gc.out"
+gc_leaked=$(sed -n 's/^  freed [0-9]*, leaked \([0-9]*\),.*/\1/p' "$tmpdir/oracle_gc.out")
+gc_drag=$(sed -n 's/^  drag: count [0-9]*, p50 \([0-9]*\),.*/\1/p' "$tmpdir/oracle_gc.out")
+if [ -n "$gc_leaked" ] && [ "$gc_leaked" -gt 0 ] &&
+   [ -n "$gc_drag" ] && [ "$gc_drag" -gt 0 ] &&
+   ! grep -q 'graph defects' "$tmpdir/oracle_gc.out"; then
+  echo "bench_smoke: PASS (gcheap client: $gc_leaked leaks, drag p50 $gc_drag clocks, no defects)"
+else
+  echo "bench_smoke: FAIL (gcheap oracle run missing expected drag/leak signal)" >&2
+  cat "$tmpdir/oracle_gc.out" >&2
+  exit 1
+fi
 
 echo "bench_smoke: short dmm serve soak over a unix socket..."
 printf 'garbage\n' > "$tmpdir/bad.txt"

@@ -323,7 +323,7 @@ either encoding transparently, and truncation is caught by the framing:
   $ diff profile_bin.out profile_jsonl.out
   $ head -c 5 drr.dmmt > trunc.dmmt
   $ dmm check --stream trunc.dmmt
-  dmm check: trunc.dmmt: truncated stream (missing end-of-stream trailer)
+  dmm check: trunc.dmmt: truncated feature word (0 of 4 bytes)
   [2]
 
 The ingest daemon: concurrent streams over a Unix socket, sanitized and
@@ -354,3 +354,85 @@ one-line error per malformed stream, clean shutdown after N streams:
   serve: done: 4 streams, 311550 events, 0 diagnostics, 1 stream errors
   $ cat serve.err
   serve: stream error: line 1: not a JSON object
+
+The Merlin-style lifetime oracle: scripted replays have exact death
+times (zero drag, zero leaks), the GC-heap client's lagged frees show
+up as drag and its dropped objects as leaks, and the oracle's
+synthesized frees form a replayable trace:
+
+  $ dmm oracle -w drr --quick --seed 1 -m lea | head -3
+  oracle: 1138066 events (20238 graph), 20238 objects
+    freed 20238, leaked 0, live at end 0
+    drag: count 20238, p50 0, p99 0, max 0, total 0 clocks
+  $ dmm oracle --gcheap --seed 7 --nodes 150 --lag 20 --synthesize gc.trace > oracle_gc.out
+  $ head -6 oracle_gc.out
+  gcheap: 450 allocs, 368 frees, 424 ptr writes, 886 root ops, 55 referenced at exit
+  oracle: 9786 events (1310 graph), 450 objects
+    freed 368, leaked 55, live at end 27
+    drag: count 368, p50 335, p99 1628, max 1628, total 140902 clocks
+    drag by size class:
+      <=     32 B: count 44, p50 335, p99 586, max 586, total 15428 clocks
+  $ tail -1 oracle_gc.out
+  wrote gc.trace (875 events: 450 allocs, 423 frees)
+  $ dmm replay -t gc.trace -m lea | head -2
+  events:        875
+  max footprint: 131072 B
+
+Leak detection rides on the sanitizer: a planted leak is one oracle-leak
+diagnostic (error under --strict), and the same stream is clean without
+--leaks because no invariant is violated:
+
+  $ cat > leak.jsonl <<'EOF'
+  > {"t":0,"ev":"sbrk","bytes":4096,"brk":4096}
+  > {"t":1,"ev":"alloc","payload":16,"gross":24,"tag":8,"addr":0}
+  > {"t":2,"ev":"root_add","addr":0}
+  > {"t":3,"ev":"alloc","payload":16,"gross":24,"tag":8,"addr":64}
+  > {"t":4,"ev":"root_add","addr":64}
+  > {"t":5,"ev":"root_remove","addr":0}
+  > {"t":6,"ev":"free","payload":16,"addr":64}
+  > EOF
+  $ dmm check --jsonl leak.jsonl
+  7 events, 0 diagnostics (invariants)
+  clean
+  $ dmm check --jsonl leak.jsonl --leaks --strict
+  error[oracle-leak] event 5:
+    object #0 (addr 0, 16 payload bytes) born at clock 1 became unreachable at clock 5 and was never freed
+  7 events, 1 diagnostics (invariants + leaks)
+  [1]
+  $ dmm check -w drr --quick --seed 1 -m lea --leaks
+  1138066 events, 0 diagnostics (invariants + leaks)
+  clean
+
+Every stream consumer reports malformed inputs the same way — same
+"dmm <cmd>: <file>: <reason>" line, same exit code 2 — whether the
+header is cut short, the trailer is missing, or the version is unknown:
+
+  $ size=$(wc -c < drr.dmmt); head -c $((size - 3)) drr.dmmt > notrailer.dmmt
+  $ printf 'DMMT\003' > badver.dmmt
+  $ dmm report --stream trunc.dmmt
+  dmm report: trunc.dmmt: truncated feature word (0 of 4 bytes)
+  [2]
+  $ dmm profile --stream trunc.dmmt
+  dmm profile: trunc.dmmt: truncated feature word (0 of 4 bytes)
+  [2]
+  $ dmm oracle --stream trunc.dmmt
+  dmm oracle: trunc.dmmt: truncated feature word (0 of 4 bytes)
+  [2]
+  $ dmm check --stream notrailer.dmmt
+  dmm check: notrailer.dmmt: truncated chunk header (17 of 20 bytes)
+  [2]
+  $ dmm report --stream notrailer.dmmt
+  dmm report: notrailer.dmmt: truncated chunk header (17 of 20 bytes)
+  [2]
+  $ dmm oracle --stream notrailer.dmmt
+  dmm oracle: notrailer.dmmt: truncated chunk header (17 of 20 bytes)
+  [2]
+  $ dmm check --stream badver.dmmt
+  dmm check: badver.dmmt: unsupported binary trace version 3
+  [2]
+  $ dmm oracle --stream badver.dmmt
+  dmm oracle: badver.dmmt: unsupported binary trace version 3
+  [2]
+  $ dmm oracle
+  dmm oracle: pass --stream FILE, a workload (-w) or --gcheap
+  [2]

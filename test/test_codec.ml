@@ -26,7 +26,7 @@ let gen_field st =
 
 let gen_event st =
   let f () = gen_field st in
-  match QCheck.Gen.int_bound 7 st with
+  match QCheck.Gen.int_bound 10 st with
   | 0 -> Event.Alloc { payload = f (); gross = f (); tag = f (); addr = f () }
   | 1 -> Event.Free { payload = f (); addr = f () }
   | 2 -> Event.Split { addr = f (); parent = f (); taken = f (); remainder = f () }
@@ -34,6 +34,9 @@ let gen_event st =
   | 4 -> Event.Phase (f ())
   | 5 -> Event.Sbrk { bytes = f (); brk = f () }
   | 6 -> Event.Trim { bytes = f (); brk = f () }
+  | 7 -> Event.Ptr_write { src = f (); field = f (); old_dst = f (); new_dst = f () }
+  | 8 -> Event.Root_add { addr = f () }
+  | 9 -> Event.Root_remove { addr = f () }
   | _ -> Event.Fit_scan { steps = f () }
 
 let gen_events = QCheck.Gen.(list_size (1 -- 200) gen_event)
@@ -101,7 +104,7 @@ let empty_stream () =
   | Error m -> Alcotest.fail m);
   (* magic (5) + trailer header (20), nothing else *)
   Alcotest.(check int) "file is magic + trailer"
-    (Codec.magic_bytes + Codec.header_bytes)
+    (Codec.magic_bytes + Codec.feature_bytes + Codec.header_bytes)
     (String.length (read_file path))
 
 let format_sniffing () =
@@ -211,8 +214,8 @@ let prop_corruption_detected =
          per-byte steps are bijections on the running state, so a
          same-length payload with one byte changed can never keep its
          checksum — the property holds for every flip, not just most. *)
-      let h = Codec.read_header data ~pos:Codec.magic_bytes in
-      let payload_off = Codec.magic_bytes + Codec.header_bytes in
+      let h = Codec.read_header data ~pos:(Codec.magic_bytes + Codec.feature_bytes) in
+      let payload_off = Codec.magic_bytes + Codec.feature_bytes + Codec.header_bytes in
       let idx = payload_off + int_of_float (pick *. float_of_int (h.Codec.h_len - 1)) in
       let b = Bytes.of_string data in
       Bytes.set b idx (Char.chr (Char.code (Bytes.get b idx) lxor (1 lsl bit)));
@@ -261,6 +264,85 @@ let prop_jsonl_sink_buffering =
       Sys.remove path;
       written = jsonl_of events)
 
+(* ------------------------------------------------------------------ *)
+(* version-1 backward compatibility                                    *)
+
+(* Chunk framing is identical across versions; only the prefix differs
+   (v1 has no feature word). Rewriting a v2 file's prefix to v1 therefore
+   produces exactly the bytes a pre-graph-events writer emitted. *)
+let to_v1 data =
+  let skip = Codec.magic_bytes + Codec.feature_bytes in
+  let b = Buffer.create (String.length data - Codec.feature_bytes) in
+  Codec.add_magic ~version:1 b;
+  Buffer.add_substring b data skip (String.length data - skip);
+  Buffer.contents b
+
+let contains ~needle hay =
+  let n = String.length needle and h = String.length hay in
+  let rec go i = i + n <= h && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let v1_prefix_pin () =
+  (* The historic 5-byte prefix, byte for byte — what every pre-existing
+     DMMT file on disk starts with. *)
+  let b = Buffer.create 8 in
+  Codec.add_magic ~version:1 b;
+  Alcotest.(check string) "v1 prefix" "DMMT\001" (Buffer.contents b);
+  let b = Buffer.create 16 in
+  Codec.add_magic b;
+  let s = Buffer.contents b in
+  Alcotest.(check int) "v2 prefix length" (Codec.magic_bytes + Codec.feature_bytes)
+    (String.length s);
+  Alcotest.(check string) "v2 magic+version" "DMMT\002" (String.sub s 0 5);
+  Alcotest.(check int) "v2 feature word" Codec.supported_features (Codec.get_u32 s 5)
+
+(* A pre-PR-8 stream (no graph events, v1 prefix) decodes to the exact
+   entry sequence its v2 re-encoding does. *)
+let prop_v1_decodes_identically =
+  QCheck.Test.make ~name:"version-1 streams decode identically" ~count:100
+    (QCheck.make
+       ~print:(fun (chunk, evs) ->
+         Printf.sprintf "chunk_events=%d, %d events" chunk (List.length evs))
+       QCheck.Gen.(pair (1 -- 64) gen_events))
+    (fun (chunk_events, events) ->
+      let events = List.filter (fun e -> not (Event.is_graph e)) events in
+      let path = write_binary ~chunk_events events in
+      let data = read_file path in
+      Sys.remove path;
+      let v2 = with_temp_data data Stream.load in
+      let v1 = with_temp_data (to_v1 data) Stream.load in
+      match (v2, v1) with
+      | Ok a, Ok b -> a = b
+      | Error m, _ | _, Error m -> QCheck.Test.fail_reportf "decode failed: %s" m)
+
+let v1_rejects_graph_tags () =
+  (* A v1 prefix promises there are no graph tags; a stream that carries
+     one anyway is corrupt, not silently accepted. *)
+  let path = write_binary [ Event.Root_add { addr = 16 } ] in
+  let data = read_file path in
+  Sys.remove path;
+  with_temp_data (to_v1 data) (fun p ->
+      match Stream.load p with
+      | Ok _ -> Alcotest.fail "graph tag decoded under a v1 prefix"
+      | Error m ->
+        Alcotest.(check bool) (Printf.sprintf "error mentions the feature (%s)" m) true
+          (contains ~needle:"does not declare the graph feature" m))
+
+let unknown_feature_bits_rejected () =
+  let path = write_binary [ Event.Phase 1 ] in
+  let data = read_file path in
+  Sys.remove path;
+  let b = Bytes.of_string data in
+  (* Set a feature bit no reader version understands yet. *)
+  Bytes.set b Codec.magic_bytes
+    (Char.chr (Char.code (Bytes.get b Codec.magic_bytes) lor 0x80));
+  with_temp_data (Bytes.to_string b) (fun p ->
+      match Stream.load p with
+      | Ok _ -> Alcotest.fail "unknown feature bits accepted"
+      | Error m ->
+        Alcotest.(check bool) (Printf.sprintf "error names the bits (%s)" m) true
+          (contains ~needle:"unsupported feature bits" m))
+
 let tests =
   ( "codec",
     [
@@ -269,6 +351,10 @@ let tests =
       Alcotest.test_case "format sniffing" `Quick format_sniffing;
       Alcotest.test_case "jsonl line numbers" `Quick jsonl_line_numbers;
       Alcotest.test_case "trailer guards" `Quick trailer_guard;
+      Alcotest.test_case "v1 prefix pin" `Quick v1_prefix_pin;
+      Alcotest.test_case "v1 rejects graph tags" `Quick v1_rejects_graph_tags;
+      Alcotest.test_case "unknown feature bits rejected" `Quick
+        unknown_feature_bits_rejected;
     ]
     @ List.map QCheck_alcotest.to_alcotest
         [
@@ -278,4 +364,5 @@ let tests =
           prop_corruption_detected;
           prop_incremental_sanitizer;
           prop_jsonl_sink_buffering;
+          prop_v1_decodes_identically;
         ] )

@@ -37,6 +37,7 @@ let () =
       Test_breakdown.tests;
       Test_checker.tests;
       Test_sanitizer.tests;
+      Test_oracle.tests;
       Test_profiler.tests;
       Test_phase_detect.tests;
       Test_energy.tests;
