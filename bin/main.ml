@@ -35,6 +35,9 @@ module Lifetime_sink = Dmm_obs.Lifetime_sink
 module Heatmap_sink = Dmm_obs.Heatmap_sink
 module Pool = Dmm_engine.Pool
 module Ingest = Dmm_engine.Ingest
+module Span = Dmm_obs.Span
+module Log = Dmm_obs.Log
+module Ledger = Dmm_obs.Ledger
 
 open Cmdliner
 
@@ -184,7 +187,14 @@ let print_registry reg =
     (Registry.view reg)
 
 let explore_cmd =
-  let run workload quick seed detect jobs check telemetry advise =
+  let run workload quick seed detect jobs check telemetry advise progress trace_self quiet =
+    (* --progress lifts the log level to Info so the lines actually show;
+       --quiet wins when both are given. *)
+    if progress then (
+      match Log.level () with
+      | Log.Quiet | Log.Error | Log.Warn -> Log.set_level Log.Info
+      | Log.Info | Log.Debug -> ());
+    if quiet then Log.set_level Log.Quiet;
     if jobs < 0 then begin
       Printf.eprintf "dmm: --jobs must be non-negative\n";
       exit 124
@@ -200,56 +210,158 @@ let explore_cmd =
     (* Zero the engine self-metrics so the printout covers this run only
        (module initialisation may predate us; handles stay valid). *)
     if telemetry then Registry.reset Registry.global;
-    let trace = trace_for ~quick ~seed workload in
-    Format.printf "profiling and exploring (%d events)...@." (Trace.length trace);
-    (* The advisor measures the span profile with one extra live replay,
-       then prunes/reorders profile-refuted B3 refinement work. *)
-    let advisor = if advise then Some (Scenario.advisor_for trace) else None in
-    let spec = Scenario.global_design_for ~detect_phases:detect ?advisor trace in
-    (match advisor with
-    | None -> ()
-    | Some a ->
-      Format.printf "@.== lifetime advisor ==@.%a@." Explorer.Profile_advisor.pp a;
-      Format.printf "advisor skipped %d candidates@."
-        (Explorer.Profile_advisor.skipped a));
-    Format.printf "@.== chosen design (default) ==@.%a@." Explorer.pp_design spec.default;
-    List.iter
-      (fun (phase, d) ->
-        Format.printf "@.== phase %d override ==@.%a@." phase Explorer.pp_design d)
-      spec.overrides;
-    Format.printf "@.== footprint comparison ==@.";
-    let rows =
-      Scenario.baselines () @ [ ("custom (explored)", Scenario.custom_global spec) ]
+    let t_start = Unix.gettimeofday () in
+    let sims_c = Registry.counter Registry.global "dmm_search_simulations_total" in
+    let hits_c = Registry.counter Registry.global "dmm_search_cache_hits_total" in
+    let miss_c = Registry.counter Registry.global "dmm_search_cache_misses_total" in
+    let sims0 = Registry.value sims_c in
+    let hits0 = Registry.value hits_c in
+    let miss0 = Registry.value miss_c in
+    let rounds_total = ref 0 in
+    let rounds_done = ref 0 in
+    let best_seen = ref max_int in
+    let saved_observer = !Explorer.on_progress in
+    if progress then
+      Explorer.on_progress :=
+        (function
+        | Explorer.Agenda { rounds } -> rounds_total := rounds
+        | Explorer.Round { label } ->
+          incr rounds_done;
+          Log.info "[progress] round %d/%d (%s)" !rounds_done
+            (max !rounds_total !rounds_done) label
+        | Explorer.Batch_scored { candidates; best_score } ->
+          if best_score < !best_seen then best_seen := best_score;
+          let elapsed = Unix.gettimeofday () -. t_start in
+          let sims = Registry.value sims_c - sims0 in
+          let hits = Registry.value hits_c - hits0 in
+          let misses = Registry.value miss_c - miss0 in
+          let lookups = hits + misses in
+          let hit_rate =
+            if lookups = 0 then 0.0 else 100.0 *. float_of_int hits /. float_of_int lookups
+          in
+          let rate = if elapsed > 0.0 then float_of_int sims /. elapsed else 0.0 in
+          let eta =
+            if !rounds_done > 0 && !rounds_total > !rounds_done then
+              elapsed /. float_of_int !rounds_done
+              *. float_of_int (!rounds_total - !rounds_done)
+            else 0.0
+          in
+          Log.info
+            "[progress] batch %d candidates | %d sims (%.1f/s, cache hit %.0f%%) | best \
+             %d B | eta %.1fs"
+            candidates sims rate hit_rate !best_seen eta);
+    let tracer =
+      match trace_self with
+      | None -> None
+      | Some _ ->
+        let tr = Span.create () in
+        Span.set_ambient (Some tr);
+        Some tr
     in
-    List.iter
-      (fun (name, make) ->
-        Format.printf "  %-20s %9d B@." name (Scenario.max_footprint trace make))
-      rows;
-    if check then begin
-      Format.printf "@.== sanitizer (winning designs) ==@.";
-      let sim = Dmm_engine.Sim.create trace in
+    let trace, footprints =
+      Span.with_span "dmm-explore" @@ fun () ->
+      let trace = trace_for ~quick ~seed workload in
+      Format.printf "profiling and exploring (%d events)...@." (Trace.length trace);
+      (* The advisor measures the span profile with one extra live replay,
+         then prunes/reorders profile-refuted B3 refinement work. *)
+      let advisor = if advise then Some (Scenario.advisor_for trace) else None in
+      let spec = Scenario.global_design_for ~detect_phases:detect ?advisor trace in
+      (match advisor with
+      | None -> ()
+      | Some a ->
+        Format.printf "@.== lifetime advisor ==@.%a@." Explorer.Profile_advisor.pp a;
+        Format.printf "advisor skipped %d candidates@."
+          (Explorer.Profile_advisor.skipped a));
+      Format.printf "@.== chosen design (default) ==@.%a@." Explorer.pp_design spec.default;
       List.iter
-        (fun (label, d) ->
-          let r = Dmm_engine.Sim.sanitize sim d in
-          if Sanitizer.clean r then
-            Format.printf "  %-18s clean (%d events)@." label r.Sanitizer.events
-          else begin
-            Format.printf "  %-18s %d diagnostics@." label
-              (List.length r.Sanitizer.diags);
-            List.iter
-              (fun d -> Format.printf "    %s@." (Diag.to_string d))
-              r.Sanitizer.diags;
-            exit 1
-          end)
-        (("default", spec.default)
-        :: List.map
-             (fun (phase, d) -> (Printf.sprintf "phase %d" phase, d))
-             spec.overrides)
+        (fun (phase, d) ->
+          Format.printf "@.== phase %d override ==@.%a@." phase Explorer.pp_design d)
+        spec.overrides;
+      Format.printf "@.== footprint comparison ==@.";
+      let rows =
+        Scenario.baselines () @ [ ("custom (explored)", Scenario.custom_global spec) ]
+      in
+      let footprints =
+        List.map
+          (fun (name, make) ->
+            ( name,
+              Span.with_span ("footprint: " ^ name) (fun () ->
+                  Scenario.max_footprint trace make) ))
+          rows
+      in
+      List.iter
+        (fun (name, footprint) -> Format.printf "  %-20s %9d B@." name footprint)
+        footprints;
+      if check then begin
+        Format.printf "@.== sanitizer (winning designs) ==@.";
+        let sim = Dmm_engine.Sim.create trace in
+        List.iter
+          (fun (label, d) ->
+            let r = Dmm_engine.Sim.sanitize sim d in
+            if Sanitizer.clean r then
+              Format.printf "  %-18s clean (%d events)@." label r.Sanitizer.events
+            else begin
+              Format.printf "  %-18s %d diagnostics@." label
+                (List.length r.Sanitizer.diags);
+              List.iter
+                (fun d -> Format.printf "    %s@." (Diag.to_string d))
+                r.Sanitizer.diags;
+              exit 1
+            end)
+          (("default", spec.default)
+          :: List.map
+               (fun (phase, d) -> (Printf.sprintf "phase %d" phase, d))
+               spec.overrides)
+      end;
+      if telemetry then begin
+        Format.printf "@.== engine telemetry ==@.";
+        print_registry Registry.global
+      end;
+      (trace, footprints)
+    in
+    let wall = Unix.gettimeofday () -. t_start in
+    Span.set_ambient None;
+    Explorer.on_progress := saved_observer;
+    (* Append this run to the persistent ledger — silently, so the
+       byte-exact CLI output stays unchanged; DMM_LEDGER=off disables. *)
+    if Ledger.enabled () then begin
+      let sims = Registry.value sims_c - sims0 in
+      let wname =
+        match workload with Drr -> "drr" | Reconstruct -> "reconstruct" | Render -> "render"
+      in
+      let record =
+        {
+          Ledger.r_time = Unix.gettimeofday ();
+          r_git = Ledger.git_rev ();
+          r_cmd = "explore";
+          r_scenario = (if quick then wname ^ "-quick" else wname);
+          r_jobs = (if jobs > 0 then jobs else Dmm_engine.Pool.jobs ());
+          r_wall = wall;
+          r_events = Trace.length trace;
+          r_sims = sims;
+          r_sims_per_sec = (if wall > 0.0 then float_of_int sims /. wall else 0.0);
+          r_best_footprint =
+            Option.value ~default:0 (List.assoc_opt "custom (explored)" footprints);
+          r_digest = Ledger.digest footprints;
+        }
+      in
+      match Ledger.append (Ledger.default_path ()) record with
+      | Ok () -> ()
+      | Error msg -> Log.warn "explore: run ledger: %s" msg
     end;
-    if telemetry then begin
-      Format.printf "@.== engine telemetry ==@.";
-      print_registry Registry.global
-    end
+    match (trace_self, tracer) with
+    | Some path, Some tr ->
+      let sink = Chrome_sink.create ~name:"dmm explore self-trace" ~pid:1 in
+      Span.to_chrome tr sink;
+      Chrome_sink.write_file path [ sink ];
+      let wall_us = int_of_float (1e6 *. wall) in
+      let cover =
+        if wall_us > 0 then 100.0 *. float_of_int (Span.root_us tr) /. float_of_int wall_us
+        else 0.0
+      in
+      Format.printf "self-trace: wrote %s (%d spans, %.1f%% of %.2fs wall)@." path
+        (Span.span_count tr) cover wall
+    | _ -> ()
   in
   let detect =
     Arg.(
@@ -278,10 +390,34 @@ let explore_cmd =
           ~doc:
             "Measure the workload's allocation-lifetime profile first (one live replay              with the span profiler attached) and let it prune and reorder the B3              pool-division candidates; reports how many candidates it skipped. The              chosen design is unchanged on the seed workloads — only the simulation              work shrinks.")
   in
+  let progress =
+    Arg.(
+      value & flag
+      & info [ "progress" ]
+          ~doc:
+            "Stream live search progress to stderr: one line per refinement round and              per scored candidate batch (candidates, simulations/sec, memo-cache hit              rate, best footprint so far, ETA).")
+  in
+  let trace_self =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace-self" ] ~docv:"FILE"
+          ~doc:
+            "Span-trace the toolchain itself — explorer rounds, candidate batches, pool              scheduling, every simulation, one track per worker domain — and write the              run as Chrome Trace Event JSON to $(docv) (open in chrome://tracing or              Perfetto).")
+  in
+  let quiet =
+    Arg.(
+      value & flag
+      & info [ "quiet" ]
+          ~doc:
+            "Silence stderr chatter (progress lines, warnings); same as DMM_LOG=quiet.              Fatal one-line errors still print.")
+  in
   Cmd.v
     (Cmd.info "explore"
        ~doc:"Run the full methodology on a workload and print the derived custom manager.")
-    Term.(const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check $ telemetry $ advise)
+    Term.(
+      const run $ workload_arg $ quick_arg $ seed_arg $ detect $ jobs_arg $ check
+      $ telemetry $ advise $ progress $ trace_self $ quiet)
 
 (* ------------------------------------------------------------------ *)
 (* table1                                                              *)
@@ -1010,6 +1146,10 @@ let report_cmd =
     | Some path ->
       let oc = open_out path in
       output_string oc (Registry.to_prometheus registry);
+      (* Merge the process-global search-engine self-metrics into the
+         same scrape: zero when the report run did no design search, but
+         always present so dashboards can rely on the series existing. *)
+      output_string oc (Registry.to_prometheus ~prefix:"dmm_search_" Registry.global);
       close_out oc;
       Format.printf "@.wrote %s@." path);
     match json_out with
@@ -1499,7 +1639,7 @@ let serve_cmd =
           Printf.sprintf "ok %d events, %d diagnostics\n" report.Sanitizer.events
             (List.length report.Sanitizer.diags)
         | Error m ->
-          Printf.eprintf "serve: stream error: %s\n%!" m;
+          Log.err "serve: stream error: %s" m;
           Printf.sprintf "error: %s\n" m
       in
       (try
@@ -1720,6 +1860,222 @@ let scrape_cmd =
        ~doc:"Fetch and print the Prometheus exposition of a running $(b,dmm serve).")
     Term.(const run $ addr)
 
+(* ------------------------------------------------------------------ *)
+(* runs                                                                *)
+
+let runs_cmd =
+  let ledger_arg =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "ledger" ] ~docv:"FILE"
+          ~doc:"Run-history file (default: DMM_LEDGER, else BENCH_history.jsonl).")
+  in
+  let cmd_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "cmd" ] ~docv:"CMD" ~doc:"Only consider runs recorded by this command (e.g. bench, explore).")
+  in
+  let scenario_filter =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "scenario" ] ~docv:"NAME" ~doc:"Only consider runs of this scenario.")
+  in
+  let path_of = function Some p -> p | None -> Ledger.default_path () in
+  let die ~cmd msg =
+    prerr_endline (Printf.sprintf "dmm %s: %s" cmd msg);
+    exit 2
+  in
+  let load_or_exit ~cmd path =
+    if not (Sys.file_exists path) then
+      die ~cmd (Printf.sprintf "no run history at %s (run dmm explore or the bench first)" path);
+    match Ledger.load path with
+    | Ok records -> records
+    | Error msg -> die ~cmd (Printf.sprintf "%s: %s" path msg)
+  in
+  let matches cmdf scenario (r : Ledger.record) =
+    (match cmdf with None -> true | Some c -> String.equal r.Ledger.r_cmd c)
+    && match scenario with None -> true | Some s -> String.equal r.Ledger.r_scenario s
+  in
+  let list_cmd =
+    let run ledger cmdf scenario =
+      let path = path_of ledger in
+      let indexed = List.mapi (fun i r -> (i, r)) (load_or_exit ~cmd:"runs" path) in
+      let indexed = List.filter (fun (_, r) -> matches cmdf scenario r) indexed in
+      List.iter
+        (fun (i, (r : Ledger.record)) ->
+          Printf.printf "%3d  %s  %-8s %-18s j%-2d %9.2fs %9.1f/s %10d B  %s  %s\n" i
+            (Ledger.iso_time r.Ledger.r_time) r.Ledger.r_cmd r.Ledger.r_scenario
+            r.Ledger.r_jobs r.Ledger.r_wall r.Ledger.r_sims_per_sec
+            r.Ledger.r_best_footprint r.Ledger.r_digest r.Ledger.r_git)
+        indexed
+    in
+    Cmd.v
+      (Cmd.info "list" ~doc:"One line per recorded run, oldest first (index, time, command, scenario, jobs, wall, sims/s, best footprint, digest, git rev).")
+      Term.(const run $ ledger_arg $ cmd_filter $ scenario_filter)
+  in
+  let show_cmd =
+    let run ledger index =
+      let path = path_of ledger in
+      let records = load_or_exit ~cmd:"runs" path in
+      let n = List.length records in
+      let i = match index with None -> n - 1 | Some i -> i in
+      if i < 0 || i >= n then
+        die ~cmd:"runs show" (Printf.sprintf "no run #%d (ledger has %d runs)" i n);
+      let r : Ledger.record = List.nth records i in
+      Printf.printf "run #%d of %s\n" i path;
+      Printf.printf "  time            %s\n" (Ledger.iso_time r.Ledger.r_time);
+      Printf.printf "  git             %s\n" r.Ledger.r_git;
+      Printf.printf "  cmd             %s\n" r.Ledger.r_cmd;
+      Printf.printf "  scenario        %s\n" r.Ledger.r_scenario;
+      Printf.printf "  jobs            %d\n" r.Ledger.r_jobs;
+      Printf.printf "  wall            %.6f s\n" r.Ledger.r_wall;
+      Printf.printf "  events          %d\n" r.Ledger.r_events;
+      Printf.printf "  sims            %d\n" r.Ledger.r_sims;
+      Printf.printf "  sims/s          %.3f\n" r.Ledger.r_sims_per_sec;
+      Printf.printf "  best footprint  %d B\n" r.Ledger.r_best_footprint;
+      Printf.printf "  digest          %s\n" r.Ledger.r_digest
+    in
+    let index =
+      Arg.(
+        value
+        & pos 0 (some int) None
+        & info [] ~docv:"N" ~doc:"Run index as printed by $(b,dmm runs list) (default: the latest run).")
+    in
+    Cmd.v (Cmd.info "show" ~doc:"Print one run in full.") Term.(const run $ ledger_arg $ index)
+  in
+  let diff_cmd =
+    let run ledger cmdf scenario threshold indices =
+      let cmdname = "runs diff" in
+      let path = path_of ledger in
+      let all = load_or_exit ~cmd:"runs" path in
+      let filtered = List.filter (matches cmdf scenario) all in
+      let pair =
+        match indices with
+        | [ a; b ] ->
+          let n = List.length all in
+          let get i =
+            if i < 0 || i >= n then
+              die ~cmd:cmdname (Printf.sprintf "no run #%d (ledger has %d runs)" i n)
+            else List.nth all i
+          in
+          Some (get a, get b)
+        | [] -> Ledger.last_pair filtered
+        | _ -> die ~cmd:cmdname "expected zero or exactly two run indices"
+      in
+      match pair with
+      | None ->
+        die ~cmd:cmdname
+          (Printf.sprintf "need at least two comparable runs (have %d)" (List.length filtered))
+      | Some (older, newer) ->
+        let v = Ledger.compare_runs ~threshold:(threshold /. 100.0) ~older ~newer () in
+        Printf.printf "comparing %s/%s: %s (%s) -> %s (%s)\n" newer.Ledger.r_cmd
+          newer.Ledger.r_scenario older.Ledger.r_git
+          (Ledger.iso_time older.Ledger.r_time)
+          newer.Ledger.r_git
+          (Ledger.iso_time newer.Ledger.r_time);
+        Printf.printf "  throughput  %.1f -> %.1f sims/s (%+.1f%%)%s\n"
+          older.Ledger.r_sims_per_sec newer.Ledger.r_sims_per_sec
+          (100.0 *. (v.Ledger.v_ratio -. 1.0))
+          (if v.Ledger.v_throughput_regression then
+             Printf.sprintf "  REGRESSION (threshold %.0f%%)" threshold
+           else "");
+        (if newer.Ledger.r_digest = "" || older.Ledger.r_digest = "" then
+           Printf.printf "  footprint digest  (not recorded)\n"
+         else if v.Ledger.v_digest_drift then
+           Printf.printf "  footprint digest  %s != %s  DRIFT\n" older.Ledger.r_digest
+             newer.Ledger.r_digest
+         else Printf.printf "  footprint digest  %s (no drift)\n" newer.Ledger.r_digest);
+        if v.Ledger.v_throughput_regression || v.Ledger.v_digest_drift then begin
+          print_endline "regression detected";
+          exit 1
+        end
+        else print_endline "ok: no regression"
+    in
+    let threshold =
+      Arg.(
+        value & opt float 25.0
+        & info [ "threshold" ] ~docv:"PCT"
+            ~doc:"Throughput loss (percent) beyond which the diff exits non-zero.")
+    in
+    let indices =
+      Arg.(
+        value & pos_all int []
+        & info [] ~docv:"OLD NEW"
+          ~doc:"Two run indices to compare (default: the latest run against the previous              run with the same command and scenario).")
+    in
+    Cmd.v
+      (Cmd.info "diff"
+         ~doc:
+           "Compare two runs: exits 1 on a throughput regression beyond the threshold or            on footprint-digest drift, 2 when there are not two comparable runs.")
+      Term.(const run $ ledger_arg $ cmd_filter $ scenario_filter $ threshold $ indices)
+  in
+  let record_cmd =
+    let run ledger cmd scenario jobs wall events sims sims_per_sec best digest git time =
+      let path = path_of ledger in
+      let record =
+        {
+          Ledger.r_time = (match time with Some t -> t | None -> Unix.gettimeofday ());
+          r_git = (match git with Some g -> g | None -> Ledger.git_rev ());
+          r_cmd = cmd;
+          r_scenario = scenario;
+          r_jobs = jobs;
+          r_wall = wall;
+          r_events = events;
+          r_sims = sims;
+          r_sims_per_sec = sims_per_sec;
+          r_best_footprint = best;
+          r_digest = digest;
+        }
+      in
+      match Ledger.append path record with
+      | Error msg -> die ~cmd:"runs record" (Printf.sprintf "%s: %s" path msg)
+      | Ok () ->
+        let n = match Ledger.load path with Ok rs -> List.length rs - 1 | Error _ -> -1 in
+        Printf.printf "recorded run #%d in %s\n" n path
+    in
+    let sopt name doc = Arg.(value & opt string "" & info [ name ] ~doc) in
+    let cmd = Arg.(value & opt string "manual" & info [ "cmd" ] ~doc:"Recording command name.") in
+    let scenario = sopt "scenario" "Scenario name." in
+    let jobs = Arg.(value & opt int 1 & info [ "jobs" ] ~doc:"Worker domains used.") in
+    let wall = Arg.(value & opt float 0.0 & info [ "wall" ] ~doc:"Wall seconds.") in
+    let events = Arg.(value & opt int 0 & info [ "events" ] ~doc:"Trace events driving the run.") in
+    let sims = Arg.(value & opt int 0 & info [ "sims" ] ~doc:"Full replays executed.") in
+    let sims_per_sec =
+      Arg.(value & opt float 0.0 & info [ "sims-per-sec" ] ~doc:"Replay throughput.")
+    in
+    let best =
+      Arg.(value & opt int 0 & info [ "best-footprint" ] ~doc:"Best footprint found, bytes.")
+    in
+    let digest = sopt "digest" "Footprint-table digest." in
+    let git =
+      Arg.(
+        value
+        & opt (some string) None
+        & info [ "git" ] ~doc:"Git revision to record (default: ask git).")
+    in
+    let time =
+      Arg.(
+        value
+        & opt (some float) None
+        & info [ "time" ] ~docv:"EPOCH" ~doc:"Record time as unix seconds (default: now).")
+    in
+    Cmd.v
+      (Cmd.info "record"
+         ~doc:
+           "Append a run record by hand — the escape hatch scripts use to inject            synthetic runs (e.g. bench_smoke's simulated regression).")
+      Term.(
+        const run $ ledger_arg $ cmd $ scenario $ jobs $ wall $ events $ sims $ sims_per_sec
+        $ best $ digest $ git $ time)
+  in
+  Cmd.group
+    (Cmd.info "runs"
+       ~doc:
+         "Inspect and diff the persistent run ledger ($(b,BENCH_history.jsonl)) that every          explore/bench invocation appends to.")
+    [ list_cmd; show_cmd; diff_cmd; record_cmd ]
+
 let () =
   let doc = "Custom dynamic-memory manager design methodology (DATE 2004 reproduction)" in
   let info = Cmd.info "dmm" ~version:"1.0.0" ~doc in
@@ -1745,4 +2101,5 @@ let () =
             serve_cmd;
             feed_cmd;
             scrape_cmd;
+            runs_cmd;
           ]))

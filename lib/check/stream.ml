@@ -367,6 +367,9 @@ let file_format path =
     if n = 4 && Bytes.to_string b = Codec.magic then Ok `Binary else Ok `Jsonl
 
 let fold_source src ~init ~f =
+  (* One span per streamed pass — under `dmm explore --check --trace-self`
+     the sanitizer's stream consumption shows up as its own bar. *)
+  Dmm_obs.Span.with_span "stream.fold" @@ fun () ->
   let rec go acc =
     match src.next () with
     | None -> Ok acc

@@ -24,6 +24,22 @@ let m_fallbacks =
   Reg.counter ~help:"first_legal walks where no preferred leaf was legal"
     Reg.global "dmm_explorer_first_legal_fallbacks_total"
 
+(* Search-progress events, emitted on the orchestrating domain only (the
+   batch API scores on workers but picks winners on the parent). The
+   default observer does nothing, so drivers pay one indirect call per
+   *batch*, not per simulation; [dmm explore --progress] installs a
+   printer, [Scenario.global_design_for] announces its agenda through
+   the same channel. *)
+type progress =
+  | Agenda of { rounds : int }
+  | Round of { label : string }
+  | Batch_scored of { candidates : int; best_score : int }
+
+let on_progress : (progress -> unit) ref = ref (fun _ -> ())
+let progress e = !on_progress e
+
+module Span = Dmm_obs.Span
+
 let pp_params ppf (p : Manager.params) =
   Format.fprintf ppf
     "word=%d align=%d chunk=%d trim=%b/%d classes=[%a] fixed=%d defer=%d max_coalesced=%s"
@@ -283,6 +299,7 @@ module Profile_advisor = struct
 end
 
 let candidates ?advisor s base =
+  Span.with_span "explorer.candidates" @@ fun () ->
   let chunk0 = base.params.chunk_request in
   let param_variants =
     List.concat_map
@@ -366,6 +383,8 @@ let refine_batch ~score_all = function
   | [] -> invalid_arg "Explorer.refine: no candidates"
   | candidates ->
     let cands = Array.of_list candidates in
+    Span.with_span ~args:[ ("candidates", Array.length cands) ] "explorer.refine-batch"
+    @@ fun () ->
     Reg.add m_scored (Array.length cands);
     let scores = score_all cands in
     if Array.length scores <> Array.length cands then
@@ -374,6 +393,7 @@ let refine_batch ~score_all = function
     for i = 1 to Array.length cands - 1 do
       if scores.(i) < scores.(!best) then best := i
     done;
+    progress (Batch_scored { candidates = Array.length cands; best_score = scores.(!best) });
     (cands.(!best), scores.(!best))
 
 (* In-order sequential scoring, so stateful [score] closures observe the
@@ -409,6 +429,7 @@ let random_search ~rng ~samples ~profile ~score =
   random_search_batch ~rng ~samples ~profile ~score_all:(scores_in_order score)
 
 let explore_batch ?order ?advisor ~profile ~score_all () =
+  Span.with_span "explorer.explore" @@ fun () ->
   match heuristic_design ?order profile with
   | Error m -> Error m
   | Ok base -> Ok (refine_batch ~score_all (candidates ?advisor profile base))

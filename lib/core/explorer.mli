@@ -107,6 +107,30 @@ module Profile_advisor : sig
   val pp : Format.formatter -> t -> unit
 end
 
+(** {1 Search progress}
+
+    Coarse-grained events the drivers emit on the orchestrating domain
+    (never from workers): one per scored batch, plus agenda/round
+    announcements from multi-phase drivers
+    ([Dmm_workloads.Scenario.global_design_for]). [dmm explore
+    --progress] installs an observer that turns them into live
+    convergence lines; the default observer ignores them. *)
+
+type progress =
+  | Agenda of { rounds : int }  (** refinement rounds the driver plans to run *)
+  | Round of { label : string }  (** a planned round is starting *)
+  | Batch_scored of { candidates : int; best_score : int }
+      (** a candidate batch was simulated; [best_score] is the round's
+          winning score (footprint in bytes under the default objective) *)
+
+val on_progress : (progress -> unit) ref
+(** Process-wide observer. Install before the run, restore after;
+    observers must be fast and must not raise. *)
+
+val progress : progress -> unit
+(** Emit an event to the current observer (for drivers outside this
+    module, e.g. scenario orchestration). *)
+
 val candidates : ?advisor:Profile_advisor.t -> Profile.phase_summary -> design -> design list
 (** The simulation round: the heuristic design plus parameter and
     near-miss leaf variations worth trying (all constraint-valid),

@@ -23,6 +23,24 @@ let m_wait_us =
   Reg.histogram ~help:"Delay between map start and task pickup" Reg.global
     "dmm_pool_task_wait_microseconds"
 
+(* Search-engine self-metrics, dmm_search_* prefix: wall-clock facts about the
+   machinery driving the design-space search, scraped alongside the
+   memoisation counters [Sim] keeps under the same prefix. All are
+   machine-dependent (never part of the determinism contract). *)
+let m_queue_depth =
+  Reg.gauge ~help:"Tasks outstanding in the current parallel map" Reg.global
+    "dmm_search_queue_depth"
+
+let m_busy_us =
+  Reg.counter ~help:"Worker-domain time spent executing tasks" Reg.global
+    "dmm_search_busy_microseconds_total"
+
+let m_idle_us =
+  Reg.counter ~help:"Worker-domain time spent waiting for tasks" Reg.global
+    "dmm_search_idle_microseconds_total"
+
+module Span = Dmm_obs.Span
+
 let parse_jobs s =
   match int_of_string_opt (String.trim s) with
   | Some n when n >= 1 -> n
@@ -78,6 +96,8 @@ let map input f =
   else begin
     Reg.incr m_par_maps;
     Reg.add m_domains (workers - 1);
+    Span.with_span ~args:[ ("tasks", n); ("workers", workers) ] "pool.map" @@ fun () ->
+    Reg.set m_queue_depth n;
     let started = Unix.gettimeofday () in
     (* Each slot is written by exactly one domain (indices are handed out
        through [next]), and the joins publish the writes. *)
@@ -88,24 +108,34 @@ let map input f =
       Fun.protect
         ~finally:(fun () -> Domain.DLS.set inside_worker false)
         (fun () ->
+          let w_start = Unix.gettimeofday () in
+          let busy = ref 0.0 in
           let rec go () =
             let i = Atomic.fetch_and_add next 1 in
             if i < n then begin
               Reg.observe m_wait_us
                 (int_of_float (1e6 *. (Unix.gettimeofday () -. started)));
+              let t0 = Unix.gettimeofday () in
               slots.(i) <-
                 Some
                   (match f input.(i) with
                   | v -> Ok v
                   | exception e -> Error (e, Printexc.get_raw_backtrace ()));
+              busy := !busy +. (Unix.gettimeofday () -. t0);
+              Reg.set m_queue_depth (max 0 (n - Atomic.get next));
               go ()
             end
           in
-          go ())
+          go ();
+          let total = Unix.gettimeofday () -. w_start in
+          Reg.add m_busy_us (int_of_float (1e6 *. !busy));
+          Reg.add m_idle_us (int_of_float (1e6 *. Float.max 0.0 (total -. !busy))))
     in
-    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn worker) in
+    let run_worker () = Span.with_span "pool.worker" worker in
+    let spawned = Array.init (workers - 1) (fun _ -> Domain.spawn run_worker) in
     worker ();
     Array.iter Domain.join spawned;
+    Reg.set m_queue_depth 0;
     for i = 0 to n - 1 do
       match slots.(i) with
       | Some (Error (e, bt)) -> Printexc.raise_with_backtrace e bt

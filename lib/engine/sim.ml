@@ -27,6 +27,29 @@ let m_replay_us =
   Reg.histogram ~help:"Wall-clock per design replay" Reg.global
     "dmm_sim_replay_microseconds"
 
+(* The same memoisation facts re-exported under the search-engine
+   dmm_search_* prefix, so one scrape/grep surfaces everything the design-space
+   search did: simulations, cache traffic (here), queue depth and worker
+   busy/idle time ([Pool]). Bumped in lock-step with the dmm_sim_*
+   counters above — parent domain only, deterministic under DMM_JOBS. *)
+let m_search_sims =
+  Reg.counter ~help:"Full design simulations executed by the search" Reg.global
+    "dmm_search_simulations_total"
+
+let m_search_hits =
+  Reg.counter ~help:"Design scores served from the memo cache" Reg.global
+    "dmm_search_cache_hits_total"
+
+let m_search_misses =
+  Reg.counter ~help:"Design scores that required a fresh simulation" Reg.global
+    "dmm_search_cache_misses_total"
+
+let m_search_events =
+  Reg.counter ~help:"Trace events replayed by search simulations" Reg.global
+    "dmm_search_replayed_events_total"
+
+module Span = Dmm_obs.Span
+
 type outcome = { footprint : int; ops : int }
 
 type t = {
@@ -59,6 +82,7 @@ let replay_seconds t = t.replay_seconds
 (* Pure worker function: safe on any domain. Accounting of replay counts
    and wall time happens on the parent domain only. *)
 let replay ?probe ?graph t (d : Explorer.design) =
+  Span.with_span ~args:[ ("events", Trace.length t.trace) ] "sim.replay" @@ fun () ->
   let start = Unix.gettimeofday () in
   let space = Address_space.create ?probe () in
   let m =
@@ -90,6 +114,8 @@ let outcome ?(probe = Probe.null) t d =
     let o = timed t (fun () -> replay ~probe t d) in
     t.replays <- t.replays + 1;
     Reg.incr m_replays;
+    Reg.incr m_search_sims;
+    Reg.add m_search_events (Trace.length t.trace);
     Hashtbl.replace t.memo (Explorer.design_key d) o;
     o
   end
@@ -99,6 +125,7 @@ let outcome ?(probe = Probe.null) t d =
     | Some o ->
       t.hits <- t.hits + 1;
       Reg.incr m_hits;
+      Reg.incr m_search_hits;
       o
     | None ->
       let o = timed t (fun () -> replay t d) in
@@ -106,10 +133,14 @@ let outcome ?(probe = Probe.null) t d =
       t.replays <- t.replays + 1;
       Reg.incr m_misses;
       Reg.incr m_replays;
+      Reg.incr m_search_misses;
+      Reg.incr m_search_sims;
+      Reg.add m_search_events (Trace.length t.trace);
       Hashtbl.replace t.memo key o;
       o
 
 let outcomes t designs =
+  Span.with_span ~args:[ ("designs", Array.length designs) ] "sim.score-batch" @@ fun () ->
   let keys = Array.map Explorer.design_key designs in
   (* Unique cache misses, in first-occurrence order. *)
   let fresh = Hashtbl.create 16 in
@@ -130,6 +161,10 @@ let outcomes t designs =
   Reg.add m_misses (Array.length missing);
   Reg.add m_replays (Array.length missing);
   Reg.add m_hits (Array.length designs - Array.length missing);
+  Reg.add m_search_misses (Array.length missing);
+  Reg.add m_search_sims (Array.length missing);
+  Reg.add m_search_events (Array.length missing * Trace.length t.trace);
+  Reg.add m_search_hits (Array.length designs - Array.length missing);
   Array.map (fun key -> Hashtbl.find t.memo key) keys
 
 let lifetimes t (d : Explorer.design) =
@@ -149,6 +184,8 @@ let oracle t (d : Explorer.design) =
   let (_ : outcome) = timed t (fun () -> replay ~probe ~graph:true t d) in
   t.replays <- t.replays + 1;
   Reg.incr m_replays;
+  Reg.incr m_search_sims;
+  Reg.add m_search_events (Trace.length t.trace);
   Dmm_check.Oracle.finalize orc
 
 let sanitize t (d : Explorer.design) =
@@ -158,6 +195,8 @@ let sanitize t (d : Explorer.design) =
   let (_ : outcome) = timed t (fun () -> replay ~probe t d) in
   t.replays <- t.replays + 1;
   Reg.incr m_replays;
+  Reg.incr m_search_sims;
+  Reg.add m_search_events (Trace.length t.trace);
   let stream = Dmm_check.Stream.of_pairs (Dmm_obs.Collect_sink.to_array sink) in
   Dmm_check.Sanitizer.run ~design:d stream
 

@@ -73,6 +73,27 @@ let async_span t ~id ~name ~start_clock ~end_clock ~payload =
        "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"e\",\"id\":%d,\"ts\":%d,\"pid\":%d,\"tid\":0}"
        (json_escape name) id end_clock t.pid)
 
+(* Synchronous duration events for the self-tracer ([Span.to_chrome]):
+   unlike the logical-clock tracks above these carry a real tid (domain
+   id) and host microseconds, and the B/E pairing is the caller's
+   responsibility. *)
+let begin_span t ~ts ~tid ?(args = []) name =
+  let args_s =
+    match args with
+    | [] -> ""
+    | kvs ->
+      ",\"args\":{"
+      ^ String.concat ","
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) kvs)
+      ^ "}"
+  in
+  add t
+    (Printf.sprintf "{\"name\":\"%s\",\"cat\":\"self\",\"ph\":\"B\",\"ts\":%d,\"pid\":%d,\"tid\":%d%s}"
+       (json_escape name) ts t.pid tid args_s)
+
+let end_span t ~ts ~tid =
+  add t (Printf.sprintf "{\"ph\":\"E\",\"ts\":%d,\"pid\":%d,\"tid\":%d}" ts t.pid tid)
+
 let write_file path sinks =
   let oc = open_out path in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->

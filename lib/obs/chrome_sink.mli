@@ -32,6 +32,16 @@ val async_span :
     on the sink's track between the two clocks. Used by [dmm profile
     --chrome] to render every allocation span from {!Lifetime_sink}. *)
 
+val begin_span : t -> ts:int -> tid:int -> ?args:(string * int) list -> string -> unit
+(** Buffer a synchronous duration begin ([ph:"B"]) at host-microsecond
+    [ts] on track [tid]. Every [begin_span] must be matched by an
+    {!end_span} at a [ts] no earlier, with proper nesting per [tid] —
+    [Span.to_chrome] guarantees this by emitting from its recorded span
+    tree. *)
+
+val end_span : t -> ts:int -> tid:int -> unit
+(** The matching duration end ([ph:"E"]). *)
+
 val write_file : string -> t list -> unit
 (** Write all sinks' buffered events into one [{"traceEvents":[...]}]
     file. *)

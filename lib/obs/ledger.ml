@@ -1,0 +1,278 @@
+type record = {
+  r_time : float;
+  r_git : string;
+  r_cmd : string;
+  r_scenario : string;
+  r_jobs : int;
+  r_wall : float;
+  r_events : int;
+  r_sims : int;
+  r_sims_per_sec : float;
+  r_best_footprint : int;
+  r_digest : string;
+}
+
+let schema_version = 1
+let default_file = "BENCH_history.jsonl"
+
+let env_path () =
+  match Sys.getenv_opt "DMM_LEDGER" with Some "" -> None | v -> v
+
+let enabled () = match env_path () with Some ("off" | "0") -> false | _ -> true
+
+let default_path () =
+  match env_path () with Some p when p <> "off" && p <> "0" -> p | _ -> default_file
+
+let git_rev () =
+  match Sys.getenv_opt "DMM_GIT_REV" with
+  | Some s when s <> "" -> s
+  | _ -> (
+    try
+      let ic = Unix.open_process_in "git rev-parse --short HEAD 2>/dev/null" in
+      let line = try input_line ic with End_of_file -> "" in
+      match Unix.close_process_in ic with
+      | Unix.WEXITED 0 when line <> "" -> line
+      | _ -> "unknown"
+    with _ -> "unknown")
+
+(* FNV-1a 64-bit over the sorted rows: insensitive to row order, so two
+   runs that simulated the same grid in a different order still agree. *)
+let digest rows =
+  let rows = List.sort compare rows in
+  let h = ref 0xcbf29ce484222325L in
+  let feed_byte b = h := Int64.mul (Int64.logxor !h (Int64.of_int (b land 0xff))) 0x100000001b3L in
+  let feed_string s = String.iter (fun c -> feed_byte (Char.code c)) s in
+  List.iter
+    (fun (name, v) ->
+      feed_string name;
+      feed_byte 0;
+      feed_string (string_of_int v);
+      feed_byte 1)
+    rows;
+  Printf.sprintf "%016Lx" !h
+
+let iso_time t =
+  let tm = Unix.gmtime t in
+  Printf.sprintf "%04d-%02d-%02dT%02d:%02d:%02dZ" (tm.Unix.tm_year + 1900) (tm.Unix.tm_mon + 1)
+    tm.Unix.tm_mday tm.Unix.tm_hour tm.Unix.tm_min tm.Unix.tm_sec
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_json r =
+  Printf.sprintf
+    "{\"schema\":%d,\"time\":%.3f,\"git\":\"%s\",\"cmd\":\"%s\",\"scenario\":\"%s\",\"jobs\":%d,\"wall\":%.6f,\"events\":%d,\"sims\":%d,\"sims_per_sec\":%.3f,\"best_footprint\":%d,\"digest\":\"%s\"}"
+    schema_version r.r_time (json_escape r.r_git) (json_escape r.r_cmd)
+    (json_escape r.r_scenario) r.r_jobs r.r_wall r.r_events r.r_sims r.r_sims_per_sec
+    r.r_best_footprint (json_escape r.r_digest)
+
+(* Minimal scanner for the flat objects we write: string and number
+   values only, no nesting. Unknown keys are tolerated (forward
+   compatibility); missing required keys are an error. *)
+exception Bad of string
+
+let parse_flat line =
+  let n = String.length line in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some line.[!pos] else None in
+  let fail msg = raise (Bad msg) in
+  let skip_ws () =
+    while !pos < n && (line.[!pos] = ' ' || line.[!pos] = '\t') do
+      incr pos
+    done
+  in
+  let expect c =
+    skip_ws ();
+    match peek () with
+    | Some c' when c' = c -> incr pos
+    | Some c' -> fail (Printf.sprintf "expected '%c', found '%c'" c c')
+    | None -> fail (Printf.sprintf "expected '%c', found end of line" c)
+  in
+  let parse_string () =
+    expect '"';
+    let b = Buffer.create 16 in
+    let rec go () =
+      if !pos >= n then fail "unterminated string"
+      else
+        match line.[!pos] with
+        | '"' -> incr pos
+        | '\\' ->
+          if !pos + 1 >= n then fail "unterminated escape";
+          (match line.[!pos + 1] with
+          | '"' -> Buffer.add_char b '"'
+          | '\\' -> Buffer.add_char b '\\'
+          | 'n' -> Buffer.add_char b '\n'
+          | 't' -> Buffer.add_char b '\t'
+          | 'u' ->
+            if !pos + 5 >= n then fail "bad \\u escape";
+            let hex = String.sub line (!pos + 2) 4 in
+            (try Buffer.add_char b (Char.chr (int_of_string ("0x" ^ hex) land 0xff))
+             with _ -> fail "bad \\u escape");
+            pos := !pos + 4
+          | c -> fail (Printf.sprintf "bad escape '\\%c'" c));
+          pos := !pos + 2;
+          go ()
+        | c ->
+          Buffer.add_char b c;
+          incr pos;
+          go ()
+    in
+    go ();
+    Buffer.contents b
+  in
+  let parse_number () =
+    let start = !pos in
+    while
+      !pos < n
+      &&
+      match line.[!pos] with
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    do
+      incr pos
+    done;
+    if !pos = start then fail "expected a value";
+    let s = String.sub line start (!pos - start) in
+    match float_of_string_opt s with Some f -> f | None -> fail ("bad number " ^ s)
+  in
+  expect '{';
+  let fields = ref [] in
+  skip_ws ();
+  if peek () = Some '}' then incr pos
+  else begin
+    let rec members () =
+      skip_ws ();
+      let key = parse_string () in
+      expect ':';
+      skip_ws ();
+      let value =
+        match peek () with
+        | Some '"' -> `S (parse_string ())
+        | _ -> `F (parse_number ())
+      in
+      fields := (key, value) :: !fields;
+      skip_ws ();
+      match peek () with
+      | Some ',' ->
+        incr pos;
+        members ()
+      | Some '}' -> incr pos
+      | Some c -> fail (Printf.sprintf "expected ',' or '}', found '%c'" c)
+      | None -> fail "expected ',' or '}', found end of line"
+    in
+    members ()
+  end;
+  skip_ws ();
+  if !pos <> n then fail "trailing characters after object";
+  !fields
+
+let of_json line =
+  try
+    let fields = parse_flat line in
+    let str key default =
+      match List.assoc_opt key fields with
+      | Some (`S s) -> s
+      | Some (`F _) -> raise (Bad (Printf.sprintf "field %s: expected a string" key))
+      | None -> ( match default with Some d -> d | None -> raise (Bad ("missing field " ^ key)))
+    in
+    let num key default =
+      match List.assoc_opt key fields with
+      | Some (`F f) -> f
+      | Some (`S _) -> raise (Bad (Printf.sprintf "field %s: expected a number" key))
+      | None -> ( match default with Some d -> d | None -> raise (Bad ("missing field " ^ key)))
+    in
+    Ok
+      {
+        r_time = num "time" None;
+        r_git = str "git" (Some "unknown");
+        r_cmd = str "cmd" None;
+        r_scenario = str "scenario" None;
+        r_jobs = int_of_float (num "jobs" (Some 1.));
+        r_wall = num "wall" (Some 0.);
+        r_events = int_of_float (num "events" (Some 0.));
+        r_sims = int_of_float (num "sims" (Some 0.));
+        r_sims_per_sec = num "sims_per_sec" (Some 0.);
+        r_best_footprint = int_of_float (num "best_footprint" (Some 0.));
+        r_digest = str "digest" (Some "");
+      }
+  with Bad msg -> Error msg
+
+let append path r =
+  try
+    let oc = open_out_gen [ Open_append; Open_creat; Open_wronly ] 0o644 path in
+    Fun.protect
+      ~finally:(fun () -> close_out oc)
+      (fun () ->
+        output_string oc (to_json r);
+        output_char oc '\n');
+    Ok ()
+  with Sys_error msg -> Error msg
+
+let load path =
+  try
+    let ic = open_in path in
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go lineno acc =
+          match input_line ic with
+          | exception End_of_file -> Ok (List.rev acc)
+          | "" -> go (lineno + 1) acc
+          | line -> (
+            match of_json line with
+            | Ok r -> go (lineno + 1) (r :: acc)
+            | Error msg -> Error (Printf.sprintf "line %d: %s" lineno msg))
+        in
+        go 1 [])
+  with Sys_error msg -> Error msg
+
+let select ?cmd ?scenario records =
+  List.filter
+    (fun r ->
+      (match cmd with None -> true | Some c -> r.r_cmd = c)
+      && match scenario with None -> true | Some s -> r.r_scenario = s)
+    records
+
+(* Newest record plus the most recent earlier record of the same kind
+   (cmd + scenario): the pair "dmm runs diff" compares by default. *)
+let last_pair records =
+  match List.rev records with
+  | [] -> None
+  | newest :: earlier -> (
+    match
+      List.find_opt
+        (fun r -> r.r_cmd = newest.r_cmd && r.r_scenario = newest.r_scenario)
+        earlier
+    with
+    | Some older -> Some (older, newest)
+    | None -> None)
+
+type verdict = {
+  v_old : record;
+  v_new : record;
+  v_ratio : float;
+  v_throughput_regression : bool;
+  v_digest_drift : bool;
+}
+
+let compare_runs ?(threshold = 0.25) ~older ~newer () =
+  let ratio =
+    if older.r_sims_per_sec > 0. then newer.r_sims_per_sec /. older.r_sims_per_sec else 1.0
+  in
+  {
+    v_old = older;
+    v_new = newer;
+    v_ratio = ratio;
+    v_throughput_regression = ratio < 1.0 -. threshold;
+    v_digest_drift =
+      older.r_digest <> "" && newer.r_digest <> "" && not (String.equal older.r_digest newer.r_digest);
+  }

@@ -1,0 +1,50 @@
+type level = Quiet | Error | Warn | Info | Debug
+
+let severity = function Quiet -> 0 | Error -> 1 | Warn -> 2 | Info -> 3 | Debug -> 4
+
+let of_string s =
+  match String.lowercase_ascii (String.trim s) with
+  | "quiet" | "off" | "silent" -> Some Quiet
+  | "error" -> Some Error
+  | "warn" | "warning" -> Some Warn
+  | "info" -> Some Info
+  | "debug" -> Some Debug
+  | _ -> None
+
+let to_string = function
+  | Quiet -> "quiet"
+  | Error -> "error"
+  | Warn -> "warn"
+  | Info -> "info"
+  | Debug -> "debug"
+
+let initial =
+  match Sys.getenv_opt "DMM_LOG" with
+  | Some s -> ( match of_string s with Some l -> l | None -> Info)
+  | None -> Info
+
+let current = Atomic.make initial
+let set_level l = Atomic.set current l
+let level () = Atomic.get current
+let enabled l = severity l > 0 && severity l <= severity (Atomic.get current)
+
+(* One mutex so a worker domain's warning never interleaves mid-line
+   with a progress line from the orchestrator. *)
+let emit_lock = Mutex.create ()
+
+let emit l fmt =
+  Printf.ksprintf
+    (fun s ->
+      if enabled l then begin
+        Mutex.lock emit_lock;
+        output_string stderr s;
+        output_char stderr '\n';
+        flush stderr;
+        Mutex.unlock emit_lock
+      end)
+    fmt
+
+let err fmt = emit Error fmt
+let warn fmt = emit Warn fmt
+let info fmt = emit Info fmt
+let debug fmt = emit Debug fmt

@@ -1,0 +1,29 @@
+(** Leveled stderr logging for the CLI and bench.
+
+    Replaces the ad-hoc [Printf.eprintf]/[prerr_endline] chatter so that
+    progress lines, warnings and one-line errors share one mutex (no
+    mid-line interleaving from worker domains) and one volume control:
+    the [DMM_LOG] environment variable ([quiet]/[error]/[warn]/[info]/
+    [debug], default [info]) or an explicit {!set_level} (what
+    [--quiet] does).
+
+    Fatal one-line errors that decide the exit code (the
+    ["dmm <cmd>: <msg>"] + exit 2 convention) intentionally stay on bare
+    [prerr_endline]: they must survive [--quiet]. *)
+
+type level = Quiet | Error | Warn | Info | Debug
+
+val of_string : string -> level option
+val to_string : level -> string
+
+val set_level : level -> unit
+val level : unit -> level
+
+val enabled : level -> bool
+(** Would a message at this level be printed? ([Quiet] itself is never
+    printable — it is only a threshold.) *)
+
+val err : ('a, unit, string, unit) format4 -> 'a
+val warn : ('a, unit, string, unit) format4 -> 'a
+val info : ('a, unit, string, unit) format4 -> 'a
+val debug : ('a, unit, string, unit) format4 -> 'a

@@ -12,6 +12,7 @@ let attach t sink =
   t.sinks <- t.sinks @ [ sink ]
 
 let enabled t = t.sinks != []
+let is_empty t = t.sinks == []
 
 let emit t event =
   match t.sinks with

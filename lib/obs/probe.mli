@@ -33,6 +33,12 @@ val enabled : t -> bool
     constructing an event, which keeps the probe-off path allocation-free:
     [if Probe.enabled p then Probe.emit p (Event.Alloc ...)]. *)
 
+val is_empty : t -> bool
+(** [not (enabled t)]. Hot loops hoist this once per run (sinks can only
+    be attached, never detached, so emptiness is stable once iteration
+    starts): a fully-uninstrumented replay skips observer dispatch
+    entirely rather than re-testing per event. *)
+
 val emit : t -> Event.t -> unit
 (** Stamp the event with the current clock, advance the clock, dispatch to
     every sink. A no-op when no sink is attached (the clock does not

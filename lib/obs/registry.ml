@@ -196,9 +196,12 @@ let pp_text ppf t =
 
 (* Prometheus text exposition (histograms as summaries: no cumulative
    bucket blowup, quantiles precomputed server-side). *)
-let to_prometheus t =
+let to_prometheus ?prefix t =
   let b = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  let keep name =
+    match prefix with None -> true | Some p -> String.starts_with ~prefix:p name
+  in
   let header name help kind =
     if help <> "" then bpf "# HELP %s %s\n" name help;
     bpf "# TYPE %s %s\n" name kind
@@ -206,18 +209,19 @@ let to_prometheus t =
   List.iter
     (fun m ->
       match m with
-      | Counter c ->
+      | Counter c when keep c.c_name ->
         header c.c_name c.c_help "counter";
         bpf "%s %d\n" c.c_name (value c)
-      | Gauge g ->
+      | Gauge g when keep g.g_name ->
         header g.g_name g.g_help "gauge";
         bpf "%s %d\n" g.g_name (gauge_value g)
-      | Histogram h ->
+      | Histogram h when keep h.h_name ->
         header h.h_name h.h_help "summary";
         List.iter
           (fun q -> bpf "%s{quantile=\"%g\"} %d\n" h.h_name q (hist_percentile h q))
           [ 0.5; 0.9; 0.99 ];
         bpf "%s_sum %d\n" h.h_name (hist_sum h);
-        bpf "%s_count %d\n" h.h_name (hist_count h))
+        bpf "%s_count %d\n" h.h_name (hist_count h)
+      | Counter _ | Gauge _ | Histogram _ -> ())
     (metrics t);
   Buffer.contents b

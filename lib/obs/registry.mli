@@ -90,6 +90,9 @@ val view : t -> view list
 val pp_text : Format.formatter -> t -> unit
 (** One line per metric, sorted by name. *)
 
-val to_prometheus : t -> string
+val to_prometheus : ?prefix:string -> t -> string
 (** Prometheus text exposition: counters and gauges verbatim, histograms
-    as summaries with quantiles 0.5/0.9/0.99 plus [_sum] and [_count]. *)
+    as summaries with quantiles 0.5/0.9/0.99 plus [_sum] and [_count].
+    [prefix] restricts the output to metrics whose name starts with it
+    (e.g. ["dmm_search_"] to merge the search engine's self-metrics into
+    another registry's scrape). *)

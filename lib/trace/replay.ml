@@ -23,7 +23,13 @@ let id_map_set m id addr =
   m.addrs.(id) <- addr
 
 let run ?(probe = Probe.null) ?(graph = false) ?on_event ?(live_hint = 256) trace a =
+  Dmm_obs.Span.with_span ~args:[ ("events", Trace.length trace) ] "replay.run" @@ fun () ->
   let addrs = id_map_create live_hint in
+  (* Hoisted once per run: sinks can only ever be attached, never
+     detached, so a probe that is empty here stays empty for the whole
+     replay and the per-event observer test compiles down to a register
+     check instead of a load+branch on the probe record. *)
+  let observed = not (Probe.is_empty probe) in
   (* The graph probe level models the scripted client faithfully: each
      trace id is one rooted object, and the client holds that root right
      up to the free (freeing a still-rooted object is how the oracle
@@ -31,7 +37,7 @@ let run ?(probe = Probe.null) ?(graph = false) ?on_event ?(live_hint = 256) trac
      the explicit free, zero drag). No Root_remove is emitted: the free
      itself retires the root. This is the baseline the GC-heap
      scenarios are measured against. *)
-  let graph = graph && Probe.enabled probe in
+  let graph = graph && observed in
   let step event =
     match event with
     | Event.Alloc { id; size } ->
@@ -51,7 +57,7 @@ let run ?(probe = Probe.null) ?(graph = false) ?on_event ?(live_hint = 256) trac
     | Event.Phase p ->
       (* The replay driver owns phase markers: managers never re-emit
          them, so each one appears exactly once in the stream. *)
-      if Probe.enabled probe then Probe.emit probe (Obs_event.Phase p);
+      if observed then Probe.emit probe (Obs_event.Phase p);
       Allocator.phase a p
   in
   (* Hoist the observer dispatch out of the per-event loop. *)

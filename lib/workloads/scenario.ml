@@ -93,7 +93,10 @@ let gcheap_stream ?(config = Gcheap.default_config) (make : maker) =
   let stats = Gcheap.run ~probe config a in
   (Dmm_check.Stream.of_pairs (Dmm_obs.Collect_sink.to_array sink), stats)
 
+module Span = Dmm_obs.Span
+
 let advisor_for trace =
+  Span.with_span "scenario.advisor" @@ fun () ->
   let profile = Profile_builder.of_trace trace in
   match Explorer.heuristic_design (Dmm_core.Profile.total profile) with
   | Error msg -> invalid_arg ("Scenario.advisor_for: " ^ msg)
@@ -125,6 +128,8 @@ let design_for ?(alpha = 0.0) ?advisor trace =
      cache misses replayed on the worker pool. *)
   let sim = Dmm_engine.Sim.create trace in
   let score_all = Dmm_engine.Sim.score_all ~alpha sim in
+  Explorer.progress (Explorer.Agenda { rounds = 1 });
+  Explorer.progress (Explorer.Round { label = "whole-trace" });
   match
     Explorer.explore_batch ?advisor ~profile:(Dmm_core.Profile.total profile) ~score_all ()
   with
@@ -149,6 +154,8 @@ let global_design_for ?(detect_phases = false) ?advisor trace =
        other phases held fixed. *)
     let refine_one overrides (s : Dmm_core.Profile.phase_summary) =
       let pid = s.phase in
+      Explorer.progress (Explorer.Round { label = Printf.sprintf "phase %d" pid });
+      Span.with_span ~args:[ ("phase", pid) ] "scenario.refine-round" @@ fun () ->
       let base = List.assoc pid overrides in
       let with_design d =
         { default; overrides = List.map (fun (p, x) -> (p, if p = pid then d else x)) overrides }
@@ -188,6 +195,7 @@ let global_design_for ?(detect_phases = false) ?advisor trace =
             List.find (fun (s : Dmm_core.Profile.phase_summary) -> s.phase = pid) kept)
           order
     in
+    Explorer.progress (Explorer.Agenda { rounds = List.length agenda });
     let overrides = List.fold_left refine_one initial agenda in
     { default; overrides }
 

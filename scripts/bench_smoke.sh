@@ -36,7 +36,15 @@
 #  10. a short `dmm serve` soak: a sharded daemon on a unix socket must
 #      ingest concurrent streams in both encodings, reject a malformed
 #      one with a one-line error, expose its registry over /metrics, and
-#      shut down cleanly with an accurate summary line.
+#      shut down cleanly with an accurate summary line;
+#  11. `dmm explore --progress --trace-self` must emit live progress on
+#      stderr and a balanced Chrome trace whose span tree covers >=95%
+#      of the run's wall time, and `dmm report --prom` must carry the
+#      dmm_search_* self-metrics;
+#  12. the run ledger (BENCH_history.jsonl) must hold the two bench runs
+#      just recorded with zero footprint-digest drift, and `dmm runs
+#      diff` must exit non-zero on an injected 30% throughput regression
+#      and on an injected digest change.
 #
 # Usage: scripts/bench_smoke.sh   (from the repository root)
 set -eu
@@ -200,7 +208,8 @@ do
     exit 1
   fi
 done
-for metric in dmm_events_total dmm_request_size_bytes dmm_footprint_bytes; do
+for metric in dmm_events_total dmm_request_size_bytes dmm_footprint_bytes \
+  dmm_search_simulations_total; do
   if ! grep -q "^$metric" "$tmpdir/drr.prom"; then
     echo "bench_smoke: FAIL (Prometheus export missing $metric)" >&2
     exit 1
@@ -223,6 +232,44 @@ if diff -u "$tmpdir/telem1.out" "$tmpdir/telem2.out"; then
   echo "bench_smoke: PASS (telemetry counters identical under DMM_JOBS=1 and 2)"
 else
   echo "bench_smoke: FAIL (telemetry counters depend on the worker count)" >&2
+  exit 1
+fi
+
+echo "bench_smoke: self-tracing an advised exploration..."
+# The explorer tracing itself: live [progress] lines on stderr, a Chrome
+# trace of the run's own spans on disk (kept in the workspace so CI can
+# upload it), coverage >= 95% of wall time, and balanced B/E pairs.
+DMM_LEDGER="$tmpdir/explore_ledger.jsonl" \
+  "$dmm" explore -w drr --quick --seed 1 --jobs 2 --advise \
+  --progress --trace-self explore_selftrace.json \
+  > "$tmpdir/explore_trace.out" 2> "$tmpdir/explore_progress.err"
+if ! grep -q '^\[progress\] round ' "$tmpdir/explore_progress.err" ||
+   ! grep -q '^\[progress\] batch ' "$tmpdir/explore_progress.err"; then
+  echo "bench_smoke: FAIL (--progress produced no live progress lines)" >&2
+  cat "$tmpdir/explore_progress.err" >&2
+  exit 1
+fi
+coverage=$(sed -n 's/^self-trace: wrote .* spans, \([0-9.]*\)% of .*/\1/p' \
+  "$tmpdir/explore_trace.out")
+if [ -z "$coverage" ]; then
+  echo "bench_smoke: FAIL (no self-trace summary line on stdout)" >&2
+  cat "$tmpdir/explore_trace.out" >&2
+  exit 1
+fi
+if ! awk "BEGIN { exit !($coverage >= 95.0) }"; then
+  echo "bench_smoke: FAIL (self-trace covers only $coverage% of wall time, need >=95%)" >&2
+  exit 1
+fi
+self_b=$(grep -c '"ph":"B"' explore_selftrace.json || true)
+self_e=$(grep -c '"ph":"E"' explore_selftrace.json || true)
+if [ "$self_b" -gt 0 ] && [ "$self_b" = "$self_e" ]; then
+  echo "bench_smoke: PASS (self-trace balanced: $self_b B/E pairs, $coverage% coverage)"
+else
+  echo "bench_smoke: FAIL (self-trace unbalanced: B=$self_b E=$self_e)" >&2
+  exit 1
+fi
+if [ "$(wc -l < "$tmpdir/explore_ledger.jsonl")" != 1 ]; then
+  echo "bench_smoke: FAIL (explore did not append exactly one ledger record)" >&2
   exit 1
 fi
 
@@ -376,3 +423,60 @@ else
   cat "$tmpdir/serve.out" "$tmpdir/serve.err" >&2
   exit 1
 fi
+
+echo "bench_smoke: run-ledger regression gate..."
+# The two quick bench runs above each appended a record to the ledger
+# (kept in the workspace so CI can upload it). Their footprint digests
+# must agree exactly; throughput gets a wide 60% margin because jobs=1
+# vs jobs=2 wall clocks legitimately differ.
+if [ ! -f BENCH_history.jsonl ]; then
+  echo "bench_smoke: FAIL (bench runs did not create BENCH_history.jsonl)" >&2
+  exit 1
+fi
+if "$dmm" runs diff --ledger BENCH_history.jsonl --cmd bench --threshold 60 \
+  > "$tmpdir/runs_diff.out"; then
+  echo "bench_smoke: PASS (ledger: $(sed -n '2p' "$tmpdir/runs_diff.out" | sed 's/^ *//'))"
+else
+  echo "bench_smoke: FAIL (dmm runs diff flagged the two fresh bench runs)" >&2
+  cat "$tmpdir/runs_diff.out" >&2
+  exit 1
+fi
+# Inject a 30% throughput regression into a copy: the gate must trip.
+# (The explore steps above appended records of their own, so take the
+# numbers from the last *bench* record, not the last line.)
+cp BENCH_history.jsonl "$tmpdir/regress.jsonl"
+last_bench=$(grep '"cmd":"bench"' "$tmpdir/regress.jsonl" | tail -n 1)
+last_sps=$(printf '%s\n' "$last_bench" | sed -n 's/.*"sims_per_sec":\([0-9.]*\).*/\1/p')
+last_digest=$(printf '%s\n' "$last_bench" | sed -n 's/.*"digest":"\([^"]*\)".*/\1/p')
+slow=$(awk "BEGIN { printf \"%.3f\", $last_sps * 0.7 }")
+"$dmm" runs record --ledger "$tmpdir/regress.jsonl" --cmd bench \
+  --scenario bench-quick --jobs 2 --wall 1 --sims 1 \
+  --sims-per-sec "$slow" --digest "$last_digest" --git synthetic > /dev/null
+if "$dmm" runs diff --ledger "$tmpdir/regress.jsonl" --cmd bench \
+  > "$tmpdir/runs_regress.out"; then
+  echo "bench_smoke: FAIL (30% throughput regression not detected)" >&2
+  cat "$tmpdir/runs_regress.out" >&2
+  exit 1
+fi
+if ! grep -q 'REGRESSION' "$tmpdir/runs_regress.out"; then
+  echo "bench_smoke: FAIL (regression diff did not name the regression)" >&2
+  cat "$tmpdir/runs_regress.out" >&2
+  exit 1
+fi
+# And an altered digest (same throughput) must trip the drift check.
+cp BENCH_history.jsonl "$tmpdir/drift.jsonl"
+"$dmm" runs record --ledger "$tmpdir/drift.jsonl" --cmd bench \
+  --scenario bench-quick --jobs 2 --wall 1 --sims 1 \
+  --sims-per-sec "$last_sps" --digest 0000000000000000 --git synthetic > /dev/null
+if "$dmm" runs diff --ledger "$tmpdir/drift.jsonl" --cmd bench \
+  > "$tmpdir/runs_drift.out"; then
+  echo "bench_smoke: FAIL (footprint digest drift not detected)" >&2
+  cat "$tmpdir/runs_drift.out" >&2
+  exit 1
+fi
+if ! grep -q 'DRIFT' "$tmpdir/runs_drift.out"; then
+  echo "bench_smoke: FAIL (drift diff did not name the drift)" >&2
+  cat "$tmpdir/runs_drift.out" >&2
+  exit 1
+fi
+echo "bench_smoke: PASS (runs diff: zero drift live, trips on injected regression + drift)"

@@ -1,0 +1,113 @@
+The persistent run ledger and its regression gate. Records are injected
+with `dmm runs record --time/--git` so every timestamp, revision and
+digest below is deterministic; DMM_LEDGER points each block at a scratch
+file so nothing touches a real BENCH_history.jsonl.
+
+Empty history is a usage error (exit 2), not a crash:
+
+  $ dmm runs list --ledger nothing.jsonl
+  dmm runs: no run history at nothing.jsonl (run dmm explore or the bench first)
+  [2]
+  $ dmm runs diff --ledger nothing.jsonl
+  dmm runs: no run history at nothing.jsonl (run dmm explore or the bench first)
+  [2]
+
+Build a two-run history of the same scenario, 5% apart in throughput,
+identical digests:
+
+  $ export DMM_LEDGER=history.jsonl
+  $ dmm runs record --cmd bench --scenario bench-quick --jobs 2 --wall 10 \
+  >   --events 40476 --sims 200 --sims-per-sec 20.0 --best-footprint 66104 \
+  >   --digest 94ef663694bb73d8 --git aaaa111 --time 1754000000
+  recorded run #0 in history.jsonl
+  $ dmm runs record --cmd bench --scenario bench-quick --jobs 2 --wall 10 \
+  >   --events 40476 --sims 190 --sims-per-sec 19.0 --best-footprint 66104 \
+  >   --digest 94ef663694bb73d8 --git bbbb222 --time 1754100000
+  recorded run #1 in history.jsonl
+
+  $ dmm runs list
+    0  2025-07-31T22:13:20Z  bench    bench-quick        j2      10.00s      20.0/s      66104 B  94ef663694bb73d8  aaaa111
+    1  2025-08-02T02:00:00Z  bench    bench-quick        j2      10.00s      19.0/s      66104 B  94ef663694bb73d8  bbbb222
+
+  $ dmm runs show 1
+  run #1 of history.jsonl
+    time            2025-08-02T02:00:00Z
+    git             bbbb222
+    cmd             bench
+    scenario        bench-quick
+    jobs            2
+    wall            10.000000 s
+    events          40476
+    sims            190
+    sims/s          19.000
+    best footprint  66104 B
+    digest          94ef663694bb73d8
+
+A 5% dip is inside the default 25% threshold — no regression, exit 0:
+
+  $ dmm runs diff
+  comparing bench/bench-quick: aaaa111 (2025-07-31T22:13:20Z) -> bbbb222 (2025-08-02T02:00:00Z)
+    throughput  20.0 -> 19.0 sims/s (-5.0%)
+    footprint digest  94ef663694bb73d8 (no drift)
+  ok: no regression
+
+Inject a 30% throughput regression (same digest) — exit 1:
+
+  $ dmm runs record --cmd bench --scenario bench-quick --jobs 2 --wall 10 \
+  >   --events 40476 --sims 140 --sims-per-sec 14.0 --best-footprint 66104 \
+  >   --digest 94ef663694bb73d8 --git cccc333 --time 1754200000
+  recorded run #2 in history.jsonl
+  $ dmm runs diff
+  comparing bench/bench-quick: bbbb222 (2025-08-02T02:00:00Z) -> cccc333 (2025-08-03T05:46:40Z)
+    throughput  19.0 -> 14.0 sims/s (-26.3%)  REGRESSION (threshold 25%)
+    footprint digest  94ef663694bb73d8 (no drift)
+  regression detected
+  [1]
+
+A looser threshold lets the same pair pass:
+
+  $ dmm runs diff --threshold 50
+  comparing bench/bench-quick: bbbb222 (2025-08-02T02:00:00Z) -> cccc333 (2025-08-03T05:46:40Z)
+    throughput  19.0 -> 14.0 sims/s (-26.3%)
+    footprint digest  94ef663694bb73d8 (no drift)
+  ok: no regression
+
+Digest drift is a failure even when throughput holds — a changed
+footprint table means the simulated results themselves moved:
+
+  $ dmm runs record --cmd bench --scenario bench-quick --jobs 2 --wall 10 \
+  >   --events 40476 --sims 200 --sims-per-sec 20.0 --best-footprint 66104 \
+  >   --digest deadbeefdeadbeef --git dddd444 --time 1754300000
+  recorded run #3 in history.jsonl
+  $ dmm runs diff 2 3
+  comparing bench/bench-quick: cccc333 (2025-08-03T05:46:40Z) -> dddd444 (2025-08-04T09:33:20Z)
+    throughput  14.0 -> 20.0 sims/s (+42.9%)
+    footprint digest  94ef663694bb73d8 != deadbeefdeadbeef  DRIFT
+  regression detected
+  [1]
+
+Filters confine the default pair to one scenario; a lone run of another
+scenario has nothing to compare against (exit 2):
+
+  $ dmm runs record --cmd explore --scenario drr --jobs 2 --wall 2 \
+  >   --sims 30 --sims-per-sec 15.0 --git eeee555 --time 1754400000
+  recorded run #4 in history.jsonl
+  $ dmm runs list --cmd explore
+    4  2025-08-05T13:20:00Z  explore  drr                j2       2.00s      15.0/s          0 B    eeee555
+  $ dmm runs diff --cmd explore
+  dmm runs diff: need at least two comparable runs (have 1)
+  [2]
+
+Out-of-range and malformed inputs keep the one-line-error, exit-2
+convention:
+
+  $ dmm runs show 9
+  dmm runs show: no run #9 (ledger has 5 runs)
+  [2]
+  $ dmm runs diff 0 9
+  dmm runs diff: no run #9 (ledger has 5 runs)
+  [2]
+  $ printf 'garbage\n' >> history.jsonl
+  $ dmm runs list
+  dmm runs: history.jsonl: line 6: expected '{', found 'g'
+  [2]

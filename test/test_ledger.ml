@@ -1,0 +1,161 @@
+(* Run-ledger contracts: records survive the JSONL round trip, the
+   footprint digest is order-insensitive and collision-visible, load
+   reports malformed lines by number, and the regression comparator
+   applies its threshold on the right side. *)
+
+module Ledger = Dmm_obs.Ledger
+
+let mk ?(time = 1000.0) ?(git = "abc1234") ?(cmd = "explore") ?(scenario = "drr")
+    ?(jobs = 2) ?(wall = 1.5) ?(events = 5000) ?(sims = 30)
+    ?(sims_per_sec = 20.0) ?(best = 66104) ?(digest = "94ef663694bb73d8") () =
+  {
+    Ledger.r_time = time;
+    r_git = git;
+    r_cmd = cmd;
+    r_scenario = scenario;
+    r_jobs = jobs;
+    r_wall = wall;
+    r_events = events;
+    r_sims = sims;
+    r_sims_per_sec = sims_per_sec;
+    r_best_footprint = best;
+    r_digest = digest;
+  }
+
+(* Floats quantize at the ledger's print precision (%.3f for time and
+   throughput, %.6f for wall), so compare within half an ulp of that. *)
+let check_record msg (a : Ledger.record) (b : Ledger.record) =
+  let close eps x y = Float.abs (x -. y) <= eps +. (1e-9 *. Float.abs x) in
+  if
+    not
+      (close 5e-4 a.r_time b.r_time && a.r_git = b.r_git && a.r_cmd = b.r_cmd
+     && a.r_scenario = b.r_scenario && a.r_jobs = b.r_jobs
+     && close 5e-7 a.r_wall b.r_wall && a.r_events = b.r_events && a.r_sims = b.r_sims
+     && close 5e-4 a.r_sims_per_sec b.r_sims_per_sec
+     && a.r_best_footprint = b.r_best_footprint && a.r_digest = b.r_digest)
+  then Alcotest.failf "%s: records differ\n  %s\n  %s" msg (Ledger.to_json a) (Ledger.to_json b)
+
+let with_temp f =
+  let path = Filename.temp_file "dmm_ledger" ".jsonl" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let ok = function
+  | Ok v -> v
+  | Error m -> Alcotest.failf "unexpected error: %s" m
+
+let unit_tests =
+  [
+    Alcotest.test_case "json round trip" `Quick (fun () ->
+        let r = mk ~scenario:"gsm \"quoted\"\\slash" ~digest:"" () in
+        check_record "round trip" r (ok (Ledger.of_json (Ledger.to_json r))));
+    Alcotest.test_case "of_json tolerates unknown fields, rejects junk" `Quick
+      (fun () ->
+        let r = mk () in
+        let json = Ledger.to_json r in
+        let extended = String.sub json 0 (String.length json - 1) ^ ",\"future\":\"x\"}" in
+        check_record "unknown field ignored" r (ok (Ledger.of_json extended));
+        (match Ledger.of_json "garbage" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "garbage accepted");
+        match Ledger.of_json "{\"r_git\":\"x\"}" with
+        | Error _ -> ()
+        | Ok _ -> Alcotest.fail "record without required fields accepted");
+    Alcotest.test_case "append then load preserves order" `Quick (fun () ->
+        with_temp (fun path ->
+            let r1 = mk ~time:1.0 () and r2 = mk ~time:2.0 ~scenario:"gsm" () in
+            ok (Ledger.append path r1);
+            ok (Ledger.append path r2);
+            match ok (Ledger.load path) with
+            | [ a; b ] ->
+              check_record "first" r1 a;
+              check_record "second" r2 b
+            | l -> Alcotest.failf "expected 2 records, got %d" (List.length l)));
+    Alcotest.test_case "load reports the malformed line number" `Quick (fun () ->
+        with_temp (fun path ->
+            ok (Ledger.append path (mk ()));
+            let oc = open_out_gen [ Open_append ] 0o644 path in
+            output_string oc "not json\n";
+            close_out oc;
+            ok (Ledger.append path (mk ()));
+            match Ledger.load path with
+            | Error m when String.length m >= 7 && String.sub m 0 7 = "line 2:" -> ()
+            | Error m -> Alcotest.failf "wrong error: %s" m
+            | Ok _ -> Alcotest.fail "malformed ledger loaded"));
+    Alcotest.test_case "digest ignores row order, sees value changes" `Quick
+      (fun () ->
+        let rows = [ ("drr/lea", 66104); ("drr/kingsley", 72000) ] in
+        Alcotest.(check string)
+          "order-insensitive" (Ledger.digest rows)
+          (Ledger.digest (List.rev rows));
+        if Ledger.digest rows = Ledger.digest [ ("drr/lea", 66105); ("drr/kingsley", 72000) ]
+        then Alcotest.fail "one-byte change not visible in digest";
+        if Ledger.digest rows = Ledger.digest (List.tl rows) then
+          Alcotest.fail "dropped row not visible in digest";
+        Alcotest.(check int) "hex width" 16 (String.length (Ledger.digest rows)));
+    Alcotest.test_case "select filters by cmd and scenario" `Quick (fun () ->
+        let rs =
+          [ mk ~cmd:"explore" ~scenario:"drr" (); mk ~cmd:"bench" ~scenario:"bench-quick" ();
+            mk ~cmd:"explore" ~scenario:"gsm" () ]
+        in
+        Alcotest.(check int) "by cmd" 2 (List.length (Ledger.select ~cmd:"explore" rs));
+        Alcotest.(check int) "by scenario" 1
+          (List.length (Ledger.select ~scenario:"gsm" rs));
+        Alcotest.(check int) "both" 0
+          (List.length (Ledger.select ~cmd:"bench" ~scenario:"gsm" rs)));
+    Alcotest.test_case "last_pair picks matching cmd+scenario" `Quick (fun () ->
+        let a = mk ~time:1.0 ~scenario:"drr" () in
+        let b = mk ~time:2.0 ~scenario:"gsm" () in
+        let c = mk ~time:3.0 ~scenario:"drr" () in
+        (match Ledger.last_pair [ a; b; c ] with
+        | Some (older, newer) ->
+          check_record "older" a older;
+          check_record "newer" c newer
+        | None -> Alcotest.fail "no pair found");
+        (match Ledger.last_pair [ b; c ] with
+        | None -> ()
+        | Some _ -> Alcotest.fail "pair found with no matching earlier run");
+        match Ledger.last_pair [] with
+        | None -> ()
+        | Some _ -> Alcotest.fail "pair found in empty history");
+    Alcotest.test_case "compare_runs thresholds and digest drift" `Quick (fun () ->
+        let older = mk ~sims_per_sec:20.0 () in
+        let check ?threshold ~newer (regress, drift) msg =
+          let v = Ledger.compare_runs ?threshold ~older ~newer () in
+          Alcotest.(check bool) (msg ^ ": regression") regress v.Ledger.v_throughput_regression;
+          Alcotest.(check bool) (msg ^ ": drift") drift v.Ledger.v_digest_drift
+        in
+        check ~newer:(mk ~sims_per_sec:19.0 ()) (false, false) "5% slower is fine";
+        check ~newer:(mk ~sims_per_sec:14.0 ()) (true, false) "30% slower regresses";
+        check ~threshold:0.5 ~newer:(mk ~sims_per_sec:14.0 ())
+          (false, false) "custom threshold tolerates 30%";
+        check ~newer:(mk ~sims_per_sec:40.0 ()) (false, false) "faster is fine";
+        check ~newer:(mk ~digest:"deadbeefdeadbeef" ()) (false, true) "digest drift";
+        check ~newer:(mk ~digest:"" ()) (false, false) "missing digest is not drift");
+  ]
+
+let qcheck =
+  [
+    QCheck.Test.make ~name:"ledger json round-trips any record" ~count:100
+      QCheck.(
+        pair
+          (pair
+             (pair (string_of Gen.printable) (string_of Gen.printable))
+             (pair small_nat small_nat))
+          (pair
+             (pair (float_bound_exclusive 1e6) (float_bound_exclusive 1e4))
+             (pair small_nat (string_of Gen.printable))))
+      (fun (((cmd, scenario), (jobs, events)), ((time, wall), (sims, digest))) ->
+        let r =
+          mk ~time ~cmd ~scenario ~jobs ~wall ~events ~sims
+            ~sims_per_sec:(float_of_int sims /. Float.max 1e-9 wall)
+            ~digest ()
+        in
+        check_record "qcheck round trip" r (ok (Ledger.of_json (Ledger.to_json r)));
+        true);
+  ]
+
+let tests =
+  ("ledger", unit_tests @ List.map QCheck_alcotest.to_alcotest qcheck)
