@@ -671,6 +671,187 @@ let ingest_section () =
   }
 
 (* ------------------------------------------------------------------ *)
+(* EXP-SERVE-OBS: cost of full serve observability                     *)
+
+type serve_obs_report = {
+  so_streams : int;
+  so_events : int;  (** aggregate across all streams, observed run *)
+  so_bare_seconds : float;  (** best-of-3, plain [run_source] *)
+  so_observed_seconds : float;
+      (** best-of-3, [run_source_observed] + ambient tracer + access log *)
+  so_overhead_pct : float;
+  so_spans : int;  (** spans recorded by the last observed round *)
+  so_log_lines : int;  (** access-log records of the last observed round *)
+}
+
+(* The same 4-stream sharded soak as EXP-INGEST run twice: once bare
+   (plain [run_source], no tracer, no log — the PR-7-era daemon), once
+   with the full observability stack a traced [dmm serve] carries per
+   connection: span tracer ambient, conn span + queue-wait recording,
+   the batched observed driver (stage histograms + stage spans) and one
+   access-log record per stream. The delta is the price of service-grade
+   observability; the gate is <5%. *)
+let serve_obs_section () =
+  section "EXP-SERVE-OBS: cost of spans + stage histograms + access log";
+  let trace = Experiments.drr_trace_seed 42 in
+  let binary_path = Filename.temp_file "dmm_sobs" ".dmmt" in
+  let log_path = Filename.temp_file "dmm_sobs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () ->
+      (try Sys.remove binary_path with Sys_error _ -> ());
+      try Sys.remove log_path with Sys_error _ -> ())
+  @@ fun () ->
+  let () =
+    let bc = open_out_bin binary_path in
+    let probe = Probe.create () in
+    let bs = Binary_sink.create bc in
+    Binary_sink.attach probe bs;
+    Replay.run ~probe trace (Scenario.lea ~probe ());
+    Binary_sink.finish bs;
+    close_out bc
+  in
+  let data =
+    let ic = open_in_bin binary_path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    really_input_string ic (in_channel_length ic)
+  in
+  let so_streams = 4 in
+  (* Each worker ingests the stream [passes] times back to back: a
+     container-scale quick round is otherwise too short (~0.4s) for a
+     stable wall-clock ratio. *)
+  let passes = if quick then 2 else 1 in
+  let module Span = Dmm_obs.Span in
+  let module Access_log = Dmm_obs.Access_log in
+  let module Trace_ctx = Dmm_obs.Trace_ctx in
+  let bare_round () =
+    let ctx = Ingest.create (Registry.create ()) in
+    let t0 = Unix.gettimeofday () in
+    let events =
+      Pool.map (Array.init so_streams Fun.id) (fun _ ->
+          let n = ref 0 in
+          for _ = 1 to passes do
+            match Ingest.run_source ctx (Stream.source_of_string data) with
+            | Ok (s : Ingest.summary) -> n := !n + s.report.Sanitizer.events
+            | Error e -> failwith ("EXP-SERVE-OBS: " ^ e)
+          done;
+          !n)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    (dt, Array.fold_left ( + ) 0 events)
+  in
+  let observed_round () =
+    let ctx = Ingest.create (Registry.create ()) in
+    Ingest.set_shards ctx so_streams;
+    let tracer = Span.create () in
+    Span.set_ambient (Some tracer);
+    let alog =
+      match Access_log.open_file log_path with
+      | Ok l -> l
+      | Error m -> failwith ("EXP-SERVE-OBS: " ^ m)
+    in
+    let root = Trace_ctx.make () in
+    let t0 = Unix.gettimeofday () in
+    let events =
+      Pool.map (Array.init so_streams Fun.id) (fun shard ->
+          let c = Trace_ctx.child root in
+          Ingest.shard_enqueue ctx shard;
+          Ingest.shard_dequeue ctx shard ~wait_us:0;
+          let n = ref 0 and total_us = ref 0 in
+          for _ = 1 to passes do
+            let outcome, stats =
+              Span.with_span ~args:[ ("shard", shard) ]
+                ~sargs:[ ("trace_id", c.Trace_ctx.trace_id) ]
+                "conn"
+              @@ fun () ->
+              Ingest.run_source_observed ctx (Stream.source_of_string data)
+            in
+            (match outcome with
+            | Ok _ -> ()
+            | Error e -> failwith ("EXP-SERVE-OBS: " ^ e));
+            Ingest.add_bytes ctx (String.length data);
+            n := !n + stats.Ingest.st_events;
+            total_us := !total_us + stats.Ingest.st_total_us
+          done;
+          Access_log.(
+            write alog
+              [
+                ("ts", S (iso8601 t0));
+                ("shard", I shard);
+                ("trace_id", S c.Trace_ctx.trace_id);
+                ("status", S "ok");
+                ("events", I !n);
+                ("total_us", I !total_us);
+              ]);
+          !n)
+    in
+    let dt = Unix.gettimeofday () -. t0 in
+    Span.set_ambient None;
+    Access_log.close alog;
+    (dt, Array.fold_left ( + ) 0 events, Span.span_count tracer)
+  in
+  (* The variants alternate round by round, each behind a compaction, so
+     heap drift across the section hits both sides evenly instead of
+     taxing whichever runs last; the reported time is a trimmed mean
+     (slowest round dropped) — on a noisy shared container a lone
+     descheduled round otherwise swings the ratio by several percent. *)
+  let rounds = if quick then 5 else 3 in
+  let bare_times = Array.make rounds 0.0 in
+  let obs_times = Array.make rounds 0.0 in
+  let ev = ref 0 and sp = ref 0 in
+  for r = 0 to rounds - 1 do
+    Gc.compact ();
+    let dt, _ = bare_round () in
+    bare_times.(r) <- dt;
+    Gc.compact ();
+    let dt, e, s = observed_round () in
+    ev := e;
+    sp := s;
+    obs_times.(r) <- dt
+  done;
+  let trimmed_mean a =
+    Array.sort compare a;
+    let n = Array.length a - 1 in
+    Array.fold_left ( +. ) 0.0 (Array.sub a 0 (max 1 n)) /. float_of_int (max 1 n)
+  in
+  let so_bare_seconds = trimmed_mean bare_times in
+  let so_observed_seconds = trimmed_mean obs_times in
+  let so_events, so_spans = (!ev, !sp) in
+  let so_log_lines =
+    let ic = open_in log_path in
+    Fun.protect ~finally:(fun () -> close_in_noerr ic) @@ fun () ->
+    let n = ref 0 in
+    (try
+       while true do
+         ignore (input_line ic);
+         incr n
+       done
+     with End_of_file -> ());
+    !n
+  in
+  let so_overhead_pct =
+    100.0
+    *. (so_observed_seconds -. so_bare_seconds)
+    /. Float.max 1e-9 so_bare_seconds
+  in
+  (* The span total rides the [time] line, not the deterministic output:
+     the pool self-traces its workers under the ambient tracer, so the
+     count legitimately varies with DMM_JOBS. *)
+  Printf.printf "  serve-obs soak: %d streams  %d events  %d access-log lines\n"
+    so_streams so_events so_log_lines;
+  Printf.printf
+    "[time] EXP-SERVE-OBS: bare %.3fs  observed %.3fs  %d spans  overhead %.1f%% (target < 5%%)\n%!"
+    so_bare_seconds so_observed_seconds so_spans so_overhead_pct;
+  {
+    so_streams;
+    so_events;
+    so_bare_seconds;
+    so_observed_seconds;
+    so_overhead_pct;
+    so_spans;
+    so_log_lines;
+  }
+
+(* ------------------------------------------------------------------ *)
 (* EXP-F5: Figure 5                                                    *)
 
 let figure5 () =
@@ -1026,7 +1207,7 @@ let json_escape s =
 
 let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_report)
     ~(prof : profile_report) ~(orc : oracle_report) ~(ingest : ingest_report)
-    ~(thru : thru_row list) tables =
+    ~(sobs : serve_obs_report) ~(thru : thru_row list) tables =
   let oc = open_out "BENCH_results.json" in
   Fun.protect ~finally:(fun () -> close_out oc) @@ fun () ->
   let p fmt = Printf.fprintf oc fmt in
@@ -1061,6 +1242,15 @@ let write_results ~(timing : t1_timing) ~(obs : obs_report) ~(telem : telem_repo
   p "    \"streams\": %d,\n" ingest.ing_streams;
   p "    \"serve_seconds\": %.6f,\n" ingest.ing_serve_seconds;
   p "    \"events_per_sec\": %.0f\n" ingest.ing_events_per_sec;
+  p "  },\n";
+  p "  \"serve_obs\": {\n";
+  p "    \"streams\": %d,\n" sobs.so_streams;
+  p "    \"events\": %d,\n" sobs.so_events;
+  p "    \"spans\": %d,\n" sobs.so_spans;
+  p "    \"access_log_lines\": %d,\n" sobs.so_log_lines;
+  p "    \"bare_seconds\": %.6f,\n" sobs.so_bare_seconds;
+  p "    \"observed_seconds\": %.6f,\n" sobs.so_observed_seconds;
+  p "    \"overhead_pct\": %.2f\n" sobs.so_overhead_pct;
   p "  },\n";
   p "  \"telem\": {\n";
   p "    \"events\": %d,\n" telem.telem_events;
@@ -1190,6 +1380,7 @@ let () =
   timed "EXP-CHECK" check_section;
   let orc = timed "EXP-ORACLE" oracle_section in
   let ingest = timed "EXP-INGEST" ingest_section in
+  let sobs = timed "EXP-SERVE-OBS" serve_obs_section in
   timed "EXP-F5" figure5;
   timed "EXP-BRK" breakdown_section;
   timed "EXP-NRG" energy_section;
@@ -1201,7 +1392,7 @@ let () =
   timed "EXP-PERF" (fun () -> ops_summary tables);
   let thru = timed "EXP-THRU" throughput_section in
   if not skip_wall then bechamel_tests ();
-  write_results ~timing ~obs ~telem ~prof ~orc ~ingest ~thru tables;
+  write_results ~timing ~obs ~telem ~prof ~orc ~ingest ~sobs ~thru tables;
   append_ledger ~wall:(Unix.gettimeofday () -. bench_t0) ~obs tables;
   Printf.printf "\nwrote BENCH_results.json (jobs=%d, EXP-T1 speedup %.2fx)\n"
     parallel_jobs timing.speedup

@@ -38,6 +38,8 @@ module Ingest = Dmm_engine.Ingest
 module Span = Dmm_obs.Span
 module Log = Dmm_obs.Log
 module Ledger = Dmm_obs.Ledger
+module Trace_ctx = Dmm_obs.Trace_ctx
+module Access_log = Dmm_obs.Access_log
 
 open Cmdliner
 
@@ -1550,10 +1552,24 @@ let rec accept_retry sock =
   try Unix.accept sock
   with Unix.Unix_error (Unix.EINTR, _, _) -> accept_retry sock
 
-(* Minimal Prometheus exposition endpoint: answer any request on the
-   socket with the text rendering of the registry. Polls [running]
-   between accepts so shutdown never races a blocking accept. *)
-let metrics_loop registry sock running =
+(* Minimal HTTP endpoint beside the ingest socket: /metrics (Prometheus
+   text exposition), /healthz (SLO verdict, 200 or 503), /statusz (flat
+   JSON snapshot). Any other path answers as /metrics so old scrapers
+   keep working. Polls [running] between accepts so shutdown never
+   races a blocking accept. *)
+let request_path ic =
+  let first = try String.trim (input_line ic) with End_of_file -> "" in
+  (try
+     while String.trim (input_line ic) <> "" do
+       ()
+     done
+   with End_of_file -> ());
+  match String.split_on_char ' ' first with
+  | _meth :: path :: _ when path <> "" -> path
+  | _ -> "/metrics"
+
+let metrics_loop ingest sock running =
+  let registry = Ingest.registry ingest in
   while Atomic.get running do
     match Unix.select [ sock ] [] [] 0.05 with
     | [], _, _ -> ()
@@ -1562,22 +1578,23 @@ let metrics_loop registry sock running =
       (try
          let ic = Unix.in_channel_of_descr fd in
          let oc = Unix.out_channel_of_descr fd in
-         (* Drain the request head; the path is irrelevant (everything is
-            /metrics). *)
-         (try
-            while String.trim (input_line ic) <> "" do
-              ()
-            done
-          with End_of_file -> ());
-         let body = Registry.to_prometheus registry in
+         let status, ctype, body =
+           match request_path ic with
+           | "/healthz" -> (
+             match Ingest.health ingest with
+             | Ingest.Healthy -> ("200 OK", "text/plain", "ok\n")
+             | Ingest.Degraded why -> ("503 Service Unavailable", "text/plain", "degraded: " ^ why ^ "\n"))
+           | "/statusz" -> ("200 OK", "application/json", Ingest.status_json ingest ^ "\n")
+           | _ -> ("200 OK", "text/plain; version=0.0.4", Registry.to_prometheus registry)
+         in
          Printf.fprintf oc
-           "HTTP/1.1 200 OK\r\n\
-            Content-Type: text/plain; version=0.0.4\r\n\
+           "HTTP/1.1 %s\r\n\
+            Content-Type: %s\r\n\
             Content-Length: %d\r\n\
             Connection: close\r\n\
             \r\n\
             %s"
-           (String.length body) body;
+           status ctype (String.length body) body;
          flush oc
        with Sys_error _ | Unix.Unix_error _ -> ());
       (try Unix.close fd with Unix.Unix_error _ -> ())
@@ -1585,7 +1602,8 @@ let metrics_loop registry sock running =
   Unix.close sock
 
 let serve_cmd =
-  let run listen metrics exit_after jobs =
+  let run listen metrics exit_after jobs trace_file access_log stall_ms slo_error_rate
+      slo_p99_ms =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let die msg =
       prerr_endline (Printf.sprintf "dmm serve: %s" msg);
@@ -1594,6 +1612,24 @@ let serve_cmd =
     let laddr = match parse_addr listen with Ok a -> a | Error m -> die m in
     let ingest = Ingest.create (Registry.create ()) in
     let registry = Ingest.registry ingest in
+    (try Ingest.set_slo ingest ~max_error_rate:slo_error_rate ~max_p99_us:(slo_p99_ms * 1000) ()
+     with Invalid_argument m -> die m);
+    let tracer =
+      match trace_file with
+      | None -> None
+      | Some _ ->
+        let tr = Span.create () in
+        Span.set_ambient (Some tr);
+        Some tr
+    in
+    let alog =
+      match access_log with
+      | None -> None
+      | Some path -> (
+        match Access_log.open_file path with
+        | Ok l -> Some l
+        | Error m -> die m)
+    in
     let lsock = try listen_on laddr with Unix.Unix_error (e, _, _) -> die (Unix.error_message e) in
     Printf.printf "serve: ingest on %s\n%!" listen;
     let running = Atomic.make true in
@@ -1606,79 +1642,198 @@ let serve_cmd =
           try listen_on maddr with Unix.Unix_error (e, _, _) -> die (Unix.error_message e)
         in
         Printf.printf "serve: metrics on %s\n%!" m;
-        Some (Domain.spawn (fun () -> metrics_loop registry msock running))
+        Some (Domain.spawn (fun () -> metrics_loop ingest msock running))
     in
-    (* Connections are sharded over worker domains through one queue:
-       each stream is pinned to a worker, whose pipeline publishes into
-       the shared (atomic) registry. *)
+    (* Connections are sharded over worker domains round-robin, one
+       queue per shard: each stream is pinned to a worker, whose
+       pipeline publishes into the shared (atomic) registry, and the
+       per-shard depth gauges show where backpressure sits. Each queued
+       element carries its enqueue time so the pop measures the
+       accept-queue wait. *)
     let jobs = match jobs with Some j -> max 1 j | None -> Pool.jobs () in
-    let queue : Unix.file_descr option Queue.t = Queue.create () in
-    let qlock = Mutex.create () in
-    let qcond = Condition.create () in
-    let push v =
-      Mutex.lock qlock;
-      Queue.push v queue;
-      Condition.signal qcond;
-      Mutex.unlock qlock
+    Ingest.set_shards ingest jobs;
+    let queues =
+      Array.init jobs (fun _ ->
+          ( (Queue.create () : (Unix.file_descr * float) option Queue.t),
+            Mutex.create (),
+            Condition.create () ))
     in
-    let pop () =
-      Mutex.lock qlock;
-      while Queue.is_empty queue do
-        Condition.wait qcond qlock
+    let push i v =
+      let q, m, c = queues.(i) in
+      Mutex.lock m;
+      Queue.push v q;
+      Condition.signal c;
+      Mutex.unlock m
+    in
+    let pop i =
+      let q, m, c = queues.(i) in
+      Mutex.lock m;
+      while Queue.is_empty q do
+        Condition.wait c m
       done;
-      let v = Queue.pop queue in
-      Mutex.unlock qlock;
+      let v = Queue.pop q in
+      Mutex.unlock m;
       v
     in
-    let handle fd =
+    (* The slow-shard watchdog: a queue that holds work without
+       draining for [stall_ms] bumps dmm_ingest_stalls_total and warns,
+       once per stall window. *)
+    let watchdog =
+      if stall_ms <= 0 then None
+      else
+        Some
+          (Domain.spawn (fun () ->
+               let last_depth = Array.make jobs 0 in
+               let since = Array.make jobs (Unix.gettimeofday ()) in
+               let limit = float_of_int stall_ms /. 1000.0 in
+               while Atomic.get running do
+                 Unix.sleepf (Float.max 0.01 (limit /. 4.0));
+                 let now = Unix.gettimeofday () in
+                 for i = 0 to jobs - 1 do
+                   let d = Ingest.shard_depth ingest i in
+                   if d = 0 || d < last_depth.(i) then since.(i) <- now
+                   else if now -. since.(i) >= limit then begin
+                     Ingest.note_stall ingest;
+                     Log.warn "serve: shard %d stalled: %d connections queued for %dms" i
+                       d stall_ms;
+                     since.(i) <- now
+                   end;
+                   last_depth.(i) <- d
+                 done
+               done))
+    in
+    let handle shard ~wait_us fd =
       let ic = Unix.in_channel_of_descr fd in
       let oc = Unix.out_channel_of_descr fd in
-      let reply =
-        match Ingest.run_source ingest (Stream.source_of_channel ic) with
+      let t_start = Unix.gettimeofday () in
+      (* Peek the first four bytes: a "DMMC" trace-context preamble is
+         consumed here, anything else is pushed back in front of the
+         payload source. *)
+      let head = Bytes.create 4 in
+      let rec peek off =
+        if off >= 4 then off
+        else
+          match input ic head off (4 - off) with 0 -> off | n -> peek (off + n)
+      in
+      let n = try peek 0 with Sys_error _ -> 0 in
+      let sniff = Bytes.sub_string head 0 n in
+      let ctx, prefix, preamble_bytes =
+        if sniff = Trace_ctx.magic then begin
+          match input_line ic with
+          | rest -> (
+            let line = sniff ^ rest in
+            match Trace_ctx.of_preamble_line line with
+            | Ok c -> (Some c, "", String.length line + 1)
+            | Error _ -> (None, line ^ "\n", 0))
+          | exception (End_of_file | Sys_error _) -> (None, sniff, 0)
+        end
+        else (None, sniff, 0)
+      in
+      let count = ref 0 in
+      let src = Stream.source_of_channel ~prefix ~count ic in
+      let sargs =
+        match ctx with
+        | None -> []
+        | Some c ->
+          [ ("trace_id", c.Trace_ctx.trace_id); ("parent_span", c.Trace_ctx.span_id) ]
+      in
+      let outcome, stats =
+        Span.with_span ~args:[ ("shard", shard) ] ~sargs "conn" @@ fun () ->
+        Ingest.run_source_observed ingest src
+      in
+      let bytes = !count + preamble_bytes in
+      Ingest.add_bytes ingest bytes;
+      let reply, ok, err_msg =
+        match outcome with
         | Ok { Ingest.report; _ } ->
-          Printf.sprintf "ok %d events, %d diagnostics\n" report.Sanitizer.events
-            (List.length report.Sanitizer.diags)
+          ( Printf.sprintf "ok %d events, %d diagnostics\n" report.Sanitizer.events
+              (List.length report.Sanitizer.diags),
+            true,
+            "" )
         | Error m ->
           Log.err "serve: stream error: %s" m;
-          Printf.sprintf "error: %s\n" m
+          (Printf.sprintf "error: %s\n" m, false, m)
       in
       (try
          output_string oc reply;
          flush oc
        with Sys_error _ -> ());
-      try Unix.close fd with Unix.Unix_error _ -> ()
+      (try Unix.close fd with Unix.Unix_error _ -> ());
+      match alog with
+      | None -> ()
+      | Some l ->
+        Access_log.(
+          write l
+            [
+              ("ts", S (iso8601 t_start));
+              ("shard", I shard);
+              ("trace_id", S (match ctx with Some c -> c.Trace_ctx.trace_id | None -> ""));
+              ("status", S (if ok then "ok" else "error"));
+              ("error", S err_msg);
+              ("events", I stats.Ingest.st_events);
+              ("bytes", I bytes);
+              ("wait_us", I wait_us);
+              ("decode_us", I stats.Ingest.st_decode_us);
+              ("feed_us", I stats.Ingest.st_feed_us);
+              ("total_us", I stats.Ingest.st_total_us);
+            ])
     in
-    let worker () =
+    let worker shard =
       let rec loop () =
-        match pop () with
+        match pop shard with
         | None -> ()
-        | Some fd ->
-          (try handle fd with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
+        | Some (fd, enq_wall) ->
+          let wait_us = max 0 (int_of_float (1e6 *. (Unix.gettimeofday () -. enq_wall))) in
+          Ingest.shard_dequeue ingest shard ~wait_us;
+          (* Recorded before the conn span opens, so the wait renders as
+             a root-level bar the conn span follows — a child would have
+             its start clamped up to the conn begin and vanish. *)
+          if Span.enabled () then begin
+            let pop_us = Span.ambient_now_us () in
+            Span.record "queue.wait"
+              ~args:[ ("shard", shard) ]
+              ~start_us:(max 0 (pop_us - wait_us))
+              ~end_us:pop_us
+          end;
+          (try handle shard ~wait_us fd
+           with _ -> ( try Unix.close fd with Unix.Unix_error _ -> ()));
           loop ()
       in
       loop ()
     in
-    let workers = Array.init jobs (fun _ -> Domain.spawn worker) in
+    let workers = Array.init jobs (fun i -> Domain.spawn (fun () -> worker i)) in
     let accepted = ref 0 in
     let continue () = match exit_after with None -> true | Some n -> !accepted < n in
     while continue () do
       let fd, _ = accept_retry lsock in
+      let shard = !accepted mod jobs in
       incr accepted;
-      push (Some fd)
+      Ingest.shard_enqueue ingest shard;
+      push shard (Some (fd, Unix.gettimeofday ()))
     done;
-    for _ = 1 to jobs do
-      push None
+    for i = 0 to jobs - 1 do
+      push i None
     done;
     Array.iter Domain.join workers;
     Atomic.set running false;
     Option.iter Domain.join metrics_domain;
+    Option.iter Domain.join watchdog;
     Unix.close lsock;
     (match laddr with AUnix path -> ( try Sys.remove path with Sys_error _ -> ()) | ATcp _ -> ());
+    Option.iter Access_log.close alog;
     let v name = Registry.value (Registry.counter registry name) in
     Printf.printf "serve: done: %d streams, %d events, %d diagnostics, %d stream errors\n"
       (v "dmm_ingest_streams_total") (v "dmm_events_total")
       (v "dmm_ingest_diagnostics_total")
-      (v "dmm_ingest_errors_total")
+      (v "dmm_ingest_errors_total");
+    match (tracer, trace_file) with
+    | Some tr, Some file ->
+      Span.set_ambient None;
+      let sink = Chrome_sink.create ~name:"dmm serve" ~pid:1 in
+      Span.to_chrome tr sink;
+      Chrome_sink.write_file file [ sink ];
+      Printf.printf "serve: trace: wrote %s (%d spans)\n%!" file (Span.span_count tr)
+    | _ -> ()
   in
   let listen =
     Arg.(
@@ -1712,14 +1867,53 @@ let serve_cmd =
           ~doc:
             "Worker domains sharding the incoming streams. Default: the engine pool              width ($(b,DMM_JOBS) or the host's core count).")
   in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a merged Chrome trace of the daemon's own work on exit: one track              per worker domain, with queue.wait/conn/decode/feed/finalize spans per              connection. Connections fed with $(b,dmm feed --ctx) carry their trace              context into the conn span's args.")
+  in
+  let access_log =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "access-log" ] ~docv:"FILE"
+          ~doc:
+            "Append one flat JSON line per finished connection: timestamp, shard,              trace id, verdict, event/byte counts and per-stage latencies.")
+  in
+  let stall_ms =
+    Arg.(
+      value & opt int 1000
+      & info [ "stall-ms" ] ~docv:"MS"
+          ~doc:
+            "Slow-shard watchdog threshold: a shard queue that holds connections              without draining for $(docv) bumps $(b,dmm_ingest_stalls_total) and logs              a warning. 0 disables the watchdog.")
+  in
+  let slo_error_rate =
+    Arg.(
+      value & opt float 0.05
+      & info [ "slo-error-rate" ] ~docv:"RATE"
+          ~doc:
+            "Health gate: $(b,/healthz) reports degraded when errored streams exceed              this fraction of all streams (0..1).")
+  in
+  let slo_p99_ms =
+    Arg.(
+      value & opt int 0
+      & info [ "slo-p99-ms" ] ~docv:"MS"
+          ~doc:
+            "Health gate: $(b,/healthz) reports degraded when the end-to-end ingest              p99 exceeds $(docv) milliseconds. 0 disables the latency gate.")
+  in
   Cmd.v
     (Cmd.info "serve"
        ~doc:
-         "Long-running ingest daemon: accept concurrent allocation-event streams          (JSONL or binary, auto-detected per connection), run the sanitizer and the          telemetry and lifetime sinks online on each, and aggregate everything into          one registry for Prometheus scraping.")
-    Term.(const run $ listen $ metrics $ exit_after $ jobs)
+         "Long-running ingest daemon: accept concurrent allocation-event streams          (JSONL or binary, auto-detected per connection), run the sanitizer and the          telemetry and lifetime sinks online on each, and aggregate everything into          one registry for Prometheus scraping — with /healthz and /statusz beside          /metrics, per-shard backpressure gauges, an optional access log and an          optional Chrome trace of the daemon itself.")
+    Term.(
+      const run $ listen $ metrics $ exit_after $ jobs $ trace $ access_log $ stall_ms
+      $ slo_error_rate $ slo_p99_ms)
 
 let feed_cmd =
-  let run to_addr parallel files =
+  let run to_addr parallel with_ctx trace_file files =
     Sys.set_signal Sys.sigpipe Sys.Signal_ignore;
     let die msg =
       prerr_endline (Printf.sprintf "dmm feed: %s" msg);
@@ -1727,6 +1921,18 @@ let feed_cmd =
     in
     let addr = match parse_addr to_addr with Ok a -> a | Error m -> die m in
     let sa = try sockaddr_of addr with Failure m -> die m in
+    let tracer =
+      match trace_file with
+      | None -> None
+      | Some _ ->
+        let tr = Span.create () in
+        Span.set_ambient (Some tr);
+        Some tr
+    in
+    (* One trace per invocation, one child context per file: the daemon
+       records each child's span id on its conn span, so the feeder's
+       and the daemon's Chrome traces link by trace id. *)
+    let root_ctx = if with_ctx then Some (Trace_ctx.make ()) else None in
     let connect () =
       (* The daemon may still be binding (soak scripts start both at
          once): retry briefly before giving up. *)
@@ -1749,7 +1955,18 @@ let feed_cmd =
       in
       go 100
     in
-    let feed_one file =
+    let feed_one (file, fctx) =
+      let sargs =
+        match fctx with
+        | None -> [ ("file", file) ]
+        | Some c ->
+          [
+            ("file", file);
+            ("trace_id", c.Trace_ctx.trace_id);
+            ("span_id", c.Trace_ctx.span_id);
+          ]
+      in
+      Span.with_span ~sargs "feed" @@ fun () ->
       match open_in_bin file with
       | exception Sys_error m -> Printf.sprintf "error: %s" m
       | ic -> (
@@ -1760,19 +1977,27 @@ let feed_cmd =
         | s ->
           Fun.protect ~finally:(fun () -> ( try Unix.close s with Unix.Unix_error _ -> ()))
           @@ fun () ->
+          let write_all b len =
+            let rec go off = if off < len then go (off + Unix.write s b off (len - off)) in
+            go 0
+          in
           let buf = Bytes.create 65536 in
           let rec copy () =
             let n = input ic buf 0 (Bytes.length buf) in
             if n > 0 then begin
-              let rec write off =
-                if off < n then write (off + Unix.write s buf off (n - off))
-              in
-              write 0;
+              write_all buf n;
               copy ()
             end
           in
           let r =
-            match copy () with
+            match
+              (match fctx with
+              | None -> ()
+              | Some c ->
+                let p = Trace_ctx.preamble c in
+                write_all (Bytes.of_string p) (String.length p));
+              copy ()
+            with
             | () ->
               close_in_noerr ic;
               Unix.shutdown s Unix.SHUTDOWN_SEND;
@@ -1788,13 +2013,26 @@ let feed_cmd =
           r)
     in
     let files = Array.of_list files in
-    let replies = if parallel then Pool.map files feed_one else Array.map feed_one files in
+    let work =
+      Array.map
+        (fun file -> (file, Option.map (fun r -> Trace_ctx.child r) root_ctx))
+        files
+    in
+    let replies = if parallel then Pool.map work feed_one else Array.map feed_one work in
     let failed = ref false in
     Array.iteri
       (fun i reply ->
         if String.length reply >= 5 && String.sub reply 0 5 = "error" then failed := true;
         Printf.printf "feed: %s: %s\n" files.(i) reply)
       replies;
+    (match (tracer, trace_file) with
+    | Some tr, Some file ->
+      Span.set_ambient None;
+      let sink = Chrome_sink.create ~name:"dmm feed" ~pid:2 in
+      Span.to_chrome tr sink;
+      Chrome_sink.write_file file [ sink ];
+      Printf.printf "feed: trace: wrote %s (%d spans)\n%!" file (Span.span_count tr)
+    | _ -> ());
     if !failed then exit 1
   in
   let to_addr =
@@ -1809,6 +2047,21 @@ let feed_cmd =
       & info [ "parallel" ]
           ~doc:"Feed all files concurrently (one engine-pool domain per file).")
   in
+  let with_ctx =
+    Arg.(
+      value & flag
+      & info [ "ctx" ]
+          ~doc:
+            "Prefix every stream with a W3C-traceparent-style trace-context preamble              (one trace per invocation, one child span id per file), so the daemon's              $(b,--trace) output links back to this feeder.")
+  in
+  let trace =
+    Arg.(
+      value
+      & opt (some string) None
+      & info [ "trace" ] ~docv:"FILE"
+          ~doc:
+            "Write a Chrome trace of the feeder side (one span per file sent,              carrying the trace/span ids sent with $(b,--ctx)).")
+  in
   let files =
     Arg.(non_empty & pos_all string [] & info [] ~docv:"FILE" ~doc:"Event-stream files to send.")
   in
@@ -1816,38 +2069,87 @@ let feed_cmd =
     (Cmd.info "feed"
        ~doc:
          "Send recorded event-stream files to a running $(b,dmm serve) daemon, one          connection per file, and print each stream's verdict.")
-    Term.(const run $ to_addr $ parallel $ files)
+    Term.(const run $ to_addr $ parallel $ with_ctx $ trace $ files)
+
+(* One-shot HTTP GET against a serve endpoint: receive/send timeout via
+   socket options (a wedged daemon yields a one-line error, not a hang)
+   and bounded connect retries at 50ms apart (soak scripts race the
+   daemon's bind). *)
+let http_get ?(timeout = 5.0) ?(retries = 0) addr_s path =
+  match parse_addr addr_s with
+  | Error m -> Error m
+  | Ok addr -> (
+    match sockaddr_of addr with
+    | exception Failure m -> Error m
+    | sa -> (
+      let sock () =
+        Unix.socket
+          (match addr with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET)
+          Unix.SOCK_STREAM 0
+      in
+      let rec connect tries =
+        let s = sock () in
+        match Unix.connect s sa with
+        | () -> Ok s
+        | exception Unix.Unix_error (e, _, _) ->
+          (try Unix.close s with Unix.Unix_error _ -> ());
+          if tries > 0 then begin
+            Unix.sleepf 0.05;
+            connect (tries - 1)
+          end
+          else Error (Unix.error_message e)
+      in
+      match connect retries with
+      | Error _ as e -> e
+      | Ok s ->
+        Fun.protect ~finally:(fun () -> ( try Unix.close s with Unix.Unix_error _ -> ()))
+        @@ fun () ->
+        (try
+           if timeout > 0.0 then begin
+             Unix.setsockopt_float s Unix.SO_RCVTIMEO timeout;
+             Unix.setsockopt_float s Unix.SO_SNDTIMEO timeout
+           end
+         with Unix.Unix_error _ | Invalid_argument _ -> ());
+        let oc = Unix.out_channel_of_descr s in
+        let ic = Unix.in_channel_of_descr s in
+        (match
+           Printf.fprintf oc "GET %s HTTP/1.1\r\nHost: dmm\r\nConnection: close\r\n\r\n"
+             path;
+           flush oc;
+           (* Skip the response head, slurp the body. *)
+           (try
+              while String.trim (input_line ic) <> "" do
+                ()
+              done
+            with End_of_file -> ());
+           let b = Buffer.create 4096 in
+           let chunk = Bytes.create 65536 in
+           let rec slurp () =
+             let n = input ic chunk 0 (Bytes.length chunk) in
+             if n > 0 then begin
+               Buffer.add_subbytes b chunk 0 n;
+               slurp ()
+             end
+           in
+           (try slurp () with End_of_file -> ());
+           Buffer.contents b
+         with
+        | body -> Ok body
+        | exception Sys_error _ ->
+          Error (Printf.sprintf "timed out after %.1fs" timeout)
+        | exception Unix.Unix_error ((EAGAIN | EWOULDBLOCK | ETIMEDOUT), _, _) ->
+          Error (Printf.sprintf "timed out after %.1fs" timeout)
+        | exception Unix.Unix_error (e, _, _) -> Error (Unix.error_message e))))
 
 let scrape_cmd =
-  let run addr_s =
+  let run addr_s timeout retries path =
     let die msg =
       prerr_endline (Printf.sprintf "dmm scrape: %s" msg);
       exit 2
     in
-    let addr = match parse_addr addr_s with Ok a -> a | Error m -> die m in
-    let sa = try sockaddr_of addr with Failure m -> die m in
-    let s =
-      Unix.socket
-        (match addr with AUnix _ -> Unix.PF_UNIX | ATcp _ -> Unix.PF_INET)
-        Unix.SOCK_STREAM 0
-    in
-    (match Unix.connect s sa with
-    | () -> ()
-    | exception Unix.Unix_error (e, _, _) -> die (Unix.error_message e));
-    let oc = Unix.out_channel_of_descr s in
-    output_string oc "GET /metrics HTTP/1.1\r\nHost: dmm\r\nConnection: close\r\n\r\n";
-    flush oc;
-    let ic = Unix.in_channel_of_descr s in
-    (* Skip the response head, print the body. *)
-    (try
-       while String.trim (input_line ic) <> "" do
-         ()
-       done;
-       while true do
-         print_endline (input_line ic)
-       done
-     with End_of_file -> ());
-    try Unix.close s with Unix.Unix_error _ -> ()
+    match http_get ~timeout ~retries addr_s path with
+    | Ok body -> print_string body
+    | Error m -> die m
   in
   let addr =
     Arg.(
@@ -1855,10 +2157,149 @@ let scrape_cmd =
       & pos 0 (some string) None
       & info [] ~docv:"ADDR" ~doc:"The $(b,dmm serve --metrics) address.")
   in
+  let timeout =
+    Arg.(
+      value & opt float 5.0
+      & info [ "timeout" ] ~docv:"SECS"
+          ~doc:
+            "Give up with a one-line error if the daemon does not answer within              $(docv) seconds. 0 waits forever.")
+  in
+  let retries =
+    Arg.(
+      value & opt int 0
+      & info [ "retries" ] ~docv:"N"
+          ~doc:"Retry a refused connection up to $(docv) times, 50ms apart.")
+  in
+  let path =
+    Arg.(
+      value & opt string "/metrics"
+      & info [ "path" ] ~docv:"PATH"
+          ~doc:"Endpoint to fetch: $(b,/metrics), $(b,/healthz) or $(b,/statusz).")
+  in
   Cmd.v
     (Cmd.info "scrape"
-       ~doc:"Fetch and print the Prometheus exposition of a running $(b,dmm serve).")
-    Term.(const run $ addr)
+       ~doc:
+         "Fetch and print one endpoint of a running $(b,dmm serve) — the Prometheus          exposition by default, or $(b,/healthz)/$(b,/statusz) via $(b,--path).")
+    Term.(const run $ addr $ timeout $ retries $ path)
+
+(* --- dmm top: live operator view ------------------------------------------- *)
+
+(* Field scanners over the daemon's flat /statusz JSON (we control the
+   producer — scalars plus one int array, no nesting, no escapes in the
+   fields we read). *)
+let top_find body key =
+  let pat = Printf.sprintf "\"%s\":" key in
+  let n = String.length body and m = String.length pat in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub body i m = pat then Some (i + m)
+    else go (i + 1)
+  in
+  go 0
+
+let top_raw body key =
+  match top_find body key with
+  | None -> None
+  | Some j ->
+    if j >= String.length body then None
+    else if body.[j] = '"' then (
+      match String.index_from_opt body (j + 1) '"' with
+      | None -> None
+      | Some k -> Some (String.sub body (j + 1) (k - j - 1)))
+    else if body.[j] = '[' then (
+      match String.index_from_opt body j ']' with
+      | None -> None
+      | Some k -> Some (String.sub body (j + 1) (k - j - 1)))
+    else begin
+      let k = ref j in
+      while !k < String.length body && body.[!k] <> ',' && body.[!k] <> '}' do
+        incr k
+      done;
+      Some (String.sub body j (!k - j))
+    end
+
+let top_str body key = Option.value ~default:"" (top_raw body key)
+let top_int body key = Option.value ~default:0 (Option.bind (top_raw body key) int_of_string_opt)
+let top_float body key = Option.value ~default:0.0 (Option.bind (top_raw body key) float_of_string_opt)
+
+let top_cmd =
+  let run addr interval count plain =
+    let die msg =
+      prerr_endline (Printf.sprintf "dmm top: %s" msg);
+      exit 2
+    in
+    if interval <= 0.0 then die "interval must be positive";
+    let prev = ref None in
+    let rec poll i =
+      match http_get ~timeout:5.0 ~retries:20 addr "/statusz" with
+      | Error m -> die m
+      | Ok body ->
+        let now = Unix.gettimeofday () in
+        let events = top_int body "events_total" in
+        let rate =
+          match !prev with
+          | Some (t0, e0) when now > t0 ->
+            float_of_int (events - e0) /. (now -. t0)
+          | _ -> 0.0
+        in
+        prev := Some (now, events);
+        let status = top_str body "status" in
+        let reason = top_str body "reason" in
+        if not plain then print_string "\027[2J\027[H";
+        Printf.printf "dmm top — %s   status: %s%s   uptime %.1fs\n" addr status
+          (if reason = "" then "" else Printf.sprintf " (%s)" reason)
+          (top_float body "uptime_s");
+        Printf.printf "streams %d (%d active)   errors %d (%.1f%%)   diagnostics %d   stalls %d\n"
+          (top_int body "streams_total") (top_int body "active_streams")
+          (top_int body "errors_total")
+          (100.0 *. top_float body "error_rate")
+          (top_int body "diagnostics_total") (top_int body "stalls_total");
+        Printf.printf "events %d (%.0f/s)   bytes %d\n" events rate
+          (top_int body "bytes_total");
+        Printf.printf "ingest p50 %dus  p99 %dus  p99.9 %dus   queue wait p99 %dus\n"
+          (top_int body "ingest_p50_us") (top_int body "ingest_p99_us")
+          (top_int body "ingest_p999_us")
+          (top_int body "queue_wait_p99_us");
+        Printf.printf "shard queues [%s]: %s\n%!" (top_str body "shards")
+          (let depths = top_str body "queue_depths" in
+           if depths = "" then "-"
+           else String.concat " " (String.split_on_char ',' depths));
+        if count = 0 || i < count then begin
+          Unix.sleepf interval;
+          poll (i + 1)
+        end
+    in
+    poll 1
+  in
+  let addr =
+    Arg.(
+      required
+      & pos 0 (some string) None
+      & info [] ~docv:"ADDR" ~doc:"The $(b,dmm serve --metrics) address to watch.")
+  in
+  let interval =
+    Arg.(
+      value & opt float 1.0
+      & info [ "interval" ] ~docv:"SECS" ~doc:"Seconds between polls.")
+  in
+  let count =
+    Arg.(
+      value & opt int 0
+      & info [ "count" ] ~docv:"N"
+          ~doc:"Exit after $(docv) polls; default 0 runs until interrupted.")
+  in
+  let plain =
+    Arg.(
+      value & flag
+      & info [ "plain" ]
+          ~doc:
+            "Do not clear the terminal between polls — append one block per poll              (scripts, logs, tests).")
+  in
+  Cmd.v
+    (Cmd.info "top"
+       ~doc:
+         "Live operator view of a running $(b,dmm serve): poll $(b,/statusz) and          render health, throughput, error rate, tail latency and per-shard queue          depths, refreshing in place.")
+    Term.(const run $ addr $ interval $ count $ plain)
 
 (* ------------------------------------------------------------------ *)
 (* runs                                                                *)
@@ -2101,5 +2542,6 @@ let () =
             serve_cmd;
             feed_cmd;
             scrape_cmd;
+            top_cmd;
             runs_cmd;
           ]))

@@ -345,7 +345,23 @@ let sniff_source ?path ?close r =
 
 let source_of_string ?path s = sniff_source ?path (reader_of_string s)
 
-let source_of_channel ?path ic = sniff_source ?path (reader_of_channel ic)
+(* Count every byte the source consumes, exactly once: the counter wraps
+   outside any pushed-back prefix, so replayed prefix bytes are counted
+   as they flow past, while the bytes [sniff_source] peeks (and pushes
+   back internally, below this wrapper) are counted at the peek only. *)
+let counted count r =
+  {
+    fill =
+      (fun b off len ->
+        let n = r.fill b off len in
+        count := !count + n;
+        n);
+  }
+
+let source_of_channel ?path ?(prefix = "") ?count ic =
+  let r = with_prefix prefix (reader_of_channel ic) in
+  let r = match count with None -> r | Some c -> counted c r in
+  sniff_source ?path r
 
 let source_of_file path =
   match open_in_bin path with

@@ -33,6 +33,11 @@ type source
     {!fold_source} — they are I/O-level failures of the record itself,
     not heap diagnostics. *)
 
+exception Parse_error of string
+(** What {!next_entry} raises on a decode error — exposed for drivers
+    that pull entries directly (the ingest daemon's batched reader)
+    instead of going through {!fold_source}. *)
+
 val source_of_entries : t -> source
 (** In-memory replay of an already-materialised stream. *)
 
@@ -40,11 +45,16 @@ val source_of_string : ?path:string -> string -> source
 (** Over an in-memory buffer; format auto-detected as in
     {!source_of_channel}. [path] prefixes error messages. *)
 
-val source_of_channel : ?path:string -> in_channel -> source
+val source_of_channel :
+  ?path:string -> ?prefix:string -> ?count:int ref -> in_channel -> source
 (** Over an open channel (file or socket). The first four bytes decide
     the format — the binary magic ["DMMT"] or JSONL text — and are
-    pushed back, so unseekable inputs work. The caller owns the
-    channel unless a close hook was wired by the constructor. *)
+    pushed back, so unseekable inputs work. [prefix] is replayed before
+    the channel's bytes — for callers that already consumed a sniff
+    window (the ingest daemon peeking for a trace-context preamble).
+    [count] accumulates every byte the source consumes, prefix
+    included, counted exactly once. The caller owns the channel unless
+    a close hook was wired by the constructor. *)
 
 val source_of_file : string -> (source, string) result
 (** Open [path] and auto-detect its format. The returned source owns

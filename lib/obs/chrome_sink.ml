@@ -77,14 +77,18 @@ let async_span t ~id ~name ~start_clock ~end_clock ~payload =
    unlike the logical-clock tracks above these carry a real tid (domain
    id) and host microseconds, and the B/E pairing is the caller's
    responsibility. *)
-let begin_span t ~ts ~tid ?(args = []) name =
+let begin_span t ~ts ~tid ?(args = []) ?(sargs = []) name =
   let args_s =
-    match args with
-    | [] -> ""
-    | kvs ->
+    match (args, sargs) with
+    | [], [] -> ""
+    | _ ->
       ",\"args\":{"
       ^ String.concat ","
-          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) kvs)
+          (List.map (fun (k, v) -> Printf.sprintf "\"%s\":%d" (json_escape k) v) args
+          @ List.map
+              (fun (k, v) ->
+                Printf.sprintf "\"%s\":\"%s\"" (json_escape k) (json_escape v))
+              sargs)
       ^ "}"
   in
   add t

@@ -32,9 +32,18 @@ val async_span :
     on the sink's track between the two clocks. Used by [dmm profile
     --chrome] to render every allocation span from {!Lifetime_sink}. *)
 
-val begin_span : t -> ts:int -> tid:int -> ?args:(string * int) list -> string -> unit
+val begin_span :
+  t ->
+  ts:int ->
+  tid:int ->
+  ?args:(string * int) list ->
+  ?sargs:(string * string) list ->
+  string ->
+  unit
 (** Buffer a synchronous duration begin ([ph:"B"]) at host-microsecond
-    [ts] on track [tid]. Every [begin_span] must be matched by an
+    [ts] on track [tid]. [args] render as integer JSON values, [sargs]
+    as quoted escaped strings (trace ids, peer names). Every
+    [begin_span] must be matched by an
     {!end_span} at a [ts] no earlier, with proper nesting per [tid] —
     [Span.to_chrome] guarantees this by emitting from its recorded span
     tree. *)

@@ -195,33 +195,69 @@ let pp_text ppf t =
     (metrics t)
 
 (* Prometheus text exposition (histograms as summaries: no cumulative
-   bucket blowup, quantiles precomputed server-side). *)
+   bucket blowup, quantiles precomputed server-side).
+
+   A registered name may carry a label set in Prometheus syntax —
+   ["dmm_ingest_queue_depth{shard=\"3\"}"] — in which case the HELP/TYPE
+   header is emitted once per base name (labelled series of one metric
+   sort adjacently, since the base is a common prefix) and histogram
+   quantile labels splice into the existing brace set. *)
+let split_labels name =
+  match String.index_opt name '{' with
+  | None -> (name, None)
+  | Some i ->
+    let labels = String.sub name (i + 1) (String.length name - i - 2) in
+    (String.sub name 0 i, Some labels)
+
 let to_prometheus ?prefix t =
   let b = Buffer.create 1024 in
   let bpf fmt = Printf.ksprintf (Buffer.add_string b) fmt in
   let keep name =
     match prefix with None -> true | Some p -> String.starts_with ~prefix:p name
   in
+  let last_base = ref "" in
   let header name help kind =
-    if help <> "" then bpf "# HELP %s %s\n" name help;
-    bpf "# TYPE %s %s\n" name kind
+    let base, _ = split_labels name in
+    if base <> !last_base then begin
+      last_base := base;
+      if help <> "" then bpf "# HELP %s %s\n" base help;
+      bpf "# TYPE %s %s\n" base kind
+    end
+  in
+  let series ?extra name =
+    let base, labels = split_labels name in
+    match (labels, extra) with
+    | None, None -> base
+    | Some l, None -> Printf.sprintf "%s{%s}" base l
+    | None, Some e -> Printf.sprintf "%s{%s}" base e
+    | Some l, Some e -> Printf.sprintf "%s{%s,%s}" base l e
+  in
+  (* _sum/_count suffixes attach to the base name, before the labels. *)
+  let suffixed name suffix =
+    let base, labels = split_labels name in
+    match labels with
+    | None -> base ^ suffix
+    | Some l -> Printf.sprintf "%s%s{%s}" base suffix l
   in
   List.iter
     (fun m ->
       match m with
       | Counter c when keep c.c_name ->
         header c.c_name c.c_help "counter";
-        bpf "%s %d\n" c.c_name (value c)
+        bpf "%s %d\n" (series c.c_name) (value c)
       | Gauge g when keep g.g_name ->
         header g.g_name g.g_help "gauge";
-        bpf "%s %d\n" g.g_name (gauge_value g)
+        bpf "%s %d\n" (series g.g_name) (gauge_value g)
       | Histogram h when keep h.h_name ->
         header h.h_name h.h_help "summary";
         List.iter
-          (fun q -> bpf "%s{quantile=\"%g\"} %d\n" h.h_name q (hist_percentile h q))
-          [ 0.5; 0.9; 0.99 ];
-        bpf "%s_sum %d\n" h.h_name (hist_sum h);
-        bpf "%s_count %d\n" h.h_name (hist_count h)
+          (fun q ->
+            bpf "%s %d\n"
+              (series ~extra:(Printf.sprintf "quantile=\"%g\"" q) h.h_name)
+              (hist_percentile h q))
+          [ 0.5; 0.9; 0.99; 0.999 ];
+        bpf "%s %d\n" (suffixed h.h_name "_sum") (hist_sum h);
+        bpf "%s %d\n" (suffixed h.h_name "_count") (hist_count h)
       | Counter _ | Gauge _ | Histogram _ -> ())
     (metrics t);
   Buffer.contents b

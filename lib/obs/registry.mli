@@ -92,7 +92,11 @@ val pp_text : Format.formatter -> t -> unit
 
 val to_prometheus : ?prefix:string -> t -> string
 (** Prometheus text exposition: counters and gauges verbatim, histograms
-    as summaries with quantiles 0.5/0.9/0.99 plus [_sum] and [_count].
-    [prefix] restricts the output to metrics whose name starts with it
-    (e.g. ["dmm_search_"] to merge the search engine's self-metrics into
-    another registry's scrape). *)
+    as summaries with quantiles 0.5/0.9/0.99/0.999 plus [_sum] and
+    [_count]. A registered name may carry a Prometheus label set —
+    ["dmm_ingest_queue_depth{shard=\"3\"}"] — whose series then share one
+    [# HELP]/[# TYPE] header under the base name, with histogram
+    [quantile] labels spliced into the brace set. [prefix] restricts the
+    output to metrics whose name starts with it (e.g. ["dmm_search_"] to
+    merge the search engine's self-metrics into another registry's
+    scrape). *)

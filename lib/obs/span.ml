@@ -7,6 +7,7 @@ type span = {
   sp_start_us : int;
   sp_end_us : int;
   sp_args : (string * int) list;
+  sp_sargs : (string * string) list;
 }
 
 (* One buffer per (tracer, domain) pair, reached lock-free through DLS;
@@ -61,7 +62,7 @@ let buf_for t =
     cell := Some (t.tr_id, b);
     b
 
-let with_span ?(args = []) name f =
+let with_span ?(args = []) ?(sargs = []) name f =
   match Atomic.get ambient_tracer with
   | None -> f ()
   | Some t ->
@@ -89,6 +90,7 @@ let with_span ?(args = []) name f =
           sp_start_us = start_us;
           sp_end_us = end_us;
           sp_args = args;
+          sp_sargs = sargs;
         }
         :: b.b_spans
     in
@@ -100,6 +102,36 @@ let with_span ?(args = []) name f =
       let bt = Printexc.get_raw_backtrace () in
       finish ();
       Printexc.raise_with_backtrace e bt)
+
+(* A span whose life was observed externally — e.g. a connection's time
+   on the accept queue, measured between the push on the accept domain
+   and the pop on the worker. Recorded as an already-finished child of
+   the innermost open span on this domain. *)
+let record ?(args = []) ?(sargs = []) name ~start_us ~end_us =
+  match Atomic.get ambient_tracer with
+  | None -> ()
+  | Some t ->
+    let b = buf_for t in
+    let seq = b.b_next_seq in
+    b.b_next_seq <- seq + 1;
+    let parent = match b.b_stack with [] -> -1 | p :: _ -> p in
+    let start_us = max 0 start_us in
+    b.b_spans <-
+      {
+        sp_name = name;
+        sp_tid = b.b_tid;
+        sp_seq = seq;
+        sp_parent = parent;
+        sp_depth = b.b_depth;
+        sp_start_us = start_us;
+        sp_end_us = max start_us end_us;
+        sp_args = args;
+        sp_sargs = sargs;
+      }
+      :: b.b_spans
+
+let ambient_now_us () =
+  match Atomic.get ambient_tracer with None -> 0 | Some t -> now_us t
 
 let spans t =
   Mutex.lock t.tr_lock;
@@ -136,7 +168,8 @@ let to_chrome t sink =
          start. *)
       let rec emit lo s =
         let b_ts = max lo s.sp_start_us in
-        Chrome_sink.begin_span sink ~ts:b_ts ~tid ~args:s.sp_args s.sp_name;
+        Chrome_sink.begin_span sink ~ts:b_ts ~tid ~args:s.sp_args ~sargs:s.sp_sargs
+          s.sp_name;
         let hi = List.fold_left (fun acc c -> emit acc c) b_ts (kids s.sp_seq) in
         let e_ts = max hi s.sp_end_us in
         Chrome_sink.end_span sink ~ts:e_ts ~tid;

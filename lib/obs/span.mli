@@ -26,6 +26,8 @@ type span = {
   sp_start_us : int;
   sp_end_us : int;
   sp_args : (string * int) list;
+  sp_sargs : (string * string) list;
+      (** string-valued args — trace context, peer addresses *)
 }
 
 type t
@@ -43,15 +45,34 @@ val ambient : unit -> t option
 val enabled : unit -> bool
 (** [true] iff an ambient tracer is installed. *)
 
-val with_span : ?args:(string * int) list -> string -> (unit -> 'a) -> 'a
+val with_span :
+  ?args:(string * int) list -> ?sargs:(string * string) list -> string -> (unit -> 'a) -> 'a
 (** [with_span name f] runs [f ()]; if an ambient tracer is installed the
     call is recorded as a span (child of the innermost open span on this
     domain). The span is recorded even when [f] raises; the exception is
     re-raised with its backtrace. With no tracer installed this is just
     [f ()]. *)
 
+val record :
+  ?args:(string * int) list ->
+  ?sargs:(string * string) list ->
+  string ->
+  start_us:int ->
+  end_us:int ->
+  unit
+(** Record an already-finished span with externally-observed timestamps
+    (tracer microseconds, see {!ambient_now_us}) — e.g. a connection's
+    time on the accept queue, measured between a push on one domain and
+    the pop on another. The span becomes a child of the innermost open
+    span on the calling domain (or a root). No-op without an ambient
+    tracer; [end_us] is clamped to [start_us] if it precedes it. *)
+
 val now_us : t -> int
 (** Microseconds since the tracer's epoch. *)
+
+val ambient_now_us : unit -> int
+(** {!now_us} of the ambient tracer, or 0 when tracing is off — the
+    clock to stamp {!record} spans with. *)
 
 val spans : t -> span list
 (** All completed spans, merged across domains, sorted by (domain, start

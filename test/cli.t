@@ -339,12 +339,29 @@ one-line error per malformed stream, clean shutdown after N streams:
   $ dmm feed --to ingest.sock bad.txt
   feed: bad.txt: error: line 1: not a JSON object
   [1]
-  $ dmm scrape metrics.sock | grep -E '^dmm_(ingest|events)'
+  $ dmm scrape metrics.sock | grep -E '^dmm_(ingest|events)' | grep -v '_us'
   dmm_events_total 207700
   dmm_ingest_active_streams 0
+  dmm_ingest_bytes_total 5399884
   dmm_ingest_diagnostics_total 0
   dmm_ingest_errors_total 1
+  dmm_ingest_queue_depth{shard="0"} 0
+  dmm_ingest_queue_depth{shard="1"} 0
+  dmm_ingest_stalls_total 0
   dmm_ingest_streams_total 3
+
+One bad stream out of three breaches the default 5% error-rate SLO, so
+the health endpoint reports degraded and /statusz carries the reason
+(latencies and uptime are wall-clock, so only stable fields are pinned):
+
+  $ dmm scrape metrics.sock --path /healthz
+  degraded: error rate 33.3% exceeds SLO 5.0%
+  $ dmm scrape metrics.sock --path /statusz | grep -o '"status":"[a-z]*"'
+  "status":"degraded"
+  $ dmm scrape metrics.sock --path /statusz | grep -o '"queue_depths":\[0,0\]'
+  "queue_depths":[0,0]
+  $ dmm top metrics.sock --count 1 --plain | wc -l | tr -d ' '
+  5
   $ dmm feed --to ingest.sock --parallel drr.dmmt
   feed: drr.dmmt: ok 103850 events, 0 diagnostics
   $ wait
@@ -354,6 +371,12 @@ one-line error per malformed stream, clean shutdown after N streams:
   serve: done: 4 streams, 311550 events, 0 diagnostics, 1 stream errors
   $ cat serve.err
   serve: stream error: line 1: not a JSON object
+
+A scrape against nothing fails with one line, not a hang:
+
+  $ dmm scrape missing.sock --timeout 1
+  dmm scrape: No such file or directory
+  [2]
 
 The Merlin-style lifetime oracle: scripted replays have exact death
 times (zero drag, zero leaks), the GC-heap client's lagged frees show

@@ -45,6 +45,7 @@ let () =
       Test_energy.tests;
       Test_experiments.tests;
       Test_engine.tests;
+      Test_ingest.tests;
       Test_micro.tests;
       Test_interleave.tests;
       Test_integration.tests;
